@@ -1,0 +1,67 @@
+// Extension: detection coverage of FT2's bound check.
+// Run the campaign with FT2 in DETECT-ONLY mode (flag violations, never
+// correct) so faults propagate as if unprotected, then cross the detection
+// flag with the trial outcome:
+//   coverage    = P(detected | trial would be SDC)
+//   false-alarm = P(detected | trial masked-identical)
+// High coverage with a low false-alarm rate is what makes clip-correction
+// safe; this is the detector-quality view the paper implies but never
+// tabulates.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "fi/trace.hpp"
+
+using namespace ft2;
+
+int main() {
+  const auto s = bench::sizes();
+  bench::print_header("Extension: FT2 detection coverage / false alarms",
+                      "beyond-paper extension (detector-quality view)");
+
+  Table table({"fault model", "SDC trials", "detected among SDC",
+               "masked trials", "false alarms among masked"});
+  const auto p = bench::prepare("opt-sm", DatasetKind::kSynthQA, s.inputs);
+
+  SchemeSpec detector = scheme_spec(SchemeKind::kFt2, p.model->config());
+  detector.detect_only = true;
+
+  for (FaultModel fm : all_fault_models()) {
+    CampaignConfig config;
+    config.fault_model = fm;
+    config.trials_per_input = s.trials * 2;
+    config.gen_tokens = p.gen_tokens;
+
+    TraceCollector trace;
+    run_campaign(*p.model, p.inputs, detector, BoundStore{}, config,
+                 trace.callback());
+
+    std::size_t sdc = 0, sdc_detected = 0, masked = 0, false_alarm = 0;
+    for (const auto& r : trace.records()) {
+      if (r.outcome == Outcome::kSdc) {
+        ++sdc;
+        if (r.detections > 0) ++sdc_detected;
+      } else if (r.outcome == Outcome::kMaskedIdentical) {
+        ++masked;
+        if (r.detections > 0) ++false_alarm;
+      }
+    }
+    auto frac = [](std::size_t a, std::size_t b) {
+      return b == 0 ? std::string("-")
+                    : Table::format_pct(static_cast<double>(a) /
+                                            static_cast<double>(b),
+                                        1);
+    };
+    table.begin_row()
+        .cell(fault_model_name(fm))
+        .count(sdc)
+        .cell(frac(sdc_detected, sdc))
+        .count(masked)
+        .cell(frac(false_alarm, masked));
+  }
+  table.print(std::cout);
+  std::cout << "\nnote: 'false alarms' here are benign detections — masked "
+               "trials where some value exceeded the scaled first-token "
+               "bounds; correcting them did not change the output\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Figure 4: offline bound-profiling time per task on A100 and H100, from
+// the roofline performance model applied to the paper-scale models.
+// The paper profiles 20% of each training set; we use the same input counts
+// (SQuAD 2.0: 26k, XTREME QA: ~14k, GSM8K: ~1.5k) and the paper's sequence
+// setup (prompt ~256 tokens, 60 generated for QA / 180 for math).
+#include <iostream>
+
+#include "bench_util.hpp"
+
+using namespace ft2;
+namespace pm = ft2::perfmodel;
+
+int main() {
+  bench::print_header("Offline bound-profiling cost (modeled, hours)",
+                      "Figure 4");
+
+  struct TaskSpec {
+    const char* dataset;
+    std::size_t inputs;      // 20% of the training set
+    std::size_t gen_tokens;
+  };
+  const TaskSpec tasks[] = {
+      {"SQuAD 2.0 (QA)", 26000, 60},
+      {"XTREME (QA)", 14000, 60},
+      {"GSM8K (Math)", 1500, 180},
+  };
+
+  Table table({"model", "task", "A100 hours", "H100 hours", "H100 speedup"});
+  double max_a100 = 0.0;
+  for (const auto& m : pm::paper_models()) {
+    const bool math_capable =
+        m.name == "Llama2-7B" || m.name == "Qwen2-7B";
+    for (const auto& task : tasks) {
+      if (task.gen_tokens == 180 && !math_capable) continue;
+      const double a = pm::profiling_hours(m, pm::a100(), task.inputs, 256,
+                                           task.gen_tokens);
+      const double h = pm::profiling_hours(m, pm::h100(), task.inputs, 256,
+                                           task.gen_tokens);
+      max_a100 = std::max(max_a100, a);
+      table.begin_row()
+          .cell(m.name)
+          .cell(task.dataset)
+          .num(a, 1)
+          .num(h, 1)
+          .cell(Table::format(a / h, 2) + "x");
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nmax A100 profiling time: " << Table::format(max_a100, 1)
+            << " hours\n"
+            << "paper: 4.7 - 217.5 hours on A100; up to 36.7 hours on H100 "
+               "(log-scale figure)\n";
+  return 0;
+}

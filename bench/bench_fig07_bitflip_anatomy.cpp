@@ -1,0 +1,94 @@
+// Figure 7 (quantitative version): what a single exponent-bit flip does to
+// an FP16 value, as a function of the value's magnitude interval.
+// The paper illustrates two cases — a small value becoming extremely large
+// and a NaN-vulnerable value (+-(1,2)) becoming NaN; this bench sweeps all
+// finite FP16 values x all exponent bits and tabulates the outcome classes,
+// making take-aways #2/#3 checkable numbers instead of two examples.
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.hpp"
+
+using namespace ft2;
+
+namespace {
+
+struct Row {
+  const char* interval;
+  float lo, hi;  // |v| in [lo, hi)
+  std::size_t total = 0, to_nan = 0, to_inf = 0, to_large = 0, benign = 0;
+};
+
+}  // namespace
+
+int main() {
+  bench::print_header("Anatomy of FP16 exponent-bit flips", "Figure 7");
+
+  Row rows[] = {
+      {"|v| in [0, 0.25)", 0.0f, 0.25f},
+      {"|v| in [0.25, 1)", 0.25f, 1.0f},
+      {"|v| = 1 exactly", 1.0f, std::nextafterf(1.0f, 2.0f)},
+      {"|v| in (1, 2)  [NaN-vulnerable]", std::nextafterf(1.0f, 2.0f), 2.0f},
+      {"|v| in [2, 16)", 2.0f, 16.0f},
+      {"|v| in [16, 65504]", 16.0f, 65505.0f},
+  };
+  const float kLargeThreshold = 1024.0f;  // "extreme value" per the paper
+
+  // Exhaustive: every finite FP16 pattern x every exponent bit.
+  for (std::uint32_t b = 0; b <= 0xFFFFu; ++b) {
+    const f16 h = f16::from_bits(static_cast<std::uint16_t>(b));
+    if (h.is_nan() || h.is_inf()) continue;
+    const float v = h.to_float();
+    const float mag = std::fabs(v);
+    Row* row = nullptr;
+    for (Row& r : rows) {
+      if (mag >= r.lo && mag < r.hi) {
+        row = &r;
+        break;
+      }
+    }
+    if (row == nullptr) continue;
+    for (int bit = f16::kExponentLow; bit <= f16::kExponentHigh; ++bit) {
+      BitFlips flips;
+      flips.count = 1;
+      flips.bits[0] = bit;
+      const float out = apply_bit_flips(v, flips, ValueType::kF16);
+      ++row->total;
+      if (std::isnan(out)) {
+        ++row->to_nan;
+      } else if (std::isinf(out)) {
+        ++row->to_inf;
+      } else if (std::fabs(out) >= kLargeThreshold &&
+                 mag < kLargeThreshold) {
+        ++row->to_large;
+      } else {
+        ++row->benign;
+      }
+    }
+  }
+
+  Table table({"value interval", "flips", "-> NaN", "-> inf",
+               "-> large (|x|>=1024)", "benign"});
+  auto pct = [](std::size_t n, std::size_t d) {
+    return Table::format_pct(
+        d == 0 ? 0.0 : static_cast<double>(n) / static_cast<double>(d), 1);
+  };
+  for (const Row& r : rows) {
+    table.begin_row()
+        .cell(r.interval)
+        .count(r.total)
+        .cell(pct(r.to_nan, r.total))
+        .cell(pct(r.to_inf, r.total))
+        .cell(pct(r.to_large, r.total))
+        .cell(pct(r.benign, r.total));
+  }
+  table.print(std::cout);
+  std::cout << "\npaper Fig. 7: flipping the TOP exponent bit turns small "
+               "values into extreme values and +-(1,2) values into NaN.\n"
+               "(+-(1,2) is the only interval NaN-vulnerable to the top "
+               "exponent bit; the [16, 65504] NaN share comes from values "
+               "with exponent 11110 flipping a LOWER exponent bit — rarer "
+               "in practice because activations there are rare, see "
+               "Fig. 8's distributions)\n";
+  return 0;
+}

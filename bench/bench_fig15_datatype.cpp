@@ -1,0 +1,44 @@
+// Figure 15: sensitivity to data type — FP16 vs FP32 SDC rates for
+// OPT-6.7B (opt-sm) and GPTJ-6B (gptj-sm) on SQuAD 2.0 (synthqa), with the
+// baselines and FT2. Bit flips act on the 16-bit or 32-bit encoding of the
+// same neuron values; FT2 must be effective on both.
+#include <iostream>
+
+#include "bench_util.hpp"
+
+using namespace ft2;
+
+int main() {
+  const auto s = bench::sizes();
+  bench::print_header("Data-type sensitivity: FP16 vs FP32", "Figure 15");
+
+  for (const char* model_name : {"opt-sm", "gptj-sm"}) {
+    const auto p = bench::prepare(model_name, DatasetKind::kSynthQA, s.inputs);
+    const BoundStore bounds = bench::offline_bounds(
+        *p.model, DatasetKind::kSynthQA, s.profile_inputs, p.gen_tokens);
+
+    std::cout << "\n--- " << model_name << " (EXP fault model) ---\n";
+    Table table({"dtype", "none", "ranger", "maximals", "global_clipper",
+                 "ft2"});
+    for (ValueType vtype : {ValueType::kF16, ValueType::kF32}) {
+      CampaignConfig config;
+      config.fault_model = FaultModel::kExponentBit;
+      config.vtype = vtype;
+      config.trials_per_input = s.trials;
+      config.gen_tokens = p.gen_tokens;
+
+      table.begin_row().cell(value_type_name(vtype));
+      for (SchemeKind sk :
+           {SchemeKind::kNone, SchemeKind::kRanger, SchemeKind::kMaxiMals,
+            SchemeKind::kGlobalClipper, SchemeKind::kFt2}) {
+        const auto result = run_campaign(*p.model, p.inputs, sk, bounds,
+                                         config);
+        table.pct(result.sdc_rate(), 2);
+      }
+    }
+    table.print(std::cout);
+  }
+  std::cout << "\npaper: FT2 drops the SDC rate to ~0.14% for FP32 as well — "
+               "effective for both data types\n";
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Kernel microbenchmarks (google-benchmark): the hot paths of the engine
+// and of the protection itself. Useful for regression-tracking the cost of
+// the FP16 software path and the range-restriction kernel the overhead
+// results (Fig. 14) depend on.
+#include <benchmark/benchmark.h>
+
+#include "core/ft2.hpp"
+
+namespace ft2 {
+namespace {
+
+void BM_F16FromFloat(benchmark::State& state) {
+  std::vector<float> values(1024);
+  Xoshiro256 rng(1);
+  for (float& f : values) f = rng.uniform_float(-4.0f, 4.0f);
+  for (auto _ : state) {
+    std::uint32_t acc = 0;
+    for (float f : values) acc += f16::from_float(f).bits();
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          1024);
+}
+BENCHMARK(BM_F16FromFloat);
+
+void BM_QuantizeSpan(benchmark::State& state) {
+  std::vector<float> values(static_cast<std::size_t>(state.range(0)));
+  Xoshiro256 rng(2);
+  for (float& f : values) f = rng.uniform_float(-4.0f, 4.0f);
+  for (auto _ : state) {
+    quantize_span_f16(values);
+    benchmark::DoNotOptimize(values.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_QuantizeSpan)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_LinearForwardRow(benchmark::State& state) {
+  const std::size_t d = static_cast<std::size_t>(state.range(0));
+  Tensor w({d, d});
+  std::vector<float> x(d), y(d);
+  Xoshiro256 rng(3);
+  for (float& f : w.span()) f = rng.uniform_float(-0.1f, 0.1f);
+  for (float& f : x) f = rng.uniform_float(-1.0f, 1.0f);
+  for (auto _ : state) {
+    linear_forward_row(x, w, {}, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(d * d));
+}
+BENCHMARK(BM_LinearForwardRow)->Arg(48)->Arg(64)->Arg(256);
+
+void BM_Softmax(benchmark::State& state) {
+  std::vector<float> v(static_cast<std::size_t>(state.range(0)));
+  Xoshiro256 rng(4);
+  for (auto _ : state) {
+    for (float& f : v) f = rng.uniform_float(-5.0f, 5.0f);
+    softmax(v);
+    benchmark::DoNotOptimize(v.data());
+  }
+}
+BENCHMARK(BM_Softmax)->Arg(32)->Arg(96);
+
+void BM_RangeRestrict(benchmark::State& state) {
+  std::vector<float> v(static_cast<std::size_t>(state.range(0)));
+  Xoshiro256 rng(5);
+  Bounds bounds;
+  bounds.observe(-1.0f);
+  bounds.observe(1.0f);
+  for (auto _ : state) {
+    for (float& f : v) f = rng.uniform_float(-2.0f, 2.0f);
+    range_restrict(v, bounds, ClipPolicy::kToBound, true, nullptr);
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_RangeRestrict)->Arg(64)->Arg(256);
+
+void BM_RopeApply(benchmark::State& state) {
+  std::vector<float> v(64);
+  Xoshiro256 rng(6);
+  for (float& f : v) f = rng.uniform_float(-1.0f, 1.0f);
+  std::size_t pos = 0;
+  for (auto _ : state) {
+    rope_apply(v, 4, 16, pos++ % 96);
+    benchmark::DoNotOptimize(v.data());
+  }
+}
+BENCHMARK(BM_RopeApply);
+
+void BM_ForwardPosition(benchmark::State& state) {
+  ModelConfig c;
+  c.arch = ArchFamily::kLlama;
+  c.norm = NormKind::kRmsNorm;
+  c.position = PositionKind::kRotary;
+  c.activation = Activation::kSilu;
+  c.linear_bias = false;
+  c.vocab_size = Vocab::shared().size();
+  c.d_model = 64;
+  c.n_heads = 4;
+  c.n_blocks = 2;
+  c.d_ff = 176;
+  c.max_seq = 96;
+  Xoshiro256 rng(7);
+  const TransformerLM model(c, init_weights(c, rng));
+  KvCache cache = model.make_cache();
+  Workspace ws(c);
+  HookChain hooks;
+  std::vector<float> logits(c.vocab_size);
+
+  const bool fp16 = state.range(0) != 0;
+  for (auto _ : state) {
+    if (cache.length() >= c.max_seq) cache.reset();
+    model.forward_position(5, cache.length(), cache, hooks, fp16, false, ws,
+                           logits);
+    benchmark::DoNotOptimize(logits.data());
+  }
+  state.SetLabel(fp16 ? "fp16" : "fp32");
+}
+BENCHMARK(BM_ForwardPosition)->Arg(1)->Arg(0);
+
+}  // namespace
+}  // namespace ft2
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+#include "bench_util.hpp"
+
+#include <iostream>
+#include <sstream>
+
+namespace ft2::bench {
+
+Sizes sizes() {
+  Sizes s;
+  s.inputs = env_size("FT2_INPUTS", s.inputs);
+  s.trials = env_size("FT2_TRIALS", s.trials);
+  s.profile_inputs = env_size("FT2_PROFILE_INPUTS", s.profile_inputs);
+  return s;
+}
+
+void print_header(const std::string& title, const std::string& paper_ref) {
+  const Sizes s = sizes();
+  std::cout << "\n================================================================\n"
+            << title << "\n"
+            << "(reproduces " << paper_ref << " of the FT2 paper, HPDC'25)\n"
+            << "inputs/dataset=" << s.inputs << " trials/input=" << s.trials
+            << "  [scale with FT2_INPUTS / FT2_TRIALS]\n"
+            << "================================================================\n";
+}
+
+Prepared prepare(const std::string& model_name, DatasetKind dataset,
+                 std::size_t n_inputs, std::uint64_t seed) {
+  Prepared p;
+  p.model = ensure_model(model_name);
+  p.gen_tokens = generation_tokens(dataset);
+  const auto gen = make_generator(dataset);
+  // Over-generate, then keep the first n correct ones.
+  const auto samples = gen->generate_many(n_inputs * 3, seed);
+  auto inputs = prepare_eval_inputs(*p.model, samples, p.gen_tokens, true);
+  if (inputs.size() > n_inputs) inputs.resize(n_inputs);
+  p.inputs = std::move(inputs);
+  FT2_CHECK_MSG(!p.inputs.empty(),
+                model_name << " answers no " << dataset_name(dataset)
+                           << " inputs correctly — retrain the model zoo");
+  return p;
+}
+
+BoundStore offline_bounds(const TransformerLM& model, DatasetKind dataset,
+                          std::size_t n_profile, std::size_t gen_tokens,
+                          std::uint64_t seed) {
+  const auto gen = make_generator(dataset);
+  return profile_offline_bounds(model, *gen, n_profile, seed, gen_tokens);
+}
+
+std::string sdc_cell(const CampaignResult& result) {
+  const auto ci = result.sdc_ci();
+  std::ostringstream os;
+  os << Table::format_pct(result.sdc_rate(), 2) << " +-"
+     << Table::format_pct(ci.margin, 2) << " (" << result.sdc << "/"
+     << result.trials << ")";
+  return os.str();
+}
+
+}  // namespace ft2::bench

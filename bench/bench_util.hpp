@@ -1,0 +1,47 @@
+// Shared helpers for the per-figure benchmark binaries.
+//
+// Campaign sizes are environment-tunable so the same binaries serve CI smoke
+// runs and paper-scale statistics:
+//   FT2_INPUTS  — evaluation inputs per (model, dataset)   (default 12)
+//   FT2_TRIALS  — fault-injection trials per input         (default 25)
+//   FT2_PROFILE_INPUTS — inputs for offline bound profiling (default 16)
+#pragma once
+
+#include <string>
+
+#include "core/ft2.hpp"
+
+namespace ft2::bench {
+
+struct Sizes {
+  std::size_t inputs = 12;
+  std::size_t trials = 25;
+  std::size_t profile_inputs = 16;
+};
+
+/// Reads sizes from the environment.
+Sizes sizes();
+
+/// Prints a standard experiment banner naming the paper artefact.
+void print_header(const std::string& title, const std::string& paper_ref);
+
+/// Trained model + correct-answer eval inputs for one dataset. Inputs are
+/// filtered to those the model answers correctly fault-free (paper §5.1).
+struct Prepared {
+  std::shared_ptr<const TransformerLM> model;
+  std::vector<EvalInput> inputs;
+  std::size_t gen_tokens = 0;
+};
+
+Prepared prepare(const std::string& model_name, DatasetKind dataset,
+                 std::size_t n_inputs, std::uint64_t seed = 20250704);
+
+/// Offline-profiled bounds on `dataset` for the model.
+BoundStore offline_bounds(const TransformerLM& model, DatasetKind dataset,
+                          std::size_t n_profile, std::size_t gen_tokens,
+                          std::uint64_t seed = 555);
+
+/// "3 / 1200 (0.25% +-0.28%)" — SDC cell with its 95% CI margin.
+std::string sdc_cell(const CampaignResult& result);
+
+}  // namespace ft2::bench

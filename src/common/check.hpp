@@ -1,0 +1,54 @@
+// Error-handling primitives for the ft2 library.
+//
+// FT2_CHECK is used for recoverable precondition violations (throws
+// ft2::Error so callers/tests can observe them); FT2_ASSERT guards internal
+// invariants and is compiled out in release builds unless FT2_ENABLE_ASSERTS
+// is defined.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ft2 {
+
+/// Exception type thrown by all ft2 precondition checks.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_check_failure(const char* cond, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "FT2_CHECK failed: (" << cond << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+}  // namespace ft2
+
+#define FT2_CHECK(cond)                                                     \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::ft2::detail::throw_check_failure(#cond, __FILE__, __LINE__, "");    \
+  } while (0)
+
+#define FT2_CHECK_MSG(cond, msg)                                            \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::ostringstream ft2_os_;                                           \
+      ft2_os_ << msg;                                                       \
+      ::ft2::detail::throw_check_failure(#cond, __FILE__, __LINE__,         \
+                                         ft2_os_.str());                    \
+    }                                                                       \
+  } while (0)
+
+#if !defined(NDEBUG) || defined(FT2_ENABLE_ASSERTS)
+#define FT2_ASSERT(cond) FT2_CHECK(cond)
+#else
+#define FT2_ASSERT(cond) ((void)0)
+#endif

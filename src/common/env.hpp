@@ -1,0 +1,25 @@
+// Typed access to environment-variable configuration knobs.
+//
+// Campaign sizes, model cache locations and thread counts are configurable
+// via FT2_* environment variables so the same bench binaries scale from CI
+// smoke runs to paper-scale statistics.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace ft2 {
+
+/// Returns the value of `name`, or `fallback` when unset/empty.
+std::string env_string(const char* name, const std::string& fallback);
+
+/// Returns `name` parsed as size_t, or `fallback` when unset/unparsable.
+std::size_t env_size(const char* name, std::size_t fallback);
+
+/// Returns `name` parsed as double, or `fallback` when unset/unparsable.
+double env_double(const char* name, double fallback);
+
+/// Returns true for "1", "true", "yes", "on" (case-insensitive).
+bool env_flag(const char* name, bool fallback);
+
+}  // namespace ft2

@@ -1,0 +1,135 @@
+#include "common/json.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace ft2 {
+
+Json& Json::operator[](const std::string& key) {
+  FT2_CHECK_MSG(is_object(), "Json::operator[] on non-object");
+  auto& object = std::get<Object>(value_);
+  for (auto& [k, v] : object.members) {
+    if (k == key) return *v;
+  }
+  object.members.emplace_back(key, std::make_shared<Json>());
+  return *object.members.back().second;
+}
+
+Json& Json::push_back(Json value) {
+  FT2_CHECK_MSG(is_array(), "Json::push_back on non-array");
+  auto& array = std::get<Array>(value_);
+  array.items.push_back(std::make_shared<Json>(std::move(value)));
+  return *array.items.back();
+}
+
+std::size_t Json::size() const {
+  if (is_object()) return std::get<Object>(value_).members.size();
+  if (is_array()) return std::get<Array>(value_).items.size();
+  return 0;
+}
+
+std::string Json::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char raw : s) {
+    const auto c = static_cast<unsigned char>(raw);
+    switch (raw) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += raw;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void write_number(std::ostream& os, double d) {
+  if (!std::isfinite(d)) {
+    os << "null";  // JSON has no inf/nan
+    return;
+  }
+  if (d == std::floor(d) && std::fabs(d) < 1e15) {
+    os << static_cast<long long>(d);
+  } else {
+    std::ostringstream tmp;
+    tmp.precision(12);
+    tmp << d;
+    os << tmp.str();
+  }
+}
+
+}  // namespace
+
+void Json::write_impl(std::ostream& os, int indent, int depth) const {
+  const std::string pad =
+      indent < 0 ? "" : std::string(static_cast<std::size_t>(indent) *
+                                        static_cast<std::size_t>(depth + 1),
+                                    ' ');
+  const std::string close_pad =
+      indent < 0 ? ""
+                 : std::string(static_cast<std::size_t>(indent) *
+                                   static_cast<std::size_t>(depth),
+                               ' ');
+  const char* nl = indent < 0 ? "" : "\n";
+
+  if (std::holds_alternative<std::nullptr_t>(value_)) {
+    os << "null";
+  } else if (const bool* b = std::get_if<bool>(&value_)) {
+    os << (*b ? "true" : "false");
+  } else if (const double* d = std::get_if<double>(&value_)) {
+    write_number(os, *d);
+  } else if (const std::string* s = std::get_if<std::string>(&value_)) {
+    os << '"' << escape(*s) << '"';
+  } else if (const Object* object = std::get_if<Object>(&value_)) {
+    if (object->members.empty()) {
+      os << "{}";
+      return;
+    }
+    os << '{' << nl;
+    for (std::size_t i = 0; i < object->members.size(); ++i) {
+      os << pad << '"' << escape(object->members[i].first) << "\": ";
+      object->members[i].second->write_impl(os, indent, depth + 1);
+      if (i + 1 < object->members.size()) os << ',';
+      os << nl;
+    }
+    os << close_pad << '}';
+  } else if (const Array* array = std::get_if<Array>(&value_)) {
+    if (array->items.empty()) {
+      os << "[]";
+      return;
+    }
+    os << '[' << nl;
+    for (std::size_t i = 0; i < array->items.size(); ++i) {
+      os << pad;
+      array->items[i]->write_impl(os, indent, depth + 1);
+      if (i + 1 < array->items.size()) os << ',';
+      os << nl;
+    }
+    os << close_pad << ']';
+  }
+}
+
+void Json::write(std::ostream& os, int indent) const {
+  write_impl(os, indent, 0);
+}
+
+std::string Json::dump(int indent) const {
+  std::ostringstream os;
+  write(os, indent);
+  return os.str();
+}
+
+}  // namespace ft2

@@ -1,0 +1,71 @@
+// Minimal JSON value builder + writer (output only).
+//
+// Bench binaries and the CLI can dump structured results (campaign tables,
+// bounds, fault plans) for downstream plotting. Only construction and
+// serialization are supported — the library never needs to parse JSON.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace ft2 {
+
+class Json {
+ public:
+  Json() : value_(nullptr) {}                      // null
+  Json(bool b) : value_(b) {}                      // NOLINT(runtime/explicit)
+  Json(double d) : value_(d) {}                    // NOLINT(runtime/explicit)
+  Json(int i) : value_(static_cast<double>(i)) {}  // NOLINT(runtime/explicit)
+  Json(std::size_t u)                              // NOLINT(runtime/explicit)
+      : value_(static_cast<double>(u)) {}
+  Json(const char* s) : value_(std::string(s)) {}  // NOLINT(runtime/explicit)
+  Json(std::string s) : value_(std::move(s)) {}    // NOLINT(runtime/explicit)
+
+  static Json object() {
+    Json j;
+    j.value_ = Object{};
+    return j;
+  }
+  static Json array() {
+    Json j;
+    j.value_ = Array{};
+    return j;
+  }
+
+  /// Object member access (creates the member; the Json must be an object).
+  Json& operator[](const std::string& key);
+
+  /// Appends to an array (the Json must be an array).
+  Json& push_back(Json value);
+
+  bool is_object() const { return std::holds_alternative<Object>(value_); }
+  bool is_array() const { return std::holds_alternative<Array>(value_); }
+  std::size_t size() const;
+
+  /// Serialization; `indent` < 0 emits compact single-line JSON.
+  void write(std::ostream& os, int indent = 2) const;
+  std::string dump(int indent = 2) const;
+
+  /// Escapes a string per RFC 8259.
+  static std::string escape(const std::string& s);
+
+ private:
+  struct Object {
+    // Insertion-ordered for stable output.
+    std::vector<std::pair<std::string, std::shared_ptr<Json>>> members;
+  };
+  struct Array {
+    std::vector<std::shared_ptr<Json>> items;
+  };
+
+  void write_impl(std::ostream& os, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, double, std::string, Object, Array>
+      value_;
+};
+
+}  // namespace ft2

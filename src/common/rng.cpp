@@ -1,0 +1,51 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace ft2 {
+
+double Xoshiro256::normal() {
+  // Box-Muller; guard against log(0).
+  double u1 = uniform_double();
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double u2 = uniform_double();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+namespace {
+
+constexpr std::uint32_t kPhiloxM0 = 0xD2511F53u;
+constexpr std::uint32_t kPhiloxM1 = 0xCD9E8D57u;
+constexpr std::uint32_t kPhiloxW0 = 0x9E3779B9u;
+constexpr std::uint32_t kPhiloxW1 = 0xBB67AE85u;
+
+inline std::uint32_t mulhi32(std::uint32_t a, std::uint32_t b) {
+  return static_cast<std::uint32_t>(
+      (static_cast<std::uint64_t>(a) * b) >> 32);
+}
+
+}  // namespace
+
+Philox4x32::Counter Philox4x32::round10(Counter ctr, Key key) {
+  for (int round = 0; round < 10; ++round) {
+    const std::uint32_t hi0 = mulhi32(kPhiloxM0, ctr[0]);
+    const std::uint32_t lo0 = kPhiloxM0 * ctr[0];
+    const std::uint32_t hi1 = mulhi32(kPhiloxM1, ctr[2]);
+    const std::uint32_t lo1 = kPhiloxM1 * ctr[2];
+    ctr = {hi1 ^ ctr[1] ^ key[0], lo1, hi0 ^ ctr[3] ^ key[1], lo0};
+    key[0] += kPhiloxW0;
+    key[1] += kPhiloxW1;
+  }
+  return ctr;
+}
+
+void PhiloxStream::refill() {
+  Philox4x32::Counter ctr = base_;
+  ctr[2] = static_cast<std::uint32_t>(block_id_);
+  ctr[3] = static_cast<std::uint32_t>(block_id_ >> 32);
+  block_ = Philox4x32::round10(ctr, key_);
+  ++block_id_;
+  index_ = 0;
+}
+
+}  // namespace ft2

@@ -1,0 +1,139 @@
+// Deterministic random number generation.
+//
+// Two generators are provided:
+//  * Xoshiro256** — fast sequential generator used for training / data
+//    generation where a single evolving stream is fine.
+//  * Philox4x32 — counter-based generator used by the fault-injection
+//    campaign runner: trial i of campaign c always sees the same random
+//    stream regardless of execution order or thread count, which makes
+//    campaigns reproducible and resumable.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace ft2 {
+
+/// SplitMix64: used to seed other generators from a single 64-bit seed.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Xoshiro256** by Blackman & Vigna. Sequential, very fast, 2^256-1 period.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x853C49E6748FEA9BULL) {
+    std::uint64_t sm = seed;
+    for (auto& s : state_) s = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, n). Uses Lemire's multiply-shift rejection-free mapping
+  /// (bias < 2^-64, negligible for our purposes).
+  std::uint64_t uniform(std::uint64_t n) {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>((*this)()) * n) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform_double() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform float in [lo, hi).
+  float uniform_float(float lo, float hi) {
+    return lo + static_cast<float>(uniform_double()) * (hi - lo);
+  }
+
+  /// Standard normal via Box-Muller (no cached second value; simple and
+  /// deterministic).
+  double normal();
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Philox4x32-10 counter-based RNG (Salmon et al., SC'11).
+///
+/// A (key, counter) pair deterministically produces four 32-bit outputs.
+/// `PhiloxStream` wraps it as a convenient per-trial stream: construct with
+/// (seed, stream_id) and draw values; the same (seed, stream_id) always
+/// yields the same sequence independent of any other stream.
+class Philox4x32 {
+ public:
+  using Counter = std::array<std::uint32_t, 4>;
+  using Key = std::array<std::uint32_t, 2>;
+
+  static Counter round10(Counter ctr, Key key);
+};
+
+/// Convenience stream view over Philox: an independent, reproducible RNG
+/// identified by (seed, stream). Satisfies UniformRandomBitGenerator.
+class PhiloxStream {
+ public:
+  using result_type = std::uint32_t;
+
+  PhiloxStream(std::uint64_t seed, std::uint64_t stream) {
+    key_ = {static_cast<std::uint32_t>(seed),
+            static_cast<std::uint32_t>(seed >> 32)};
+    base_ = {static_cast<std::uint32_t>(stream),
+             static_cast<std::uint32_t>(stream >> 32), 0, 0};
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint32_t{0}; }
+
+  result_type operator()() {
+    if (index_ == 4) refill();
+    return block_[index_++];
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t lo = (*this)();
+    const std::uint64_t hi = (*this)();
+    return (hi << 32) | lo;
+  }
+
+  /// Uniform in [0, n).
+  std::uint64_t uniform(std::uint64_t n) {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next_u64()) * n) >> 64);
+  }
+
+  double uniform_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  void refill();
+
+  Philox4x32::Key key_{};
+  Philox4x32::Counter base_{};
+  std::array<std::uint32_t, 4> block_{};
+  std::uint64_t block_id_ = 0;
+  int index_ = 4;
+};
+
+}  // namespace ft2

@@ -1,0 +1,106 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace ft2 {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  FT2_CHECK_MSG(!header_.empty(), "table needs at least one column");
+}
+
+Table& Table::add_row(std::vector<std::string> cells) {
+  FT2_CHECK_MSG(cells.size() == header_.size(),
+                "row has " << cells.size() << " cells, expected "
+                           << header_.size());
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+Table& Table::begin_row() {
+  FT2_CHECK_MSG(!building_, "previous row not finished");
+  pending_.clear();
+  building_ = true;
+  return *this;
+}
+
+Table& Table::cell(const std::string& value) {
+  FT2_CHECK(building_);
+  pending_.push_back(value);
+  if (pending_.size() == header_.size()) {
+    rows_.push_back(pending_);
+    pending_.clear();
+    building_ = false;
+  }
+  return *this;
+}
+
+Table& Table::num(double value, int precision) {
+  return cell(format(value, precision));
+}
+
+Table& Table::pct(double fraction, int precision) {
+  return cell(format_pct(fraction, precision));
+}
+
+Table& Table::count(std::size_t value) { return cell(std::to_string(value)); }
+
+std::string Table::format(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+std::string Table::format_pct(double fraction, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << fraction * 100.0 << "%";
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c]) + 2) << row[c];
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (auto w : widths) total += w + 2;
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto quote = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char ch : s) {
+      if (ch == '"') out += '"';
+      out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << quote(row[c]);
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace ft2

@@ -1,0 +1,48 @@
+// Console table / CSV rendering used by the benchmark harness to print the
+// rows and series each paper figure reports.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ft2 {
+
+/// A simple column-aligned text table. Cells are strings; numeric helpers
+/// format with fixed precision. Rendering pads every column to its widest
+/// cell, mirroring the look of the paper's result tables.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  Table& add_row(std::vector<std::string> cells);
+
+  /// Starts a new row builder; use cell()/num()/pct() then end_row().
+  Table& begin_row();
+  Table& cell(const std::string& value);
+  Table& num(double value, int precision = 3);
+  Table& pct(double fraction, int precision = 2);  // renders 0.0123 -> "1.23%"
+  Table& count(std::size_t value);
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t cols() const { return header_.size(); }
+  const std::vector<std::string>& row(std::size_t i) const { return rows_[i]; }
+
+  /// Column-aligned rendering with a separator line after the header.
+  void print(std::ostream& os) const;
+
+  /// RFC-4180-ish CSV (cells containing commas/quotes are quoted).
+  void print_csv(std::ostream& os) const;
+
+  /// Formats helpers shared by bench code.
+  static std::string format(double value, int precision);
+  static std::string format_pct(double fraction, int precision);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::string> pending_;
+  bool building_ = false;
+};
+
+}  // namespace ft2

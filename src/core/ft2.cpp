@@ -1,0 +1,22 @@
+#include "core/ft2.hpp"
+
+namespace ft2 {
+namespace {
+
+SchemeSpec make_ft2_spec(const ModelConfig& config, float bound_scale) {
+  SchemeSpec spec = scheme_spec(SchemeKind::kFt2, config);
+  spec.bound_scale = bound_scale;
+  return spec;
+}
+
+}  // namespace
+
+Ft2Protector::Ft2Protector(const TransformerLM& model, float bound_scale)
+    : spec_(make_ft2_spec(model.config(), bound_scale)),
+      hook_(model.config(), spec_) {}
+
+void Ft2Protector::attach(InferenceSession& session) {
+  session.hooks().add(&hook_);
+}
+
+}  // namespace ft2

@@ -1,0 +1,78 @@
+// Umbrella header and high-level facade for the FT2 library.
+//
+// Typical usage (see examples/quickstart.cpp):
+//
+//   auto model = ft2::ensure_model("llama-sm");     // or your own model
+//   ft2::InferenceSession session(*model);
+//   ft2::Ft2Protector ft2(*model);                  // online FT2 protection
+//   ft2.attach(session);
+//   auto out = session.generate(prompt, options);   // protected inference
+//
+// The protector identifies critical layers from the architecture graph,
+// records bounds during the first-token phase of every generation, and
+// range-restricts (clip-to-bound + NaN->0) all critical layer outputs for
+// the remaining tokens. No offline profiling, no training data.
+#pragma once
+
+#include "common/check.hpp"
+#include "common/env.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+#include "data/dataset.hpp"
+#include "data/matcher.hpp"
+#include "data/vocab.hpp"
+#include "fi/campaign.hpp"
+#include "fi/fault_model.hpp"
+#include "fi/fault_site.hpp"
+#include "fi/injector.hpp"
+#include "nn/checkpoint.hpp"
+#include "nn/config.hpp"
+#include "nn/layer_graph.hpp"
+#include "nn/model.hpp"
+#include "numeric/f16.hpp"
+#include "numeric/stats.hpp"
+#include "perfmodel/perfmodel.hpp"
+#include "protect/bounds.hpp"
+#include "protect/critical.hpp"
+#include "protect/profiler.hpp"
+#include "protect/range_restriction.hpp"
+#include "protect/scheme.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/tensor.hpp"
+#include "train/trainer.hpp"
+#include "zoo/zoo.hpp"
+
+namespace ft2 {
+
+/// High-level FT2 protection facade: owns the protection hook configured
+/// for online first-token operation on the model's critical layers.
+class Ft2Protector {
+ public:
+  /// `bound_scale` defaults to the paper's factor of 2 (take-away #6).
+  explicit Ft2Protector(const TransformerLM& model, float bound_scale = 2.0f);
+
+  /// Registers the protection hook on a session. The hook must outlive the
+  /// session's use; keep the protector alive alongside it.
+  void attach(InferenceSession& session);
+
+  /// Critical layers being protected.
+  const std::vector<LayerKind>& critical() const { return spec_.covered; }
+
+  /// Correction statistics accumulated so far.
+  const ProtectionStats& stats() const { return hook_.stats(); }
+
+  /// Bounds captured during the most recent generation's first-token phase.
+  const BoundStore& online_bounds() const { return hook_.online_bounds(); }
+
+  /// Memory used for bounds (two floats per protected layer instance).
+  std::size_t bound_memory_bytes() const { return hook_.bound_memory_bytes(); }
+
+  ProtectionHook& hook() { return hook_; }
+
+ private:
+  SchemeSpec spec_;
+  ProtectionHook hook_;
+};
+
+}  // namespace ft2

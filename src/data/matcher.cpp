@@ -1,0 +1,67 @@
+#include "data/matcher.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace ft2 {
+
+std::string normalize_text(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  bool pending_space = false;
+  for (char raw : text) {
+    const auto c = static_cast<unsigned char>(raw);
+    if (std::isspace(c)) {
+      pending_space = !out.empty();
+      continue;
+    }
+    if (pending_space) {
+      out += ' ';
+      pending_space = false;
+    }
+    out += static_cast<char>(std::tolower(c));
+  }
+  return out;
+}
+
+namespace {
+
+std::vector<std::string> words_of(const std::string& text) {
+  std::istringstream is(normalize_text(text));
+  std::vector<std::string> words;
+  std::string w;
+  while (is >> w) words.push_back(w);
+  return words;
+}
+
+}  // namespace
+
+bool contains_reference(const std::string& generated,
+                        const std::string& reference) {
+  const auto ref = words_of(reference);
+  if (ref.empty()) return false;
+  const auto gen = words_of(generated);
+  if (gen.size() < ref.size()) return false;
+  for (std::size_t start = 0; start + ref.size() <= gen.size(); ++start) {
+    if (std::equal(ref.begin(), ref.end(), gen.begin() + static_cast<long>(start))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool contains_reference_tokens(const std::vector<int>& generated,
+                               const std::vector<int>& reference) {
+  if (reference.empty() || generated.size() < reference.size()) return false;
+  for (std::size_t start = 0; start + reference.size() <= generated.size();
+       ++start) {
+    if (std::equal(reference.begin(), reference.end(),
+                   generated.begin() + static_cast<long>(start))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace ft2

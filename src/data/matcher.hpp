@@ -1,0 +1,27 @@
+// Semantic-correctness matcher (the paper's outcome-classification rule).
+//
+// Paper §2.3: an output is Masked if it is identical to the fault-free text
+// OR semantically correct — "if the answer does not contain or partially
+// contains the reference answer, it is classified as a wrong answer".
+// We implement containment at word level: the reference answer's word
+// sequence must appear contiguously in the generated text.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ft2 {
+
+/// Lower-cases and collapses whitespace into single spaces.
+std::string normalize_text(const std::string& text);
+
+/// True when `reference`'s word sequence appears contiguously in
+/// `generated` (after normalization). An empty reference never matches.
+bool contains_reference(const std::string& generated,
+                        const std::string& reference);
+
+/// Token-level variant used on raw generation output.
+bool contains_reference_tokens(const std::vector<int>& generated,
+                               const std::vector<int>& reference);
+
+}  // namespace ft2

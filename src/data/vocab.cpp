@@ -1,0 +1,102 @@
+#include "data/vocab.hpp"
+
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace ft2 {
+namespace {
+
+// Entity pools shared by the generators (declared here so the vocabulary is
+// guaranteed to cover everything the generators can emit).
+const char* kNames[] = {"alice", "bob",   "carol", "dave",  "erin",  "frank",
+                        "grace", "heidi", "ivan",  "judy",  "karl",  "laura",
+                        "mike",  "nina",  "oscar", "peggy", "quinn", "ruth",
+                        "sam",   "tina",  "ursula", "victor", "wendy", "tom"};
+const char* kCities[] = {"paris",  "london", "tokyo",  "cairo",  "lima",
+                         "oslo",   "madrid", "berlin", "sydney", "moscow",
+                         "rome",   "dublin", "athens", "vienna", "quito",
+                         "accra"};
+const char* kObjects[] = {"apples",  "books",   "coins",  "pens",
+                          "marbles", "stamps",  "cards",  "shells",
+                          "stones",  "tickets", "keys",   "rings",
+                          "plums",   "mangos",  "melons", "grapes"};
+const char* kHobbies[] = {"music",   "chess",  "tennis", "painting",
+                          "cooking", "hiking", "soccer", "reading"};
+
+// English template words (SynthQA + SynthMath).
+const char* kEnglish[] = {
+    "context", ":",    "question", "answer", ".",     "?",     "where",
+    "does",    "live", "in",       "lives",  "has",   "have",  "how",
+    "many",    "what", "likes",    "like",   "the",   "he",    "she",
+    "buys",    "loses", "gives",   "away",   "more",  "then",  "now",
+    "is",      "of",   "and",      "finds",  "eats",  "total", "left"};
+
+// Pseudo-multilingual template words (SynthXQA — XTREME stand-in).
+const char* kXling[] = {"contexte", "demande", "reponse", "ou",     "habite",
+                        "a",        "combien", "de",      "possede", "quoi",
+                        "aime",     "il",      "elle",    "achete",  "perd",
+                        "donne",    "encore",  "alors"};
+
+}  // namespace
+
+Vocab::Vocab() {
+  add("<pad>");
+  add("<bos>");
+  add("<eos>");
+  add("<unk>");
+  for (int n = 0; n <= 99; ++n) add(std::to_string(n));
+  for (const char* w : kNames) add(w);
+  for (const char* w : kCities) add(w);
+  for (const char* w : kObjects) add(w);
+  for (const char* w : kHobbies) add(w);
+  for (const char* w : kEnglish) add(w);
+  for (const char* w : kXling) add(w);
+}
+
+void Vocab::add(const std::string& word) {
+  if (index_.contains(word)) return;
+  index_.emplace(word, static_cast<int>(words_.size()));
+  words_.push_back(word);
+}
+
+int Vocab::id(const std::string& word) const {
+  auto it = index_.find(word);
+  return it == index_.end() ? kUnk : it->second;
+}
+
+bool Vocab::contains(const std::string& word) const {
+  return index_.contains(word);
+}
+
+const std::string& Vocab::word(int token) const {
+  FT2_CHECK_MSG(token >= 0 && static_cast<std::size_t>(token) < words_.size(),
+                "token id out of range: " << token);
+  return words_[static_cast<std::size_t>(token)];
+}
+
+std::vector<int> Vocab::encode(const std::string& text) const {
+  std::vector<int> out;
+  std::istringstream is(text);
+  std::string word;
+  while (is >> word) out.push_back(id(word));
+  return out;
+}
+
+std::string Vocab::decode(const std::vector<int>& tokens) const {
+  std::string out;
+  for (int t : tokens) {
+    if (t == kPad || t == kBos || t == kEos) continue;
+    if (t < 0 || static_cast<std::size_t>(t) >= words_.size()) continue;
+    if (!out.empty()) out += ' ';
+    out += words_[static_cast<std::size_t>(t)];
+  }
+  return out;
+}
+
+const Vocab& Vocab::shared() {
+  static const Vocab vocab;
+  return vocab;
+}
+
+}  // namespace ft2

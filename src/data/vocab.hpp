@@ -1,0 +1,50 @@
+// Shared word-level vocabulary and tokenizer.
+//
+// One fixed vocabulary covers all three synthetic tasks so every model in
+// the zoo can run every dataset (as in the paper, where all models share
+// a text interface). Tokens are whitespace-separated words; numbers 0..99
+// are atomic tokens so arithmetic answers are single-token units.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace ft2 {
+
+class Vocab {
+ public:
+  Vocab();
+
+  static constexpr int kPad = 0;
+  static constexpr int kBos = 1;
+  static constexpr int kEos = 2;
+  static constexpr int kUnk = 3;
+
+  std::size_t size() const { return words_.size(); }
+
+  /// Token id for a word; kUnk when out of vocabulary.
+  int id(const std::string& word) const;
+
+  /// True when the word is present in the vocabulary.
+  bool contains(const std::string& word) const;
+
+  const std::string& word(int id) const;
+
+  /// Whitespace tokenization; unknown words map to <unk>.
+  std::vector<int> encode(const std::string& text) const;
+
+  /// Joins tokens with single spaces, skipping <pad>/<bos>/<eos>.
+  std::string decode(const std::vector<int>& tokens) const;
+
+  /// Process-wide shared instance.
+  static const Vocab& shared();
+
+ private:
+  void add(const std::string& word);
+
+  std::vector<std::string> words_;
+  std::unordered_map<std::string, int> index_;
+};
+
+}  // namespace ft2

@@ -1,0 +1,191 @@
+#include "fi/campaign.hpp"
+
+#include <mutex>
+
+#include "common/thread_pool.hpp"
+#include "data/matcher.hpp"
+
+namespace ft2 {
+
+std::vector<int> truncate_at_eos(const std::vector<int>& tokens) {
+  std::vector<int> out;
+  for (int t : tokens) {
+    if (t == Vocab::kEos) break;
+    out.push_back(t);
+  }
+  return out;
+}
+
+Outcome classify_outcome(const std::vector<int>& generated,
+                         const EvalInput& input) {
+  const auto gen = truncate_at_eos(generated);
+  const auto ref = truncate_at_eos(input.reference_tokens);
+  if (gen == ref) return Outcome::kMaskedIdentical;
+  const std::string text = Vocab::shared().decode(gen);
+  if (contains_reference(text, input.sample.reference)) {
+    return Outcome::kMaskedSemantic;
+  }
+  return Outcome::kSdc;
+}
+
+namespace {
+
+std::vector<int> make_prompt(const Sample& sample) {
+  std::vector<int> prompt;
+  prompt.reserve(sample.prompt_tokens.size() + 1);
+  prompt.push_back(Vocab::kBos);
+  prompt.insert(prompt.end(), sample.prompt_tokens.begin(),
+                sample.prompt_tokens.end());
+  return prompt;
+}
+
+GenerateOptions fixed_length_options(std::size_t gen_tokens, ValueType vtype,
+                                     bool chunked_accum = false) {
+  GenerateOptions options;
+  options.max_new_tokens = gen_tokens;
+  options.eos_token = -1;  // fixed-length generation, as in the paper
+  options.fp16 = vtype == ValueType::kF16;
+  options.chunked_accum = chunked_accum;
+  return options;
+}
+
+}  // namespace
+
+std::vector<EvalInput> prepare_eval_inputs(const TransformerLM& model,
+                                           const std::vector<Sample>& samples,
+                                           std::size_t gen_tokens,
+                                           bool only_correct) {
+  std::vector<EvalInput> inputs;
+  InferenceSession session(model);
+  const GenerateOptions options =
+      fixed_length_options(gen_tokens, ValueType::kF16);
+  for (const auto& sample : samples) {
+    EvalInput input;
+    input.sample = sample;
+    input.prompt = make_prompt(sample);
+    const auto result = session.generate(input.prompt, options);
+    input.reference_tokens = result.tokens;
+    const std::string text =
+        Vocab::shared().decode(truncate_at_eos(result.tokens));
+    input.fault_free_correct = contains_reference(text, sample.reference);
+    if (only_correct && !input.fault_free_correct) continue;
+    inputs.push_back(std::move(input));
+  }
+  return inputs;
+}
+
+CampaignResult run_campaign(const TransformerLM& model,
+                            const std::vector<EvalInput>& inputs,
+                            const SchemeSpec& scheme,
+                            const BoundStore& offline_bounds,
+                            const CampaignConfig& config,
+                            const TrialCallback& on_trial) {
+  return run_campaign_range(model, inputs, scheme, offline_bounds, config, 0,
+                            inputs.size() * config.trials_per_input,
+                            on_trial);
+}
+
+CampaignResult run_campaign_range(const TransformerLM& model,
+                                  const std::vector<EvalInput>& inputs,
+                                  const SchemeSpec& scheme,
+                                  const BoundStore& offline_bounds,
+                                  const CampaignConfig& config,
+                                  std::size_t first_trial,
+                                  std::size_t last_trial,
+                                  const TrialCallback& on_trial) {
+  FT2_CHECK(!inputs.empty());
+  FT2_CHECK(config.faults_per_trial >= 1);
+  const std::size_t total = inputs.size() * config.trials_per_input;
+  FT2_CHECK_MSG(first_trial <= last_trial && last_trial <= total,
+                "trial range [" << first_trial << ", " << last_trial
+                                << ") outside campaign of " << total);
+  const FaultSiteSpace site_space(model.config());
+  std::vector<Outcome> outcomes(last_trial - first_trial,
+                                Outcome::kNotInjected);
+  std::mutex callback_mutex;
+
+  parallel_for(first_trial, last_trial, [&](std::size_t trial) {
+    const std::size_t input_idx = trial / config.trials_per_input;
+    const EvalInput& input = inputs[input_idx];
+
+    PhiloxStream rng(config.seed, trial);
+    std::vector<InjectorHook> injectors;
+    injectors.reserve(config.faults_per_trial);
+    for (std::size_t f = 0; f < config.faults_per_trial; ++f) {
+      injectors.emplace_back(
+          site_space.sample(input.prompt.size(), config.gen_tokens,
+                            config.fault_model, config.vtype, rng,
+                            config.first_token_only));
+    }
+
+    ProtectionHook protection(model.config(), scheme, offline_bounds);
+    InferenceSession session(model);
+    for (auto& injector : injectors) session.hooks().add(&injector);
+    session.hooks().add(&protection);
+
+    const auto result = session.generate(
+        input.prompt, fixed_length_options(config.gen_tokens, config.vtype,
+                                           config.chunked_accum));
+    bool fired = false;
+    for (const auto& injector : injectors) fired |= injector.fired();
+    const Outcome outcome = fired ? classify_outcome(result.tokens, input)
+                                  : Outcome::kNotInjected;
+    outcomes[trial - first_trial] = outcome;
+    if (on_trial) {
+      TrialRecord record;
+      record.trial = trial;
+      record.input_index = input_idx;
+      record.plan = injectors.front().plan();
+      record.outcome = outcome;
+      record.detections = protection.stats().oob_corrected +
+                          protection.stats().nan_corrected;
+      record.generated_text =
+          Vocab::shared().decode(truncate_at_eos(result.tokens));
+      std::lock_guard lock(callback_mutex);
+      on_trial(record);
+    }
+  });
+
+  CampaignResult result;
+  for (Outcome o : outcomes) {
+    ++result.trials;
+    switch (o) {
+      case Outcome::kMaskedIdentical: ++result.masked_identical; break;
+      case Outcome::kMaskedSemantic: ++result.masked_semantic; break;
+      case Outcome::kSdc: ++result.sdc; break;
+      case Outcome::kNotInjected: ++result.not_injected; break;
+    }
+  }
+  return result;
+}
+
+CampaignResult run_campaign(const TransformerLM& model,
+                            const std::vector<EvalInput>& inputs,
+                            SchemeKind scheme, const BoundStore& offline_bounds,
+                            const CampaignConfig& config,
+                            const TrialCallback& on_trial) {
+  return run_campaign(model, inputs, scheme_spec(scheme, model.config()),
+                      offline_bounds, config, on_trial);
+}
+
+double fault_free_correct_fraction(const TransformerLM& model,
+                                   const std::vector<EvalInput>& inputs,
+                                   const SchemeSpec& scheme,
+                                   const BoundStore& offline_bounds,
+                                   std::size_t gen_tokens) {
+  FT2_CHECK(!inputs.empty());
+  std::size_t correct = 0;
+  for (const auto& input : inputs) {
+    ProtectionHook protection(model.config(), scheme, offline_bounds);
+    InferenceSession session(model);
+    session.hooks().add(&protection);
+    const auto result = session.generate(
+        input.prompt, fixed_length_options(gen_tokens, ValueType::kF16));
+    const std::string text =
+        Vocab::shared().decode(truncate_at_eos(result.tokens));
+    if (contains_reference(text, input.sample.reference)) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(inputs.size());
+}
+
+}  // namespace ft2

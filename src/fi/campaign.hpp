@@ -1,0 +1,140 @@
+// Statistical fault-injection campaign runner.
+//
+// A campaign fixes (model, inputs, protection scheme, fault model) and runs
+// N independent single-fault trials per input. Each trial:
+//   1. samples a FaultPlan from its own Philox stream (reproducible),
+//   2. runs a fixed-length greedy generation with the injector hook followed
+//      by the protection hook,
+//   3. classifies the outcome against the fault-free reference output:
+//        Masked-identical | Masked-semantic | SDC  (paper §2.3).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "fi/fault_site.hpp"
+#include "fi/injector.hpp"
+#include "nn/model.hpp"
+#include "numeric/stats.hpp"
+#include "protect/scheme.hpp"
+
+namespace ft2 {
+
+enum class Outcome { kMaskedIdentical, kMaskedSemantic, kSdc, kNotInjected };
+
+/// One evaluation input: the prompt plus the fault-free reference output.
+struct EvalInput {
+  Sample sample;
+  std::vector<int> prompt;            ///< <bos> + prompt tokens
+  std::vector<int> reference_tokens;  ///< fault-free generation (full length)
+  bool fault_free_correct = false;    ///< reference contains the answer
+};
+
+struct CampaignConfig {
+  FaultModel fault_model = FaultModel::kSingleBit;
+  ValueType vtype = ValueType::kF16;
+  std::size_t trials_per_input = 100;
+  std::size_t gen_tokens = 16;   ///< fixed generation length (no EOS stop)
+  std::uint64_t seed = 42;
+  bool first_token_only = false; ///< pin faults to the prefill (Fig. 11)
+  bool chunked_accum = false;    ///< alternate reduction order (Fig. 16)
+  /// Faults injected per trial. The paper assumes exactly one transient
+  /// fault per inference (§2.3); values > 1 support the single-fault-
+  /// assumption sensitivity extension.
+  std::size_t faults_per_trial = 1;
+};
+
+struct CampaignResult {
+  std::size_t trials = 0;
+  std::size_t masked_identical = 0;
+  std::size_t masked_semantic = 0;
+  std::size_t sdc = 0;
+  std::size_t not_injected = 0;
+
+  double sdc_rate() const {
+    return trials == 0 ? 0.0
+                       : static_cast<double>(sdc) / static_cast<double>(trials);
+  }
+  ProportionCI sdc_ci() const { return proportion_ci(sdc, trials); }
+
+  void merge(const CampaignResult& other) {
+    trials += other.trials;
+    masked_identical += other.masked_identical;
+    masked_semantic += other.masked_semantic;
+    sdc += other.sdc;
+    not_injected += other.not_injected;
+  }
+};
+
+/// Truncates a generated token sequence at the first <eos>.
+std::vector<int> truncate_at_eos(const std::vector<int>& tokens);
+
+/// Classifies a faulty generation against the reference (paper §2.3).
+Outcome classify_outcome(const std::vector<int>& generated,
+                         const EvalInput& input);
+
+/// Runs the fixed-length fault-free generation for each sample and keeps
+/// the reference outputs. When `only_correct` is set, samples whose
+/// fault-free output does not contain the reference answer are dropped
+/// (the paper selects inputs all models answer correctly).
+std::vector<EvalInput> prepare_eval_inputs(const TransformerLM& model,
+                                           const std::vector<Sample>& samples,
+                                           std::size_t gen_tokens,
+                                           bool only_correct = true);
+
+/// Per-trial record for debugging/analysis (CSV/JSON via fi/trace.hpp).
+struct TrialRecord {
+  std::size_t trial = 0;
+  std::size_t input_index = 0;
+  FaultPlan plan;  ///< the first injected fault of the trial
+  Outcome outcome = Outcome::kNotInjected;
+  /// Violations flagged by the protection hook during the trial
+  /// (out-of-bound + NaN) — the detection signal in detect-only mode.
+  std::size_t detections = 0;
+  std::string generated_text;
+};
+
+/// Called for every finished trial; invocations are serialized.
+using TrialCallback = std::function<void(const TrialRecord&)>;
+
+/// Runs the campaign for one protection scheme. `offline_bounds` may be an
+/// empty store for schemes that do not need it (kNone / FT2-online).
+CampaignResult run_campaign(const TransformerLM& model,
+                            const std::vector<EvalInput>& inputs,
+                            const SchemeSpec& scheme,
+                            const BoundStore& offline_bounds,
+                            const CampaignConfig& config,
+                            const TrialCallback& on_trial = {});
+
+/// Partial campaign: runs only trials in [first_trial, last_trial) of the
+/// full trial space (inputs.size() * trials_per_input). Because each trial
+/// draws from its own Philox stream, disjoint ranges compose exactly:
+/// merging the results of [0,k) and [k,N) equals one run of [0,N). Useful
+/// for checkpointing/resuming long campaigns and for distributing them.
+CampaignResult run_campaign_range(const TransformerLM& model,
+                                  const std::vector<EvalInput>& inputs,
+                                  const SchemeSpec& scheme,
+                                  const BoundStore& offline_bounds,
+                                  const CampaignConfig& config,
+                                  std::size_t first_trial,
+                                  std::size_t last_trial,
+                                  const TrialCallback& on_trial = {});
+
+/// Convenience: scheme resolved from its kind.
+CampaignResult run_campaign(const TransformerLM& model,
+                            const std::vector<EvalInput>& inputs,
+                            SchemeKind scheme, const BoundStore& offline_bounds,
+                            const CampaignConfig& config,
+                            const TrialCallback& on_trial = {});
+
+/// Fault-free "campaign": runs every input once with the scheme applied and
+/// no fault, reporting how many outputs remain correct (Fig. 3's
+/// false-positive measurement).
+double fault_free_correct_fraction(const TransformerLM& model,
+                                   const std::vector<EvalInput>& inputs,
+                                   const SchemeSpec& scheme,
+                                   const BoundStore& offline_bounds,
+                                   std::size_t gen_tokens);
+
+}  // namespace ft2

@@ -1,0 +1,56 @@
+#include "fi/fault_site.hpp"
+
+#include "common/check.hpp"
+
+namespace ft2 {
+
+FaultSiteSpace::FaultSiteSpace(const ModelConfig& config) : config_(config) {
+  for (LayerKind kind : config.block_layers()) {
+    if (!is_linear_layer(kind)) continue;
+    kind_offsets_.push_back(per_block_);
+    linear_kinds_.push_back(kind);
+    per_block_ += config.layer_output_dim(kind);
+  }
+  per_position_ = per_block_ * config.n_blocks;
+  FT2_CHECK(per_position_ > 0);
+}
+
+void FaultSiteSpace::decode(std::size_t index, LayerSite& site,
+                            std::size_t& neuron) const {
+  FT2_CHECK(index < per_position_);
+  const std::size_t block = index / per_block_;
+  std::size_t within = index % per_block_;
+  // Find the layer-kind bucket containing `within`.
+  std::size_t k = linear_kinds_.size() - 1;
+  while (k > 0 && kind_offsets_[k] > within) --k;
+  site.block = static_cast<int>(block);
+  site.kind = linear_kinds_[k];
+  neuron = within - kind_offsets_[k];
+}
+
+FaultPlan FaultSiteSpace::sample(std::size_t prompt_len,
+                                 std::size_t gen_tokens, FaultModel model,
+                                 ValueType vtype, PhiloxStream& rng,
+                                 bool first_token_only) const {
+  FT2_CHECK(prompt_len > 0 && gen_tokens > 0);
+  FaultPlan plan;
+  plan.vtype = vtype;
+
+  const std::size_t step =
+      first_token_only ? 0 : rng.uniform(gen_tokens);
+  if (step == 0) {
+    // First-token phase: the fault lands somewhere in the prefill.
+    plan.position = rng.uniform(prompt_len);
+    plan.in_first_token = true;
+  } else {
+    plan.position = prompt_len + step - 1;
+    plan.in_first_token = false;
+  }
+
+  const std::size_t site_index = rng.uniform(per_position_);
+  decode(site_index, plan.site, plan.neuron);
+  plan.flips = sample_bit_flips(model, vtype, rng);
+  return plan;
+}
+
+}  // namespace ft2

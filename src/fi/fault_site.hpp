@@ -1,0 +1,63 @@
+// Fault-site sampling for statistical fault injection.
+//
+// A trial injects exactly one fault. Following the paper's methodology
+// (§2.3/§4.2.2): the token-generation step is sampled uniformly over the
+// fixed number of generated tokens; the first step corresponds to the whole
+// prefill (prompt processing), within which a uniform prompt position is
+// chosen — this makes the probability of hitting the first-token phase equal
+// to 1/gen_tokens, matching the execution-time argument of Fig. 10. Within
+// the chosen position, the fault lands on a uniformly random output neuron
+// of a uniformly random linear layer instance (block x kind, weighted by
+// output width, i.e. uniform over neurons).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "fi/fault_model.hpp"
+#include "nn/config.hpp"
+#include "nn/layer_kind.hpp"
+
+namespace ft2 {
+
+/// Fully resolved single-fault plan for one trial.
+struct FaultPlan {
+  std::size_t position = 0;  ///< absolute sequence position of the injection
+  LayerSite site;
+  std::size_t neuron = 0;
+  BitFlips flips;
+  ValueType vtype = ValueType::kF16;
+  bool in_first_token = false;  ///< position falls in the prefill phase
+};
+
+/// Uniform neuron-site space of one position: all (block, linear-kind,
+/// neuron) triples of the architecture.
+class FaultSiteSpace {
+ public:
+  explicit FaultSiteSpace(const ModelConfig& config);
+
+  /// Total linear-output neurons per position.
+  std::size_t neurons_per_position() const { return per_position_; }
+
+  /// Decodes a uniform index in [0, neurons_per_position) to (site, neuron).
+  void decode(std::size_t index, LayerSite& site, std::size_t& neuron) const;
+
+  /// Samples a full fault plan. `prompt_len` is the prefill length,
+  /// `gen_tokens` the fixed number of generated tokens. When
+  /// `first_token_only`, the step is pinned to the prefill phase (used by
+  /// the Fig. 11 experiment).
+  FaultPlan sample(std::size_t prompt_len, std::size_t gen_tokens,
+                   FaultModel model, ValueType vtype, PhiloxStream& rng,
+                   bool first_token_only = false) const;
+
+  const ModelConfig& config() const { return config_; }
+
+ private:
+  ModelConfig config_;
+  std::vector<LayerKind> linear_kinds_;   // linear layers per block
+  std::vector<std::size_t> kind_offsets_; // prefix sums of output dims
+  std::size_t per_block_ = 0;
+  std::size_t per_position_ = 0;
+};
+
+}  // namespace ft2

@@ -1,0 +1,43 @@
+// The fault-injection hook: applies one FaultPlan during a generation run.
+//
+// Registered BEFORE the protection hook so the protection scheme observes
+// the already-corrupted output, just like a software check running after a
+// hardware fault.
+#pragma once
+
+#include "common/check.hpp"
+#include "fi/fault_site.hpp"
+#include "nn/hooks.hpp"
+
+namespace ft2 {
+
+class InjectorHook : public OutputHook {
+ public:
+  explicit InjectorHook(FaultPlan plan) : plan_(plan) {}
+
+  void on_generation_begin() override { fired_ = false; }
+
+  void on_output(const HookContext& ctx, std::span<float> values) override {
+    if (fired_) return;
+    if (ctx.position != plan_.position || !(ctx.site == plan_.site)) return;
+    FT2_ASSERT(plan_.neuron < values.size());
+    const float before = values[plan_.neuron];
+    values[plan_.neuron] = apply_bit_flips(before, plan_.flips, plan_.vtype);
+    injected_value_ = values[plan_.neuron];
+    original_value_ = before;
+    fired_ = true;
+  }
+
+  bool fired() const { return fired_; }
+  float original_value() const { return original_value_; }
+  float injected_value() const { return injected_value_; }
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  FaultPlan plan_;
+  bool fired_ = false;
+  float original_value_ = 0.0f;
+  float injected_value_ = 0.0f;
+};
+
+}  // namespace ft2

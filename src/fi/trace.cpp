@@ -1,0 +1,69 @@
+#include "fi/trace.hpp"
+
+namespace ft2 {
+namespace {
+
+std::string bits_string(const BitFlips& flips) {
+  std::string out;
+  for (int i = 0; i < flips.count; ++i) {
+    if (!out.empty()) out += '+';
+    out += std::to_string(flips.bits[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+void TraceCollector::write_csv(std::ostream& os) const {
+  os << "trial,input,position,in_first_token,block,layer,neuron,bits,dtype,"
+        "outcome,generated\n";
+  for (const auto& r : records_) {
+    os << r.trial << ',' << r.input_index << ',' << r.plan.position << ','
+       << (r.plan.in_first_token ? 1 : 0) << ',' << r.plan.site.block << ','
+       << layer_kind_name(r.plan.site.kind) << ',' << r.plan.neuron << ','
+       << bits_string(r.plan.flips) << ',' << value_type_name(r.plan.vtype)
+       << ',' << outcome_name(r.outcome) << ",\"" << r.generated_text
+       << "\"\n";
+  }
+}
+
+Json TraceCollector::to_json() const {
+  Json array = Json::array();
+  for (const auto& r : records_) {
+    Json item = Json::object();
+    item["trial"] = r.trial;
+    item["input"] = r.input_index;
+    item["position"] = r.plan.position;
+    item["in_first_token"] = r.plan.in_first_token;
+    item["block"] = r.plan.site.block;
+    item["layer"] = std::string(layer_kind_name(r.plan.site.kind));
+    item["neuron"] = r.plan.neuron;
+    item["bits"] = bits_string(r.plan.flips);
+    item["dtype"] = value_type_name(r.plan.vtype);
+    item["outcome"] = outcome_name(r.outcome);
+    item["generated"] = r.generated_text;
+    array.push_back(std::move(item));
+  }
+  return array;
+}
+
+std::map<LayerKind, TraceCollector::LayerTally> TraceCollector::sdc_by_layer()
+    const {
+  std::map<LayerKind, LayerTally> out;
+  for (const auto& r : records_) {
+    LayerTally& tally = out[r.plan.site.kind];
+    ++tally.faults;
+    if (r.outcome == Outcome::kSdc) ++tally.sdc;
+  }
+  return out;
+}
+
+std::vector<TrialRecord> TraceCollector::sdc_records() const {
+  std::vector<TrialRecord> out;
+  for (const auto& r : records_) {
+    if (r.outcome == Outcome::kSdc) out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace ft2

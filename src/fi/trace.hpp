@@ -1,0 +1,62 @@
+// Trial trace recording: per-trial CSV / JSON dumps for debugging and
+// offline analysis of fault-injection campaigns.
+#pragma once
+
+#include <map>
+#include <ostream>
+#include <vector>
+
+#include "common/json.hpp"
+#include "fi/campaign.hpp"
+
+namespace ft2 {
+
+constexpr const char* outcome_name(Outcome o) {
+  switch (o) {
+    case Outcome::kMaskedIdentical: return "masked_identical";
+    case Outcome::kMaskedSemantic: return "masked_semantic";
+    case Outcome::kSdc: return "sdc";
+    case Outcome::kNotInjected: return "not_injected";
+  }
+  return "unknown";
+}
+
+/// Collects TrialRecords; use `collector.callback()` as the campaign's
+/// on_trial argument, then serialize.
+class TraceCollector {
+ public:
+  TrialCallback callback() {
+    return [this](const TrialRecord& r) { records_.push_back(r); };
+  }
+
+  const std::vector<TrialRecord>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+  void clear() { records_.clear(); }
+
+  /// One CSV row per trial, with a header line.
+  void write_csv(std::ostream& os) const;
+
+  /// JSON array of trial objects.
+  Json to_json() const;
+
+  /// SDC records only (the interesting ones for debugging).
+  std::vector<TrialRecord> sdc_records() const;
+
+  /// Per-layer-kind fault counts and SDC counts: which layers' faults
+  /// actually caused SDCs (the raw material of Fig. 6-style analyses).
+  struct LayerTally {
+    std::size_t faults = 0;
+    std::size_t sdc = 0;
+    double sdc_rate() const {
+      return faults == 0 ? 0.0
+                         : static_cast<double>(sdc) /
+                               static_cast<double>(faults);
+    }
+  };
+  std::map<LayerKind, LayerTally> sdc_by_layer() const;
+
+ private:
+  std::vector<TrialRecord> records_;
+};
+
+}  // namespace ft2

@@ -1,0 +1,97 @@
+#include "fi/weight_fault.hpp"
+
+namespace ft2 {
+
+WeightFaultSpace::WeightFaultSpace(const ModelConfig& config)
+    : config_(config) {
+  for (LayerKind kind : config.block_layers()) {
+    if (!is_linear_layer(kind)) continue;
+    Segment seg;
+    seg.kind = kind;
+    seg.rows = config.layer_output_dim(kind);
+    // Input width: d_ff for FC2/DOWN (they consume the MLP hidden), d_model
+    // otherwise (attention projections and MLP inputs).
+    seg.cols = (kind == LayerKind::kFc2 || kind == LayerKind::kDownProj)
+                   ? config.d_ff
+                   : config.d_model;
+    seg.offset = per_block_;
+    per_block_ += seg.rows * seg.cols;
+    segments_.push_back(seg);
+  }
+  total_ = per_block_ * config.n_blocks;
+  FT2_CHECK(total_ > 0);
+}
+
+WeightFaultPlan WeightFaultSpace::sample(FaultModel model, ValueType vtype,
+                                         PhiloxStream& rng) const {
+  const std::size_t index = rng.uniform(total_);
+  const std::size_t block = index / per_block_;
+  std::size_t within = index % per_block_;
+
+  std::size_t s = segments_.size() - 1;
+  while (s > 0 && segments_[s].offset > within) --s;
+  const Segment& seg = segments_[s];
+  within -= seg.offset;
+
+  WeightFaultPlan plan;
+  plan.site = {static_cast<int>(block), seg.kind};
+  plan.row = within / seg.cols;
+  plan.col = within % seg.cols;
+  plan.flips = sample_bit_flips(model, vtype, rng);
+  plan.vtype = vtype;
+  return plan;
+}
+
+ScopedWeightFault::ScopedWeightFault(TransformerLM& model,
+                                     const WeightFaultPlan& plan) {
+  LinearWeights& lw = linear_at(model.weights(), model.config(), plan.site);
+  FT2_CHECK(plan.row < lw.w.dim(0) && plan.col < lw.w.dim(1));
+  target_ = &lw.w.at(plan.row, plan.col);
+  original_ = *target_;
+  faulty_ = apply_bit_flips(original_, plan.flips, plan.vtype);
+  *target_ = faulty_;
+}
+
+ScopedWeightFault::~ScopedWeightFault() { *target_ = original_; }
+
+CampaignResult run_weight_fault_campaign(TransformerLM& model,
+                                         const std::vector<EvalInput>& inputs,
+                                         const SchemeSpec& scheme,
+                                         const BoundStore& offline_bounds,
+                                         const CampaignConfig& config) {
+  FT2_CHECK(!inputs.empty());
+  const WeightFaultSpace space(model.config());
+
+  CampaignResult result;
+  for (std::size_t input_idx = 0; input_idx < inputs.size(); ++input_idx) {
+    const EvalInput& input = inputs[input_idx];
+    for (std::size_t t = 0; t < config.trials_per_input; ++t) {
+      const std::size_t trial = input_idx * config.trials_per_input + t;
+      PhiloxStream rng(config.seed, trial);
+      const WeightFaultPlan plan =
+          space.sample(config.fault_model, config.vtype, rng);
+
+      ScopedWeightFault fault(model, plan);
+      ProtectionHook protection(model.config(), scheme, offline_bounds);
+      InferenceSession session(model);
+      session.hooks().add(&protection);
+
+      GenerateOptions opts;
+      opts.max_new_tokens = config.gen_tokens;
+      opts.eos_token = -1;
+      opts.fp16 = config.vtype == ValueType::kF16;
+      const auto out = session.generate(input.prompt, opts);
+
+      ++result.trials;
+      switch (classify_outcome(out.tokens, input)) {
+        case Outcome::kMaskedIdentical: ++result.masked_identical; break;
+        case Outcome::kMaskedSemantic: ++result.masked_semantic; break;
+        case Outcome::kSdc: ++result.sdc; break;
+        case Outcome::kNotInjected: ++result.not_injected; break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace ft2

@@ -1,0 +1,160 @@
+#include "nn/checkpoint.hpp"
+
+#include <cstdint>
+#include <fstream>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace ft2 {
+namespace {
+
+constexpr char kMagic[4] = {'F', 'T', '2', 'M'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& os, const T& value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T value{};
+  is.read(reinterpret_cast<char*>(&value), sizeof(T));
+  FT2_CHECK_MSG(is.good(), "checkpoint truncated");
+  return value;
+}
+
+void write_string(std::ostream& os, const std::string& s) {
+  write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(s.size()));
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::istream& is) {
+  const auto len = read_pod<std::uint32_t>(is);
+  FT2_CHECK_MSG(len < (1u << 20), "checkpoint string too large");
+  std::string s(len, '\0');
+  is.read(s.data(), static_cast<std::streamsize>(len));
+  FT2_CHECK_MSG(is.good(), "checkpoint truncated");
+  return s;
+}
+
+void write_config(std::ostream& os, const ModelConfig& c) {
+  write_string(os, c.name);
+  write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(c.arch));
+  write_pod<std::uint64_t>(os, c.vocab_size);
+  write_pod<std::uint64_t>(os, c.d_model);
+  write_pod<std::uint64_t>(os, c.n_heads);
+  write_pod<std::uint64_t>(os, c.n_blocks);
+  write_pod<std::uint64_t>(os, c.d_ff);
+  write_pod<std::uint64_t>(os, c.max_seq);
+  write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(c.activation));
+  write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(c.norm));
+  write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(c.position));
+  write_pod<std::uint8_t>(os, c.parallel_block ? 1 : 0);
+  write_pod<std::uint8_t>(os, c.linear_bias ? 1 : 0);
+  write_pod<std::uint8_t>(os, c.qkv_bias ? 1 : 0);
+  write_pod<float>(os, c.norm_eps);
+  write_pod<float>(os, c.rope_theta);
+}
+
+ModelConfig read_config(std::istream& is) {
+  ModelConfig c;
+  c.name = read_string(is);
+  c.arch = static_cast<ArchFamily>(read_pod<std::uint32_t>(is));
+  c.vocab_size = read_pod<std::uint64_t>(is);
+  c.d_model = read_pod<std::uint64_t>(is);
+  c.n_heads = read_pod<std::uint64_t>(is);
+  c.n_blocks = read_pod<std::uint64_t>(is);
+  c.d_ff = read_pod<std::uint64_t>(is);
+  c.max_seq = read_pod<std::uint64_t>(is);
+  c.activation = static_cast<Activation>(read_pod<std::uint32_t>(is));
+  c.norm = static_cast<NormKind>(read_pod<std::uint32_t>(is));
+  c.position = static_cast<PositionKind>(read_pod<std::uint32_t>(is));
+  c.parallel_block = read_pod<std::uint8_t>(is) != 0;
+  c.linear_bias = read_pod<std::uint8_t>(is) != 0;
+  c.qkv_bias = read_pod<std::uint8_t>(is) != 0;
+  c.norm_eps = read_pod<float>(is);
+  c.rope_theta = read_pod<float>(is);
+  return c;
+}
+
+}  // namespace
+
+void save_checkpoint(const std::string& path, const ModelConfig& config,
+                     const ModelWeights& weights) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  FT2_CHECK_MSG(os.good(), "cannot open checkpoint for write: " << path);
+  os.write(kMagic, 4);
+  write_pod<std::uint32_t>(os, kVersion);
+  write_config(os, config);
+
+  const auto params = weights.named_parameters();
+  write_pod<std::uint64_t>(os, params.size());
+  for (const auto& [name, tensor] : params) {
+    write_string(os, name);
+    write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(tensor->rank()));
+    for (std::size_t d : tensor->shape()) write_pod<std::uint64_t>(os, d);
+    os.write(reinterpret_cast<const char*>(tensor->data()),
+             static_cast<std::streamsize>(tensor->numel() * sizeof(float)));
+  }
+  FT2_CHECK_MSG(os.good(), "checkpoint write failed: " << path);
+}
+
+void load_checkpoint(const std::string& path, ModelConfig& config,
+                     ModelWeights& weights) {
+  std::ifstream is(path, std::ios::binary);
+  FT2_CHECK_MSG(is.good(), "cannot open checkpoint: " << path);
+  char magic[4];
+  is.read(magic, 4);
+  FT2_CHECK_MSG(is.good() && std::equal(magic, magic + 4, kMagic),
+                "bad checkpoint magic in " << path);
+  const auto version = read_pod<std::uint32_t>(is);
+  FT2_CHECK_MSG(version == kVersion, "unsupported checkpoint version "
+                                         << version);
+  config = read_config(is);
+
+  // Allocate weight storage of the right shapes, then overwrite by name.
+  Xoshiro256 rng(0);
+  weights = init_weights(config, rng);
+  auto params = weights.named_parameters();
+
+  const auto n = read_pod<std::uint64_t>(is);
+  FT2_CHECK_MSG(n == params.size(), "checkpoint has " << n
+                                                      << " params, model has "
+                                                      << params.size());
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::string name = read_string(is);
+    const auto rank = read_pod<std::uint32_t>(is);
+    std::vector<std::size_t> shape(rank);
+    for (auto& d : shape) d = read_pod<std::uint64_t>(is);
+
+    Tensor* target = nullptr;
+    for (auto& [pname, t] : params) {
+      if (pname == name) {
+        target = t;
+        break;
+      }
+    }
+    FT2_CHECK_MSG(target != nullptr, "unknown parameter in checkpoint: "
+                                         << name);
+    FT2_CHECK_MSG(target->shape() == shape,
+                  "shape mismatch for " << name << ": checkpoint "
+                                        << Tensor(shape).shape_string()
+                                        << " vs model "
+                                        << target->shape_string());
+    is.read(reinterpret_cast<char*>(target->data()),
+            static_cast<std::streamsize>(target->numel() * sizeof(float)));
+    FT2_CHECK_MSG(is.good(), "checkpoint truncated while reading " << name);
+  }
+}
+
+bool checkpoint_exists(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is.good()) return false;
+  char magic[4];
+  is.read(magic, 4);
+  return is.good() && std::equal(magic, magic + 4, kMagic);
+}
+
+}  // namespace ft2

@@ -1,0 +1,27 @@
+// Binary checkpoint (de)serialization for trained models.
+//
+// Format (little-endian):
+//   magic "FT2M" | u32 version | config block | u64 n_params |
+//   repeated { u32 name_len | name | u32 rank | u64 dims[rank] | f32 data[] }
+#pragma once
+
+#include <string>
+
+#include "nn/config.hpp"
+#include "nn/weights.hpp"
+
+namespace ft2 {
+
+/// Serializes config+weights to `path`. Throws ft2::Error on I/O failure.
+void save_checkpoint(const std::string& path, const ModelConfig& config,
+                     const ModelWeights& weights);
+
+/// Loads a checkpoint saved by save_checkpoint. Throws ft2::Error on
+/// missing file, bad magic, or parameter shape mismatch.
+void load_checkpoint(const std::string& path, ModelConfig& config,
+                     ModelWeights& weights);
+
+/// True if `path` exists and starts with the checkpoint magic.
+bool checkpoint_exists(const std::string& path);
+
+}  // namespace ft2

@@ -1,0 +1,102 @@
+// Model architecture configuration.
+//
+// Three block families cover the paper's seven models:
+//  * kOpt   — OPT-style: LayerNorm (pre-LN), learned positional embeddings,
+//             ReLU MLP (FC1/FC2), biases everywhere. (OPT-6.7B/2.7B)
+//  * kGptj  — GPT-J-style: parallel attention+MLP from a single LayerNorm,
+//             rotary embeddings, GELU MLP (FC1/FC2). (GPTJ-6B)
+//  * kLlama — Llama-style: RMSNorm, rotary embeddings, SiLU gate/up/down
+//             MLP, no biases (Qwen2 adds QKV biases). (Llama2/Vicuna/Qwen2)
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "nn/layer_kind.hpp"
+
+namespace ft2 {
+
+enum class ArchFamily { kOpt, kGptj, kLlama };
+
+enum class Activation { kRelu, kGelu, kSilu };
+
+enum class NormKind { kLayerNorm, kRmsNorm };
+
+enum class PositionKind { kLearned, kRotary };
+
+struct ModelConfig {
+  std::string name = "model";
+  ArchFamily arch = ArchFamily::kOpt;
+  std::size_t vocab_size = 0;
+  std::size_t d_model = 64;
+  std::size_t n_heads = 4;
+  std::size_t n_blocks = 2;
+  std::size_t d_ff = 256;
+  std::size_t max_seq = 160;
+  Activation activation = Activation::kRelu;
+  NormKind norm = NormKind::kLayerNorm;
+  PositionKind position = PositionKind::kLearned;
+  bool parallel_block = false;  // GPT-J: attention and MLP share the input LN
+  bool linear_bias = true;      // biases on all linear layers (OPT/GPT-J)
+  bool qkv_bias = false;        // Qwen2: biases on Q/K/V only
+  float norm_eps = 1e-5f;
+  float rope_theta = 10000.0f;
+
+  std::size_t head_dim() const { return d_model / n_heads; }
+
+  /// Layer kinds present in one decoder block of this architecture,
+  /// in execution order (linear layers + the MLP activation output).
+  std::vector<LayerKind> block_layers() const {
+    if (arch == ArchFamily::kLlama) {
+      return {LayerKind::kQProj,    LayerKind::kKProj,   LayerKind::kVProj,
+              LayerKind::kOutProj,  LayerKind::kGateProj, LayerKind::kUpProj,
+              LayerKind::kMlpAct,   LayerKind::kDownProj};
+    }
+    return {LayerKind::kQProj,   LayerKind::kKProj, LayerKind::kVProj,
+            LayerKind::kOutProj, LayerKind::kFc1,   LayerKind::kMlpAct,
+            LayerKind::kFc2};
+  }
+
+  /// Output width of a layer-kind site in this architecture.
+  std::size_t layer_output_dim(LayerKind kind) const {
+    switch (kind) {
+      case LayerKind::kQProj:
+      case LayerKind::kKProj:
+      case LayerKind::kVProj:
+      case LayerKind::kOutProj:
+      case LayerKind::kFc2:
+      case LayerKind::kDownProj:
+        return d_model;
+      case LayerKind::kFc1:
+      case LayerKind::kGateProj:
+      case LayerKind::kUpProj:
+      case LayerKind::kMlpAct:
+        return d_ff;
+      case LayerKind::kCount:
+        break;
+    }
+    return 0;
+  }
+
+  /// True if `kind` exists in this architecture's blocks.
+  bool has_layer(LayerKind kind) const {
+    for (LayerKind k : block_layers()) {
+      if (k == kind) return true;
+    }
+    return false;
+  }
+
+  /// Whether a given linear layer has a bias vector.
+  bool layer_has_bias(LayerKind kind) const {
+    if (linear_bias) return true;
+    if (qkv_bias &&
+        (kind == LayerKind::kQProj || kind == LayerKind::kKProj ||
+         kind == LayerKind::kVProj)) {
+      return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace ft2

@@ -1,0 +1,66 @@
+// Output-hook mechanism (the C++ analogue of PyTorch forward hooks).
+//
+// During inference, every observable layer output — already quantized onto
+// the FP16 grid — is passed through the registered hook chain. Hooks may
+// read (profilers) or mutate (fault injectors, protection schemes) the
+// values. Hooks run in registration order; the fault-injection campaign
+// registers the injector before the protection scheme so protection sees
+// the corrupted values, exactly like hardware faults preceding a software
+// check.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "nn/layer_kind.hpp"
+
+namespace ft2 {
+
+/// Context describing one hook invocation: which site produced the output
+/// and at which sequence position (position indexes prompt tokens 0..P-1
+/// followed by generated tokens P..).
+struct HookContext {
+  LayerSite site;
+  std::size_t position = 0;     ///< sequence position being computed
+  bool first_token_phase = false;  ///< true while generating the first token
+};
+
+class OutputHook {
+ public:
+  virtual ~OutputHook() = default;
+
+  /// Called after the layer output for one position has been computed and
+  /// quantized. `values` is the output vector for this position; hooks may
+  /// mutate it in place.
+  virtual void on_output(const HookContext& ctx, std::span<float> values) = 0;
+
+  /// Called once when a generation run starts / ends (lets schemes reset
+  /// per-inference state such as online bounds).
+  virtual void on_generation_begin() {}
+  virtual void on_generation_end() {}
+};
+
+/// Ordered, non-owning hook chain.
+class HookChain {
+ public:
+  void add(OutputHook* hook) { hooks_.push_back(hook); }
+  void clear() { hooks_.clear(); }
+  bool empty() const { return hooks_.empty(); }
+  std::size_t size() const { return hooks_.size(); }
+
+  void begin() const {
+    for (auto* h : hooks_) h->on_generation_begin();
+  }
+  void end() const {
+    for (auto* h : hooks_) h->on_generation_end();
+  }
+  void dispatch(const HookContext& ctx, std::span<float> values) const {
+    for (auto* h : hooks_) h->on_output(ctx, values);
+  }
+
+ private:
+  std::vector<OutputHook*> hooks_;
+};
+
+}  // namespace ft2

@@ -1,0 +1,59 @@
+// Per-block key/value cache for incremental decoding.
+#pragma once
+
+#include <vector>
+
+#include "common/check.hpp"
+#include "tensor/tensor.hpp"
+
+namespace ft2 {
+
+/// Stores keys and values (post-RoPE) for every processed position of every
+/// block. Layout per block: [max_seq, d_model] with head-major columns.
+class KvCache {
+ public:
+  KvCache(std::size_t n_blocks, std::size_t max_seq, std::size_t d_model)
+      : max_seq_(max_seq), d_model_(d_model) {
+    keys_.reserve(n_blocks);
+    values_.reserve(n_blocks);
+    for (std::size_t b = 0; b < n_blocks; ++b) {
+      keys_.emplace_back(Tensor({max_seq, d_model}));
+      values_.emplace_back(Tensor({max_seq, d_model}));
+    }
+  }
+
+  void reset() { length_ = 0; }
+
+  std::size_t length() const { return length_; }
+  std::size_t max_seq() const { return max_seq_; }
+
+  /// Appends k/v for the next position of block `b`. All blocks must append
+  /// for a position before advance() is called.
+  void store(std::size_t block, std::size_t pos, std::span<const float> k,
+             std::span<const float> v) {
+    FT2_ASSERT(pos < max_seq_ && k.size() == d_model_ && v.size() == d_model_);
+    std::copy(k.begin(), k.end(), keys_[block].row(pos).begin());
+    std::copy(v.begin(), v.end(), values_[block].row(pos).begin());
+  }
+
+  void advance() {
+    FT2_ASSERT(length_ < max_seq_);
+    ++length_;
+  }
+
+  std::span<const float> key(std::size_t block, std::size_t pos) const {
+    return keys_[block].row(pos);
+  }
+  std::span<const float> value(std::size_t block, std::size_t pos) const {
+    return values_[block].row(pos);
+  }
+
+ private:
+  std::size_t max_seq_;
+  std::size_t d_model_;
+  std::size_t length_ = 0;
+  std::vector<Tensor> keys_;
+  std::vector<Tensor> values_;
+};
+
+}  // namespace ft2

@@ -1,0 +1,133 @@
+#include "nn/layer_graph.hpp"
+
+#include "common/check.hpp"
+
+namespace ft2 {
+
+int LayerGraph::add(OpKind op, std::string name, LayerKind layer) {
+  OpNode node;
+  node.op = op;
+  node.layer = layer;
+  node.name = std::move(name);
+  nodes_.push_back(std::move(node));
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+void LayerGraph::connect(int from, int to) {
+  FT2_ASSERT(from >= 0 && from < size() && to >= 0 && to < size());
+  nodes_[static_cast<std::size_t>(from)].successors.push_back(to);
+}
+
+int LayerGraph::find_linear(LayerKind kind) const {
+  for (int i = 0; i < size(); ++i) {
+    const auto& n = node(i);
+    if (n.op == OpKind::kLinear && n.layer == kind) return i;
+  }
+  return -1;
+}
+
+std::vector<LayerKind> LayerGraph::linear_kinds() const {
+  std::vector<LayerKind> out;
+  for (const auto& n : nodes_) {
+    if (n.op == OpKind::kLinear) out.push_back(n.layer);
+  }
+  return out;
+}
+
+LayerGraph LayerGraph::build(const ModelConfig& config) {
+  LayerGraph g;
+  const bool llama = config.arch == ArchFamily::kLlama;
+  const bool rotary = config.position == PositionKind::kRotary;
+
+  const int input = g.add(OpKind::kInput, "input");
+  const int norm1 = g.add(OpKind::kNorm, "norm1");
+  g.connect(input, norm1);
+
+  const int q = g.add(OpKind::kLinear, "q_proj", LayerKind::kQProj);
+  const int k = g.add(OpKind::kLinear, "k_proj", LayerKind::kKProj);
+  const int v = g.add(OpKind::kLinear, "v_proj", LayerKind::kVProj);
+  g.connect(norm1, q);
+  g.connect(norm1, k);
+  g.connect(norm1, v);
+
+  int q_out = q;
+  int k_out = k;
+  if (rotary) {
+    const int rq = g.add(OpKind::kRope, "rope_q");
+    const int rk = g.add(OpKind::kRope, "rope_k");
+    g.connect(q, rq);
+    g.connect(k, rk);
+    q_out = rq;
+    k_out = rk;
+  }
+
+  const int scale = g.add(OpKind::kAttentionScale, "attn_scale_softmax");
+  g.connect(q_out, scale);
+  g.connect(k_out, scale);
+
+  const int weighting = g.add(OpKind::kWeighting, "attn_weighting");
+  g.connect(scale, weighting);
+  g.connect(v, weighting);
+
+  const int out_proj = g.add(OpKind::kLinear, "out_proj", LayerKind::kOutProj);
+  g.connect(weighting, out_proj);
+
+  // The sentinel consumer: next block's norm feeds its Q/K/V projections and
+  // the final norm feeds lm_head — from the heuristic's point of view both
+  // are "the next linear layer" reached through non-guard ops only.
+  const int next_linear = g.add(OpKind::kNextLinear, "next_linear");
+
+  if (config.parallel_block) {
+    // GPT-J: attention and MLP branch from the same norm; one residual add.
+    const int fc1 = g.add(OpKind::kLinear, "fc_in", LayerKind::kFc1);
+    g.connect(norm1, fc1);
+    const int act = g.add(OpKind::kActivation, "act");
+    g.connect(fc1, act);
+    const int fc2 = g.add(OpKind::kLinear, "fc_out", LayerKind::kFc2);
+    g.connect(act, fc2);
+    const int add = g.add(OpKind::kResidualAdd, "residual_add");
+    g.connect(input, add);
+    g.connect(out_proj, add);
+    g.connect(fc2, add);
+    g.connect(add, next_linear);
+    return g;
+  }
+
+  const int add1 = g.add(OpKind::kResidualAdd, "residual_add1");
+  g.connect(input, add1);
+  g.connect(out_proj, add1);
+  const int norm2 = g.add(OpKind::kNorm, "norm2");
+  g.connect(add1, norm2);
+
+  int mlp_out;
+  if (llama) {
+    const int gate = g.add(OpKind::kLinear, "gate_proj", LayerKind::kGateProj);
+    const int up = g.add(OpKind::kLinear, "up_proj", LayerKind::kUpProj);
+    g.connect(norm2, gate);
+    g.connect(norm2, up);
+    const int act = g.add(OpKind::kActivation, "silu");
+    g.connect(gate, act);
+    const int mul = g.add(OpKind::kElementwiseMul, "gate_mul");
+    g.connect(act, mul);
+    g.connect(up, mul);
+    const int down = g.add(OpKind::kLinear, "down_proj", LayerKind::kDownProj);
+    g.connect(mul, down);
+    mlp_out = down;
+  } else {
+    const int fc1 = g.add(OpKind::kLinear, "fc1", LayerKind::kFc1);
+    g.connect(norm2, fc1);
+    const int act = g.add(OpKind::kActivation, "act");
+    g.connect(fc1, act);
+    const int fc2 = g.add(OpKind::kLinear, "fc2", LayerKind::kFc2);
+    g.connect(act, fc2);
+    mlp_out = fc2;
+  }
+
+  const int add2 = g.add(OpKind::kResidualAdd, "residual_add2");
+  g.connect(add1, add2);
+  g.connect(mlp_out, add2);
+  g.connect(add2, next_linear);
+  return g;
+}
+
+}  // namespace ft2

@@ -1,0 +1,68 @@
+// Dataflow graph of one decoder block, used by the critical-layer analyzer.
+//
+// FT2's heuristic is purely architectural: "a layer is critical if no
+// scaling operation or activation layer is present before the next linear
+// layer". This graph captures exactly the op taxonomy that heuristic needs:
+// linear layers, guard ops (activation, attention scaling+softmax) and
+// non-guard ops (residual add, elementwise mul, norms, RoPE, attention
+// weighting). Residual edges are modelled explicitly because they are the
+// reason OUT_PROJ/FC2/DOWN_PROJ faults escape the following norm.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/config.hpp"
+
+namespace ft2 {
+
+enum class OpKind {
+  kInput,          ///< block input (residual stream)
+  kLinear,         ///< a projection; `layer` identifies which
+  kActivation,     ///< ReLU/GELU/SiLU — a guard op
+  kAttentionScale, ///< QK^T * 1/sqrt(d) + softmax — a guard op
+  kWeighting,      ///< probs @ V (convex combination; NOT a guard)
+  kElementwiseMul, ///< gated-MLP multiply (NOT a guard)
+  kResidualAdd,    ///< residual fusion (NOT a guard)
+  kNorm,           ///< LayerNorm/RMSNorm (NOT a guard; see paper §4.1.1)
+  kRope,           ///< rotary embedding (NOT a guard)
+  kNextLinear,     ///< sentinel: first linear consumer after the block
+};
+
+/// True for ops that bound/shrink extreme faulty values on their way to the
+/// next linear layer.
+constexpr bool is_guard_op(OpKind op) {
+  return op == OpKind::kActivation || op == OpKind::kAttentionScale;
+}
+
+struct OpNode {
+  OpKind op = OpKind::kInput;
+  LayerKind layer = LayerKind::kCount;  // set for kLinear nodes
+  std::string name;
+  std::vector<int> successors;
+};
+
+/// The per-block dataflow graph of a model architecture.
+class LayerGraph {
+ public:
+  /// Builds the block graph for `config`'s architecture.
+  static LayerGraph build(const ModelConfig& config);
+
+  const std::vector<OpNode>& nodes() const { return nodes_; }
+  const OpNode& node(int i) const { return nodes_[static_cast<std::size_t>(i)]; }
+  int size() const { return static_cast<int>(nodes_.size()); }
+
+  /// Index of the linear node with the given kind, or -1.
+  int find_linear(LayerKind kind) const;
+
+  /// All linear layer kinds present in the graph (excluding the sentinel).
+  std::vector<LayerKind> linear_kinds() const;
+
+ private:
+  int add(OpKind op, std::string name, LayerKind layer = LayerKind::kCount);
+  void connect(int from, int to);
+
+  std::vector<OpNode> nodes_;
+};
+
+}  // namespace ft2

@@ -1,0 +1,58 @@
+// Taxonomy of observable layer outputs inside a decoder block.
+//
+// These names mirror the paper's Table 1 / Figure 1. Linear kinds are fault-
+// injection targets and protection targets; MLP_ACT is the activation-layer
+// output (the protection target of Ranger).
+#pragma once
+
+#include <array>
+#include <string_view>
+
+namespace ft2 {
+
+enum class LayerKind : int {
+  kQProj = 0,
+  kKProj,
+  kVProj,
+  kOutProj,
+  kFc1,       // OPT/GPT-J first MLP linear
+  kFc2,       // OPT/GPT-J second MLP linear
+  kGateProj,  // Llama-family gate
+  kUpProj,    // Llama-family up
+  kDownProj,  // Llama-family down
+  kMlpAct,    // activation-layer output (not a linear layer)
+  kCount
+};
+
+constexpr std::size_t kLayerKindCount = static_cast<std::size_t>(LayerKind::kCount);
+
+constexpr std::string_view layer_kind_name(LayerKind kind) {
+  switch (kind) {
+    case LayerKind::kQProj: return "Q_PROJ";
+    case LayerKind::kKProj: return "K_PROJ";
+    case LayerKind::kVProj: return "V_PROJ";
+    case LayerKind::kOutProj: return "OUT_PROJ";
+    case LayerKind::kFc1: return "FC1";
+    case LayerKind::kFc2: return "FC2";
+    case LayerKind::kGateProj: return "GATE_PROJ";
+    case LayerKind::kUpProj: return "UP_PROJ";
+    case LayerKind::kDownProj: return "DOWN_PROJ";
+    case LayerKind::kMlpAct: return "MLP_ACT";
+    case LayerKind::kCount: break;
+  }
+  return "UNKNOWN";
+}
+
+constexpr bool is_linear_layer(LayerKind kind) {
+  return kind != LayerKind::kMlpAct && kind != LayerKind::kCount;
+}
+
+/// A concrete layer-output site inside a model: block index + layer kind.
+struct LayerSite {
+  int block = 0;
+  LayerKind kind = LayerKind::kQProj;
+
+  friend bool operator==(const LayerSite&, const LayerSite&) = default;
+};
+
+}  // namespace ft2

@@ -1,0 +1,338 @@
+#include "nn/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "tensor/ops.hpp"
+
+namespace ft2 {
+
+Workspace::Workspace(const ModelConfig& config)
+    : x({std::size_t{1}, config.d_model}),
+      h({std::size_t{1}, config.d_model}),
+      q({std::size_t{1}, config.d_model}),
+      k({std::size_t{1}, config.d_model}),
+      v({std::size_t{1}, config.d_model}),
+      attn_out({std::size_t{1}, config.d_model}),
+      o({std::size_t{1}, config.d_model}),
+      f1({std::size_t{1}, config.d_ff}),
+      f_up({std::size_t{1}, config.d_ff}),
+      act({std::size_t{1}, config.d_ff}),
+      f2({std::size_t{1}, config.d_model}),
+      scores({std::size_t{1}, config.max_seq}),
+      final_h({std::size_t{1}, config.d_model}) {}
+
+TransformerLM::TransformerLM(ModelConfig config, ModelWeights weights)
+    : config_(std::move(config)), weights_(std::move(weights)) {
+  FT2_CHECK(weights_.blocks.size() == config_.n_blocks);
+}
+
+void TransformerLM::apply_norm(const NormWeights& nw, const Tensor& in,
+                               Tensor& out) const {
+  if (config_.norm == NormKind::kLayerNorm) {
+    layernorm_rows(in, nw.gamma.span(), nw.beta.span(), config_.norm_eps, out);
+  } else {
+    rmsnorm_rows(in, nw.gamma.span(), config_.norm_eps, out);
+  }
+}
+
+namespace {
+
+inline void maybe_quantize(std::span<float> v, bool fp16) {
+  if (fp16) quantize_span_f16(v);
+}
+
+/// Dot product accumulated in 8-wide partial sums: a different reduction
+/// order from the sequential kernel, standing in for a different GPU
+/// generation's tiling (Fig. 16 hardware sensitivity).
+void linear_forward_row_chunked(std::span<const float> x, const Tensor& w,
+                                std::span<const float> bias,
+                                std::span<float> y) {
+  const std::size_t n = w.dim(0);
+  const std::size_t k = w.dim(1);
+  const float* wd = w.data();
+  for (std::size_t o = 0; o < n; ++o) {
+    const float* row = wd + o * k;
+    float partial[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+    std::size_t i = 0;
+    for (; i + 8 <= k; i += 8) {
+      for (std::size_t lane = 0; lane < 8; ++lane) {
+        partial[lane] += row[i + lane] * x[i + lane];
+      }
+    }
+    float acc = bias.empty() ? 0.0f : bias[o];
+    for (; i < k; ++i) acc += row[i] * x[i];
+    // Pairwise tree reduction of the lanes.
+    partial[0] += partial[4];
+    partial[1] += partial[5];
+    partial[2] += partial[6];
+    partial[3] += partial[7];
+    partial[0] += partial[2];
+    partial[1] += partial[3];
+    y[o] = acc + partial[0] + partial[1];
+  }
+}
+
+inline void run_linear(const LinearWeights& lw, const Tensor& in, Tensor& out,
+                       const ExecConfig& exec, const HookChain& hooks,
+                       int block, LayerKind kind, std::size_t pos,
+                       bool first_token) {
+  if (exec.chunked_accum) {
+    linear_forward_row_chunked(in.row(0), lw.w, lw.bias_span(), out.row(0));
+  } else {
+    linear_forward_row(in.row(0), lw.w, lw.bias_span(), out.row(0));
+  }
+  maybe_quantize(out.row(0), exec.fp16);
+  HookContext ctx{LayerSite{block, kind}, pos, first_token};
+  hooks.dispatch(ctx, out.row(0));
+}
+
+}  // namespace
+
+void TransformerLM::attention(const BlockWeights& blk, std::size_t block_idx,
+                              std::size_t pos, KvCache& cache,
+                              const HookChain& hooks, const ExecConfig& exec,
+                              bool first_token, Workspace& ws) const {
+  const bool fp16 = exec.fp16;
+  const int b = static_cast<int>(block_idx);
+  run_linear(blk.q, ws.h, ws.q, exec, hooks, b, LayerKind::kQProj, pos,
+             first_token);
+  run_linear(blk.k, ws.h, ws.k, exec, hooks, b, LayerKind::kKProj, pos,
+             first_token);
+  run_linear(blk.v, ws.h, ws.v, exec, hooks, b, LayerKind::kVProj, pos,
+             first_token);
+
+  const std::size_t n_heads = config_.n_heads;
+  const std::size_t head_dim = config_.head_dim();
+  if (config_.position == PositionKind::kRotary) {
+    rope_apply(ws.q.row(0), n_heads, head_dim, pos, config_.rope_theta);
+    rope_apply(ws.k.row(0), n_heads, head_dim, pos, config_.rope_theta);
+    maybe_quantize(ws.q.row(0), fp16);
+    maybe_quantize(ws.k.row(0), fp16);
+  }
+
+  cache.store(block_idx, pos, ws.k.row(0), ws.v.row(0));
+
+  // Scaled dot-product attention over positions [0, pos].
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim));
+  const std::size_t len = pos + 1;
+  auto out = ws.attn_out.row(0);
+  std::fill(out.begin(), out.end(), 0.0f);
+  for (std::size_t hh = 0; hh < n_heads; ++hh) {
+    const std::size_t off = hh * head_dim;
+    auto scores = ws.scores.row(0).subspan(0, len);
+    const float* qh = ws.q.row(0).data() + off;
+    for (std::size_t j = 0; j < len; ++j) {
+      const float* kh = cache.key(block_idx, j).data() + off;
+      float dot = 0.0f;
+      for (std::size_t i = 0; i < head_dim; ++i) dot += qh[i] * kh[i];
+      scores[j] = dot * scale;
+    }
+    maybe_quantize(scores, fp16);
+    softmax(scores);
+    maybe_quantize(scores, fp16);
+    float* oh = out.data() + off;
+    for (std::size_t j = 0; j < len; ++j) {
+      const float p = scores[j];
+      if (p == 0.0f) continue;
+      const float* vh = cache.value(block_idx, j).data() + off;
+      for (std::size_t i = 0; i < head_dim; ++i) oh[i] += p * vh[i];
+    }
+  }
+  maybe_quantize(out, fp16);
+
+  run_linear(blk.o, ws.attn_out, ws.o, exec, hooks, b, LayerKind::kOutProj,
+             pos, first_token);
+}
+
+void TransformerLM::mlp(const BlockWeights& blk, std::size_t block_idx,
+                        const Tensor& input, const HookChain& hooks,
+                        const ExecConfig& exec, bool first_token,
+                        Workspace& ws) const {
+  const bool fp16 = exec.fp16;
+  const int b = static_cast<int>(block_idx);
+  const bool llama = config_.arch == ArchFamily::kLlama;
+  // `pos` only matters for hook context; reuse the attention position via
+  // ws.scores? Instead we thread pos through ws: simplest is to record it.
+  const std::size_t pos = ws.current_pos;
+
+  if (llama) {
+    run_linear(blk.fc1, input, ws.f1, exec, hooks, b, LayerKind::kGateProj,
+               pos, first_token);
+    run_linear(blk.up, input, ws.f_up, exec, hooks, b, LayerKind::kUpProj,
+               pos, first_token);
+    std::copy(ws.f1.row(0).begin(), ws.f1.row(0).end(), ws.act.row(0).begin());
+    silu(ws.act.row(0));
+    maybe_quantize(ws.act.row(0), fp16);
+    hooks.dispatch(HookContext{LayerSite{b, LayerKind::kMlpAct}, pos,
+                               first_token},
+                   ws.act.row(0));
+    mul_inplace(ws.act.row(0), ws.f_up.row(0));
+    maybe_quantize(ws.act.row(0), fp16);
+    run_linear(blk.fc2, ws.act, ws.f2, exec, hooks, b, LayerKind::kDownProj,
+               pos, first_token);
+  } else {
+    run_linear(blk.fc1, input, ws.f1, exec, hooks, b, LayerKind::kFc1, pos,
+               first_token);
+    std::copy(ws.f1.row(0).begin(), ws.f1.row(0).end(), ws.act.row(0).begin());
+    if (config_.activation == Activation::kRelu) {
+      relu(ws.act.row(0));
+    } else {
+      gelu(ws.act.row(0));
+    }
+    maybe_quantize(ws.act.row(0), fp16);
+    hooks.dispatch(HookContext{LayerSite{b, LayerKind::kMlpAct}, pos,
+                               first_token},
+                   ws.act.row(0));
+    run_linear(blk.fc2, ws.act, ws.f2, exec, hooks, b, LayerKind::kFc2, pos,
+               first_token);
+  }
+}
+
+void TransformerLM::forward_position(int token, std::size_t pos,
+                                     KvCache& cache, const HookChain& hooks,
+                                     const ExecConfig& exec,
+                                     bool first_token_phase, Workspace& ws,
+                                     std::span<float> logits) const {
+  const bool fp16 = exec.fp16;
+  FT2_CHECK_MSG(cache.length() == pos,
+                "cache length " << cache.length() << " != pos " << pos);
+  FT2_CHECK(pos < config_.max_seq);
+  FT2_CHECK(token >= 0 &&
+            static_cast<std::size_t>(token) < config_.vocab_size);
+  FT2_CHECK(logits.size() == config_.vocab_size);
+  ws.current_pos = pos;
+
+  // Embedding (+ learned positions for OPT).
+  auto x = ws.x.row(0);
+  auto emb = weights_.tok_emb.row(static_cast<std::size_t>(token));
+  std::copy(emb.begin(), emb.end(), x.begin());
+  if (config_.position == PositionKind::kLearned) {
+    add_inplace(x, weights_.pos_emb.row(pos));
+  }
+  maybe_quantize(x, fp16);
+
+  for (std::size_t bi = 0; bi < config_.n_blocks; ++bi) {
+    const auto& blk = weights_.blocks[bi];
+    apply_norm(blk.norm1, ws.x, ws.h);
+    maybe_quantize(ws.h.row(0), fp16);
+
+    attention(blk, bi, pos, cache, hooks, exec, first_token_phase, ws);
+
+    if (config_.parallel_block) {
+      // GPT-J: MLP reads the same normed input; single residual add.
+      mlp(blk, bi, ws.h, hooks, exec, first_token_phase, ws);
+      add_inplace(x, ws.o.row(0));
+      add_inplace(x, ws.f2.row(0));
+      maybe_quantize(x, fp16);
+    } else {
+      add_inplace(x, ws.o.row(0));
+      maybe_quantize(x, fp16);
+      apply_norm(blk.norm2, ws.x, ws.h);
+      maybe_quantize(ws.h.row(0), fp16);
+      mlp(blk, bi, ws.h, hooks, exec, first_token_phase, ws);
+      add_inplace(x, ws.f2.row(0));
+      maybe_quantize(x, fp16);
+    }
+  }
+  cache.advance();
+
+  apply_norm(weights_.final_norm, ws.x, ws.final_h);
+  maybe_quantize(ws.final_h.row(0), fp16);
+  linear_forward_row(ws.final_h.row(0), weights_.lm_head.w, {}, logits);
+}
+
+InferenceSession::InferenceSession(const TransformerLM& model)
+    : model_(model),
+      cache_(model.make_cache()),
+      ws_(model.config()),
+      logits_(model.config().vocab_size) {}
+
+namespace {
+
+/// Temperature / top-k sampling over logits. Deterministic given `rng`.
+int sample_token(std::span<const float> logits, float temperature,
+                 std::size_t top_k, Xoshiro256& rng) {
+  const std::size_t vocab = logits.size();
+  std::vector<std::size_t> order(vocab);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return logits[a] > logits[b];
+  });
+  const std::size_t k =
+      top_k == 0 ? vocab : std::min(top_k, vocab);
+
+  // Stable softmax over the candidate set at the given temperature.
+  std::vector<double> probs(k);
+  const double mx = static_cast<double>(logits[order[0]]);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const double z =
+        (static_cast<double>(logits[order[i]]) - mx) / temperature;
+    probs[i] = std::exp(z);
+    sum += probs[i];
+  }
+  if (!(sum > 0.0) || !std::isfinite(sum)) {
+    return static_cast<int>(order[0]);  // NaN-poisoned logits: fall back
+  }
+  double u = rng.uniform_double() * sum;
+  for (std::size_t i = 0; i < k; ++i) {
+    u -= probs[i];
+    if (u <= 0.0) return static_cast<int>(order[i]);
+  }
+  return static_cast<int>(order[k - 1]);
+}
+
+}  // namespace
+
+GenerateResult InferenceSession::generate(std::span<const int> prompt,
+                                          const GenerateOptions& options) {
+  FT2_CHECK(!prompt.empty());
+  GenerateResult result;
+  cache_.reset();
+  hooks_.begin();
+
+  const std::size_t max_seq = model_.config().max_seq;
+  std::span<float> logits{logits_.data(), logits_.size()};
+
+  const ExecConfig exec{options.fp16, options.chunked_accum};
+
+  // Prefill: the "first token generation" phase.
+  std::size_t pos = 0;
+  for (int token : prompt) {
+    if (pos >= max_seq) break;
+    model_.forward_position(token, pos, cache_, hooks_, exec,
+                            /*first_token_phase=*/true, ws_, logits);
+    ++pos;
+    ++result.positions_run;
+  }
+
+  // Decode. Greedy by default; NaN-poisoned logits: argmax picks the first
+  // index when all comparisons are false, which is deterministic (faithful
+  // "garbage token" behaviour).
+  Xoshiro256 sampler(options.sample_seed);
+  for (std::size_t step = 0; step < options.max_new_tokens; ++step) {
+    const int next =
+        options.temperature > 0.0f
+            ? sample_token(logits, options.temperature, options.top_k,
+                           sampler)
+            : static_cast<int>(argmax(logits));
+    if (options.eos_token >= 0 && next == options.eos_token) break;
+    result.tokens.push_back(next);
+    if (step + 1 == options.max_new_tokens || pos >= max_seq) {
+      result.hit_max = true;
+      break;
+    }
+    model_.forward_position(next, pos, cache_, hooks_, exec,
+                            /*first_token_phase=*/false, ws_, logits);
+    ++pos;
+    ++result.positions_run;
+  }
+
+  hooks_.end();
+  return result;
+}
+
+}  // namespace ft2

@@ -1,0 +1,132 @@
+// Decoder-only transformer inference engine with hookable layer outputs.
+//
+// The engine processes one position at a time against a KV cache (prompt
+// tokens are prefilled sequentially; generation continues incrementally).
+// When FP16 execution is modelled, every observable tensor — linear outputs,
+// activation outputs, attention output, residual stream, norm outputs — is
+// quantized onto the binary16 grid, so injected bit flips and range
+// restriction see exactly the values a half-precision GPU run would store.
+#pragma once
+
+#include <span>
+
+#include "nn/config.hpp"
+#include "nn/hooks.hpp"
+#include "nn/kv_cache.hpp"
+#include "nn/weights.hpp"
+
+namespace ft2 {
+
+/// Scratch buffers reused across positions (sized once per model config).
+struct Workspace {
+  Tensor x;         // [1, d] residual stream
+  Tensor h;         // [1, d] normed input
+  Tensor q, k, v;   // [1, d]
+  Tensor attn_out;  // [1, d]
+  Tensor o;         // [1, d]
+  Tensor f1, f_up, act;  // [1, d_ff]
+  Tensor f2;        // [1, d]
+  Tensor scores;    // [1, max_seq]
+  Tensor final_h;   // [1, d]
+  std::size_t current_pos = 0;  // position being processed (hook context)
+
+  explicit Workspace(const ModelConfig& config);
+};
+
+/// Execution configuration: numeric-semantics knobs that model different
+/// hardware. `fp16` selects half-precision value semantics; `chunked_accum`
+/// accumulates dot products in 8-wide partial sums (a different tiling /
+/// reduction order, as a different GPU generation would use) — results stay
+/// semantically equivalent but differ in float rounding, which is exactly
+/// what the hardware-sensitivity experiment (Fig. 16) varies.
+struct ExecConfig {
+  bool fp16 = true;
+  bool chunked_accum = false;
+};
+
+class TransformerLM {
+ public:
+  TransformerLM(ModelConfig config, ModelWeights weights);
+
+  const ModelConfig& config() const { return config_; }
+  ModelWeights& weights() { return weights_; }
+  const ModelWeights& weights() const { return weights_; }
+
+  /// Computes logits for the token at sequence position `pos`.
+  /// Preconditions: cache.length() == pos. Appends this position's K/V to
+  /// the cache and advances it. `logits` must have vocab_size elements.
+  /// Hooks fire for every observable layer output.
+  void forward_position(int token, std::size_t pos, KvCache& cache,
+                        const HookChain& hooks, const ExecConfig& exec,
+                        bool first_token_phase, Workspace& ws,
+                        std::span<float> logits) const;
+
+  /// Backward-compatible overload taking only the fp16 flag.
+  void forward_position(int token, std::size_t pos, KvCache& cache,
+                        const HookChain& hooks, bool fp16,
+                        bool first_token_phase, Workspace& ws,
+                        std::span<float> logits) const {
+    forward_position(token, pos, cache, hooks, ExecConfig{fp16, false},
+                     first_token_phase, ws, logits);
+  }
+
+  KvCache make_cache() const {
+    return KvCache(config_.n_blocks, config_.max_seq, config_.d_model);
+  }
+
+ private:
+  void attention(const BlockWeights& blk, std::size_t block_idx,
+                 std::size_t pos, KvCache& cache, const HookChain& hooks,
+                 const ExecConfig& exec, bool first_token,
+                 Workspace& ws) const;
+  void mlp(const BlockWeights& blk, std::size_t block_idx, const Tensor& input,
+           const HookChain& hooks, const ExecConfig& exec, bool first_token,
+           Workspace& ws) const;
+  void apply_norm(const NormWeights& nw, const Tensor& in, Tensor& out) const;
+
+  ModelConfig config_;
+  ModelWeights weights_;
+};
+
+/// Decoding options. Default is greedy (temperature 0), which every
+/// fault-injection experiment uses for determinism; temperature/top-k
+/// sampling is available for application use and is itself deterministic
+/// given `sample_seed`.
+struct GenerateOptions {
+  std::size_t max_new_tokens = 32;
+  int eos_token = -1;      ///< stop when this token is produced (< 0: never)
+  bool fp16 = true;        ///< model FP16 value semantics
+  bool chunked_accum = false;  ///< alternate reduction order (see ExecConfig)
+  float temperature = 0.0f;    ///< 0 = greedy; > 0 = softmax sampling
+  std::size_t top_k = 0;       ///< 0 = all tokens; else sample among top-k
+  std::uint64_t sample_seed = 1;  ///< RNG seed for sampling decode
+};
+
+struct GenerateResult {
+  std::vector<int> tokens;        ///< generated tokens (no prompt, no EOS)
+  std::size_t positions_run = 0;  ///< forward positions executed
+  bool hit_max = false;           ///< stopped by max_new_tokens/max_seq
+};
+
+/// Stateful generation session: owns the cache, workspace and hook chain.
+class InferenceSession {
+ public:
+  explicit InferenceSession(const TransformerLM& model);
+
+  HookChain& hooks() { return hooks_; }
+
+  /// Greedy generation. Prompt tokens are prefilled sequentially (the
+  /// "first token generation" phase of the paper); hooks observe every
+  /// position.
+  GenerateResult generate(std::span<const int> prompt,
+                          const GenerateOptions& options);
+
+ private:
+  const TransformerLM& model_;
+  KvCache cache_;
+  Workspace ws_;
+  HookChain hooks_;
+  std::vector<float> logits_;
+};
+
+}  // namespace ft2

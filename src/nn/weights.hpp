@@ -1,0 +1,63 @@
+// Weight containers for the decoder-only transformer.
+//
+// Biases are rank-1 tensors so the trainer can treat every parameter
+// uniformly. Weight matrices use the PyTorch Linear layout [out, in].
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/config.hpp"
+#include "tensor/tensor.hpp"
+
+namespace ft2 {
+
+struct LinearWeights {
+  Tensor w;  // [out, in]
+  Tensor b;  // [out] or empty
+  bool has_bias = false;
+
+  std::span<const float> bias_span() const {
+    return has_bias ? b.span() : std::span<const float>{};
+  }
+};
+
+struct NormWeights {
+  Tensor gamma;  // [d]
+  Tensor beta;   // [d]; empty for RMSNorm
+};
+
+struct BlockWeights {
+  LinearWeights q, k, v, o;
+  LinearWeights fc1;  // FC1 for OPT/GPT-J, GATE_PROJ for Llama
+  LinearWeights fc2;  // FC2 for OPT/GPT-J, DOWN_PROJ for Llama
+  LinearWeights up;   // UP_PROJ, Llama family only
+  NormWeights norm1;
+  NormWeights norm2;  // unused when parallel_block
+};
+
+struct ModelWeights {
+  Tensor tok_emb;          // [vocab, d]
+  Tensor pos_emb;          // [max_seq, d], learned-position models only
+  NormWeights final_norm;
+  LinearWeights lm_head;   // [vocab, d], no bias
+  std::vector<BlockWeights> blocks;
+
+  /// Every trainable tensor, paired with a stable debug name.
+  std::vector<std::pair<std::string, Tensor*>> named_parameters();
+  std::vector<std::pair<std::string, const Tensor*>> named_parameters() const;
+
+  std::size_t parameter_count() const;
+};
+
+/// Allocates and randomly initializes weights for `config` (GPT-2-style
+/// init: N(0, 0.02), residual-output projections scaled by 1/sqrt(2L),
+/// norms at identity).
+ModelWeights init_weights(const ModelConfig& config, Xoshiro256& rng);
+
+/// Access the LinearWeights of a (block, linear-kind) site.
+LinearWeights& linear_at(ModelWeights& weights, const ModelConfig& config,
+                         const LayerSite& site);
+
+}  // namespace ft2

@@ -1,0 +1,138 @@
+#include "perfmodel/perfmodel.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace ft2::perfmodel {
+
+GpuSpec a100() {
+  // NVIDIA A100 SXM4 80GB: 312 TFLOP/s dense FP16, 2039 GB/s HBM2e.
+  return GpuSpec{"A100", 312.0, 2039.0, 0.40, 0.60, 0.35};
+}
+
+GpuSpec h100() {
+  // NVIDIA H100 SXM5: 989 TFLOP/s dense FP16, 3350 GB/s HBM3.
+  return GpuSpec{"H100", 989.0, 3350.0, 0.40, 0.60, 0.35};
+}
+
+const std::vector<LlmSpec>& paper_models() {
+  // name, d_model, blocks, d_ff, vocab, heads, kv_heads, gated, tied.
+  static const std::vector<LlmSpec> models = {
+      {"OPT-6.7B", 4096, 32, 16384, 50272, 32, 0, false, true},
+      {"OPT-2.7B", 2560, 32, 10240, 50272, 32, 0, false, true},
+      {"GPTJ-6B", 4096, 28, 16384, 50400, 16, 0, false, false},
+      {"Llama2-7B", 4096, 32, 11008, 32000, 32, 0, true, false},
+      {"Vicuna-7B", 4096, 32, 11008, 32000, 32, 0, true, false},
+      {"Qwen2-7B", 3584, 28, 18944, 152064, 28, 4, true, false},
+      {"Qwen2-1.5B", 1536, 28, 8960, 151936, 12, 2, true, true},
+  };
+  return models;
+}
+
+const LlmSpec& paper_model(const std::string& name) {
+  for (const auto& m : paper_models()) {
+    if (m.name == name) return m;
+  }
+  throw Error("unknown paper model: " + name);
+}
+
+std::size_t param_count(const LlmSpec& m) {
+  const std::size_t kv_heads = m.kv_heads == 0 ? m.n_heads : m.kv_heads;
+  const std::size_t head_dim = m.d_model / m.n_heads;
+  const std::size_t kv_width = kv_heads * head_dim;
+  // Q and O are square; K and V shrink under grouped-query attention.
+  const std::size_t attn =
+      2 * m.d_model * m.d_model + 2 * m.d_model * kv_width;
+  const std::size_t mlp = (m.gated_mlp ? 3 : 2) * m.d_model * m.d_ff;
+  const std::size_t blocks = m.n_blocks * (attn + mlp);
+  const std::size_t emb =
+      (m.tied_embeddings ? 1u : 2u) * m.vocab * m.d_model;
+  return blocks + emb;
+}
+
+double flops_per_token(const LlmSpec& m, std::size_t ctx) {
+  // 2 FLOPs per MAC per parameter, plus attention QK^T and PV:
+  // 2 heads-worth matmuls of [1, d] x [d, ctx] per block => 4*d*ctx FLOPs.
+  const double proj = 2.0 * static_cast<double>(param_count(m));
+  const double attn = 4.0 * static_cast<double>(m.d_model) *
+                      static_cast<double>(ctx) *
+                      static_cast<double>(m.n_blocks);
+  return proj + attn;
+}
+
+double prefill_seconds(const LlmSpec& m, const GpuSpec& g,
+                       std::size_t prompt_len) {
+  double flops = 0.0;
+  for (std::size_t t = 0; t < prompt_len; ++t) {
+    flops += flops_per_token(m, t + 1);
+  }
+  return flops / (g.fp16_tflops * 1e12 * g.mfu * g.sw_eff);
+}
+
+double decode_seconds(const LlmSpec& m, const GpuSpec& g, std::size_t ctx) {
+  // Weight traffic + KV cache traffic; compare against the compute roof and
+  // take the max (decode is virtually always bandwidth-bound at batch 1).
+  const double weight_bytes =
+      static_cast<double>(param_count(m)) *
+      static_cast<double>(m.bytes_per_param);
+  const std::size_t kv_heads = m.kv_heads == 0 ? m.n_heads : m.kv_heads;
+  const double kv_width = static_cast<double>(kv_heads * (m.d_model / m.n_heads));
+  const double kv_bytes = 2.0 * static_cast<double>(ctx) * kv_width *
+                          static_cast<double>(m.n_blocks) *
+                          static_cast<double>(m.bytes_per_param);
+  const double mem_time =
+      (weight_bytes + kv_bytes) / (g.hbm_gbps * 1e9 * g.bw_eff * g.sw_eff);
+  const double compute_time =
+      flops_per_token(m, ctx) / (g.fp16_tflops * 1e12 * g.mfu * g.sw_eff);
+  return std::max(mem_time, compute_time);
+}
+
+double inference_seconds(const LlmSpec& m, const GpuSpec& g,
+                         std::size_t prompt_len, std::size_t gen_tokens) {
+  FT2_CHECK(gen_tokens >= 1);
+  double t = prefill_seconds(m, g, prompt_len);
+  for (std::size_t i = 1; i < gen_tokens; ++i) {
+    t += decode_seconds(m, g, prompt_len + i);
+  }
+  return t;
+}
+
+double first_token_fraction(const LlmSpec& m, const GpuSpec& g,
+                            std::size_t prompt_len, std::size_t gen_tokens) {
+  const double first = prefill_seconds(m, g, prompt_len);
+  const double total = inference_seconds(m, g, prompt_len, gen_tokens);
+  return first / total;
+}
+
+double profiling_hours(const LlmSpec& m, const GpuSpec& g,
+                       std::size_t n_inputs, std::size_t prompt_len,
+                       std::size_t gen_tokens) {
+  return static_cast<double>(n_inputs) *
+         inference_seconds(m, g, prompt_len, gen_tokens) / 3600.0;
+}
+
+double protection_overhead_fraction(const LlmSpec& m, const GpuSpec& g,
+                                    std::size_t prompt_len,
+                                    std::size_t gen_tokens,
+                                    std::size_t protected_per_block,
+                                    double avg_width) {
+  // One elementwise clamp pass = read + write of the protected output.
+  const double per_pos_bytes = 2.0 * avg_width *
+                               static_cast<double>(m.bytes_per_param) *
+                               static_cast<double>(protected_per_block) *
+                               static_cast<double>(m.n_blocks);
+  const double positions =
+      static_cast<double>(prompt_len) + static_cast<double>(gen_tokens) - 1.0;
+  const double clamp_time =
+      positions * per_pos_bytes / (g.hbm_gbps * 1e9 * g.bw_eff * g.sw_eff);
+  // Plus a fixed kernel-launch cost per protected layer per decode step.
+  const double launch_s = 1.5e-6;
+  const double launches = static_cast<double>(gen_tokens) *
+                          static_cast<double>(protected_per_block) *
+                          static_cast<double>(m.n_blocks) * launch_s;
+  const double base = inference_seconds(m, g, prompt_len, gen_tokens);
+  return (clamp_time + launches) / base;
+}
+
+}  // namespace ft2::perfmodel

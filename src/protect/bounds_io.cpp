@@ -1,0 +1,66 @@
+#include "protect/bounds_io.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace ft2 {
+
+LayerKind layer_kind_from_name(const std::string& name) {
+  for (std::size_t k = 0; k < kLayerKindCount; ++k) {
+    const auto kind = static_cast<LayerKind>(k);
+    if (name == layer_kind_name(kind)) return kind;
+  }
+  throw Error("unknown layer kind name: " + name);
+}
+
+void save_bounds(const std::string& path, const BoundStore& bounds) {
+  std::ofstream os(path, std::ios::trunc);
+  FT2_CHECK_MSG(os.good(), "cannot open bounds file for write: " << path);
+  os << "ft2-bounds v1 " << bounds.n_blocks() << "\n";
+  char lo_buf[64], hi_buf[64], ty_buf[64];
+  for (std::size_t b = 0; b < bounds.n_blocks(); ++b) {
+    for (std::size_t k = 0; k < kLayerKindCount; ++k) {
+      const LayerSite site{static_cast<int>(b), static_cast<LayerKind>(k)};
+      const Bounds& bd = bounds.at(site);
+      if (!bd.valid()) continue;
+      std::snprintf(lo_buf, sizeof(lo_buf), "%a", static_cast<double>(bd.lo));
+      std::snprintf(hi_buf, sizeof(hi_buf), "%a", static_cast<double>(bd.hi));
+      std::snprintf(ty_buf, sizeof(ty_buf), "%a",
+                    static_cast<double>(bd.typical));
+      os << b << ' ' << layer_kind_name(site.kind) << ' ' << lo_buf << ' '
+         << hi_buf << ' ' << ty_buf << '\n';
+    }
+  }
+  FT2_CHECK_MSG(os.good(), "bounds write failed: " << path);
+}
+
+BoundStore load_bounds(const std::string& path, const ModelConfig& config) {
+  std::ifstream is(path);
+  FT2_CHECK_MSG(is.good(), "cannot open bounds file: " << path);
+  std::string magic, version;
+  std::size_t n_blocks = 0;
+  is >> magic >> version >> n_blocks;
+  FT2_CHECK_MSG(magic == "ft2-bounds" && version == "v1",
+                "bad bounds header in " << path);
+  FT2_CHECK_MSG(n_blocks == config.n_blocks,
+                "bounds file has " << n_blocks << " blocks, model has "
+                                   << config.n_blocks);
+  BoundStore bounds(config);
+  std::size_t block;
+  std::string kind_name, lo_str, hi_str, ty_str;
+  while (is >> block >> kind_name >> lo_str >> hi_str >> ty_str) {
+    FT2_CHECK_MSG(block < n_blocks, "bounds block out of range: " << block);
+    const LayerKind kind = layer_kind_from_name(kind_name);
+    Bounds& bd = bounds.at({static_cast<int>(block), kind});
+    bd.lo = std::strtof(lo_str.c_str(), nullptr);
+    bd.hi = std::strtof(hi_str.c_str(), nullptr);
+    bd.typical = std::strtof(ty_str.c_str(), nullptr);
+    FT2_CHECK_MSG(bd.valid(), "invalid bounds entry in " << path);
+  }
+  return bounds;
+}
+
+}  // namespace ft2

@@ -1,0 +1,26 @@
+// BoundStore (de)serialization.
+//
+// Text format, one line per valid site:
+//   ft2-bounds v1 <n_blocks>
+//   <block> <layer-kind-name> <lo-hex> <hi-hex>
+// Floats are stored as hexfloat so round trips are exact. Lets the CLI
+// split offline profiling from campaign runs, and lets users ship bounds
+// with deployed models.
+#pragma once
+
+#include <string>
+
+#include "protect/bounds.hpp"
+
+namespace ft2 {
+
+void save_bounds(const std::string& path, const BoundStore& bounds);
+
+/// Loads bounds saved by save_bounds; throws ft2::Error on malformed files
+/// or a block-count mismatch with `config`.
+BoundStore load_bounds(const std::string& path, const ModelConfig& config);
+
+/// Parses a layer-kind name ("V_PROJ", ...). Throws on unknown names.
+LayerKind layer_kind_from_name(const std::string& name);
+
+}  // namespace ft2

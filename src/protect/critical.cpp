@@ -1,0 +1,62 @@
+#include "protect/critical.hpp"
+
+#include <functional>
+
+#include "common/check.hpp"
+
+namespace ft2 {
+namespace {
+
+/// DFS from node `start`'s successors: returns true when some path reaches a
+/// linear (or the next-linear sentinel) without crossing a guard op.
+bool reaches_linear_unguarded(const LayerGraph& g, int start) {
+  std::vector<char> visited(static_cast<std::size_t>(g.size()), 0);
+  std::function<bool(int)> dfs = [&](int n) -> bool {
+    const OpNode& node = g.node(n);
+    if (node.op == OpKind::kLinear || node.op == OpKind::kNextLinear) {
+      return true;  // reached the next linear layer with no guard in between
+    }
+    if (is_guard_op(node.op)) return false;  // this path is guarded
+    if (visited[static_cast<std::size_t>(n)]) return false;
+    visited[static_cast<std::size_t>(n)] = 1;
+    for (int s : node.successors) {
+      if (dfs(s)) return true;
+    }
+    return false;
+  };
+  for (int s : g.node(start).successors) {
+    if (dfs(s)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool layer_is_critical(const LayerGraph& g, LayerKind kind) {
+  const int node = g.find_linear(kind);
+  FT2_CHECK_MSG(node >= 0, "layer kind not present in graph: "
+                               << layer_kind_name(kind));
+  return reaches_linear_unguarded(g, node);
+}
+
+std::vector<LayerKind> critical_layers(const ModelConfig& config) {
+  const LayerGraph g = LayerGraph::build(config);
+  std::vector<LayerKind> out;
+  for (LayerKind kind : config.block_layers()) {
+    if (!is_linear_layer(kind)) continue;
+    if (layer_is_critical(g, kind)) out.push_back(kind);
+  }
+  return out;
+}
+
+std::vector<LayerKind> non_critical_layers(const ModelConfig& config) {
+  const LayerGraph g = LayerGraph::build(config);
+  std::vector<LayerKind> out;
+  for (LayerKind kind : config.block_layers()) {
+    if (!is_linear_layer(kind)) continue;
+    if (!layer_is_critical(g, kind)) out.push_back(kind);
+  }
+  return out;
+}
+
+}  // namespace ft2

@@ -1,0 +1,27 @@
+// FT2's critical-layer identification heuristic (paper §4.1.2).
+//
+// "A layer is deemed critical if no scaling operation or activation layer is
+// present before the next linear layer." The analyzer walks the block's
+// dataflow graph (nn/layer_graph.hpp) from each linear layer's output: if
+// any path reaches another linear layer (including the next block's first
+// projection / lm_head, modelled by the sentinel node) without crossing a
+// guard op (activation or attention scaling+softmax), the layer is critical.
+#pragma once
+
+#include <vector>
+
+#include "nn/layer_graph.hpp"
+
+namespace ft2 {
+
+/// True if the linear layer `kind` is critical in graph `g`.
+bool layer_is_critical(const LayerGraph& g, LayerKind kind);
+
+/// All critical linear layer kinds of `config`'s architecture, in block
+/// execution order.
+std::vector<LayerKind> critical_layers(const ModelConfig& config);
+
+/// All non-critical linear layer kinds.
+std::vector<LayerKind> non_critical_layers(const ModelConfig& config);
+
+}  // namespace ft2

@@ -1,0 +1,143 @@
+#include "protect/profiler.hpp"
+
+#include "numeric/f16.hpp"
+
+namespace ft2 {
+
+BoundStore profile_offline_bounds(const TransformerLM& model,
+                                  const DatasetGenerator& gen,
+                                  std::size_t n_inputs, std::uint64_t seed,
+                                  std::size_t max_new_tokens) {
+  const auto samples = gen.generate_many(n_inputs, seed);
+  BoundRecorderHook recorder(model.config());
+  InferenceSession session(model);
+  session.hooks().add(&recorder);
+
+  GenerateOptions options;
+  options.max_new_tokens = max_new_tokens;
+  options.eos_token = Vocab::kEos;
+  options.fp16 = true;
+
+  for (const auto& sample : samples) {
+    std::vector<int> prompt;
+    prompt.push_back(Vocab::kBos);
+    prompt.insert(prompt.end(), sample.prompt_tokens.begin(),
+                  sample.prompt_tokens.end());
+    session.generate(prompt, options);
+  }
+  return recorder.take_bounds();
+}
+
+BoundStore profile_offline_bounds_with_typical(
+    const TransformerLM& model, const DatasetGenerator& gen,
+    std::size_t n_inputs, std::uint64_t seed, std::size_t max_new_tokens) {
+  const auto samples = gen.generate_many(n_inputs, seed);
+  BoundRecorderHook recorder(model.config());
+  ActivationStatsHook stats(16.0f, 64);
+  InferenceSession session(model);
+  session.hooks().add(&recorder);
+  session.hooks().add(&stats);
+
+  GenerateOptions options;
+  options.max_new_tokens = max_new_tokens;
+  options.eos_token = Vocab::kEos;
+  options.fp16 = true;
+  for (const auto& sample : samples) {
+    std::vector<int> prompt;
+    prompt.push_back(Vocab::kBos);
+    prompt.insert(prompt.end(), sample.prompt_tokens.begin(),
+                  sample.prompt_tokens.end());
+    session.generate(prompt, options);
+  }
+
+  BoundStore bounds = recorder.take_bounds();
+  for (const LayerSite& site : stats.observed_sites()) {
+    const auto* s = stats.find(site);
+    if (s != nullptr && bounds.at(site).valid()) {
+      bounds.at(site).typical =
+          static_cast<float>(s->histogram.quantile(0.5));
+    }
+  }
+  return bounds;
+}
+
+BoundStore profile_offline_bounds_quantile(
+    const TransformerLM& model, const DatasetGenerator& gen,
+    std::size_t n_inputs, std::uint64_t seed, double q,
+    std::size_t max_new_tokens) {
+  FT2_CHECK_MSG(q >= 0.0 && q < 0.5, "quantile q must be in [0, 0.5)");
+  const auto samples = gen.generate_many(n_inputs, seed);
+  ActivationStatsHook stats(16.0f, 64);
+  InferenceSession session(model);
+  session.hooks().add(&stats);
+
+  GenerateOptions options;
+  options.max_new_tokens = max_new_tokens;
+  options.eos_token = Vocab::kEos;
+  options.fp16 = true;
+  for (const auto& sample : samples) {
+    std::vector<int> prompt;
+    prompt.push_back(Vocab::kBos);
+    prompt.insert(prompt.end(), sample.prompt_tokens.begin(),
+                  sample.prompt_tokens.end());
+    session.generate(prompt, options);
+  }
+
+  BoundStore bounds(model.config());
+  for (const LayerSite& site : stats.observed_sites()) {
+    const auto* s = stats.find(site);
+    if (s == nullptr || s->stats.count() == 0) continue;
+    Bounds& bd = bounds.at(site);
+    bd.lo = static_cast<float>(s->histogram.quantile(q));
+    bd.hi = static_cast<float>(s->histogram.quantile(1.0 - q));
+    bd.typical = static_cast<float>(s->histogram.quantile(0.5));
+  }
+  return bounds;
+}
+
+void ActivationStatsHook::on_output(const HookContext& ctx,
+                                    std::span<float> values) {
+  const auto key = std::make_pair(ctx.site.block,
+                                  static_cast<int>(ctx.site.kind));
+  auto it = sites_.find(key);
+  if (it == sites_.end()) {
+    it = sites_.emplace(key, SiteStats(range_, bins_)).first;
+  }
+  SiteStats& s = it->second;
+  for (float v : values) {
+    s.histogram.add(static_cast<double>(v));
+    if (!std::isnan(v)) s.stats.add(static_cast<double>(v));
+    if (nan_vulnerable_f16(v)) ++s.nan_vulnerable;
+    ++s.total;
+  }
+}
+
+const ActivationStatsHook::SiteStats* ActivationStatsHook::find(
+    const LayerSite& site) const {
+  const auto it =
+      sites_.find(std::make_pair(site.block, static_cast<int>(site.kind)));
+  return it == sites_.end() ? nullptr : &it->second;
+}
+
+ActivationStatsHook::SiteStats ActivationStatsHook::aggregate(
+    LayerKind kind) const {
+  SiteStats agg(range_, bins_);
+  for (const auto& [key, s] : sites_) {
+    if (key.second != static_cast<int>(kind)) continue;
+    agg.histogram.merge(s.histogram);
+    agg.stats.merge(s.stats);
+    agg.nan_vulnerable += s.nan_vulnerable;
+    agg.total += s.total;
+  }
+  return agg;
+}
+
+std::vector<LayerSite> ActivationStatsHook::observed_sites() const {
+  std::vector<LayerSite> out;
+  for (const auto& [key, s] : sites_) {
+    out.push_back(LayerSite{key.first, static_cast<LayerKind>(key.second)});
+  }
+  return out;
+}
+
+}  // namespace ft2

@@ -1,0 +1,96 @@
+// Offline bound profiling and activation-distribution profiling.
+//
+// Offline profiling reproduces what the baselines require: fault-free
+// forward passes over a profiling dataset, recording per-site min/max.
+// The distribution profiler backs Figs. 8 and 12 (value histograms and the
+// NaN-vulnerable fraction per layer).
+#pragma once
+
+#include <map>
+
+#include "data/dataset.hpp"
+#include "nn/model.hpp"
+#include "numeric/stats.hpp"
+#include "protect/bounds.hpp"
+
+namespace ft2 {
+
+/// Hook that records min/max of every layer output it sees.
+class BoundRecorderHook : public OutputHook {
+ public:
+  explicit BoundRecorderHook(const ModelConfig& config) : bounds_(config) {}
+
+  void on_output(const HookContext& ctx, std::span<float> values) override {
+    bounds_.at(ctx.site).observe_span(values);
+  }
+
+  const BoundStore& bounds() const { return bounds_; }
+  BoundStore take_bounds() { return std::move(bounds_); }
+
+ private:
+  BoundStore bounds_;
+};
+
+/// Runs `n_inputs` fault-free generations of `gen`'s samples through the
+/// model and returns per-site bounds — the classical offline profiling step
+/// of Ranger/MaxiMals/Global Clipper (paper §3.2).
+BoundStore profile_offline_bounds(const TransformerLM& model,
+                                  const DatasetGenerator& gen,
+                                  std::size_t n_inputs, std::uint64_t seed,
+                                  std::size_t max_new_tokens = 24);
+
+/// Like profile_offline_bounds, but additionally fills each site's
+/// `typical` value with the empirical median of its activations (the
+/// profile the Dr.DNA-style clip-to-typical policy needs).
+BoundStore profile_offline_bounds_with_typical(
+    const TransformerLM& model, const DatasetGenerator& gen,
+    std::size_t n_inputs, std::uint64_t seed,
+    std::size_t max_new_tokens = 24);
+
+/// Quantile bounds: [q, 1-q] empirical quantiles instead of min/max.
+/// Tighter bounds catch smaller faulty deviations but clip the benign tail
+/// — the precision/recall knob of range restriction (ablation material;
+/// q = 0 degenerates to min/max). `typical` is filled with the median.
+BoundStore profile_offline_bounds_quantile(
+    const TransformerLM& model, const DatasetGenerator& gen,
+    std::size_t n_inputs, std::uint64_t seed, double q,
+    std::size_t max_new_tokens = 24);
+
+/// Per-site activation statistics: histogram + NaN-vulnerable fraction.
+class ActivationStatsHook : public OutputHook {
+ public:
+  /// Histograms span [-range, range] with `bins` bins.
+  ActivationStatsHook(float range = 8.0f, std::size_t bins = 64)
+      : range_(range), bins_(bins) {}
+
+  void on_output(const HookContext& ctx, std::span<float> values) override;
+
+  struct SiteStats {
+    Histogram histogram;
+    RunningStats stats;
+    std::size_t nan_vulnerable = 0;  ///< |v| in (1,2): FP16 exponent 01111
+    std::size_t total = 0;
+
+    explicit SiteStats(float range, std::size_t bins)
+        : histogram(-range, range, bins) {}
+
+    double nan_vulnerable_fraction() const {
+      return total == 0 ? 0.0
+                        : static_cast<double>(nan_vulnerable) /
+                              static_cast<double>(total);
+    }
+  };
+
+  /// Aggregated stats for a layer kind across all blocks (empty optional ->
+  /// kind never observed). Key: (block, kind) pairs are kept separately too.
+  const SiteStats* find(const LayerSite& site) const;
+  SiteStats aggregate(LayerKind kind) const;
+  std::vector<LayerSite> observed_sites() const;
+
+ private:
+  float range_;
+  std::size_t bins_;
+  std::map<std::pair<int, int>, SiteStats> sites_;
+};
+
+}  // namespace ft2

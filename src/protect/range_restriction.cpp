@@ -1,0 +1,70 @@
+#include "protect/range_restriction.hpp"
+
+#include <cmath>
+
+namespace ft2 {
+
+void range_restrict(std::span<float> values, const Bounds& bounds,
+                    ClipPolicy policy, bool correct_nan,
+                    ProtectionStats* stats, bool detect_only) {
+  if (!bounds.valid()) {
+    if (correct_nan) {
+      std::size_t n = 0;
+      if (detect_only) {
+        for (float v : values) n += std::isnan(v) ? 1 : 0;
+      } else {
+        n = correct_nan_to_zero(values);
+      }
+      if (stats != nullptr) {
+        stats->values_checked += values.size();
+        stats->nan_corrected += n;
+      }
+    }
+    return;
+  }
+  std::size_t nan_fixed = 0;
+  std::size_t oob_fixed = 0;
+  for (float& v : values) {
+    if (std::isnan(v)) {
+      if (correct_nan) {
+        if (!detect_only) v = 0.0f;
+        ++nan_fixed;
+      }
+      continue;
+    }
+    if (v > bounds.hi || v < bounds.lo) {
+      if (!detect_only) {
+        switch (policy) {
+          case ClipPolicy::kToBound:
+            v = v > bounds.hi ? bounds.hi : bounds.lo;
+            break;
+          case ClipPolicy::kToZero:
+            v = 0.0f;
+            break;
+          case ClipPolicy::kToTypical:
+            v = bounds.typical;
+            break;
+        }
+      }
+      ++oob_fixed;
+    }
+  }
+  if (stats != nullptr) {
+    stats->values_checked += values.size();
+    stats->nan_corrected += nan_fixed;
+    stats->oob_corrected += oob_fixed;
+  }
+}
+
+std::size_t correct_nan_to_zero(std::span<float> values) {
+  std::size_t n = 0;
+  for (float& v : values) {
+    if (std::isnan(v)) {
+      v = 0.0f;
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace ft2

@@ -1,0 +1,49 @@
+// The range-restriction correction kernel.
+//
+// Two correction policies exist in the literature:
+//  * kToZero  — clip out-of-bound neurons to 0 (CNN-era schemes: Ranger,
+//               MaxiMals, Global Clipper);
+//  * kToBound — clip to the violated bound (FT2's choice, take-away #8:
+//               generative LLMs legitimately produce large neuron values,
+//               so zeroing an outlier destroys information).
+// NaN handling is separate because NaNs compare false against any bound.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "protect/bounds.hpp"
+
+namespace ft2 {
+
+enum class ClipPolicy {
+  kToBound,    ///< FT2: clip to the violated bound
+  kToZero,     ///< CNN-era schemes: zero the outlier
+  kToTypical,  ///< Dr.DNA-style: replace with a typical (median) value
+};
+
+struct ProtectionStats {
+  std::size_t values_checked = 0;
+  std::size_t nan_corrected = 0;
+  std::size_t oob_corrected = 0;
+
+  void merge(const ProtectionStats& other) {
+    values_checked += other.values_checked;
+    nan_corrected += other.nan_corrected;
+    oob_corrected += other.oob_corrected;
+  }
+};
+
+/// Applies range restriction in place. Infinities count as out-of-bound.
+/// When `correct_nan` is false NaNs pass through untouched (schemes without
+/// NaN handling). `stats` may be null. With `detect_only` the pass counts
+/// violations without modifying any value (detector mode).
+void range_restrict(std::span<float> values, const Bounds& bounds,
+                    ClipPolicy policy, bool correct_nan,
+                    ProtectionStats* stats, bool detect_only = false);
+
+/// NaN-only correction (FT2's first-token phase and the Fig. 11 ablation):
+/// replaces NaN with 0, leaves all finite values and infinities untouched.
+std::size_t correct_nan_to_zero(std::span<float> values);
+
+}  // namespace ft2

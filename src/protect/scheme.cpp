@@ -1,0 +1,120 @@
+#include "protect/scheme.hpp"
+
+#include <algorithm>
+
+#include "protect/critical.hpp"
+
+namespace ft2 {
+
+bool SchemeSpec::covers(LayerKind k) const {
+  return std::find(covered.begin(), covered.end(), k) != covered.end();
+}
+
+SchemeSpec scheme_spec(SchemeKind kind, const ModelConfig& config) {
+  SchemeSpec spec;
+  spec.kind = kind;
+  auto keep_present = [&config](std::vector<LayerKind> kinds) {
+    std::vector<LayerKind> out;
+    for (LayerKind k : kinds) {
+      if (config.has_layer(k)) out.push_back(k);
+    }
+    return out;
+  };
+
+  switch (kind) {
+    case SchemeKind::kNone:
+      break;
+    case SchemeKind::kRanger:
+      spec.covered = {LayerKind::kMlpAct};
+      spec.policy = ClipPolicy::kToZero;
+      spec.correct_nan = false;
+      spec.needs_offline_bounds = true;
+      break;
+    case SchemeKind::kMaxiMals:
+      spec.covered = keep_present(
+          {LayerKind::kOutProj, LayerKind::kFc2, LayerKind::kDownProj});
+      spec.policy = ClipPolicy::kToZero;
+      spec.correct_nan = true;
+      spec.bound_scale = 1.25f;
+      spec.needs_offline_bounds = true;
+      break;
+    case SchemeKind::kGlobalClipper:
+      spec.covered = {LayerKind::kVProj, LayerKind::kOutProj};
+      spec.policy = ClipPolicy::kToZero;
+      spec.correct_nan = true;
+      spec.needs_offline_bounds = true;
+      break;
+    case SchemeKind::kFt2:
+      spec.covered = critical_layers(config);
+      spec.policy = ClipPolicy::kToBound;
+      spec.correct_nan = true;
+      spec.bound_scale = 2.0f;
+      spec.online = true;
+      break;
+    case SchemeKind::kFt2Offline:
+      spec.covered = critical_layers(config);
+      spec.policy = ClipPolicy::kToBound;
+      spec.correct_nan = true;
+      spec.needs_offline_bounds = true;
+      break;
+  }
+  return spec;
+}
+
+ProtectionHook::ProtectionHook(const ModelConfig& config, SchemeSpec spec,
+                               BoundStore offline_bounds)
+    : config_(config),
+      spec_(std::move(spec)),
+      offline_bounds_(std::move(offline_bounds)),
+      online_bounds_(config) {
+  FT2_CHECK_MSG(!spec_.needs_offline_bounds || !offline_bounds_.empty(),
+                "scheme " << scheme_name(spec_.kind)
+                          << " requires offline bounds");
+  if (offline_bounds_.empty()) {
+    // Invalid (never-observed) bounds: range_restrict degrades to NaN-only
+    // correction, which is what bound-less protection can still do.
+    offline_bounds_ = BoundStore(config_);
+  }
+  for (LayerKind k : spec_.covered) {
+    covered_mask_[static_cast<std::size_t>(k)] = true;
+  }
+}
+
+void ProtectionHook::on_generation_begin() {
+  if (spec_.online) online_bounds_.reset();
+}
+
+void ProtectionHook::on_output(const HookContext& ctx,
+                               std::span<float> values) {
+  if (spec_.kind == SchemeKind::kNone) return;
+  if (!covered_mask_[static_cast<std::size_t>(ctx.site.kind)]) return;
+
+  if (spec_.online) {
+    if (ctx.first_token_phase) {
+      // First-token phase: no bounds yet. Correct NaN (always detectable)
+      // and record the observed range for the remaining tokens.
+      stats_.values_checked += values.size();
+      stats_.nan_corrected += correct_nan_to_zero(values);
+      online_bounds_.at(ctx.site).observe_span(values);
+      return;
+    }
+    const Bounds& raw = online_bounds_.at(ctx.site);
+    range_restrict(values, raw.scaled(spec_.bound_scale), spec_.policy,
+                   spec_.correct_nan, &stats_, spec_.detect_only);
+    return;
+  }
+
+  const Bounds& raw = offline_bounds_.at(ctx.site);
+  range_restrict(values, raw.scaled(spec_.bound_scale), spec_.policy,
+                 spec_.correct_nan, &stats_, spec_.detect_only);
+}
+
+std::size_t ProtectionHook::bound_memory_bytes() const {
+  return protected_layer_count() * 2 * sizeof(float);
+}
+
+std::size_t ProtectionHook::protected_layer_count() const {
+  return spec_.covered.size() * config_.n_blocks;
+}
+
+}  // namespace ft2

@@ -1,0 +1,109 @@
+// Protection schemes: FT2 and the range-restriction baselines.
+//
+// Coverage follows the paper's Table 1:
+//   Ranger         — activation-layer outputs only, clip-to-zero, no NaN fix.
+//   MaxiMals       — attention-block and MLP outputs (OUT_PROJ, FC2,
+//                    DOWN_PROJ), clip-to-zero, NaN fix, mild bound scaling.
+//   Global Clipper — attention linear outputs V_PROJ and OUT_PROJ,
+//                    clip-to-zero, NaN fix.
+//   FT2            — all critical layers from the architectural heuristic,
+//                    clip-to-BOUND, NaN fix, online first-token bounds x2.
+//   FT2-Offline    — FT2 coverage/policy with offline-profiled bounds
+//                    (the take-away #7 ablation).
+// All baselines require offline-profiled bounds; only FT2 is online-only.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "nn/hooks.hpp"
+#include "protect/bounds.hpp"
+#include "protect/range_restriction.hpp"
+
+namespace ft2 {
+
+enum class SchemeKind {
+  kNone = 0,
+  kRanger,
+  kMaxiMals,
+  kGlobalClipper,
+  kFt2,
+  kFt2Offline,
+};
+
+constexpr const char* scheme_name(SchemeKind kind) {
+  switch (kind) {
+    case SchemeKind::kNone: return "none";
+    case SchemeKind::kRanger: return "ranger";
+    case SchemeKind::kMaxiMals: return "maximals";
+    case SchemeKind::kGlobalClipper: return "global_clipper";
+    case SchemeKind::kFt2: return "ft2";
+    case SchemeKind::kFt2Offline: return "ft2_offline";
+  }
+  return "unknown";
+}
+
+inline const std::vector<SchemeKind>& all_schemes() {
+  static const std::vector<SchemeKind> kinds = {
+      SchemeKind::kNone,          SchemeKind::kRanger,
+      SchemeKind::kMaxiMals,      SchemeKind::kGlobalClipper,
+      SchemeKind::kFt2,           SchemeKind::kFt2Offline};
+  return kinds;
+}
+
+/// Resolved protection parameters for one scheme on one architecture.
+struct SchemeSpec {
+  SchemeKind kind = SchemeKind::kNone;
+  std::vector<LayerKind> covered;  ///< protected layer kinds
+  ClipPolicy policy = ClipPolicy::kToZero;
+  bool correct_nan = false;
+  float bound_scale = 1.0f;
+  bool online = false;             ///< first-token bounds (FT2) vs offline
+  bool needs_offline_bounds = false;
+  bool detect_only = false;        ///< count violations without correcting
+
+  bool covers(LayerKind k) const;
+};
+
+/// Coverage/policy of `kind` for the given architecture.
+SchemeSpec scheme_spec(SchemeKind kind, const ModelConfig& config);
+
+/// The protection hook: applies a SchemeSpec during generation.
+///
+/// Offline schemes clamp every covered layer at every position using the
+/// supplied profiled bounds. FT2 (online) records bounds during the
+/// first-token phase (with NaN correction only) and protects subsequent
+/// positions with those bounds scaled by `bound_scale`.
+class ProtectionHook : public OutputHook {
+ public:
+  /// `offline_bounds` may be empty for online schemes / kNone.
+  ProtectionHook(const ModelConfig& config, SchemeSpec spec,
+                 BoundStore offline_bounds = BoundStore{});
+
+  void on_generation_begin() override;
+  void on_output(const HookContext& ctx, std::span<float> values) override;
+
+  const ProtectionStats& stats() const { return stats_; }
+  const SchemeSpec& spec() const { return spec_; }
+
+  /// Online bounds captured during the current/most recent generation
+  /// (valid after the first-token phase of an FT2 run).
+  const BoundStore& online_bounds() const { return online_bounds_; }
+
+  /// Memory footprint of the bounds this scheme stores (paper §5.2.2).
+  std::size_t bound_memory_bytes() const;
+
+  /// Number of protected layer instances (covered kinds x blocks).
+  std::size_t protected_layer_count() const;
+
+ private:
+  ModelConfig config_;
+  SchemeSpec spec_;
+  BoundStore offline_bounds_;
+  BoundStore online_bounds_;
+  std::array<bool, kLayerKindCount> covered_mask_{};
+  ProtectionStats stats_;
+};
+
+}  // namespace ft2

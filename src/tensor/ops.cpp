@@ -1,0 +1,168 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "numeric/f16.hpp"
+
+namespace ft2 {
+
+void linear_forward(const Tensor& x, const Tensor& w,
+                    std::span<const float> bias, Tensor& y) {
+  FT2_CHECK(x.rank() == 2 && w.rank() == 2);
+  const std::size_t m = x.dim(0);
+  const std::size_t k = x.dim(1);
+  const std::size_t n = w.dim(0);
+  FT2_CHECK_MSG(w.dim(1) == k, "linear: x cols " << k << " vs w cols "
+                                                 << w.dim(1));
+  FT2_CHECK(bias.empty() || bias.size() == n);
+  if (y.shape() != std::vector<std::size_t>{m, n}) y = Tensor({m, n});
+  for (std::size_t r = 0; r < m; ++r) {
+    linear_forward_row(x.row(r), w, bias, y.row(r));
+  }
+}
+
+void linear_forward_row(std::span<const float> x, const Tensor& w,
+                        std::span<const float> bias, std::span<float> y) {
+  const std::size_t n = w.dim(0);
+  const std::size_t k = w.dim(1);
+  FT2_ASSERT(x.size() == k && y.size() == n);
+  const float* wd = w.data();
+  for (std::size_t o = 0; o < n; ++o) {
+    const float* row = wd + o * k;
+    float acc = bias.empty() ? 0.0f : bias[o];
+    for (std::size_t i = 0; i < k; ++i) acc += row[i] * x[i];
+    y[o] = acc;
+  }
+}
+
+void softmax(std::span<float> v) {
+  if (v.empty()) return;
+  float mx = v[0];
+  for (float f : v) mx = std::max(mx, f);
+  // If the row holds NaN/inf only, the standard stable softmax still runs;
+  // NaNs propagate, which is the faithful FP behaviour under injection.
+  float sum = 0.0f;
+  for (float& f : v) {
+    f = std::exp(f - mx);
+    sum += f;
+  }
+  if (sum > 0.0f) {
+    for (float& f : v) f /= sum;
+  }
+}
+
+void softmax_rows(float* data, std::size_t rows, std::size_t cols) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    softmax({data + r * cols, cols});
+  }
+}
+
+void layernorm_rows(const Tensor& x, std::span<const float> gamma,
+                    std::span<const float> beta, float eps, Tensor& y) {
+  FT2_CHECK(x.rank() == 2);
+  const std::size_t d = x.dim(1);
+  FT2_CHECK(gamma.size() == d && beta.size() == d);
+  if (!y.same_shape(x)) y = Tensor(x.shape());
+  for (std::size_t r = 0; r < x.dim(0); ++r) {
+    auto in = x.row(r);
+    auto out = y.row(r);
+    float mean = 0.0f;
+    for (float f : in) mean += f;
+    mean /= static_cast<float>(d);
+    float var = 0.0f;
+    for (float f : in) var += (f - mean) * (f - mean);
+    var /= static_cast<float>(d);
+    const float inv = 1.0f / std::sqrt(var + eps);
+    for (std::size_t i = 0; i < d; ++i) {
+      out[i] = (in[i] - mean) * inv * gamma[i] + beta[i];
+    }
+  }
+}
+
+void rmsnorm_rows(const Tensor& x, std::span<const float> gamma, float eps,
+                  Tensor& y) {
+  FT2_CHECK(x.rank() == 2);
+  const std::size_t d = x.dim(1);
+  FT2_CHECK(gamma.size() == d);
+  if (!y.same_shape(x)) y = Tensor(x.shape());
+  for (std::size_t r = 0; r < x.dim(0); ++r) {
+    auto in = x.row(r);
+    auto out = y.row(r);
+    float ms = 0.0f;
+    for (float f : in) ms += f * f;
+    ms /= static_cast<float>(d);
+    const float inv = 1.0f / std::sqrt(ms + eps);
+    for (std::size_t i = 0; i < d; ++i) out[i] = in[i] * inv * gamma[i];
+  }
+}
+
+float sigmoid_scalar(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+float gelu_scalar(float x) {
+  // GPT-2/J tanh approximation.
+  const float c = 0.7978845608028654f;  // sqrt(2/pi)
+  return 0.5f * x * (1.0f + std::tanh(c * (x + 0.044715f * x * x * x)));
+}
+
+float silu_scalar(float x) { return x * sigmoid_scalar(x); }
+
+void relu(std::span<float> v) {
+  for (float& f : v) f = std::max(f, 0.0f);
+}
+
+void gelu(std::span<float> v) {
+  for (float& f : v) f = gelu_scalar(f);
+}
+
+void silu(std::span<float> v) {
+  for (float& f : v) f = silu_scalar(f);
+}
+
+void rope_apply(std::span<float> qk, std::size_t n_heads, std::size_t head_dim,
+                std::size_t pos, float theta) {
+  FT2_ASSERT(qk.size() == n_heads * head_dim);
+  FT2_ASSERT(head_dim % 2 == 0);
+  const std::size_t half = head_dim / 2;
+  for (std::size_t h = 0; h < n_heads; ++h) {
+    float* head = qk.data() + h * head_dim;
+    for (std::size_t i = 0; i < half; ++i) {
+      const float freq = std::pow(
+          theta, -static_cast<float>(2 * i) / static_cast<float>(head_dim));
+      const float angle = static_cast<float>(pos) * freq;
+      const float c = std::cos(angle);
+      const float s = std::sin(angle);
+      const float a = head[i];
+      const float b = head[i + half];
+      head[i] = a * c - b * s;
+      head[i + half] = a * s + b * c;
+    }
+  }
+}
+
+void add_inplace(std::span<float> a, std::span<const float> b) {
+  FT2_ASSERT(a.size() == b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] += b[i];
+}
+
+void mul_inplace(std::span<float> a, std::span<const float> b) {
+  FT2_ASSERT(a.size() == b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] *= b[i];
+}
+
+void quantize_span_f16(std::span<float> v) {
+  for (float& f : v) f = quantize_f16(f);
+}
+
+void quantize_tensor_f16(Tensor& t) { quantize_span_f16(t.span()); }
+
+std::size_t argmax(std::span<const float> v) {
+  FT2_ASSERT(!v.empty());
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    if (v[i] > v[best]) best = i;
+  }
+  return best;
+}
+
+}  // namespace ft2

@@ -1,0 +1,64 @@
+// Numerical kernels used by the inference/training engine.
+//
+// All kernels compute in FP32. Call sites that model FP16 execution quantize
+// outputs via quantize_tensor_f16 after each observable layer, matching
+// GPU mixed-precision (FP16 storage, FP32 accumulate).
+#pragma once
+
+#include <span>
+
+#include "tensor/tensor.hpp"
+
+namespace ft2 {
+
+/// y[m,n] = x[m,k] * W^T (W stored [n,k], PyTorch Linear layout) + bias[n].
+/// bias may be empty.
+void linear_forward(const Tensor& x, const Tensor& w,
+                    std::span<const float> bias, Tensor& y);
+
+/// Single-row version: y[n] = W[n,k] * x[k] + b[n].
+void linear_forward_row(std::span<const float> x, const Tensor& w,
+                        std::span<const float> bias, std::span<float> y);
+
+/// In-place numerically-stable softmax over the last `cols` elements of each
+/// row; `row_len` rows of length `cols`.
+void softmax_rows(float* data, std::size_t rows, std::size_t cols);
+
+/// In-place softmax of one contiguous vector.
+void softmax(std::span<float> v);
+
+/// LayerNorm: y = (x - mean) / sqrt(var + eps) * gamma + beta, per row.
+void layernorm_rows(const Tensor& x, std::span<const float> gamma,
+                    std::span<const float> beta, float eps, Tensor& y);
+
+/// RMSNorm: y = x / sqrt(mean(x^2) + eps) * gamma, per row.
+void rmsnorm_rows(const Tensor& x, std::span<const float> gamma, float eps,
+                  Tensor& y);
+
+/// Activations (elementwise, in place).
+void relu(std::span<float> v);
+void gelu(std::span<float> v);   // tanh approximation (GPT-style)
+void silu(std::span<float> v);   // x * sigmoid(x)
+
+float gelu_scalar(float x);
+float silu_scalar(float x);
+float sigmoid_scalar(float x);
+
+/// Rotary position embedding applied in place to a [n_heads * head_dim]
+/// vector laid out head-major; rotates pairs (i, i + head_dim/2) within each
+/// head using position `pos` and base theta (default 10000).
+void rope_apply(std::span<float> qk, std::size_t n_heads, std::size_t head_dim,
+                std::size_t pos, float theta = 10000.0f);
+
+/// Elementwise helpers.
+void add_inplace(std::span<float> a, std::span<const float> b);
+void mul_inplace(std::span<float> a, std::span<const float> b);
+
+/// Quantizes every element onto the FP16 grid (float->half->float).
+void quantize_tensor_f16(Tensor& t);
+void quantize_span_f16(std::span<float> v);
+
+/// Index of the maximum element (first on ties).
+std::size_t argmax(std::span<const float> v);
+
+}  // namespace ft2

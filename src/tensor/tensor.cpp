@@ -1,0 +1,30 @@
+#include "tensor/tensor.hpp"
+
+#include <sstream>
+
+namespace ft2 {
+
+Tensor Tensor::full(std::vector<std::size_t> shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+std::size_t Tensor::numel_of(const std::vector<std::size_t>& shape) {
+  std::size_t n = 1;
+  for (std::size_t d : shape) n *= d;
+  return shape.empty() ? 0 : n;
+}
+
+std::string Tensor::shape_string() const {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    if (i) os << ", ";
+    os << shape_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace ft2

@@ -1,0 +1,97 @@
+// Dense row-major float tensor.
+//
+// The inference engine computes in FP32 and quantizes observable layer
+// outputs onto the FP16 grid (see numeric/f16.hpp), mirroring tensor-core
+// matmuls with FP32 accumulation. Tensors are contiguous and row-major;
+// shapes are small (tiny models), so simplicity beats generality here.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace ft2 {
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  explicit Tensor(std::vector<std::size_t> shape) : shape_(std::move(shape)) {
+    data_.assign(numel_of(shape_), 0.0f);
+  }
+
+  Tensor(std::initializer_list<std::size_t> shape)
+      : Tensor(std::vector<std::size_t>(shape)) {}
+
+  static Tensor zeros(std::vector<std::size_t> shape) {
+    return Tensor(std::move(shape));
+  }
+
+  static Tensor full(std::vector<std::size_t> shape, float value);
+
+  const std::vector<std::size_t>& shape() const { return shape_; }
+  std::size_t rank() const { return shape_.size(); }
+  std::size_t dim(std::size_t i) const {
+    FT2_ASSERT(i < shape_.size());
+    return shape_[i];
+  }
+  std::size_t numel() const { return data_.size(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::span<float> span() { return {data_.data(), data_.size()}; }
+  std::span<const float> span() const { return {data_.data(), data_.size()}; }
+
+  float& operator[](std::size_t i) {
+    FT2_ASSERT(i < data_.size());
+    return data_[i];
+  }
+  float operator[](std::size_t i) const {
+    FT2_ASSERT(i < data_.size());
+    return data_[i];
+  }
+
+  /// 2-D accessors (most engine tensors are [rows, cols]).
+  float& at(std::size_t r, std::size_t c) {
+    FT2_ASSERT(rank() == 2 && r < shape_[0] && c < shape_[1]);
+    return data_[r * shape_[1] + c];
+  }
+  float at(std::size_t r, std::size_t c) const {
+    FT2_ASSERT(rank() == 2 && r < shape_[0] && c < shape_[1]);
+    return data_[r * shape_[1] + c];
+  }
+
+  /// Mutable view of row r of a 2-D tensor.
+  std::span<float> row(std::size_t r) {
+    FT2_ASSERT(rank() == 2 && r < shape_[0]);
+    return {data_.data() + r * shape_[1], shape_[1]};
+  }
+  std::span<const float> row(std::size_t r) const {
+    FT2_ASSERT(rank() == 2 && r < shape_[0]);
+    return {data_.data() + r * shape_[1], shape_[1]};
+  }
+
+  void fill(float value) { data_.assign(data_.size(), value); }
+
+  /// Reshape in place; total element count must match.
+  void reshape(std::vector<std::size_t> shape) {
+    FT2_CHECK_MSG(numel_of(shape) == data_.size(), "reshape numel mismatch");
+    shape_ = std::move(shape);
+  }
+
+  bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
+
+  std::string shape_string() const;
+
+  static std::size_t numel_of(const std::vector<std::size_t>& shape);
+
+ private:
+  std::vector<std::size_t> shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace ft2

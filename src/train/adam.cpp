@@ -1,0 +1,49 @@
+#include "train/adam.hpp"
+
+#include <cmath>
+
+namespace ft2 {
+
+Adam::Adam(ModelWeights& weights, AdamConfig config) : config_(config) {
+  for (auto& [name, t] : weights.named_parameters()) {
+    params_.push_back(t);
+    m_.emplace_back(Tensor(t->shape()));
+    v_.emplace_back(Tensor(t->shape()));
+  }
+}
+
+void Adam::step(GradStore& grads, float lr) {
+  FT2_CHECK(grads.size() == params_.size());
+  ++t_;
+  const float bc1 = 1.0f - std::pow(config_.beta1, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(config_.beta2, static_cast<float>(t_));
+  for (std::size_t p = 0; p < params_.size(); ++p) {
+    Tensor& param = *params_[p];
+    const Tensor& g = grads.grad_at(p);
+    Tensor& m = m_[p];
+    Tensor& v = v_[p];
+    for (std::size_t i = 0; i < param.numel(); ++i) {
+      float grad = g[i];
+      if (config_.weight_decay > 0.0f) grad += config_.weight_decay * param[i];
+      m[i] = config_.beta1 * m[i] + (1.0f - config_.beta1) * grad;
+      v[i] = config_.beta2 * v[i] + (1.0f - config_.beta2) * grad * grad;
+      const float mhat = m[i] / bc1;
+      const float vhat = v[i] / bc2;
+      param[i] -= lr * mhat / (std::sqrt(vhat) + config_.eps);
+    }
+  }
+}
+
+float lr_schedule(std::size_t step, std::size_t warmup, std::size_t total,
+                  float peak, float floor_ratio) {
+  if (warmup > 0 && step < warmup) {
+    return peak * static_cast<float>(step + 1) / static_cast<float>(warmup);
+  }
+  if (step >= total) return peak * floor_ratio;
+  const float progress = static_cast<float>(step - warmup) /
+                         static_cast<float>(std::max<std::size_t>(1, total - warmup));
+  const float cosine = 0.5f * (1.0f + std::cos(static_cast<float>(M_PI) * progress));
+  return peak * (floor_ratio + (1.0f - floor_ratio) * cosine);
+}
+
+}  // namespace ft2

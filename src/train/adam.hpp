@@ -1,0 +1,40 @@
+// Adam optimizer with linear warmup + cosine decay schedule.
+#pragma once
+
+#include <vector>
+
+#include "train/grad_store.hpp"
+
+namespace ft2 {
+
+struct AdamConfig {
+  float lr = 3e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.95f;
+  float eps = 1e-8f;
+  float weight_decay = 0.0f;
+};
+
+class Adam {
+ public:
+  Adam(ModelWeights& weights, AdamConfig config);
+
+  /// Applies one update using gradients from `grads` at learning rate `lr`.
+  void step(GradStore& grads, float lr);
+
+  std::size_t steps_taken() const { return t_; }
+
+ private:
+  AdamConfig config_;
+  std::vector<Tensor*> params_;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+  std::size_t t_ = 0;
+};
+
+/// lr(t): linear warmup to `peak` over `warmup` steps, then cosine decay to
+/// `peak * floor_ratio` at `total` steps.
+float lr_schedule(std::size_t step, std::size_t warmup, std::size_t total,
+                  float peak, float floor_ratio = 0.1f);
+
+}  // namespace ft2

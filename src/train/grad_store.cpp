@@ -1,0 +1,21 @@
+#include "train/grad_store.hpp"
+
+#include <cmath>
+
+namespace ft2 {
+
+double GradStore::global_norm() const {
+  double sum = 0.0;
+  for (const auto& g : grads_) {
+    for (float f : g.span()) sum += static_cast<double>(f) * f;
+  }
+  return std::sqrt(sum);
+}
+
+void GradStore::scale(float factor) {
+  for (auto& g : grads_) {
+    for (float& f : g.span()) f *= factor;
+  }
+}
+
+}  // namespace ft2

@@ -1,0 +1,55 @@
+// Gradient buffers aligned with a model's named parameters.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "nn/weights.hpp"
+
+namespace ft2 {
+
+/// One gradient tensor per trainable parameter, addressable by the
+/// parameter's Tensor pointer. Gradients accumulate across sequences within
+/// a step and are zeroed between steps.
+class GradStore {
+ public:
+  explicit GradStore(ModelWeights& weights) {
+    auto params = weights.named_parameters();
+    grads_.reserve(params.size());
+    for (auto& [name, t] : params) {
+      index_.emplace(t, grads_.size());
+      grads_.emplace_back(Tensor(t->shape()));
+      names_.push_back(name);
+    }
+  }
+
+  Tensor& grad(const Tensor& param) {
+    auto it = index_.find(&param);
+    FT2_CHECK_MSG(it != index_.end(), "parameter not registered in GradStore");
+    return grads_[it->second];
+  }
+
+  bool has(const Tensor& param) const { return index_.contains(&param); }
+
+  std::size_t size() const { return grads_.size(); }
+  Tensor& grad_at(std::size_t i) { return grads_[i]; }
+  const Tensor& grad_at(std::size_t i) const { return grads_[i]; }
+  const std::string& name_at(std::size_t i) const { return names_[i]; }
+
+  void zero() {
+    for (auto& g : grads_) g.fill(0.0f);
+  }
+
+  /// Global L2 norm across all gradients.
+  double global_norm() const;
+
+  /// Scales every gradient by `factor`.
+  void scale(float factor);
+
+ private:
+  std::vector<Tensor> grads_;
+  std::vector<std::string> names_;
+  std::unordered_map<const Tensor*, std::size_t> index_;
+};
+
+}  // namespace ft2

@@ -1,0 +1,65 @@
+// The model zoo: seven tiny trained stand-ins for the paper's seven LLMs.
+//
+//   paper model      repo name   architecture family
+//   OPT-6.7B         opt-sm      OPT   (LayerNorm, learned pos, ReLU MLP)
+//   OPT-2.7B         opt-xs      OPT   (smaller)
+//   GPTJ-6B          gptj-sm     GPT-J (parallel block, RoPE, GELU MLP)
+//   Llama2-7B        llama-sm    Llama (RMSNorm, RoPE, SiLU gate/up/down)
+//   Vicuna-7B        vicuna-sm   Llama (different seed — a "fine-tune")
+//   Qwen2-7B         qwen2-sm    Llama + QKV bias
+//   Qwen2-1.5B       qwen2-xs    Llama + QKV bias (smaller)
+//
+// Models are trained once on the synthetic tasks and cached as checkpoints
+// in $FT2_MODEL_DIR (default ./models). ensure_model() trains on a cache
+// miss, so any bench/example is self-bootstrapping.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "nn/model.hpp"
+#include "train/trainer.hpp"
+
+namespace ft2 {
+
+struct ZooEntry {
+  std::string name;        ///< repo-local name, e.g. "opt-sm"
+  std::string paper_name;  ///< the paper model it stands in for
+  ModelConfig config;
+  std::vector<DatasetKind> tasks;  ///< datasets this model is trained on
+  std::uint64_t seed = 1;
+  TrainerConfig trainer;
+
+  bool supports(DatasetKind kind) const {
+    for (DatasetKind k : tasks) {
+      if (k == kind) return true;
+    }
+    return false;
+  }
+};
+
+/// All zoo entries, in the paper's Table 2 order.
+const std::vector<ZooEntry>& model_zoo();
+
+/// Entry by repo name; throws ft2::Error for unknown names.
+const ZooEntry& zoo_entry(const std::string& name);
+
+/// Directory where checkpoints are cached ($FT2_MODEL_DIR or ./models).
+std::string model_cache_dir();
+
+/// Returns the trained model for `name`, loading the cached checkpoint or
+/// training + caching on a miss. Results are memoized per process.
+std::shared_ptr<const TransformerLM> ensure_model(const std::string& name,
+                                                  bool quiet = false);
+
+/// Trains `entry` from scratch (ignoring any cache) and returns the model.
+std::shared_ptr<TransformerLM> train_zoo_model(const ZooEntry& entry,
+                                               bool quiet = false);
+
+/// Fixed generation lengths used by every experiment (the analogue of the
+/// paper's 60 QA / 180 math tokens, scaled to our answer lengths).
+std::size_t generation_tokens(DatasetKind kind);
+
+}  // namespace ft2

@@ -1,0 +1,57 @@
+#include "common/check.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ft2 {
+namespace {
+
+TEST(Check, PassingConditionIsSilent) {
+  EXPECT_NO_THROW(FT2_CHECK(1 + 1 == 2));
+  EXPECT_NO_THROW(FT2_CHECK_MSG(true, "never shown"));
+}
+
+TEST(Check, FailureThrowsWithLocation) {
+  try {
+    FT2_CHECK(2 > 3);
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 > 3"), std::string::npos);
+    EXPECT_NE(what.find("check_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Check, MessageStreamingWorks) {
+  const int value = 42;
+  try {
+    FT2_CHECK_MSG(value < 10, "value was " << value << " (limit 10)");
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("value was 42 (limit 10)"), std::string::npos);
+  }
+}
+
+TEST(Check, ErrorIsARuntimeError) {
+  // Callers may catch std::exception generically.
+  try {
+    throw Error("boom");
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom");
+  }
+}
+
+TEST(Check, ConditionEvaluatedExactlyOnce) {
+  int calls = 0;
+  auto count = [&calls] {
+    ++calls;
+    return true;
+  };
+  FT2_CHECK(count());
+  EXPECT_EQ(calls, 1);
+  FT2_CHECK_MSG(count(), "msg");
+  EXPECT_EQ(calls, 2);
+}
+
+}  // namespace
+}  // namespace ft2

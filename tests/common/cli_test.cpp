@@ -1,0 +1,60 @@
+#include "common/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace ft2 {
+namespace {
+
+ArgParser parse(std::vector<const char*> argv,
+                std::map<std::string, bool> spec) {
+  return ArgParser(static_cast<int>(argv.size()), argv.data(),
+                   std::move(spec));
+}
+
+TEST(Cli, PositionalAndOptions) {
+  const auto args = parse({"opt-sm", "--dataset", "synthqa", "--protect"},
+                          {{"dataset", true}, {"protect", false}});
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "opt-sm");
+  EXPECT_EQ(args.get("dataset", "x"), "synthqa");
+  EXPECT_TRUE(args.has("protect"));
+  EXPECT_FALSE(args.has("missing"));
+}
+
+TEST(Cli, EqualsSyntax) {
+  const auto args = parse({"--trials=250", "--rate=0.5"},
+                          {{"trials", true}, {"rate", true}});
+  EXPECT_EQ(args.get_size("trials", 0), 250u);
+  EXPECT_DOUBLE_EQ(args.get_double("rate", 0.0), 0.5);
+}
+
+TEST(Cli, DefaultsWhenAbsent) {
+  const auto args = parse({}, {{"trials", true}});
+  EXPECT_EQ(args.get_size("trials", 7), 7u);
+  EXPECT_EQ(args.get("trials", "d"), "d");
+  EXPECT_DOUBLE_EQ(args.get_double("trials", 1.5), 1.5);
+}
+
+TEST(Cli, UnknownOptionThrows) {
+  EXPECT_THROW(parse({"--bogus"}, {{"known", false}}), Error);
+}
+
+TEST(Cli, MissingValueThrows) {
+  EXPECT_THROW(parse({"--dataset"}, {{"dataset", true}}), Error);
+}
+
+TEST(Cli, FlagWithValueThrows) {
+  EXPECT_THROW(parse({"--protect=1"}, {{"protect", false}}), Error);
+}
+
+TEST(Cli, MultiplePositionals) {
+  const auto args = parse({"a", "--k", "v", "b"}, {{"k", true}});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "a");
+  EXPECT_EQ(args.positional()[1], "b");
+}
+
+}  // namespace
+}  // namespace ft2

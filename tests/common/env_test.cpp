@@ -1,0 +1,50 @@
+#include "common/env.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace ft2 {
+namespace {
+
+TEST(Env, StringFallbackAndOverride) {
+  ::unsetenv("FT2_TEST_STR");
+  EXPECT_EQ(env_string("FT2_TEST_STR", "dflt"), "dflt");
+  ::setenv("FT2_TEST_STR", "hello", 1);
+  EXPECT_EQ(env_string("FT2_TEST_STR", "dflt"), "hello");
+  ::setenv("FT2_TEST_STR", "", 1);
+  EXPECT_EQ(env_string("FT2_TEST_STR", "dflt"), "dflt");
+  ::unsetenv("FT2_TEST_STR");
+}
+
+TEST(Env, SizeParsing) {
+  ::setenv("FT2_TEST_SZ", "12345", 1);
+  EXPECT_EQ(env_size("FT2_TEST_SZ", 7), 12345u);
+  ::setenv("FT2_TEST_SZ", "not-a-number", 1);
+  EXPECT_EQ(env_size("FT2_TEST_SZ", 7), 7u);
+  ::unsetenv("FT2_TEST_SZ");
+  EXPECT_EQ(env_size("FT2_TEST_SZ", 7), 7u);
+}
+
+TEST(Env, DoubleParsing) {
+  ::setenv("FT2_TEST_D", "2.5", 1);
+  EXPECT_DOUBLE_EQ(env_double("FT2_TEST_D", 1.0), 2.5);
+  ::unsetenv("FT2_TEST_D");
+  EXPECT_DOUBLE_EQ(env_double("FT2_TEST_D", 1.0), 1.0);
+}
+
+TEST(Env, FlagParsing) {
+  for (const char* truthy : {"1", "true", "YES", "On"}) {
+    ::setenv("FT2_TEST_F", truthy, 1);
+    EXPECT_TRUE(env_flag("FT2_TEST_F", false)) << truthy;
+  }
+  for (const char* falsy : {"0", "false", "off", "banana"}) {
+    ::setenv("FT2_TEST_F", falsy, 1);
+    EXPECT_FALSE(env_flag("FT2_TEST_F", true)) << falsy;
+  }
+  ::unsetenv("FT2_TEST_F");
+  EXPECT_TRUE(env_flag("FT2_TEST_F", true));
+}
+
+}  // namespace
+}  // namespace ft2

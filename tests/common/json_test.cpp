@@ -1,0 +1,87 @@
+#include "common/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace ft2 {
+namespace {
+
+TEST(Json, Scalars) {
+  EXPECT_EQ(Json().dump(), "null");
+  EXPECT_EQ(Json(true).dump(), "true");
+  EXPECT_EQ(Json(false).dump(), "false");
+  EXPECT_EQ(Json(42).dump(), "42");
+  EXPECT_EQ(Json(std::size_t{7}).dump(), "7");
+  EXPECT_EQ(Json(2.5).dump(), "2.5");
+  EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, NonFiniteNumbersBecomeNull) {
+  EXPECT_EQ(Json(std::nan("")).dump(), "null");
+  EXPECT_EQ(Json(INFINITY).dump(), "null");
+}
+
+TEST(Json, ObjectPreservesInsertionOrder) {
+  Json j = Json::object();
+  j["zebra"] = 1;
+  j["apple"] = 2;
+  const std::string s = j.dump(-1);
+  EXPECT_EQ(s, "{\"zebra\": 1,\"apple\": 2}");
+}
+
+TEST(Json, NestedStructures) {
+  Json j = Json::object();
+  j["name"] = "ft2";
+  j["results"] = Json::array();
+  Json row = Json::object();
+  row["sdc"] = 3;
+  row["rate"] = 0.01;
+  j["results"].push_back(std::move(row));
+  j["results"].push_back(Json(false));
+  EXPECT_EQ(j["results"].size(), 2u);
+  const std::string s = j.dump(-1);
+  EXPECT_NE(s.find("\"sdc\": 3"), std::string::npos);
+  EXPECT_NE(s.find("false"), std::string::npos);
+}
+
+TEST(Json, PrettyPrintIndents) {
+  Json j = Json::object();
+  j["a"] = 1;
+  const std::string s = j.dump(2);
+  EXPECT_EQ(s, "{\n  \"a\": 1\n}");
+}
+
+TEST(Json, EmptyContainers) {
+  EXPECT_EQ(Json::object().dump(), "{}");
+  EXPECT_EQ(Json::array().dump(), "[]");
+}
+
+TEST(Json, StringEscaping) {
+  EXPECT_EQ(Json::escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(Json::escape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(Json::escape("tab\there"), "tab\\there");
+  EXPECT_EQ(Json::escape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(Json::escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Json, TypeMisuseThrows) {
+  Json scalar(1);
+  EXPECT_THROW(scalar["x"], Error);
+  EXPECT_THROW(scalar.push_back(Json(2)), Error);
+  Json arr = Json::array();
+  EXPECT_THROW(arr["x"], Error);
+}
+
+TEST(Json, OperatorIndexReassigns) {
+  Json j = Json::object();
+  j["k"] = 1;
+  j["k"] = "two";
+  EXPECT_EQ(j.dump(-1), "{\"k\": \"two\"}");
+  EXPECT_EQ(j.size(), 1u);
+}
+
+}  // namespace
+}  // namespace ft2

@@ -1,0 +1,125 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace ft2 {
+namespace {
+
+TEST(Xoshiro, DeterministicFromSeed) {
+  Xoshiro256 a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+  bool differs = false;
+  Xoshiro256 a2(42);
+  for (int i = 0; i < 10; ++i) {
+    if (a2() != c()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Xoshiro, UniformInRange) {
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.uniform(17), 17u);
+  }
+  // All residues hit eventually.
+  std::set<std::uint64_t> seen;
+  Xoshiro256 rng2(2);
+  for (int i = 0; i < 1000; ++i) seen.insert(rng2.uniform(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Xoshiro, UniformDoubleInUnitInterval) {
+  Xoshiro256 rng(3);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.uniform_double();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(Xoshiro, NormalMoments) {
+  Xoshiro256 rng(4);
+  double sum = 0.0, sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Philox, SameStreamSameSequence) {
+  PhiloxStream a(99, 5), b(99, 5);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Philox, DifferentStreamsDiffer) {
+  PhiloxStream a(99, 5), b(99, 6), c(100, 5);
+  int same_ab = 0, same_ac = 0;
+  for (int i = 0; i < 64; ++i) {
+    const auto va = a();
+    if (va == b()) ++same_ab;
+    if (va == c()) ++same_ac;
+  }
+  EXPECT_LT(same_ab, 3);
+  EXPECT_LT(same_ac, 3);
+}
+
+TEST(Philox, StreamsIndependentOfDrawOrder) {
+  // Drawing from stream 7 must not perturb stream 8.
+  PhiloxStream s8_fresh(1, 8);
+  std::vector<std::uint32_t> expected;
+  for (int i = 0; i < 16; ++i) expected.push_back(s8_fresh());
+
+  PhiloxStream s7(1, 7), s8(1, 8);
+  for (int i = 0; i < 100; ++i) s7();
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(s8(), expected[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(Philox, UniformBounds) {
+  PhiloxStream s(5, 0);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = s.uniform(13);
+    EXPECT_LT(v, 13u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 13u);
+}
+
+TEST(Philox, Known10RoundVector) {
+  // Reference vector from the Random123 distribution (philox4x32-10):
+  // counter = ffffffff..., key = ffffffff... .
+  Philox4x32::Counter ctr = {0xffffffffu, 0xffffffffu, 0xffffffffu,
+                             0xffffffffu};
+  Philox4x32::Key key = {0xffffffffu, 0xffffffffu};
+  const auto out = Philox4x32::round10(ctr, key);
+  EXPECT_EQ(out[0], 0x408f276du);
+  EXPECT_EQ(out[1], 0x41c83b0eu);
+  EXPECT_EQ(out[2], 0xa20bc7c6u);
+  EXPECT_EQ(out[3], 0x6d5451fdu);
+}
+
+TEST(SplitMix, KnownSequenceDeterministic) {
+  std::uint64_t s1 = 0, s2 = 0;
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  }
+}
+
+}  // namespace
+}  // namespace ft2

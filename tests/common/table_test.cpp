@@ -1,0 +1,70 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace ft2 {
+namespace {
+
+TEST(Table, BuildsRowsViaCells) {
+  Table t({"model", "sdc"});
+  t.begin_row().cell("opt-sm").pct(0.0123);
+  t.begin_row().cell("llama-sm").pct(0.0009, 3);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.row(0)[1], "1.23%");
+  EXPECT_EQ(t.row(1)[1], "0.090%");
+}
+
+TEST(Table, NumAndCountFormatting) {
+  Table t({"a", "b"});
+  t.begin_row().num(3.14159, 2).count(42);
+  EXPECT_EQ(t.row(0)[0], "3.14");
+  EXPECT_EQ(t.row(0)[1], "42");
+}
+
+TEST(Table, AddRowValidatesWidth) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+  t.add_row({"x", "y"});
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Table, PrintAlignsColumns) {
+  Table t({"name", "v"});
+  t.add_row({"long-name-here", "1"});
+  t.add_row({"s", "2"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("long-name-here"), std::string::npos);
+  // Separator line present.
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(Table, CsvQuotesSpecialCells) {
+  Table t({"a", "b"});
+  t.add_row({"plain", "has,comma"});
+  t.add_row({"has\"quote", "x"});
+  std::ostringstream os;
+  t.print_csv(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(out.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, EmptyHeaderThrows) {
+  EXPECT_THROW(Table(std::vector<std::string>{}), Error);
+}
+
+TEST(Table, FormatHelpers) {
+  EXPECT_EQ(Table::format(1.23456, 3), "1.235");
+  EXPECT_EQ(Table::format_pct(0.5, 1), "50.0%");
+  EXPECT_EQ(Table::format_pct(0.00123, 2), "0.12%");
+}
+
+}  // namespace
+}  // namespace ft2

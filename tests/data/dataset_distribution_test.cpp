@@ -1,0 +1,113 @@
+// Distributional properties of the synthetic dataset generators: the
+// statistical fault-injection results are only meaningful if the task
+// generators actually produce the variety they promise.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "data/dataset.hpp"
+#include "data/matcher.hpp"
+
+namespace ft2 {
+namespace {
+
+TEST(DatasetDistribution, QaCoversAllThreeQuestionTypes) {
+  const auto gen = make_generator(DatasetKind::kSynthQA);
+  std::size_t where = 0, how_many = 0, what = 0;
+  for (const auto& s : gen->generate_many(300, 21)) {
+    if (s.prompt_text.find("where does") != std::string::npos) ++where;
+    if (s.prompt_text.find("how many") != std::string::npos) ++how_many;
+    if (s.prompt_text.find("what does") != std::string::npos) ++what;
+  }
+  EXPECT_EQ(where + how_many + what, 300u);
+  // Each type at ~1/3; allow wide tolerance.
+  for (std::size_t n : {where, how_many, what}) {
+    EXPECT_GT(n, 60u);
+    EXPECT_LT(n, 140u);
+  }
+}
+
+TEST(DatasetDistribution, MathMixesSingleAndTwoStepProblems) {
+  const auto gen = make_generator(DatasetKind::kSynthMath);
+  std::size_t ops_total = 0;
+  std::size_t two_step = 0;
+  const auto samples = gen->generate_many(300, 22);
+  for (const auto& s : samples) {
+    std::size_t ops = 0;
+    for (const char* op : {" buys ", " finds ", " loses ", " gives away "}) {
+      std::string::size_type pos = 0;
+      while ((pos = s.prompt_text.find(op, pos)) != std::string::npos) {
+        ++ops;
+        pos += 1;
+      }
+    }
+    EXPECT_GE(ops, 1u) << s.prompt_text;
+    EXPECT_LE(ops, 2u) << s.prompt_text;
+    ops_total += ops;
+    if (ops == 2) ++two_step;
+  }
+  // ~50% two-step problems.
+  EXPECT_GT(two_step, 100u);
+  EXPECT_LT(two_step, 200u);
+  EXPECT_GT(ops_total, 300u);
+}
+
+TEST(DatasetDistribution, EntityPoolsAreExercised) {
+  const auto gen = make_generator(DatasetKind::kSynthQA);
+  std::set<std::string> references;
+  for (const auto& s : gen->generate_many(400, 23)) {
+    references.insert(s.reference);
+  }
+  // Cities (16) + hobbies (8) + many counts: variety must be substantial.
+  EXPECT_GT(references.size(), 30u);
+}
+
+TEST(DatasetDistribution, AnswersNeverLeakIntoMathPromptTail) {
+  // The math question ends with "answer :" and must not contain the result
+  // after the last operation sentence (the model must compute, not copy).
+  const auto gen = make_generator(DatasetKind::kSynthMath);
+  std::size_t computed_differs = 0;
+  for (const auto& s : gen->generate_many(200, 24)) {
+    // Find the initial count ("has N"): if the final answer differs, the
+    // model genuinely had to apply the operations.
+    const auto pos = s.prompt_text.find(" has ");
+    ASSERT_NE(pos, std::string::npos);
+    const std::string initial =
+        s.prompt_text.substr(pos + 5, s.prompt_text.find(' ', pos + 5) -
+                                          (pos + 5));
+    if (initial != s.reference) ++computed_differs;
+  }
+  EXPECT_GT(computed_differs, 150u);  // ops are non-zero deltas, ~always
+}
+
+TEST(DatasetDistribution, PromptLengthsAreStable) {
+  for (DatasetKind kind : all_datasets()) {
+    const auto gen = make_generator(kind);
+    std::size_t lo = 1000, hi = 0;
+    for (const auto& s : gen->generate_many(100, 25)) {
+      lo = std::min(lo, s.prompt_tokens.size());
+      hi = std::max(hi, s.prompt_tokens.size());
+    }
+    EXPECT_GT(lo, 10u) << dataset_name(kind);
+    EXPECT_LT(hi, 40u) << dataset_name(kind);
+  }
+}
+
+TEST(DatasetDistribution, XqaSharesEntitiesWithQa) {
+  // The XTREME stand-in shares entity tokens (cities etc.) with SynthQA —
+  // only the surface templates differ — so models trained on both learn a
+  // shared entity space (mirrors cross-lingual transfer).
+  const auto qa = make_generator(DatasetKind::kSynthQA)->generate_many(100, 1);
+  const auto xqa =
+      make_generator(DatasetKind::kSynthXQA)->generate_many(100, 1);
+  std::set<std::string> qa_refs, xqa_refs;
+  for (const auto& s : qa) qa_refs.insert(s.reference);
+  for (const auto& s : xqa) xqa_refs.insert(s.reference);
+  std::size_t shared = 0;
+  for (const auto& r : qa_refs) shared += xqa_refs.count(r);
+  EXPECT_GT(shared, 10u);
+}
+
+}  // namespace
+}  // namespace ft2

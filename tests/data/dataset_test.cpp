@@ -1,0 +1,148 @@
+#include "data/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "data/matcher.hpp"
+
+namespace ft2 {
+namespace {
+
+class DatasetTest : public ::testing::TestWithParam<DatasetKind> {};
+
+TEST_P(DatasetTest, GenerationIsDeterministic) {
+  const auto gen = make_generator(GetParam());
+  const auto a = gen->generate_many(20, 77);
+  const auto b = gen->generate_many(20, 77);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].prompt_text, b[i].prompt_text);
+    EXPECT_EQ(a[i].reference, b[i].reference);
+  }
+}
+
+TEST_P(DatasetTest, DifferentSeedsDiffer) {
+  const auto gen = make_generator(GetParam());
+  const auto a = gen->generate_many(10, 1);
+  const auto b = gen->generate_many(10, 2);
+  int same = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].prompt_text == b[i].prompt_text) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST_P(DatasetTest, NoOovTokensAnywhere) {
+  const auto gen = make_generator(GetParam());
+  for (const auto& s : gen->generate_many(100, 5)) {
+    for (int t : s.prompt_tokens) EXPECT_NE(t, Vocab::kUnk);
+    for (int t : s.target_tokens) EXPECT_NE(t, Vocab::kUnk);
+  }
+}
+
+TEST_P(DatasetTest, TargetEndsWithEosAndContainsReference) {
+  const auto gen = make_generator(GetParam());
+  for (const auto& s : gen->generate_many(50, 9)) {
+    ASSERT_FALSE(s.target_tokens.empty());
+    EXPECT_EQ(s.target_tokens.back(), Vocab::kEos);
+    EXPECT_TRUE(contains_reference(s.target_text, s.reference))
+        << s.target_text << " | " << s.reference;
+  }
+}
+
+TEST_P(DatasetTest, AnswerIsNotTheFirstTargetToken) {
+  // The decisive answer token must come after the first generated token,
+  // otherwise "following tokens" faults could never cause SDCs.
+  const auto gen = make_generator(GetParam());
+  const Vocab& v = Vocab::shared();
+  for (const auto& s : gen->generate_many(50, 10)) {
+    const auto ref_tokens = v.encode(s.reference);
+    ASSERT_FALSE(ref_tokens.empty());
+    EXPECT_NE(s.target_tokens[0], ref_tokens[0]) << s.target_text;
+  }
+}
+
+TEST_P(DatasetTest, PromptFitsModelContext) {
+  const auto gen = make_generator(GetParam());
+  for (const auto& s : gen->generate_many(100, 11)) {
+    EXPECT_LT(s.prompt_tokens.size() + 24, 96u) << s.prompt_text;
+    EXPECT_GT(s.prompt_tokens.size(), 8u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, DatasetTest,
+                         ::testing::Values(DatasetKind::kSynthQA,
+                                           DatasetKind::kSynthXQA,
+                                           DatasetKind::kSynthMath),
+                         [](const auto& info) {
+                           return std::string(dataset_name(info.param));
+                         });
+
+TEST(Dataset, QaAnswerIsInContext) {
+  const auto gen = make_generator(DatasetKind::kSynthQA);
+  for (const auto& s : gen->generate_many(50, 13)) {
+    EXPECT_TRUE(contains_reference(s.prompt_text, s.reference))
+        << s.prompt_text << " | " << s.reference;
+  }
+}
+
+TEST(Dataset, MathAnswerIsArithmeticallyConsistent) {
+  // Recompute the expected value by parsing the prompt.
+  const auto gen = make_generator(DatasetKind::kSynthMath);
+  for (const auto& s : gen->generate_many(100, 17)) {
+    std::istringstream is(s.prompt_text);
+    std::string w;
+    long value = -1;
+    long running = -1;
+    while (is >> w) {
+      if (w == "has" || w == "buys" || w == "finds" || w == "loses" ||
+          w == "away") {
+        std::string num;
+        if (w == "away") {
+          // "gives away N": number follows.
+        }
+        is >> num;
+        const long n = std::strtol(num.c_str(), nullptr, 10);
+        if (w == "has" && running < 0) {
+          running = n;
+        } else if (w == "buys" || w == "finds") {
+          running += n;
+        } else if (w == "loses" || w == "away") {
+          running -= n;
+        }
+      }
+    }
+    value = std::strtol(s.reference.c_str(), nullptr, 10);
+    EXPECT_EQ(running, value) << s.prompt_text;
+    EXPECT_GE(value, 0);
+    EXPECT_LE(value, 29);
+  }
+}
+
+TEST(Dataset, SurfaceLanguagesAreDisjointInTemplates) {
+  const auto qa = make_generator(DatasetKind::kSynthQA)->generate_many(20, 3);
+  const auto xqa =
+      make_generator(DatasetKind::kSynthXQA)->generate_many(20, 3);
+  for (const auto& s : qa) {
+    EXPECT_EQ(s.prompt_text.find("demande"), std::string::npos);
+    EXPECT_NE(s.prompt_text.find("question"), std::string::npos);
+  }
+  for (const auto& s : xqa) {
+    EXPECT_EQ(s.prompt_text.find("question"), std::string::npos);
+    EXPECT_NE(s.prompt_text.find("demande"), std::string::npos);
+  }
+}
+
+TEST(Dataset, NamesAndKinds) {
+  EXPECT_STREQ(dataset_name(DatasetKind::kSynthQA), "synthqa");
+  EXPECT_STREQ(dataset_name(DatasetKind::kSynthMath), "synthmath");
+  EXPECT_TRUE(is_math_dataset(DatasetKind::kSynthMath));
+  EXPECT_FALSE(is_math_dataset(DatasetKind::kSynthXQA));
+  EXPECT_EQ(all_datasets().size(), 3u);
+}
+
+}  // namespace
+}  // namespace ft2

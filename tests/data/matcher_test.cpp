@@ -1,0 +1,56 @@
+#include "data/matcher.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ft2 {
+namespace {
+
+TEST(Matcher, NormalizeCollapsesWhitespaceAndCase) {
+  EXPECT_EQ(normalize_text("  Hello   World \n"), "hello world");
+  EXPECT_EQ(normalize_text(""), "");
+  EXPECT_EQ(normalize_text("A"), "a");
+}
+
+TEST(Matcher, ContainsExactWord) {
+  EXPECT_TRUE(contains_reference("bob lives in paris", "paris"));
+  EXPECT_TRUE(contains_reference("Paris", "paris"));
+  EXPECT_FALSE(contains_reference("bob lives in london", "paris"));
+}
+
+TEST(Matcher, PaperExampleSemanticEquivalence) {
+  // "The number of people is 5" is Masked vs reference "5";
+  // "There are 4 people" is SDC vs reference "5".
+  EXPECT_TRUE(contains_reference("the number of people is 5", "5"));
+  EXPECT_FALSE(contains_reference("there are 4 people", "5"));
+}
+
+TEST(Matcher, MultiWordReferenceMustBeContiguous) {
+  EXPECT_TRUE(contains_reference("i think bob lives in paris now",
+                                 "lives in paris"));
+  EXPECT_FALSE(contains_reference("bob lives near paris", "lives in paris"));
+  EXPECT_FALSE(
+      contains_reference("lives bob in crazy paris", "lives in paris"));
+}
+
+TEST(Matcher, WordBoundariesRespected) {
+  // "7" must not match inside "17".
+  EXPECT_FALSE(contains_reference("bob has 17 coins", "7"));
+  EXPECT_TRUE(contains_reference("bob has 7 coins", "7"));
+}
+
+TEST(Matcher, EmptyInputs) {
+  EXPECT_FALSE(contains_reference("anything", ""));
+  EXPECT_FALSE(contains_reference("", "paris"));
+  EXPECT_FALSE(contains_reference("", ""));
+}
+
+TEST(Matcher, TokenLevelContainment) {
+  EXPECT_TRUE(contains_reference_tokens({5, 9, 2, 7}, {9, 2}));
+  EXPECT_TRUE(contains_reference_tokens({5, 9, 2}, {5, 9, 2}));
+  EXPECT_FALSE(contains_reference_tokens({5, 9, 2}, {9, 5}));
+  EXPECT_FALSE(contains_reference_tokens({5}, {5, 9}));
+  EXPECT_FALSE(contains_reference_tokens({5, 9}, {}));
+}
+
+}  // namespace
+}  // namespace ft2

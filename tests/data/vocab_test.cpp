@@ -1,0 +1,72 @@
+#include "data/vocab.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace ft2 {
+namespace {
+
+TEST(Vocab, SpecialTokensFirst) {
+  const Vocab& v = Vocab::shared();
+  EXPECT_EQ(v.word(Vocab::kPad), "<pad>");
+  EXPECT_EQ(v.word(Vocab::kBos), "<bos>");
+  EXPECT_EQ(v.word(Vocab::kEos), "<eos>");
+  EXPECT_EQ(v.word(Vocab::kUnk), "<unk>");
+}
+
+TEST(Vocab, NumbersAreAtomicTokens) {
+  const Vocab& v = Vocab::shared();
+  for (int n = 0; n <= 99; ++n) {
+    const int id = v.id(std::to_string(n));
+    EXPECT_NE(id, Vocab::kUnk) << n;
+    EXPECT_EQ(v.word(id), std::to_string(n));
+  }
+}
+
+TEST(Vocab, EncodeDecodeRoundTrip) {
+  const Vocab& v = Vocab::shared();
+  const std::string text = "alice lives in paris .";
+  const auto tokens = v.encode(text);
+  EXPECT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(v.decode(tokens), text);
+}
+
+TEST(Vocab, UnknownWordsMapToUnk) {
+  const Vocab& v = Vocab::shared();
+  const auto tokens = v.encode("alice flibbertigibbet paris");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_NE(tokens[0], Vocab::kUnk);
+  EXPECT_EQ(tokens[1], Vocab::kUnk);
+  EXPECT_NE(tokens[2], Vocab::kUnk);
+}
+
+TEST(Vocab, DecodeSkipsSpecials) {
+  const Vocab& v = Vocab::shared();
+  const std::vector<int> tokens = {Vocab::kBos, v.id("paris"), Vocab::kEos,
+                                   Vocab::kPad};
+  EXPECT_EQ(v.decode(tokens), "paris");
+}
+
+TEST(Vocab, WordOutOfRangeThrows) {
+  const Vocab& v = Vocab::shared();
+  EXPECT_THROW(v.word(-1), Error);
+  EXPECT_THROW(v.word(static_cast<int>(v.size())), Error);
+}
+
+TEST(Vocab, SizeIsStableAndCompact) {
+  const Vocab& v = Vocab::shared();
+  EXPECT_GT(v.size(), 200u);
+  EXPECT_LT(v.size(), 400u);
+}
+
+TEST(Vocab, ContainsBothSurfaceLanguages) {
+  const Vocab& v = Vocab::shared();
+  for (const char* w : {"question", "answer", "lives", "demande", "reponse",
+                        "habite", "combien"}) {
+    EXPECT_TRUE(v.contains(w)) << w;
+  }
+}
+
+}  // namespace
+}  // namespace ft2

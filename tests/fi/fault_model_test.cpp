@@ -1,0 +1,128 @@
+#include "fi/fault_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace ft2 {
+namespace {
+
+TEST(FaultModel, SingleBitFlipsExactlyOneBit) {
+  PhiloxStream rng(1, 0);
+  for (int i = 0; i < 200; ++i) {
+    const auto flips = sample_bit_flips(FaultModel::kSingleBit,
+                                        ValueType::kF16, rng);
+    ASSERT_EQ(flips.count, 1);
+    EXPECT_GE(flips.bits[0], 0);
+    EXPECT_LT(flips.bits[0], 16);
+  }
+}
+
+TEST(FaultModel, DoubleBitFlipsTwoDistinctBits) {
+  PhiloxStream rng(2, 0);
+  for (int i = 0; i < 500; ++i) {
+    const auto flips = sample_bit_flips(FaultModel::kDoubleBit,
+                                        ValueType::kF16, rng);
+    ASSERT_EQ(flips.count, 2);
+    EXPECT_NE(flips.bits[0], flips.bits[1]);
+    for (int b = 0; b < 2; ++b) {
+      EXPECT_GE(flips.bits[b], 0);
+      EXPECT_LT(flips.bits[b], 16);
+    }
+  }
+}
+
+TEST(FaultModel, ExponentFlipStaysInExponentField) {
+  PhiloxStream rng16(3, 0), rng32(3, 1);
+  std::set<int> seen16, seen32;
+  for (int i = 0; i < 500; ++i) {
+    const auto f16flip = sample_bit_flips(FaultModel::kExponentBit,
+                                          ValueType::kF16, rng16);
+    EXPECT_GE(f16flip.bits[0], 10);
+    EXPECT_LE(f16flip.bits[0], 14);
+    seen16.insert(f16flip.bits[0]);
+
+    const auto f32flip = sample_bit_flips(FaultModel::kExponentBit,
+                                          ValueType::kF32, rng32);
+    EXPECT_GE(f32flip.bits[0], 23);
+    EXPECT_LE(f32flip.bits[0], 30);
+    seen32.insert(f32flip.bits[0]);
+  }
+  EXPECT_EQ(seen16.size(), 5u);  // all 5 exponent bits hit
+  EXPECT_EQ(seen32.size(), 8u);  // all 8 exponent bits hit
+}
+
+TEST(FaultModel, ApplyFlipIsInvolution) {
+  // Flipping the same bits twice restores the original FP16 value.
+  PhiloxStream rng(4, 0);
+  for (int i = 0; i < 200; ++i) {
+    const float v = static_cast<float>(static_cast<int>(rng.uniform(2000)) -
+                                       1000) /
+                    64.0f;
+    const auto flips = sample_bit_flips(FaultModel::kDoubleBit,
+                                        ValueType::kF16, rng);
+    const float once = apply_bit_flips(v, flips, ValueType::kF16);
+    const float twice = apply_bit_flips(once, flips, ValueType::kF16);
+    if (std::isnan(once)) continue;  // NaN payload not guaranteed to return
+    EXPECT_EQ(twice, quantize_f16(v)) << v;
+  }
+}
+
+TEST(FaultModel, TopExponentFlipOfSmallValueIsHuge) {
+  // Figure 7(a): 0.5 with the top exponent bit flipped becomes 2^16 * 0.5.
+  BitFlips flips;
+  flips.count = 1;
+  flips.bits[0] = 14;
+  const float faulty = apply_bit_flips(0.5f, flips, ValueType::kF16);
+  EXPECT_EQ(faulty, 32768.0f);
+}
+
+TEST(FaultModel, TopExponentFlipOfVulnerableValueIsNan) {
+  // Figure 7(b): 1.5 in the NaN-vulnerable area becomes NaN.
+  BitFlips flips;
+  flips.count = 1;
+  flips.bits[0] = 14;
+  EXPECT_TRUE(std::isnan(apply_bit_flips(1.5f, flips, ValueType::kF16)));
+  // Exactly 1.0 has a zero mantissa: becomes inf, not NaN.
+  const float one_flipped = apply_bit_flips(1.0f, flips, ValueType::kF16);
+  EXPECT_TRUE(std::isinf(one_flipped));
+}
+
+TEST(FaultModel, SignBitFlipNegates) {
+  BitFlips flips;
+  flips.count = 1;
+  flips.bits[0] = 15;
+  EXPECT_EQ(apply_bit_flips(2.5f, flips, ValueType::kF16), -2.5f);
+  flips.bits[0] = 31;
+  EXPECT_EQ(apply_bit_flips(2.5f, flips, ValueType::kF32), -2.5f);
+}
+
+TEST(FaultModel, MantissaFlipIsSmallPerturbation) {
+  BitFlips flips;
+  flips.count = 1;
+  flips.bits[0] = 0;  // lowest mantissa bit
+  const float faulty = apply_bit_flips(1.0f, flips, ValueType::kF16);
+  EXPECT_NEAR(faulty, 1.0f, 1e-3f);
+  EXPECT_NE(faulty, 1.0f);
+}
+
+TEST(FaultModel, F32FlipPreservesOtherBits) {
+  BitFlips flips;
+  flips.count = 1;
+  flips.bits[0] = 23;
+  const float v = 3.14159f;
+  const float faulty = apply_bit_flips(v, flips, ValueType::kF32);
+  EXPECT_EQ(f32_bits(faulty) ^ f32_bits(v), 1u << 23);
+}
+
+TEST(FaultModel, Names) {
+  EXPECT_STREQ(fault_model_name(FaultModel::kSingleBit), "1-bit");
+  EXPECT_STREQ(fault_model_name(FaultModel::kDoubleBit), "2-bit");
+  EXPECT_STREQ(fault_model_name(FaultModel::kExponentBit), "EXP");
+  EXPECT_STREQ(value_type_name(ValueType::kF16), "fp16");
+  EXPECT_EQ(all_fault_models().size(), 3u);
+}
+
+}  // namespace
+}  // namespace ft2

@@ -1,0 +1,142 @@
+#include "fi/fault_site.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+
+#include "common/check.hpp"
+
+namespace ft2 {
+namespace {
+
+ModelConfig opt_config() {
+  ModelConfig c;
+  c.arch = ArchFamily::kOpt;
+  c.vocab_size = 8;
+  c.n_blocks = 2;
+  c.d_model = 16;
+  c.n_heads = 2;
+  c.d_ff = 32;
+  return c;
+}
+
+ModelConfig llama_config() {
+  ModelConfig c = opt_config();
+  c.arch = ArchFamily::kLlama;
+  c.norm = NormKind::kRmsNorm;
+  c.position = PositionKind::kRotary;
+  c.activation = Activation::kSilu;
+  return c;
+}
+
+TEST(FaultSite, NeuronCountMatchesArchitecture) {
+  // OPT block: Q+K+V+OUT = 4*16, FC1 = 32, FC2 = 16 => 112 per block.
+  const FaultSiteSpace space(opt_config());
+  EXPECT_EQ(space.neurons_per_position(), 2u * (4u * 16u + 32u + 16u));
+
+  // Llama block: Q+K+V+OUT = 4*16, GATE+UP = 2*32, DOWN = 16 => 144/block.
+  const FaultSiteSpace llama(llama_config());
+  EXPECT_EQ(llama.neurons_per_position(), 2u * (4u * 16u + 2u * 32u + 16u));
+}
+
+TEST(FaultSite, DecodeIsBijective) {
+  const FaultSiteSpace space(llama_config());
+  std::map<std::tuple<int, int, std::size_t>, int> seen;
+  for (std::size_t i = 0; i < space.neurons_per_position(); ++i) {
+    LayerSite site;
+    std::size_t neuron = 0;
+    space.decode(i, site, neuron);
+    EXPECT_TRUE(is_linear_layer(site.kind));
+    EXPECT_LT(neuron, space.config().layer_output_dim(site.kind));
+    const auto key = std::make_tuple(site.block,
+                                     static_cast<int>(site.kind), neuron);
+    EXPECT_EQ(seen.count(key), 0u) << i;
+    seen[key] = 1;
+  }
+  EXPECT_EQ(seen.size(), space.neurons_per_position());
+}
+
+TEST(FaultSite, DecodeOutOfRangeThrows) {
+  const FaultSiteSpace space(opt_config());
+  LayerSite site;
+  std::size_t neuron;
+  EXPECT_THROW(space.decode(space.neurons_per_position(), site, neuron),
+               Error);
+}
+
+TEST(FaultSite, SampleIsDeterministicPerStream) {
+  const FaultSiteSpace space(opt_config());
+  PhiloxStream r1(7, 3), r2(7, 3);
+  const auto a = space.sample(20, 10, FaultModel::kSingleBit, ValueType::kF16,
+                              r1);
+  const auto b = space.sample(20, 10, FaultModel::kSingleBit, ValueType::kF16,
+                              r2);
+  EXPECT_EQ(a.position, b.position);
+  EXPECT_EQ(a.site.block, b.site.block);
+  EXPECT_EQ(a.site.kind, b.site.kind);
+  EXPECT_EQ(a.neuron, b.neuron);
+  EXPECT_EQ(a.flips.bits[0], b.flips.bits[0]);
+}
+
+TEST(FaultSite, FirstTokenProbabilityIsOneOverGenTokens) {
+  // With gen_tokens = G, P(first-token phase) should be ~1/G — the paper's
+  // execution-time argument (Fig. 10).
+  const FaultSiteSpace space(opt_config());
+  const std::size_t prompt = 25, gen = 10;
+  std::size_t first = 0;
+  const std::size_t n = 20000;
+  for (std::size_t t = 0; t < n; ++t) {
+    PhiloxStream rng(11, t);
+    const auto plan = space.sample(prompt, gen, FaultModel::kSingleBit,
+                                   ValueType::kF16, rng);
+    if (plan.in_first_token) {
+      ++first;
+      EXPECT_LT(plan.position, prompt);
+    } else {
+      EXPECT_GE(plan.position, prompt);
+      EXPECT_LT(plan.position, prompt + gen - 1);
+    }
+  }
+  const double frac = static_cast<double>(first) / static_cast<double>(n);
+  EXPECT_NEAR(frac, 1.0 / static_cast<double>(gen), 0.01);
+}
+
+TEST(FaultSite, FirstTokenOnlyPinsToPrefill) {
+  const FaultSiteSpace space(llama_config());
+  for (std::size_t t = 0; t < 200; ++t) {
+    PhiloxStream rng(13, t);
+    const auto plan = space.sample(18, 12, FaultModel::kExponentBit,
+                                   ValueType::kF16, rng, true);
+    EXPECT_TRUE(plan.in_first_token);
+    EXPECT_LT(plan.position, 18u);
+  }
+}
+
+TEST(FaultSite, NeuronsUniformAcrossLayerKinds) {
+  // Wider layers must receive proportionally more faults.
+  const FaultSiteSpace space(opt_config());
+  std::map<int, std::size_t> per_kind;
+  const std::size_t n = 30000;
+  for (std::size_t t = 0; t < n; ++t) {
+    PhiloxStream rng(17, t);
+    const auto plan = space.sample(10, 8, FaultModel::kSingleBit,
+                                   ValueType::kF16, rng);
+    ++per_kind[static_cast<int>(plan.site.kind)];
+  }
+  const double total_neurons =
+      static_cast<double>(space.neurons_per_position());
+  const ModelConfig c = opt_config();
+  for (LayerKind k : {LayerKind::kQProj, LayerKind::kFc1, LayerKind::kFc2}) {
+    const double expected =
+        static_cast<double>(n) *
+        static_cast<double>(c.layer_output_dim(k) * c.n_blocks) /
+        total_neurons;
+    const double got =
+        static_cast<double>(per_kind[static_cast<int>(k)]);
+    EXPECT_NEAR(got / expected, 1.0, 0.12) << layer_kind_name(k);
+  }
+}
+
+}  // namespace
+}  // namespace ft2

@@ -1,0 +1,80 @@
+#include "fi/injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ft2 {
+namespace {
+
+FaultPlan plan_at(int block, LayerKind kind, std::size_t position,
+                  std::size_t neuron, int bit) {
+  FaultPlan plan;
+  plan.site = {block, kind};
+  plan.position = position;
+  plan.neuron = neuron;
+  plan.flips.count = 1;
+  plan.flips.bits[0] = bit;
+  return plan;
+}
+
+HookContext ctx(int block, LayerKind kind, std::size_t position) {
+  return HookContext{LayerSite{block, kind}, position, false};
+}
+
+TEST(Injector, FiresExactlyOnceAtMatchingSite) {
+  InjectorHook hook(plan_at(1, LayerKind::kVProj, 3, 2, 15));
+  hook.on_generation_begin();
+
+  std::vector<float> values = {1.0f, 2.0f, 3.0f, 4.0f};
+  // Wrong position / wrong site: untouched.
+  hook.on_output(ctx(1, LayerKind::kVProj, 2), values);
+  hook.on_output(ctx(0, LayerKind::kVProj, 3), values);
+  hook.on_output(ctx(1, LayerKind::kQProj, 3), values);
+  EXPECT_FALSE(hook.fired());
+  EXPECT_EQ(values[2], 3.0f);
+
+  // Match: sign bit of neuron 2 flips.
+  hook.on_output(ctx(1, LayerKind::kVProj, 3), values);
+  EXPECT_TRUE(hook.fired());
+  EXPECT_EQ(values[2], -3.0f);
+  EXPECT_EQ(hook.original_value(), 3.0f);
+  EXPECT_EQ(hook.injected_value(), -3.0f);
+
+  // Never fires twice (same site at a later dispatch).
+  std::vector<float> again = {9.0f, 9.0f, 9.0f, 9.0f};
+  hook.on_output(ctx(1, LayerKind::kVProj, 3), again);
+  EXPECT_EQ(again[2], 9.0f);
+}
+
+TEST(Injector, ResetsOnGenerationBegin) {
+  InjectorHook hook(plan_at(0, LayerKind::kFc1, 1, 0, 15));
+  std::vector<float> v = {2.0f};
+  hook.on_output(ctx(0, LayerKind::kFc1, 1), v);
+  EXPECT_TRUE(hook.fired());
+  hook.on_generation_begin();
+  EXPECT_FALSE(hook.fired());
+  std::vector<float> w = {2.0f};
+  hook.on_output(ctx(0, LayerKind::kFc1, 1), w);
+  EXPECT_EQ(w[0], -2.0f);
+}
+
+TEST(Injector, ExponentFlipCreatesExtremeValue) {
+  InjectorHook hook(plan_at(0, LayerKind::kFc2, 0, 1, f16::kExponentHigh));
+  std::vector<float> v = {0.0f, 0.5f, 0.0f};
+  hook.on_output(ctx(0, LayerKind::kFc2, 0), v);
+  EXPECT_EQ(v[1], 32768.0f);
+}
+
+TEST(Injector, F32PlanFlipsF32Encoding) {
+  FaultPlan plan = plan_at(0, LayerKind::kQProj, 0, 0, 31);
+  plan.vtype = ValueType::kF32;
+  InjectorHook hook(plan);
+  std::vector<float> v = {1.0f / 3.0f};  // not representable in FP16
+  const float before = v[0];
+  hook.on_output(ctx(0, LayerKind::kQProj, 0), v);
+  EXPECT_EQ(v[0], -before);  // exact negation, no FP16 rounding applied
+}
+
+}  // namespace
+}  // namespace ft2

@@ -1,0 +1,103 @@
+#include "fi/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ft2 {
+namespace {
+
+TrialRecord make_record(std::size_t trial, Outcome outcome) {
+  TrialRecord r;
+  r.trial = trial;
+  r.input_index = trial % 3;
+  r.plan.position = 10 + trial;
+  r.plan.site = {1, LayerKind::kVProj};
+  r.plan.neuron = 7;
+  r.plan.flips.count = 2;
+  r.plan.flips.bits = {14, 3};
+  r.plan.in_first_token = trial == 0;
+  r.outcome = outcome;
+  r.generated_text = "bob lives in paris";
+  return r;
+}
+
+TEST(Trace, CollectsViaCallback) {
+  TraceCollector collector;
+  auto cb = collector.callback();
+  cb(make_record(0, Outcome::kMaskedIdentical));
+  cb(make_record(1, Outcome::kSdc));
+  cb(make_record(2, Outcome::kSdc));
+  EXPECT_EQ(collector.size(), 3u);
+  EXPECT_EQ(collector.sdc_records().size(), 2u);
+  collector.clear();
+  EXPECT_EQ(collector.size(), 0u);
+}
+
+TEST(Trace, CsvFormat) {
+  TraceCollector collector;
+  collector.callback()(make_record(5, Outcome::kSdc));
+  std::ostringstream os;
+  collector.write_csv(os);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("trial,input,position"), std::string::npos);
+  EXPECT_NE(csv.find("V_PROJ"), std::string::npos);
+  EXPECT_NE(csv.find("14+3"), std::string::npos);
+  EXPECT_NE(csv.find("sdc"), std::string::npos);
+  EXPECT_NE(csv.find("\"bob lives in paris\""), std::string::npos);
+  // Header + one data row.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 2);
+}
+
+TEST(Trace, JsonFormat) {
+  TraceCollector collector;
+  collector.callback()(make_record(1, Outcome::kMaskedSemantic));
+  const Json j = collector.to_json();
+  EXPECT_TRUE(j.is_array());
+  EXPECT_EQ(j.size(), 1u);
+  const std::string s = j.dump(-1);
+  EXPECT_NE(s.find("\"outcome\": \"masked_semantic\""), std::string::npos);
+  EXPECT_NE(s.find("\"layer\": \"V_PROJ\""), std::string::npos);
+}
+
+TEST(Trace, OutcomeNames) {
+  EXPECT_STREQ(outcome_name(Outcome::kSdc), "sdc");
+  EXPECT_STREQ(outcome_name(Outcome::kMaskedIdentical), "masked_identical");
+  EXPECT_STREQ(outcome_name(Outcome::kNotInjected), "not_injected");
+}
+
+TEST(Trace, CampaignIntegration) {
+  // Run a tiny campaign with tracing and check record consistency.
+  ModelConfig c;
+  c.arch = ArchFamily::kOpt;
+  c.vocab_size = Vocab::shared().size();
+  c.d_model = 16;
+  c.n_heads = 2;
+  c.n_blocks = 1;
+  c.d_ff = 24;
+  c.max_seq = 96;
+  Xoshiro256 rng(4);
+  const TransformerLM model(c, init_weights(c, rng));
+
+  const auto samples =
+      make_generator(DatasetKind::kSynthQA)->generate_many(2, 5);
+  const auto inputs = prepare_eval_inputs(model, samples, 6, false);
+  CampaignConfig config;
+  config.trials_per_input = 10;
+  config.gen_tokens = 6;
+
+  TraceCollector collector;
+  const auto result =
+      run_campaign(model, inputs, scheme_spec(SchemeKind::kNone, c),
+                   BoundStore{}, config, collector.callback());
+  EXPECT_EQ(collector.size(), result.trials);
+  std::size_t sdc_in_trace = 0;
+  for (const auto& r : collector.records()) {
+    EXPECT_LT(r.input_index, inputs.size());
+    if (r.outcome == Outcome::kSdc) ++sdc_in_trace;
+  }
+  EXPECT_EQ(sdc_in_trace, result.sdc);
+}
+
+}  // namespace
+}  // namespace ft2

@@ -1,0 +1,80 @@
+// Golden determinism tests: lock down exact engine behaviour for fixed
+// seeds so accidental numeric changes (kernel edits, quantization-point
+// moves, RNG reordering) are caught immediately. If a change is
+// INTENTIONAL, regenerate the constants by printing the new values from
+// the failing assertion's inputs.
+#include <gtest/gtest.h>
+
+#include "core/ft2.hpp"
+
+namespace ft2 {
+namespace {
+
+TEST(Golden, PhiloxStream) {
+  PhiloxStream s(20250704, 0);
+  EXPECT_EQ(s(), 3058979390u);
+  EXPECT_EQ(s(), 2972109632u);
+  EXPECT_EQ(s(), 1071703344u);
+  EXPECT_EQ(s(), 2102941109u);
+}
+
+TEST(Golden, Xoshiro) {
+  Xoshiro256 x(42);
+  EXPECT_EQ(x(), 1546998764402558742ULL);
+  EXPECT_EQ(x(), 6990951692964543102ULL);
+}
+
+TEST(Golden, F16Encodings) {
+  EXPECT_EQ(f16::from_float(0.1f).bits(), 0x2e66u);
+  EXPECT_EQ(f16::from_float(3.14159f).bits(), 0x4248u);
+  EXPECT_EQ(f16::from_float(-1e-8f).bits(), 0x8000u);  // -0 after underflow
+}
+
+TEST(Golden, MicroModelGeneration) {
+  // Engine output for a fixed random-weight Llama-style micro model. Locks
+  // the full numeric pipeline: init RNG -> FP16 quantization points ->
+  // attention/RoPE/norm kernels -> greedy decode.
+  ModelConfig c;
+  c.arch = ArchFamily::kLlama;
+  c.norm = NormKind::kRmsNorm;
+  c.position = PositionKind::kRotary;
+  c.activation = Activation::kSilu;
+  c.linear_bias = false;
+  c.vocab_size = 50;
+  c.d_model = 16;
+  c.n_heads = 2;
+  c.n_blocks = 2;
+  c.d_ff = 24;
+  c.max_seq = 32;
+  Xoshiro256 rng(123);
+  const TransformerLM m(c, init_weights(c, rng));
+  InferenceSession session(m);
+  GenerateOptions opts;
+  opts.max_new_tokens = 10;
+  const auto r = session.generate(std::vector<int>{1, 2, 3, 4}, opts);
+  EXPECT_EQ(r.tokens,
+            (std::vector<int>{20, 15, 5, 14, 23, 12, 5, 14, 23, 12}));
+}
+
+TEST(Golden, FaultPlanSampling) {
+  ModelConfig c;
+  c.arch = ArchFamily::kLlama;
+  c.vocab_size = 50;
+  c.d_model = 16;
+  c.n_heads = 2;
+  c.n_blocks = 2;
+  c.d_ff = 24;
+  const FaultSiteSpace space(c);
+  PhiloxStream rng(7, 3);
+  const auto plan = space.sample(10, 8, FaultModel::kExponentBit,
+                                 ValueType::kF16, rng);
+  EXPECT_EQ(plan.position, 11u);
+  EXPECT_EQ(plan.site.block, 0);
+  EXPECT_EQ(plan.site.kind, LayerKind::kVProj);
+  EXPECT_EQ(plan.neuron, 3u);
+  EXPECT_EQ(plan.flips.bits[0], 12);
+  EXPECT_FALSE(plan.in_first_token);
+}
+
+}  // namespace
+}  // namespace ft2

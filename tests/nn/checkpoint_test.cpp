@@ -1,0 +1,126 @@
+#include "nn/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "nn/model.hpp"
+
+namespace ft2 {
+namespace {
+
+ModelConfig small_config() {
+  ModelConfig c;
+  c.name = "ckpt-test";
+  c.arch = ArchFamily::kLlama;
+  c.vocab_size = 19;
+  c.d_model = 8;
+  c.n_heads = 2;
+  c.n_blocks = 2;
+  c.d_ff = 12;
+  c.max_seq = 16;
+  c.norm = NormKind::kRmsNorm;
+  c.position = PositionKind::kRotary;
+  c.activation = Activation::kSilu;
+  c.linear_bias = false;
+  c.qkv_bias = true;
+  return c;
+}
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(Checkpoint, RoundTripPreservesEverything) {
+  const ModelConfig config = small_config();
+  Xoshiro256 rng(3);
+  ModelWeights weights = init_weights(config, rng);
+  const std::string path = temp_path("ft2_ckpt_roundtrip.bin");
+
+  save_checkpoint(path, config, weights);
+  ASSERT_TRUE(checkpoint_exists(path));
+
+  ModelConfig loaded_config;
+  ModelWeights loaded;
+  load_checkpoint(path, loaded_config, loaded);
+
+  EXPECT_EQ(loaded_config.name, config.name);
+  EXPECT_EQ(loaded_config.vocab_size, config.vocab_size);
+  EXPECT_EQ(loaded_config.d_model, config.d_model);
+  EXPECT_EQ(loaded_config.qkv_bias, config.qkv_bias);
+  EXPECT_EQ(static_cast<int>(loaded_config.arch),
+            static_cast<int>(config.arch));
+
+  const auto orig = weights.named_parameters();
+  const auto got = loaded.named_parameters();
+  ASSERT_EQ(orig.size(), got.size());
+  for (std::size_t i = 0; i < orig.size(); ++i) {
+    EXPECT_EQ(orig[i].first, got[i].first);
+    ASSERT_EQ(orig[i].second->numel(), got[i].second->numel());
+    for (std::size_t j = 0; j < orig[i].second->numel(); ++j) {
+      EXPECT_EQ((*orig[i].second)[j], (*got[i].second)[j]);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, LoadedModelGeneratesIdentically) {
+  const ModelConfig config = small_config();
+  Xoshiro256 rng(11);
+  TransformerLM model(config, init_weights(config, rng));
+  const std::string path = temp_path("ft2_ckpt_gen.bin");
+  save_checkpoint(path, model.config(), model.weights());
+
+  ModelConfig c2;
+  ModelWeights w2;
+  load_checkpoint(path, c2, w2);
+  TransformerLM model2(c2, std::move(w2));
+
+  InferenceSession s1(model), s2(model2);
+  GenerateOptions opts;
+  opts.max_new_tokens = 10;
+  const std::vector<int> prompt = {1, 4, 2};
+  EXPECT_EQ(s1.generate(prompt, opts).tokens, s2.generate(prompt, opts).tokens);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, MissingFileThrows) {
+  ModelConfig c;
+  ModelWeights w;
+  EXPECT_THROW(load_checkpoint("/nonexistent/nowhere.bin", c, w), Error);
+  EXPECT_FALSE(checkpoint_exists("/nonexistent/nowhere.bin"));
+}
+
+TEST(Checkpoint, BadMagicRejected) {
+  const std::string path = temp_path("ft2_ckpt_bad.bin");
+  {
+    std::ofstream os(path, std::ios::binary);
+    os << "NOPE-not-a-checkpoint";
+  }
+  EXPECT_FALSE(checkpoint_exists(path));
+  ModelConfig c;
+  ModelWeights w;
+  EXPECT_THROW(load_checkpoint(path, c, w), Error);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, TruncatedFileThrows) {
+  const ModelConfig config = small_config();
+  Xoshiro256 rng(3);
+  ModelWeights weights = init_weights(config, rng);
+  const std::string path = temp_path("ft2_ckpt_trunc.bin");
+  save_checkpoint(path, config, weights);
+
+  // Truncate to half size.
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size / 2);
+  ModelConfig c;
+  ModelWeights w;
+  EXPECT_THROW(load_checkpoint(path, c, w), Error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ft2

@@ -1,0 +1,81 @@
+#include "nn/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ft2 {
+namespace {
+
+TEST(Config, BlockLayersPerFamily) {
+  ModelConfig opt;
+  opt.arch = ArchFamily::kOpt;
+  const auto opt_layers = opt.block_layers();
+  EXPECT_EQ(opt_layers.size(), 7u);  // 6 linears + MLP_ACT
+  EXPECT_TRUE(opt.has_layer(LayerKind::kFc1));
+  EXPECT_FALSE(opt.has_layer(LayerKind::kGateProj));
+
+  ModelConfig llama;
+  llama.arch = ArchFamily::kLlama;
+  const auto llama_layers = llama.block_layers();
+  EXPECT_EQ(llama_layers.size(), 8u);  // 7 linears + MLP_ACT
+  EXPECT_TRUE(llama.has_layer(LayerKind::kUpProj));
+  EXPECT_FALSE(llama.has_layer(LayerKind::kFc1));
+}
+
+TEST(Config, LayerOutputDims) {
+  ModelConfig c;
+  c.arch = ArchFamily::kLlama;
+  c.d_model = 64;
+  c.d_ff = 176;
+  EXPECT_EQ(c.layer_output_dim(LayerKind::kQProj), 64u);
+  EXPECT_EQ(c.layer_output_dim(LayerKind::kOutProj), 64u);
+  EXPECT_EQ(c.layer_output_dim(LayerKind::kGateProj), 176u);
+  EXPECT_EQ(c.layer_output_dim(LayerKind::kUpProj), 176u);
+  EXPECT_EQ(c.layer_output_dim(LayerKind::kDownProj), 64u);
+  EXPECT_EQ(c.layer_output_dim(LayerKind::kMlpAct), 176u);
+}
+
+TEST(Config, HeadDim) {
+  ModelConfig c;
+  c.d_model = 64;
+  c.n_heads = 4;
+  EXPECT_EQ(c.head_dim(), 16u);
+}
+
+TEST(Config, BiasRules) {
+  ModelConfig opt;
+  opt.linear_bias = true;
+  EXPECT_TRUE(opt.layer_has_bias(LayerKind::kQProj));
+  EXPECT_TRUE(opt.layer_has_bias(LayerKind::kFc2));
+
+  ModelConfig llama;
+  llama.linear_bias = false;
+  EXPECT_FALSE(llama.layer_has_bias(LayerKind::kQProj));
+
+  ModelConfig qwen = llama;
+  qwen.qkv_bias = true;
+  EXPECT_TRUE(qwen.layer_has_bias(LayerKind::kQProj));
+  EXPECT_TRUE(qwen.layer_has_bias(LayerKind::kVProj));
+  EXPECT_FALSE(qwen.layer_has_bias(LayerKind::kOutProj));
+  EXPECT_FALSE(qwen.layer_has_bias(LayerKind::kDownProj));
+}
+
+TEST(LayerKind, NamesAndLinearClassification) {
+  EXPECT_EQ(layer_kind_name(LayerKind::kVProj), "V_PROJ");
+  EXPECT_EQ(layer_kind_name(LayerKind::kMlpAct), "MLP_ACT");
+  EXPECT_TRUE(is_linear_layer(LayerKind::kUpProj));
+  EXPECT_FALSE(is_linear_layer(LayerKind::kMlpAct));
+  EXPECT_FALSE(is_linear_layer(LayerKind::kCount));
+}
+
+TEST(LayerSite, Equality) {
+  const LayerSite a{1, LayerKind::kVProj};
+  const LayerSite b{1, LayerKind::kVProj};
+  const LayerSite c{2, LayerKind::kVProj};
+  const LayerSite d{1, LayerKind::kQProj};
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+  EXPECT_FALSE(a == d);
+}
+
+}  // namespace
+}  // namespace ft2

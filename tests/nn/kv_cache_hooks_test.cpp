@@ -1,0 +1,123 @@
+// KV cache bookkeeping and hook-chain semantics.
+#include <gtest/gtest.h>
+
+#include "nn/hooks.hpp"
+#include "nn/kv_cache.hpp"
+
+namespace ft2 {
+namespace {
+
+TEST(KvCache, StoreAndRetrieve) {
+  KvCache cache(2, 8, 4);
+  EXPECT_EQ(cache.length(), 0u);
+  EXPECT_EQ(cache.max_seq(), 8u);
+
+  const std::vector<float> k0 = {1, 2, 3, 4};
+  const std::vector<float> v0 = {5, 6, 7, 8};
+  cache.store(0, 0, k0, v0);
+  cache.store(1, 0, v0, k0);
+  cache.advance();
+  EXPECT_EQ(cache.length(), 1u);
+
+  const auto key = cache.key(0, 0);
+  EXPECT_EQ(key[0], 1.0f);
+  EXPECT_EQ(key[3], 4.0f);
+  const auto val = cache.value(1, 0);
+  EXPECT_EQ(val[0], 1.0f);  // block 1 stored swapped
+}
+
+TEST(KvCache, ResetClearsLength) {
+  KvCache cache(1, 4, 2);
+  const std::vector<float> kv = {1, 2};
+  cache.store(0, 0, kv, kv);
+  cache.advance();
+  cache.reset();
+  EXPECT_EQ(cache.length(), 0u);
+  // Re-use after reset works.
+  cache.store(0, 0, kv, kv);
+  cache.advance();
+  EXPECT_EQ(cache.length(), 1u);
+}
+
+class RecordingHook : public OutputHook {
+ public:
+  explicit RecordingHook(std::vector<std::string>* log, std::string name,
+                         float delta = 0.0f)
+      : log_(log), name_(std::move(name)), delta_(delta) {}
+
+  void on_output(const HookContext&, std::span<float> values) override {
+    log_->push_back(name_);
+    for (float& f : values) f += delta_;
+  }
+  void on_generation_begin() override { log_->push_back(name_ + ":begin"); }
+  void on_generation_end() override { log_->push_back(name_ + ":end"); }
+
+ private:
+  std::vector<std::string>* log_;
+  std::string name_;
+  float delta_;
+};
+
+TEST(HookChain, DispatchOrderIsRegistrationOrder) {
+  std::vector<std::string> log;
+  RecordingHook a(&log, "injector", 1.0f);
+  RecordingHook b(&log, "protector", 0.0f);
+  HookChain chain;
+  chain.add(&a);
+  chain.add(&b);
+  EXPECT_EQ(chain.size(), 2u);
+
+  std::vector<float> values = {0.0f};
+  chain.begin();
+  chain.dispatch(HookContext{{0, LayerKind::kVProj}, 0, true}, values);
+  chain.end();
+
+  const std::vector<std::string> expected = {
+      "injector:begin", "protector:begin", "injector", "protector",
+      "injector:end",   "protector:end"};
+  EXPECT_EQ(log, expected);
+  EXPECT_EQ(values[0], 1.0f);  // mutation from the first hook visible
+}
+
+TEST(HookChain, LaterHookSeesEarlierMutation) {
+  std::vector<std::string> log;
+  RecordingHook inject(&log, "i", 100.0f);
+  // A "protector" that clamps what it sees.
+  class ClampHook : public OutputHook {
+   public:
+    void on_output(const HookContext&, std::span<float> values) override {
+      for (float& f : values) f = std::min(f, 1.0f);
+    }
+  };
+  ClampHook clamp;
+  HookChain chain;
+  chain.add(&inject);
+  chain.add(&clamp);
+  std::vector<float> values = {0.5f};
+  chain.dispatch(HookContext{{0, LayerKind::kFc2}, 3, false}, values);
+  EXPECT_EQ(values[0], 1.0f);  // 0.5 + 100 then clamped
+}
+
+TEST(HookChain, EmptyChainIsNoop) {
+  HookChain chain;
+  EXPECT_TRUE(chain.empty());
+  std::vector<float> values = {2.0f};
+  chain.dispatch(HookContext{{0, LayerKind::kQProj}, 0, false}, values);
+  chain.begin();
+  chain.end();
+  EXPECT_EQ(values[0], 2.0f);
+}
+
+TEST(HookChain, ClearRemovesHooks) {
+  std::vector<std::string> log;
+  RecordingHook a(&log, "a");
+  HookChain chain;
+  chain.add(&a);
+  chain.clear();
+  std::vector<float> values = {1.0f};
+  chain.dispatch(HookContext{{0, LayerKind::kQProj}, 0, false}, values);
+  EXPECT_TRUE(log.empty());
+}
+
+}  // namespace
+}  // namespace ft2

@@ -1,0 +1,111 @@
+#include "nn/layer_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace ft2 {
+namespace {
+
+ModelConfig config_for(ArchFamily arch) {
+  ModelConfig c;
+  c.arch = arch;
+  c.vocab_size = 16;
+  if (arch == ArchFamily::kGptj) c.parallel_block = true;
+  if (arch == ArchFamily::kLlama) {
+    c.norm = NormKind::kRmsNorm;
+    c.position = PositionKind::kRotary;
+    c.activation = Activation::kSilu;
+    c.linear_bias = false;
+  }
+  if (arch == ArchFamily::kGptj) c.position = PositionKind::kRotary;
+  return c;
+}
+
+TEST(LayerGraph, OptHasExpectedLinears) {
+  const LayerGraph g = LayerGraph::build(config_for(ArchFamily::kOpt));
+  const auto kinds = g.linear_kinds();
+  EXPECT_EQ(kinds.size(), 6u);
+  for (LayerKind k : {LayerKind::kQProj, LayerKind::kKProj, LayerKind::kVProj,
+                      LayerKind::kOutProj, LayerKind::kFc1, LayerKind::kFc2}) {
+    EXPECT_NE(g.find_linear(k), -1) << layer_kind_name(k);
+  }
+  EXPECT_EQ(g.find_linear(LayerKind::kGateProj), -1);
+}
+
+TEST(LayerGraph, LlamaHasGatedMlp) {
+  const LayerGraph g = LayerGraph::build(config_for(ArchFamily::kLlama));
+  for (LayerKind k :
+       {LayerKind::kGateProj, LayerKind::kUpProj, LayerKind::kDownProj}) {
+    EXPECT_NE(g.find_linear(k), -1) << layer_kind_name(k);
+  }
+  EXPECT_EQ(g.find_linear(LayerKind::kFc1), -1);
+}
+
+TEST(LayerGraph, RotaryModelsHaveRopeNodes) {
+  const LayerGraph llama = LayerGraph::build(config_for(ArchFamily::kLlama));
+  const LayerGraph opt = LayerGraph::build(config_for(ArchFamily::kOpt));
+  auto count_rope = [](const LayerGraph& g) {
+    return std::count_if(g.nodes().begin(), g.nodes().end(),
+                         [](const OpNode& n) { return n.op == OpKind::kRope; });
+  };
+  EXPECT_EQ(count_rope(llama), 2);
+  EXPECT_EQ(count_rope(opt), 0);
+}
+
+TEST(LayerGraph, GptjHasSingleResidualAdd) {
+  const LayerGraph g = LayerGraph::build(config_for(ArchFamily::kGptj));
+  const auto adds = std::count_if(
+      g.nodes().begin(), g.nodes().end(),
+      [](const OpNode& n) { return n.op == OpKind::kResidualAdd; });
+  EXPECT_EQ(adds, 1);
+
+  const LayerGraph serial = LayerGraph::build(config_for(ArchFamily::kOpt));
+  const auto serial_adds = std::count_if(
+      serial.nodes().begin(), serial.nodes().end(),
+      [](const OpNode& n) { return n.op == OpKind::kResidualAdd; });
+  EXPECT_EQ(serial_adds, 2);
+}
+
+TEST(LayerGraph, QAndKFeedTheAttentionScale) {
+  const LayerGraph g = LayerGraph::build(config_for(ArchFamily::kOpt));
+  const int q = g.find_linear(LayerKind::kQProj);
+  int scale = -1;
+  for (int i = 0; i < g.size(); ++i) {
+    if (g.node(i).op == OpKind::kAttentionScale) scale = i;
+  }
+  ASSERT_NE(scale, -1);
+  const auto& succ = g.node(q).successors;
+  EXPECT_TRUE(std::find(succ.begin(), succ.end(), scale) != succ.end());
+}
+
+TEST(LayerGraph, VFeedsWeightingNotScale) {
+  const LayerGraph g = LayerGraph::build(config_for(ArchFamily::kLlama));
+  const int v = g.find_linear(LayerKind::kVProj);
+  ASSERT_EQ(g.node(v).successors.size(), 1u);
+  EXPECT_EQ(g.node(g.node(v).successors[0]).op, OpKind::kWeighting);
+}
+
+TEST(LayerGraph, GuardOpClassification) {
+  EXPECT_TRUE(is_guard_op(OpKind::kActivation));
+  EXPECT_TRUE(is_guard_op(OpKind::kAttentionScale));
+  EXPECT_FALSE(is_guard_op(OpKind::kResidualAdd));
+  EXPECT_FALSE(is_guard_op(OpKind::kNorm));
+  EXPECT_FALSE(is_guard_op(OpKind::kElementwiseMul));
+  EXPECT_FALSE(is_guard_op(OpKind::kWeighting));
+  EXPECT_FALSE(is_guard_op(OpKind::kRope));
+}
+
+TEST(LayerGraph, EveryGraphEndsAtNextLinearSentinel) {
+  for (ArchFamily arch :
+       {ArchFamily::kOpt, ArchFamily::kGptj, ArchFamily::kLlama}) {
+    const LayerGraph g = LayerGraph::build(config_for(arch));
+    const auto sentinels = std::count_if(
+        g.nodes().begin(), g.nodes().end(),
+        [](const OpNode& n) { return n.op == OpKind::kNextLinear; });
+    EXPECT_EQ(sentinels, 1) << static_cast<int>(arch);
+  }
+}
+
+}  // namespace
+}  // namespace ft2

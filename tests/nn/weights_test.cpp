@@ -1,0 +1,140 @@
+#include "nn/weights.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace ft2 {
+namespace {
+
+ModelConfig opt_config() {
+  ModelConfig c;
+  c.arch = ArchFamily::kOpt;
+  c.vocab_size = 32;
+  c.d_model = 16;
+  c.n_heads = 2;
+  c.n_blocks = 3;
+  c.d_ff = 24;
+  c.max_seq = 48;
+  return c;
+}
+
+ModelConfig llama_config() {
+  ModelConfig c = opt_config();
+  c.arch = ArchFamily::kLlama;
+  c.norm = NormKind::kRmsNorm;
+  c.position = PositionKind::kRotary;
+  c.activation = Activation::kSilu;
+  c.linear_bias = false;
+  c.qkv_bias = true;
+  return c;
+}
+
+TEST(Weights, ShapesMatchConfig) {
+  const ModelConfig c = llama_config();
+  Xoshiro256 rng(1);
+  const ModelWeights w = init_weights(c, rng);
+  ASSERT_EQ(w.blocks.size(), 3u);
+  EXPECT_EQ(w.tok_emb.shape(), (std::vector<std::size_t>{32, 16}));
+  EXPECT_EQ(w.pos_emb.numel(), 0u);  // rotary: no learned positions
+  EXPECT_EQ(w.lm_head.w.shape(), (std::vector<std::size_t>{32, 16}));
+  const auto& blk = w.blocks[0];
+  EXPECT_EQ(blk.q.w.shape(), (std::vector<std::size_t>{16, 16}));
+  EXPECT_EQ(blk.fc1.w.shape(), (std::vector<std::size_t>{24, 16}));  // gate
+  EXPECT_EQ(blk.up.w.shape(), (std::vector<std::size_t>{24, 16}));
+  EXPECT_EQ(blk.fc2.w.shape(), (std::vector<std::size_t>{16, 24}));  // down
+  EXPECT_EQ(blk.norm1.beta.numel(), 0u);  // RMSNorm has no beta
+}
+
+TEST(Weights, BiasFlagsRespected) {
+  Xoshiro256 rng(2);
+  const ModelWeights llama = init_weights(llama_config(), rng);
+  EXPECT_TRUE(llama.blocks[0].q.has_bias);   // qkv_bias
+  EXPECT_TRUE(llama.blocks[0].v.has_bias);
+  EXPECT_FALSE(llama.blocks[0].o.has_bias);  // no linear_bias
+  EXPECT_FALSE(llama.blocks[0].fc1.has_bias);
+
+  const ModelWeights opt = init_weights(opt_config(), rng);
+  EXPECT_TRUE(opt.blocks[0].o.has_bias);
+  EXPECT_TRUE(opt.blocks[0].fc1.has_bias);
+  EXPECT_GT(opt.pos_emb.numel(), 0u);  // learned positions
+}
+
+TEST(Weights, NamedParametersUniqueAndComplete) {
+  Xoshiro256 rng(3);
+  ModelWeights w = init_weights(opt_config(), rng);
+  const auto params = w.named_parameters();
+  std::set<std::string> names;
+  std::size_t total = 0;
+  for (const auto& [name, t] : params) {
+    EXPECT_TRUE(names.insert(name).second) << "duplicate " << name;
+    EXPECT_GT(t->numel(), 0u) << name;
+    total += t->numel();
+  }
+  EXPECT_EQ(total, w.parameter_count());
+  // Every block contributes its norms and linears.
+  EXPECT_TRUE(names.contains("block0.q.w"));
+  EXPECT_TRUE(names.contains("block2.fc2.b"));
+  EXPECT_TRUE(names.contains("block1.norm2.gamma"));
+  EXPECT_TRUE(names.contains("final_norm.beta"));
+}
+
+TEST(Weights, InitializationStatistics) {
+  Xoshiro256 rng(4);
+  const ModelWeights w = init_weights(opt_config(), rng);
+  // Token embedding ~ N(0, 0.02).
+  double sum = 0.0, sq = 0.0;
+  for (float f : w.tok_emb.span()) {
+    sum += f;
+    sq += static_cast<double>(f) * f;
+  }
+  const double n = static_cast<double>(w.tok_emb.numel());
+  EXPECT_NEAR(sum / n, 0.0, 0.01);
+  EXPECT_NEAR(std::sqrt(sq / n), 0.02, 0.01);
+  // Norm gammas at 1, betas/biases at 0.
+  for (float f : w.blocks[0].norm1.gamma.span()) EXPECT_EQ(f, 1.0f);
+  for (float f : w.blocks[0].q.b.span()) EXPECT_EQ(f, 0.0f);
+  // Residual projections use the scaled-down init.
+  double o_sq = 0.0;
+  for (float f : w.blocks[0].o.w.span()) o_sq += static_cast<double>(f) * f;
+  const double o_std =
+      std::sqrt(o_sq / static_cast<double>(w.blocks[0].o.w.numel()));
+  EXPECT_LT(o_std, 0.015);  // 0.02 / sqrt(2*3) ~ 0.008
+}
+
+TEST(Weights, LinearAtResolvesEveryKind) {
+  Xoshiro256 rng(5);
+  {
+    const ModelConfig c = opt_config();
+    ModelWeights w = init_weights(c, rng);
+    EXPECT_EQ(&linear_at(w, c, {1, LayerKind::kQProj}), &w.blocks[1].q);
+    EXPECT_EQ(&linear_at(w, c, {0, LayerKind::kFc1}), &w.blocks[0].fc1);
+    EXPECT_EQ(&linear_at(w, c, {2, LayerKind::kFc2}), &w.blocks[2].fc2);
+    EXPECT_THROW(linear_at(w, c, {0, LayerKind::kGateProj}), Error);
+    EXPECT_THROW(linear_at(w, c, {5, LayerKind::kQProj}), Error);
+  }
+  {
+    const ModelConfig c = llama_config();
+    ModelWeights w = init_weights(c, rng);
+    EXPECT_EQ(&linear_at(w, c, {0, LayerKind::kGateProj}), &w.blocks[0].fc1);
+    EXPECT_EQ(&linear_at(w, c, {0, LayerKind::kUpProj}), &w.blocks[0].up);
+    EXPECT_EQ(&linear_at(w, c, {0, LayerKind::kDownProj}), &w.blocks[0].fc2);
+    EXPECT_THROW(linear_at(w, c, {0, LayerKind::kFc1}), Error);
+    EXPECT_THROW(linear_at(w, c, {0, LayerKind::kMlpAct}), Error);
+  }
+}
+
+TEST(Weights, DifferentSeedsDifferentWeights) {
+  Xoshiro256 r1(10), r2(11);
+  const ModelWeights a = init_weights(opt_config(), r1);
+  const ModelWeights b = init_weights(opt_config(), r2);
+  bool differs = false;
+  for (std::size_t i = 0; i < a.tok_emb.numel(); ++i) {
+    if (a.tok_emb[i] != b.tok_emb[i]) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+}  // namespace
+}  // namespace ft2

@@ -1,0 +1,162 @@
+// IEEE binary16 correctness. GCC's native _Float16 (hardware/softfp
+// round-to-nearest-even) serves as the oracle for conversions.
+#include "numeric/f16.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+namespace ft2 {
+namespace {
+
+std::uint16_t native_f16_bits(float f) {
+  const _Float16 h = static_cast<_Float16>(f);
+  std::uint16_t bits;
+  std::memcpy(&bits, &h, sizeof(bits));
+  return bits;
+}
+
+float native_f16_to_float(std::uint16_t bits) {
+  _Float16 h;
+  std::memcpy(&h, &bits, sizeof(h));
+  return static_cast<float>(h);
+}
+
+TEST(F16, ToFloatMatchesNativeForAllBitPatterns) {
+  for (std::uint32_t b = 0; b <= 0xFFFFu; ++b) {
+    const auto bits = static_cast<std::uint16_t>(b);
+    const float ours = f16::from_bits(bits).to_float();
+    const float native = native_f16_to_float(bits);
+    if (std::isnan(native)) {
+      EXPECT_TRUE(std::isnan(ours)) << "bits=" << b;
+    } else {
+      EXPECT_EQ(ours, native) << "bits=" << b;
+    }
+  }
+}
+
+TEST(F16, FromFloatRoundTripsAllFinitePatterns) {
+  // Every representable half must convert float->half exactly.
+  for (std::uint32_t b = 0; b <= 0xFFFFu; ++b) {
+    const auto bits = static_cast<std::uint16_t>(b);
+    const f16 h = f16::from_bits(bits);
+    if (h.is_nan()) continue;
+    const float f = h.to_float();
+    EXPECT_EQ(f16::from_float(f).bits(), bits) << "bits=" << b;
+  }
+}
+
+TEST(F16, FromFloatMatchesNativeRounding) {
+  // Pseudo-random floats across the half range, plus halfway cases.
+  std::uint64_t state = 12345;
+  for (int i = 0; i < 200000; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    const float mag = std::ldexp(
+        1.0f + static_cast<float>((state >> 40) & 0xFFFFFF) / 16777216.0f,
+        static_cast<int>((state >> 10) % 36) - 18);
+    const float f = (state & 1) ? -mag : mag;
+    EXPECT_EQ(f16::from_float(f).bits(), native_f16_bits(f)) << "f=" << f;
+  }
+}
+
+TEST(F16, OverflowGoesToInfinity) {
+  EXPECT_TRUE(f16::from_float(65520.0f).is_inf());
+  EXPECT_TRUE(f16::from_float(1e10f).is_inf());
+  EXPECT_TRUE(f16::from_float(-65520.0f).is_inf());
+  EXPECT_TRUE(f16::from_float(-1e10f).sign());
+  EXPECT_EQ(f16::from_float(65519.0f).to_float(), 65504.0f);
+  EXPECT_EQ(f16::from_float(65504.0f).to_float(), 65504.0f);
+}
+
+TEST(F16, SubnormalsConvertExactly) {
+  const float smallest = std::ldexp(1.0f, -24);  // 2^-24, smallest subnormal
+  EXPECT_EQ(f16::from_float(smallest).bits(), 0x0001u);
+  EXPECT_EQ(f16::from_float(-smallest).bits(), 0x8001u);
+  EXPECT_EQ(f16::from_float(smallest / 4.0f).bits(), 0x0000u);  // underflow
+  EXPECT_EQ(f16::from_bits(0x0001).to_float(), smallest);
+}
+
+TEST(F16, NanHandling) {
+  EXPECT_TRUE(f16::from_float(std::nanf("")).is_nan());
+  EXPECT_TRUE(std::isnan(f16::from_bits(0x7C01).to_float()));
+  EXPECT_TRUE(std::isnan(f16::from_bits(0xFFFF).to_float()));
+  EXPECT_TRUE(f16::from_bits(0x7C00).is_inf());
+  EXPECT_FALSE(f16::from_bits(0x7C00).is_nan());
+}
+
+TEST(F16, FieldAccessors) {
+  const f16 two = f16::from_float(2.0f);
+  EXPECT_EQ(two.exponent_bits(), 0x10);
+  EXPECT_EQ(two.mantissa_bits(), 0);
+  EXPECT_FALSE(two.sign());
+
+  const f16 neg = f16::from_float(-1.5f);
+  EXPECT_TRUE(neg.sign());
+  EXPECT_EQ(neg.exponent_bits(), 0x0F);
+  EXPECT_EQ(neg.mantissa_bits(), 0x200);
+}
+
+// The paper's NaN-vulnerable area: +/-(1, 2) — exponent pattern 01111 with a
+// non-zero mantissa. Flipping the top exponent bit of such a value must
+// produce NaN; values elsewhere must not.
+TEST(F16, NanVulnerableAreaMatchesTopExponentFlip) {
+  for (std::uint32_t b = 0; b <= 0xFFFFu; ++b) {
+    const auto bits = static_cast<std::uint16_t>(b);
+    const f16 h = f16::from_bits(bits);
+    if (h.is_nan() || h.is_inf()) continue;
+    const float v = h.to_float();
+    const auto flipped =
+        f16::from_bits(static_cast<std::uint16_t>(bits ^ (1u << 14)));
+    EXPECT_EQ(nan_vulnerable_f16(v), flipped.is_nan())
+        << "bits=" << b << " v=" << v;
+  }
+}
+
+TEST(F16, NanVulnerableExamples) {
+  EXPECT_TRUE(nan_vulnerable_f16(1.5f));
+  EXPECT_TRUE(nan_vulnerable_f16(-1.25f));
+  EXPECT_TRUE(nan_vulnerable_f16(1.999f));
+  EXPECT_FALSE(nan_vulnerable_f16(1.0f));   // mantissa 0 -> flips to inf
+  EXPECT_FALSE(nan_vulnerable_f16(-1.0f));
+  EXPECT_FALSE(nan_vulnerable_f16(0.5f));
+  EXPECT_FALSE(nan_vulnerable_f16(2.0f));
+  EXPECT_FALSE(nan_vulnerable_f16(0.0f));
+}
+
+TEST(F16, QuantizePreservesSpecials) {
+  EXPECT_TRUE(std::isnan(quantize_f16(std::nanf(""))));
+  EXPECT_TRUE(std::isinf(quantize_f16(std::numeric_limits<float>::infinity())));
+  EXPECT_EQ(quantize_f16(0.0f), 0.0f);
+  EXPECT_EQ(quantize_f16(1.0f), 1.0f);
+  // 1/3 is not representable; result must be the nearest half.
+  const float q = quantize_f16(1.0f / 3.0f);
+  EXPECT_NE(q, 1.0f / 3.0f);
+  EXPECT_NEAR(q, 1.0f / 3.0f, 1e-3f);
+  EXPECT_EQ(quantize_f16(q), q);  // idempotent
+}
+
+TEST(F16, F32BitsRoundTrip) {
+  for (float f : {0.0f, -1.5f, 3.14159f, 65504.0f, 1e-30f}) {
+    EXPECT_EQ(f32_from_bits(f32_bits(f)), f);
+  }
+  EXPECT_TRUE(std::isnan(f32_from_bits(0x7FC00000u)));
+}
+
+// Figure 7 of the paper: flipping the highest exponent bit of a small value
+// produces an extremely large value; of a NaN-vulnerable value, NaN.
+TEST(F16, Figure7Examples) {
+  const f16 small = f16::from_float(0.5f);
+  const f16 big = f16::from_bits(
+      static_cast<std::uint16_t>(small.bits() ^ (1u << 14)));
+  EXPECT_GT(big.to_float(), 10000.0f);
+
+  const f16 vulnerable = f16::from_float(1.5f);
+  const f16 nan = f16::from_bits(
+      static_cast<std::uint16_t>(vulnerable.bits() ^ (1u << 14)));
+  EXPECT_TRUE(nan.is_nan());
+}
+
+}  // namespace
+}  // namespace ft2

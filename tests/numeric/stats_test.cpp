@@ -1,0 +1,139 @@
+#include "numeric/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace ft2 {
+namespace {
+
+TEST(RunningStats, MatchesDirectComputation) {
+  const std::vector<double> xs = {1.0, 2.5, -3.0, 7.25, 0.0, 4.5};
+  RunningStats rs;
+  for (double x : xs) rs.add(x);
+
+  double mean = 0.0;
+  for (double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  double var = 0.0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(xs.size() - 1);
+
+  EXPECT_EQ(rs.count(), xs.size());
+  EXPECT_NEAR(rs.mean(), mean, 1e-12);
+  EXPECT_NEAR(rs.variance(), var, 1e-12);
+  EXPECT_EQ(rs.min(), -3.0);
+  EXPECT_EQ(rs.max(), 7.25);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  Xoshiro256 rng(7);
+  RunningStats all, a, b;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.normal() * 3.0 + 1.0;
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-8);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, EmptyAndSingle) {
+  RunningStats rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_EQ(rs.mean(), 0.0);
+  EXPECT_EQ(rs.variance(), 0.0);
+  rs.add(5.0);
+  EXPECT_EQ(rs.mean(), 5.0);
+  EXPECT_EQ(rs.variance(), 0.0);
+}
+
+TEST(ProportionCI, WilsonProperties) {
+  const auto ci = proportion_ci(10, 1000);
+  EXPECT_NEAR(ci.p, 0.01, 1e-12);
+  EXPECT_GT(ci.lo, 0.0);
+  EXPECT_LT(ci.hi, 0.03);
+  EXPECT_GT(ci.hi, ci.p);
+  EXPECT_LT(ci.lo, ci.p);
+
+  // Zero successes: lower bound is exactly 0, upper is positive.
+  const auto zero = proportion_ci(0, 500);
+  EXPECT_EQ(zero.lo, 0.0);
+  EXPECT_GT(zero.hi, 0.0);
+  EXPECT_LT(zero.hi, 0.02);
+
+  // All successes mirrors zero successes.
+  const auto one = proportion_ci(500, 500);
+  EXPECT_EQ(one.hi, 1.0);
+  EXPECT_GT(one.lo, 0.98);
+
+  // No trials.
+  const auto none = proportion_ci(0, 0);
+  EXPECT_EQ(none.p, 0.0);
+  EXPECT_EQ(none.margin, 0.0);
+}
+
+TEST(ProportionCI, MarginShrinksWithTrials) {
+  const auto small = proportion_ci(5, 100);
+  const auto large = proportion_ci(500, 10000);
+  EXPECT_LT(large.margin, small.margin);
+}
+
+TEST(Histogram, BinningAndEdges) {
+  Histogram h(-1.0, 1.0, 4);
+  h.add(-0.9);  // bin 0
+  h.add(-0.1);  // bin 1
+  h.add(0.1);   // bin 2
+  h.add(0.9);   // bin 3
+  h.add(5.0);   // clamps to last bin
+  h.add(-5.0);  // clamps to first bin
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(1), 1u);
+  EXPECT_EQ(h.bin_count(2), 1u);
+  EXPECT_EQ(h.bin_count(3), 2u);
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), -1.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(3), 1.0);
+}
+
+TEST(Histogram, NanCountedSeparately) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(std::nan(""));
+  h.add(0.5);
+  EXPECT_EQ(h.nan_count(), 1u);
+  EXPECT_EQ(h.total(), 1u);
+}
+
+TEST(Histogram, FractionIn) {
+  Histogram h(-4.0, 4.0, 8);
+  for (double v : {0.5, 1.5, 1.7, -1.5, 3.0}) h.add(v);
+  EXPECT_DOUBLE_EQ(h.fraction_in(1.0, 2.0), 2.0 / 5.0);
+  EXPECT_DOUBLE_EQ(h.fraction_in(-2.0, -1.0), 1.0 / 5.0);
+  EXPECT_DOUBLE_EQ(h.fraction_in(10.0, 20.0), 0.0);
+}
+
+TEST(Histogram, MergeAddsCounts) {
+  Histogram a(0.0, 1.0, 2), b(0.0, 1.0, 2);
+  a.add(0.25);
+  b.add(0.75);
+  b.add(0.8);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 3u);
+  EXPECT_EQ(a.bin_count(1), 2u);
+}
+
+TEST(Histogram, InvalidConstructionThrows) {
+  EXPECT_THROW(Histogram(1.0, 0.0, 4), Error);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), Error);
+}
+
+}  // namespace
+}  // namespace ft2

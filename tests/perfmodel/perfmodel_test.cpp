@@ -1,0 +1,114 @@
+#include "perfmodel/perfmodel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace ft2::perfmodel {
+namespace {
+
+TEST(PerfModel, ParameterCountsMatchPublishedSizes) {
+  // Paper Table 2 parameter counts (billions): OPT-6.7B 6.66, OPT-2.7B 2.65,
+  // GPTJ-6B 6.05, Llama2-7B 6.74, Qwen2-7B 7.62, Qwen2-1.5B 1.54.
+  auto billions = [](const char* name) {
+    return static_cast<double>(param_count(paper_model(name))) / 1e9;
+  };
+  EXPECT_NEAR(billions("OPT-6.7B"), 6.66, 0.35);
+  EXPECT_NEAR(billions("OPT-2.7B"), 2.65, 0.25);
+  EXPECT_NEAR(billions("GPTJ-6B"), 6.05, 0.35);
+  EXPECT_NEAR(billions("Llama2-7B"), 6.74, 0.35);
+  EXPECT_NEAR(billions("Vicuna-7B"), 6.74, 0.35);
+  EXPECT_NEAR(billions("Qwen2-7B"), 7.62, 0.60);
+  EXPECT_NEAR(billions("Qwen2-1.5B"), 1.54, 0.25);
+}
+
+TEST(PerfModel, GpuSpecsSane) {
+  EXPECT_GT(h100().fp16_tflops, a100().fp16_tflops);
+  EXPECT_GT(h100().hbm_gbps, a100().hbm_gbps);
+}
+
+TEST(PerfModel, DecodeIsBandwidthBound) {
+  const auto& m = paper_model("Llama2-7B");
+  const auto g = a100();
+  // Weight bytes / effective bandwidth lower-bounds decode time.
+  const double weight_time =
+      static_cast<double>(param_count(m)) * 2.0 / (g.hbm_gbps * 1e9 * g.bw_eff);
+  EXPECT_GE(decode_seconds(m, g, 256), weight_time * 0.99);
+  // Roughly ~11ms/token for a 7B on A100 — order of magnitude check.
+  EXPECT_GT(decode_seconds(m, g, 256), 0.003);
+  EXPECT_LT(decode_seconds(m, g, 256), 0.05);
+}
+
+TEST(PerfModel, PrefillFasterThanSequentialDecode) {
+  const auto& m = paper_model("OPT-6.7B");
+  const auto g = a100();
+  const std::size_t len = 256;
+  double sequential = 0.0;
+  for (std::size_t i = 0; i < len; ++i) sequential += decode_seconds(m, g, i + 1);
+  EXPECT_LT(prefill_seconds(m, g, len), sequential);
+}
+
+TEST(PerfModel, FirstTokenFractionIsSmall) {
+  // Fig. 10: first token < 10% of inference time for all models/GPUs.
+  for (const auto& m : paper_models()) {
+    for (const auto& g : {a100(), h100()}) {
+      const double qa = first_token_fraction(m, g, 256, 60);
+      const double math = first_token_fraction(m, g, 256, 180);
+      EXPECT_GT(qa, 0.0);
+      EXPECT_LT(qa, 0.10) << m.name << " " << g.name;
+      EXPECT_LT(math, qa) << "longer generation shrinks the fraction";
+    }
+  }
+}
+
+TEST(PerfModel, InferenceSecondsMatchPaperRange) {
+  // Paper §5.2.2: inference instances take 1.35 - 6.4 s on A100.
+  const auto g = a100();
+  for (const auto& m : paper_models()) {
+    const double qa = inference_seconds(m, g, 256, 60);
+    EXPECT_GT(qa, 0.1) << m.name;
+    EXPECT_LT(qa, 10.0) << m.name;
+  }
+}
+
+TEST(PerfModel, ProfilingHoursScaleAndShape) {
+  // Fig. 4: profiling 20% of a large training set reaches tens to hundreds
+  // of hours on A100 and is several times faster on H100.
+  const auto& m = paper_model("Llama2-7B");
+  const double a = profiling_hours(m, a100(), 26000, 256, 60);
+  const double h = profiling_hours(m, h100(), 26000, 256, 60);
+  EXPECT_GT(a, 4.0);
+  EXPECT_LT(a, 400.0);
+  EXPECT_LT(h, a);
+  EXPECT_NEAR(a / h, 1.6, 1.2);  // H100 is 1.5-3x faster end-to-end
+}
+
+TEST(PerfModel, ProfilingHoursMonotonicInInputs) {
+  const auto& m = paper_model("OPT-2.7B");
+  EXPECT_LT(profiling_hours(m, a100(), 100, 128, 60),
+            profiling_hours(m, a100(), 1000, 128, 60));
+}
+
+TEST(PerfModel, ProtectionOverheadFewPercent) {
+  // Fig. 14: FT2 overhead averages ~3.4%, worst case < 9%.
+  for (const auto& m : paper_models()) {
+    const double f = protection_overhead_fraction(m, a100(), 256, 60, 5,
+                                                  static_cast<double>(m.d_model));
+    EXPECT_GT(f, 0.0001) << m.name;
+    EXPECT_LT(f, 0.12) << m.name;
+  }
+}
+
+TEST(PerfModel, UnknownModelThrows) {
+  EXPECT_THROW(paper_model("GPT-17"), ft2::Error);
+}
+
+TEST(PerfModel, GatedMlpHasThreeMatrices) {
+  const auto& llama = paper_model("Llama2-7B");
+  const auto& opt = paper_model("OPT-6.7B");
+  EXPECT_TRUE(llama.gated_mlp);
+  EXPECT_FALSE(opt.gated_mlp);
+}
+
+}  // namespace
+}  // namespace ft2::perfmodel

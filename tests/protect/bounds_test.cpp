@@ -1,0 +1,113 @@
+#include "protect/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ft2 {
+namespace {
+
+TEST(Bounds, ObserveTracksMinMax) {
+  Bounds b;
+  EXPECT_FALSE(b.valid());
+  b.observe(1.0f);
+  EXPECT_TRUE(b.valid());
+  EXPECT_EQ(b.lo, 1.0f);
+  EXPECT_EQ(b.hi, 1.0f);
+  b.observe(-3.0f);
+  b.observe(2.5f);
+  EXPECT_EQ(b.lo, -3.0f);
+  EXPECT_EQ(b.hi, 2.5f);
+}
+
+TEST(Bounds, NanObservationsIgnored) {
+  Bounds b;
+  b.observe(std::nanf(""));
+  EXPECT_FALSE(b.valid());
+  b.observe(1.0f);
+  b.observe(std::nanf(""));
+  EXPECT_EQ(b.lo, 1.0f);
+  EXPECT_EQ(b.hi, 1.0f);
+}
+
+TEST(Bounds, InfinityIsObserved) {
+  // An inf during profiling widens the bound to inf — faithful (and caught
+  // by tests of the profiling phase, not silently dropped).
+  Bounds b;
+  b.observe(std::numeric_limits<float>::infinity());
+  EXPECT_TRUE(b.valid());
+  EXPECT_TRUE(std::isinf(b.hi));
+}
+
+TEST(Bounds, ScalingWidensSymmetrically) {
+  Bounds b;
+  b.observe(-2.0f);
+  b.observe(4.0f);
+  const Bounds s = b.scaled(2.0f);
+  EXPECT_EQ(s.lo, -4.0f);
+  EXPECT_EQ(s.hi, 8.0f);
+
+  // Positive lo moves toward zero (widening the admissible interval).
+  Bounds pos;
+  pos.observe(1.0f);
+  pos.observe(3.0f);
+  const Bounds ps = pos.scaled(2.0f);
+  EXPECT_EQ(ps.lo, 0.5f);
+  EXPECT_EQ(ps.hi, 6.0f);
+
+  // Scaling by 1 is identity.
+  const Bounds id = b.scaled(1.0f);
+  EXPECT_EQ(id.lo, b.lo);
+  EXPECT_EQ(id.hi, b.hi);
+}
+
+TEST(Bounds, ContainsAndMerge) {
+  Bounds a;
+  a.observe(0.0f);
+  a.observe(1.0f);
+  EXPECT_TRUE(a.contains(0.5f));
+  EXPECT_FALSE(a.contains(1.5f));
+  Bounds b;
+  b.observe(-5.0f);
+  a.merge(b);
+  EXPECT_EQ(a.lo, -5.0f);
+  EXPECT_EQ(a.hi, 1.0f);
+}
+
+TEST(BoundStore, SiteAddressingAndMemory) {
+  ModelConfig c;
+  c.arch = ArchFamily::kOpt;
+  c.vocab_size = 8;
+  c.n_blocks = 3;
+  BoundStore store(c);
+  EXPECT_FALSE(store.empty());
+  EXPECT_EQ(store.valid_count(), 0u);
+  EXPECT_EQ(store.memory_bytes(), 0u);
+
+  store.at({1, LayerKind::kVProj}).observe(2.0f);
+  store.at({2, LayerKind::kFc2}).observe(-1.0f);
+  EXPECT_EQ(store.valid_count(), 2u);
+  EXPECT_EQ(store.memory_bytes(), 2u * 2u * sizeof(float));
+  EXPECT_TRUE(store.at({1, LayerKind::kVProj}).valid());
+  EXPECT_FALSE(store.at({0, LayerKind::kVProj}).valid());
+
+  store.reset();
+  EXPECT_EQ(store.valid_count(), 0u);
+}
+
+TEST(BoundStore, MergeCombinesSites) {
+  ModelConfig c;
+  c.arch = ArchFamily::kLlama;
+  c.vocab_size = 8;
+  c.n_blocks = 2;
+  BoundStore a(c), b(c);
+  a.at({0, LayerKind::kUpProj}).observe(1.0f);
+  b.at({0, LayerKind::kUpProj}).observe(5.0f);
+  b.at({1, LayerKind::kDownProj}).observe(-2.0f);
+  a.merge(b);
+  EXPECT_EQ(a.at({0, LayerKind::kUpProj}).hi, 5.0f);
+  EXPECT_EQ(a.at({1, LayerKind::kDownProj}).lo, -2.0f);
+}
+
+}  // namespace
+}  // namespace ft2

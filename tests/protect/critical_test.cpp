@@ -1,0 +1,93 @@
+// The heuristic must reproduce the paper's Table 1 for every architecture.
+#include "protect/critical.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "zoo/zoo.hpp"
+
+namespace ft2 {
+namespace {
+
+bool in(const std::vector<LayerKind>& v, LayerKind k) {
+  return std::find(v.begin(), v.end(), k) != v.end();
+}
+
+ModelConfig arch_config(ArchFamily arch, bool parallel = false) {
+  ModelConfig c;
+  c.arch = arch;
+  c.vocab_size = 8;
+  c.parallel_block = parallel;
+  if (arch == ArchFamily::kLlama) {
+    c.norm = NormKind::kRmsNorm;
+    c.position = PositionKind::kRotary;
+    c.activation = Activation::kSilu;
+  }
+  return c;
+}
+
+TEST(Critical, OptMatchesPaperTable1) {
+  const auto crit = critical_layers(arch_config(ArchFamily::kOpt));
+  EXPECT_TRUE(in(crit, LayerKind::kVProj));
+  EXPECT_TRUE(in(crit, LayerKind::kOutProj));
+  EXPECT_TRUE(in(crit, LayerKind::kFc2));
+  EXPECT_FALSE(in(crit, LayerKind::kQProj));
+  EXPECT_FALSE(in(crit, LayerKind::kKProj));
+  EXPECT_FALSE(in(crit, LayerKind::kFc1));
+  EXPECT_EQ(crit.size(), 3u);
+}
+
+TEST(Critical, GptjParallelBlockMatchesPaperTable1) {
+  const auto crit =
+      critical_layers(arch_config(ArchFamily::kGptj, /*parallel=*/true));
+  EXPECT_TRUE(in(crit, LayerKind::kVProj));
+  EXPECT_TRUE(in(crit, LayerKind::kOutProj));
+  EXPECT_TRUE(in(crit, LayerKind::kFc2));
+  EXPECT_FALSE(in(crit, LayerKind::kQProj));
+  EXPECT_FALSE(in(crit, LayerKind::kFc1));
+}
+
+TEST(Critical, LlamaMatchesPaperTable1) {
+  const auto crit = critical_layers(arch_config(ArchFamily::kLlama));
+  EXPECT_TRUE(in(crit, LayerKind::kVProj));
+  EXPECT_TRUE(in(crit, LayerKind::kOutProj));
+  EXPECT_TRUE(in(crit, LayerKind::kUpProj));      // no activation on its path
+  EXPECT_TRUE(in(crit, LayerKind::kDownProj));
+  EXPECT_FALSE(in(crit, LayerKind::kQProj));
+  EXPECT_FALSE(in(crit, LayerKind::kKProj));
+  EXPECT_FALSE(in(crit, LayerKind::kGateProj));   // guarded by SiLU
+  EXPECT_EQ(crit.size(), 4u);
+}
+
+TEST(Critical, CriticalAndNonCriticalPartitionLinears) {
+  for (const auto& entry : model_zoo()) {
+    const auto crit = critical_layers(entry.config);
+    const auto noncrit = non_critical_layers(entry.config);
+    std::size_t linears = 0;
+    for (LayerKind k : entry.config.block_layers()) {
+      if (is_linear_layer(k)) ++linears;
+    }
+    EXPECT_EQ(crit.size() + noncrit.size(), linears) << entry.name;
+    for (LayerKind k : crit) {
+      EXPECT_FALSE(in(noncrit, k)) << entry.name << " "
+                                   << layer_kind_name(k);
+    }
+  }
+}
+
+TEST(Critical, UnknownKindThrows) {
+  const LayerGraph g = LayerGraph::build(arch_config(ArchFamily::kOpt));
+  EXPECT_THROW(layer_is_critical(g, LayerKind::kGateProj), Error);
+}
+
+TEST(Critical, WhyQIsNotCritical) {
+  // Q reaches OUT_PROJ only through the attention scale+softmax guard.
+  const LayerGraph g = LayerGraph::build(arch_config(ArchFamily::kOpt));
+  EXPECT_FALSE(layer_is_critical(g, LayerKind::kQProj));
+  // V reaches OUT_PROJ through the (non-guard) weighting op.
+  EXPECT_TRUE(layer_is_critical(g, LayerKind::kVProj));
+}
+
+}  // namespace
+}  // namespace ft2

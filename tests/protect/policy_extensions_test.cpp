@@ -1,0 +1,109 @@
+// Tests for the correction-policy and detector extensions: clip-to-typical
+// (Dr.DNA-style), detect-only mode, and median profiling.
+#include <gtest/gtest.h>
+
+#include "core/ft2.hpp"
+
+namespace ft2 {
+namespace {
+
+Bounds bounds_with_typical(float lo, float hi, float typical) {
+  Bounds b;
+  b.lo = lo;
+  b.hi = hi;
+  b.typical = typical;
+  return b;
+}
+
+TEST(ClipToTypical, ReplacesOutliersWithTypicalValue) {
+  std::vector<float> v = {5.0f, 0.2f, -9.0f};
+  range_restrict(v, bounds_with_typical(-1.0f, 1.0f, 0.25f),
+                 ClipPolicy::kToTypical, true, nullptr);
+  EXPECT_EQ(v[0], 0.25f);
+  EXPECT_EQ(v[1], 0.2f);
+  EXPECT_EQ(v[2], 0.25f);
+}
+
+TEST(ClipToTypical, ScaledBoundsKeepTypical) {
+  const Bounds b = bounds_with_typical(-2.0f, 2.0f, 0.5f);
+  EXPECT_EQ(b.scaled(2.0f).typical, 0.5f);
+}
+
+TEST(DetectOnly, CountsWithoutCorrecting) {
+  std::vector<float> v = {5.0f, std::nanf(""), 0.1f};
+  ProtectionStats stats;
+  range_restrict(v, bounds_with_typical(-1.0f, 1.0f, 0.0f),
+                 ClipPolicy::kToBound, true, &stats, /*detect_only=*/true);
+  EXPECT_EQ(v[0], 5.0f);            // untouched
+  EXPECT_TRUE(std::isnan(v[1]));    // untouched
+  EXPECT_EQ(stats.oob_corrected, 1u);
+  EXPECT_EQ(stats.nan_corrected, 1u);
+}
+
+TEST(DetectOnly, InvalidBoundsStillCountNan) {
+  std::vector<float> v = {std::nanf(""), 1.0f};
+  ProtectionStats stats;
+  range_restrict(v, Bounds{}, ClipPolicy::kToBound, true, &stats, true);
+  EXPECT_TRUE(std::isnan(v[0]));
+  EXPECT_EQ(stats.nan_corrected, 1u);
+}
+
+TEST(DetectOnly, SchemeSpecFlagKeepsOutputIntact) {
+  ModelConfig c;
+  c.arch = ArchFamily::kOpt;
+  c.vocab_size = 8;
+  c.n_blocks = 1;
+  SchemeSpec spec = scheme_spec(SchemeKind::kFt2, c);
+  spec.detect_only = true;
+  ProtectionHook hook(c, spec);
+  hook.on_generation_begin();
+
+  std::vector<float> first = {1.0f};
+  hook.on_output(HookContext{{0, LayerKind::kVProj}, 0, true}, first);
+  std::vector<float> later = {100.0f};
+  hook.on_output(HookContext{{0, LayerKind::kVProj}, 1, false}, later);
+  EXPECT_EQ(later[0], 100.0f);              // not corrected
+  EXPECT_EQ(hook.stats().oob_corrected, 1u);  // but flagged
+}
+
+TEST(HistogramQuantile, MatchesSortedOrder) {
+  Histogram h(-10.0, 10.0, 4);
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) h.add(v);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.25), 2.0);
+  // Interpolation between ranks.
+  EXPECT_NEAR(h.quantile(0.375), 2.5, 1e-12);
+  // Empty histogram.
+  Histogram empty(0.0, 1.0, 2);
+  EXPECT_EQ(empty.quantile(0.5), 0.0);
+}
+
+TEST(MedianProfiling, TypicalValuesFilledAndInsideBounds) {
+  ModelConfig c;
+  c.arch = ArchFamily::kOpt;
+  c.vocab_size = Vocab::shared().size();
+  c.d_model = 16;
+  c.n_heads = 2;
+  c.n_blocks = 2;
+  c.d_ff = 24;
+  c.max_seq = 96;
+  Xoshiro256 rng(8);
+  const TransformerLM model(c, init_weights(c, rng));
+  const auto gen = make_generator(DatasetKind::kSynthQA);
+  const BoundStore bounds =
+      profile_offline_bounds_with_typical(model, *gen, 3, 4, 6);
+
+  for (std::size_t b = 0; b < c.n_blocks; ++b) {
+    for (LayerKind kind : c.block_layers()) {
+      const Bounds& bd = bounds.at({static_cast<int>(b), kind});
+      ASSERT_TRUE(bd.valid());
+      EXPECT_GE(bd.typical, bd.lo);
+      EXPECT_LE(bd.typical, bd.hi);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ft2

@@ -1,0 +1,103 @@
+#include "protect/range_restriction.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace ft2 {
+namespace {
+
+Bounds unit_bounds() {
+  Bounds b;
+  b.observe(-1.0f);
+  b.observe(1.0f);
+  return b;
+}
+
+TEST(RangeRestriction, ClipToBoundKeepsSignedExtremes) {
+  std::vector<float> v = {0.5f, 3.0f, -7.0f, -0.2f};
+  ProtectionStats stats;
+  range_restrict(v, unit_bounds(), ClipPolicy::kToBound, true, &stats);
+  EXPECT_EQ(v[0], 0.5f);
+  EXPECT_EQ(v[1], 1.0f);
+  EXPECT_EQ(v[2], -1.0f);
+  EXPECT_EQ(v[3], -0.2f);
+  EXPECT_EQ(stats.oob_corrected, 2u);
+  EXPECT_EQ(stats.values_checked, 4u);
+}
+
+TEST(RangeRestriction, ClipToZeroZeroesOutliers) {
+  std::vector<float> v = {0.5f, 3.0f, -7.0f};
+  range_restrict(v, unit_bounds(), ClipPolicy::kToZero, true, nullptr);
+  EXPECT_EQ(v[0], 0.5f);
+  EXPECT_EQ(v[1], 0.0f);
+  EXPECT_EQ(v[2], 0.0f);
+}
+
+TEST(RangeRestriction, InfinityIsOutOfBounds) {
+  std::vector<float> v = {std::numeric_limits<float>::infinity(),
+                          -std::numeric_limits<float>::infinity()};
+  range_restrict(v, unit_bounds(), ClipPolicy::kToBound, true, nullptr);
+  EXPECT_EQ(v[0], 1.0f);
+  EXPECT_EQ(v[1], -1.0f);
+}
+
+TEST(RangeRestriction, NanCorrectedWhenEnabled) {
+  std::vector<float> v = {std::nanf(""), 0.5f};
+  ProtectionStats stats;
+  range_restrict(v, unit_bounds(), ClipPolicy::kToBound, true, &stats);
+  EXPECT_EQ(v[0], 0.0f);
+  EXPECT_EQ(stats.nan_corrected, 1u);
+}
+
+TEST(RangeRestriction, NanPassesThroughWhenDisabled) {
+  // Schemes without NaN handling (original Ranger): NaN compares false
+  // against any bound and survives.
+  std::vector<float> v = {std::nanf(""), 5.0f};
+  range_restrict(v, unit_bounds(), ClipPolicy::kToZero, false, nullptr);
+  EXPECT_TRUE(std::isnan(v[0]));
+  EXPECT_EQ(v[1], 0.0f);
+}
+
+TEST(RangeRestriction, InvalidBoundsDegradeToNanOnly) {
+  const Bounds invalid;  // never observed
+  std::vector<float> v = {std::nanf(""), 1e9f, -1e9f};
+  ProtectionStats stats;
+  range_restrict(v, invalid, ClipPolicy::kToBound, true, &stats);
+  EXPECT_EQ(v[0], 0.0f);       // NaN fixed
+  EXPECT_EQ(v[1], 1e9f);       // no bounds -> extremes untouched
+  EXPECT_EQ(v[2], -1e9f);
+  EXPECT_EQ(stats.nan_corrected, 1u);
+  EXPECT_EQ(stats.oob_corrected, 0u);
+}
+
+TEST(RangeRestriction, BoundaryValuesAreInBounds) {
+  std::vector<float> v = {1.0f, -1.0f};
+  ProtectionStats stats;
+  range_restrict(v, unit_bounds(), ClipPolicy::kToBound, true, &stats);
+  EXPECT_EQ(stats.oob_corrected, 0u);
+  EXPECT_EQ(v[0], 1.0f);
+  EXPECT_EQ(v[1], -1.0f);
+}
+
+TEST(RangeRestriction, CorrectNanToZeroHelper) {
+  std::vector<float> v = {std::nanf(""), 1.0f, std::nanf(""),
+                          std::numeric_limits<float>::infinity()};
+  EXPECT_EQ(correct_nan_to_zero(v), 2u);
+  EXPECT_EQ(v[0], 0.0f);
+  EXPECT_EQ(v[1], 1.0f);
+  EXPECT_TRUE(std::isinf(v[3]));  // inf is not NaN, untouched
+}
+
+TEST(RangeRestriction, StatsMerge) {
+  ProtectionStats a{10, 1, 2}, b{5, 0, 3};
+  a.merge(b);
+  EXPECT_EQ(a.values_checked, 15u);
+  EXPECT_EQ(a.nan_corrected, 1u);
+  EXPECT_EQ(a.oob_corrected, 5u);
+}
+
+}  // namespace
+}  // namespace ft2

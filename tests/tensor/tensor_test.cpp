@@ -1,0 +1,69 @@
+#include "tensor/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ft2 {
+namespace {
+
+TEST(Tensor, ConstructionZeroInitializes) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.rank(), 2u);
+  EXPECT_EQ(t.dim(0), 2u);
+  EXPECT_EQ(t.dim(1), 3u);
+  EXPECT_EQ(t.numel(), 6u);
+  for (float f : t.span()) EXPECT_EQ(f, 0.0f);
+}
+
+TEST(Tensor, FullFills) {
+  const Tensor t = Tensor::full({2, 2}, 3.5f);
+  for (float f : t.span()) EXPECT_EQ(f, 3.5f);
+}
+
+TEST(Tensor, TwoDAccessorsRowMajor) {
+  Tensor t({2, 3});
+  t.at(0, 0) = 1.0f;
+  t.at(0, 2) = 2.0f;
+  t.at(1, 1) = 3.0f;
+  EXPECT_EQ(t[0], 1.0f);
+  EXPECT_EQ(t[2], 2.0f);
+  EXPECT_EQ(t[4], 3.0f);
+}
+
+TEST(Tensor, RowViewIsMutable) {
+  Tensor t({3, 4});
+  auto row = t.row(1);
+  EXPECT_EQ(row.size(), 4u);
+  row[2] = 9.0f;
+  EXPECT_EQ(t.at(1, 2), 9.0f);
+}
+
+TEST(Tensor, ReshapeKeepsData) {
+  Tensor t({2, 6});
+  t[7] = 5.0f;
+  t.reshape({3, 4});
+  EXPECT_EQ(t.dim(0), 3u);
+  EXPECT_EQ(t[7], 5.0f);
+  EXPECT_THROW(t.reshape({5, 5}), Error);
+}
+
+TEST(Tensor, ThreeDShape) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.numel(), 24u);
+  EXPECT_EQ(t.rank(), 3u);
+  EXPECT_EQ(t.shape_string(), "[2, 3, 4]");
+}
+
+TEST(Tensor, EmptyTensor) {
+  Tensor t;
+  EXPECT_EQ(t.numel(), 0u);
+  EXPECT_EQ(t.rank(), 0u);
+}
+
+TEST(Tensor, SameShape) {
+  Tensor a({2, 3}), b({2, 3}), c({3, 2});
+  EXPECT_TRUE(a.same_shape(b));
+  EXPECT_FALSE(a.same_shape(c));
+}
+
+}  // namespace
+}  // namespace ft2

@@ -1,0 +1,97 @@
+#include "zoo/zoo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+
+namespace ft2 {
+namespace {
+
+TEST(Zoo, HasSevenModelsInPaperOrder) {
+  const auto& zoo = model_zoo();
+  ASSERT_EQ(zoo.size(), 7u);
+  EXPECT_EQ(zoo[0].paper_name, "OPT-6.7B");
+  EXPECT_EQ(zoo[1].paper_name, "OPT-2.7B");
+  EXPECT_EQ(zoo[2].paper_name, "GPTJ-6B");
+  EXPECT_EQ(zoo[3].paper_name, "Llama2-7B");
+  EXPECT_EQ(zoo[4].paper_name, "Vicuna-7B");
+  EXPECT_EQ(zoo[5].paper_name, "Qwen2-7B");
+  EXPECT_EQ(zoo[6].paper_name, "Qwen2-1.5B");
+}
+
+TEST(Zoo, NamesUniqueAndLookupWorks) {
+  std::set<std::string> names;
+  for (const auto& e : model_zoo()) {
+    EXPECT_TRUE(names.insert(e.name).second) << e.name;
+    EXPECT_EQ(&zoo_entry(e.name), &e);
+  }
+  EXPECT_THROW(zoo_entry("gpt-17"), Error);
+}
+
+TEST(Zoo, OnlyLlamaAndQwenDoMath) {
+  for (const auto& e : model_zoo()) {
+    const bool math = e.supports(DatasetKind::kSynthMath);
+    const bool expected = e.name == "llama-sm" || e.name == "qwen2-sm";
+    EXPECT_EQ(math, expected) << e.name;
+    // Everyone does both QA datasets.
+    EXPECT_TRUE(e.supports(DatasetKind::kSynthQA)) << e.name;
+    EXPECT_TRUE(e.supports(DatasetKind::kSynthXQA)) << e.name;
+  }
+}
+
+TEST(Zoo, ArchitecturesMatchPaperFamilies) {
+  EXPECT_EQ(zoo_entry("opt-sm").config.arch, ArchFamily::kOpt);
+  EXPECT_EQ(zoo_entry("opt-xs").config.arch, ArchFamily::kOpt);
+  EXPECT_EQ(zoo_entry("gptj-sm").config.arch, ArchFamily::kGptj);
+  EXPECT_TRUE(zoo_entry("gptj-sm").config.parallel_block);
+  EXPECT_EQ(zoo_entry("llama-sm").config.arch, ArchFamily::kLlama);
+  EXPECT_FALSE(zoo_entry("llama-sm").config.qkv_bias);
+  EXPECT_TRUE(zoo_entry("qwen2-sm").config.qkv_bias);
+  EXPECT_TRUE(zoo_entry("qwen2-xs").config.qkv_bias);
+}
+
+TEST(Zoo, SizeOrderingMirrorsPaper) {
+  // The -xs models stand in for the smaller paper models.
+  auto params = [](const char* name) {
+    const auto& e = zoo_entry(name);
+    Xoshiro256 rng(e.seed);
+    return init_weights(e.config, rng).parameter_count();
+  };
+  EXPECT_LT(params("opt-xs"), params("opt-sm"));
+  EXPECT_LT(params("qwen2-xs"), params("qwen2-sm"));
+}
+
+TEST(Zoo, VicunaSharesLlamaArchDifferentSeed) {
+  const auto& llama = zoo_entry("llama-sm");
+  const auto& vicuna = zoo_entry("vicuna-sm");
+  EXPECT_EQ(llama.config.d_model, vicuna.config.d_model);
+  EXPECT_EQ(llama.config.d_ff, vicuna.config.d_ff);
+  EXPECT_NE(llama.seed, vicuna.seed);
+}
+
+TEST(Zoo, GenerationTokensPerTask) {
+  EXPECT_GT(generation_tokens(DatasetKind::kSynthMath),
+            generation_tokens(DatasetKind::kSynthQA));
+  EXPECT_EQ(generation_tokens(DatasetKind::kSynthQA),
+            generation_tokens(DatasetKind::kSynthXQA));
+}
+
+TEST(Zoo, CacheDirRespectsEnv) {
+  ::setenv("FT2_MODEL_DIR", "/tmp/ft2-zoo-test", 1);
+  EXPECT_EQ(model_cache_dir(), "/tmp/ft2-zoo-test");
+  ::unsetenv("FT2_MODEL_DIR");
+  EXPECT_EQ(model_cache_dir(), "models");
+}
+
+TEST(Zoo, ConfigsFitVocabAndContext) {
+  for (const auto& e : model_zoo()) {
+    EXPECT_EQ(e.config.vocab_size, Vocab::shared().size()) << e.name;
+    EXPECT_EQ(e.config.d_model % e.config.n_heads, 0u) << e.name;
+    EXPECT_EQ(e.config.head_dim() % 2, 0u) << e.name;  // RoPE pairs
+    EXPECT_GE(e.config.max_seq, 96u) << e.name;
+  }
+}
+
+}  // namespace
+}  // namespace ft2

@@ -1,0 +1,353 @@
+// ft2 — command-line driver for the FT2 library.
+//
+//   ft2 list-models
+//   ft2 critical <model>
+//   ft2 train <model> [--retrain]
+//   ft2 generate <model> [--dataset D] [--seed N] [--n K] [--protect]
+//   ft2 inject <model> [--dataset D] [--layer L] [--bit B] [--step S]
+//              [--protect]
+//   ft2 profile-bounds <model> [--dataset D] [--inputs N] [--out FILE]
+//   ft2 campaign <model> [--dataset D] [--scheme S] [--fault-model F]
+//                [--inputs N] [--trials T] [--faults K] [--bounds FILE]
+//                [--trace FILE.csv] [--json FILE.json] [--weights]
+//   ft2 perf [--gpu a100|h100]
+//
+// Models: opt-sm opt-xs gptj-sm llama-sm vicuna-sm qwen2-sm qwen2-xs
+// Datasets: synthqa synthxqa synthmath
+// Schemes: none ranger maximals global_clipper ft2 ft2_offline
+// Fault models: 1-bit 2-bit exp
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "core/ft2.hpp"
+#include "fi/trace.hpp"
+#include "fi/weight_fault.hpp"
+#include "protect/bounds_io.hpp"
+
+using namespace ft2;
+namespace pm = ft2::perfmodel;
+
+namespace {
+
+DatasetKind parse_dataset(const std::string& name) {
+  for (DatasetKind k : all_datasets()) {
+    if (name == dataset_name(k)) return k;
+  }
+  throw Error("unknown dataset: " + name + " (synthqa|synthxqa|synthmath)");
+}
+
+SchemeKind parse_scheme(const std::string& name) {
+  for (SchemeKind k : all_schemes()) {
+    if (name == scheme_name(k)) return k;
+  }
+  throw Error("unknown scheme: " + name);
+}
+
+FaultModel parse_fault_model(const std::string& name) {
+  if (name == "1-bit") return FaultModel::kSingleBit;
+  if (name == "2-bit") return FaultModel::kDoubleBit;
+  if (name == "exp" || name == "EXP") return FaultModel::kExponentBit;
+  throw Error("unknown fault model: " + name + " (1-bit|2-bit|exp)");
+}
+
+std::vector<int> prompt_of(const Sample& sample) {
+  std::vector<int> prompt = {Vocab::kBos};
+  prompt.insert(prompt.end(), sample.prompt_tokens.begin(),
+                sample.prompt_tokens.end());
+  return prompt;
+}
+
+int cmd_list_models() {
+  Table table({"name", "paper model", "arch", "tasks", "cached"});
+  for (const auto& e : model_zoo()) {
+    std::string tasks;
+    for (DatasetKind k : e.tasks) {
+      if (!tasks.empty()) tasks += ",";
+      tasks += dataset_name(k);
+    }
+    const char* arch = e.config.arch == ArchFamily::kOpt     ? "OPT"
+                       : e.config.arch == ArchFamily::kGptj  ? "GPT-J"
+                                                             : "Llama";
+    const bool cached = checkpoint_exists(model_cache_dir() + "/" + e.name +
+                                          ".ft2m");
+    table.begin_row()
+        .cell(e.name)
+        .cell(e.paper_name)
+        .cell(arch)
+        .cell(tasks)
+        .cell(cached ? "yes" : "no");
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_critical(const std::string& model_name) {
+  const auto& entry = zoo_entry(model_name);
+  const LayerGraph graph = LayerGraph::build(entry.config);
+  Table table({"layer", "critical?", "reason"});
+  for (LayerKind kind : entry.config.block_layers()) {
+    if (!is_linear_layer(kind)) continue;
+    const bool critical = layer_is_critical(graph, kind);
+    table.begin_row()
+        .cell(std::string(layer_kind_name(kind)))
+        .cell(critical ? "Y" : "N")
+        .cell(critical
+                  ? "reaches the next linear layer unguarded"
+                  : "guarded by an activation / attention scaling");
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_train(const std::string& model_name, const ArgParser& args) {
+  if (args.has("retrain")) {
+    std::error_code ec;
+    std::filesystem::remove(model_cache_dir() + "/" + model_name + ".ft2m",
+                            ec);
+  }
+  const auto model = ensure_model(model_name);
+  for (DatasetKind task : zoo_entry(model_name).tasks) {
+    const auto gen = make_generator(task);
+    std::cout << dataset_name(task) << " accuracy: "
+              << Table::format_pct(evaluate_accuracy(*model, *gen, 50, 1), 1)
+              << "\n";
+  }
+  return 0;
+}
+
+int cmd_generate(const std::string& model_name, const ArgParser& args) {
+  const auto model = ensure_model(model_name);
+  const DatasetKind dataset = parse_dataset(args.get("dataset", "synthqa"));
+  const auto gen = make_generator(dataset);
+  const std::size_t n = args.get_size("n", 3);
+  Xoshiro256 rng(args.get_size("seed", 1));
+
+  InferenceSession session(*model);
+  Ft2Protector protector(*model);
+  if (args.has("protect")) protector.attach(session);
+
+  GenerateOptions opts;
+  opts.max_new_tokens = generation_tokens(dataset);
+  opts.eos_token = Vocab::kEos;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Sample sample = gen->generate(rng);
+    const auto out = session.generate(prompt_of(sample), opts);
+    std::cout << "prompt : " << sample.prompt_text << "\n"
+              << "output : " << Vocab::shared().decode(out.tokens) << "\n"
+              << "expect : " << sample.target_text << "\n\n";
+  }
+  return 0;
+}
+
+int cmd_inject(const std::string& model_name, const ArgParser& args) {
+  const auto model = ensure_model(model_name);
+  const DatasetKind dataset = parse_dataset(args.get("dataset", "synthqa"));
+  const auto gen = make_generator(dataset);
+  Xoshiro256 rng(args.get_size("seed", 1));
+  const Sample sample = gen->generate(rng);
+  const auto prompt = prompt_of(sample);
+
+  FaultPlan plan;
+  plan.site.block = static_cast<int>(args.get_size("block", 0));
+  plan.site.kind = layer_kind_from_name(args.get("layer", "V_PROJ"));
+  plan.neuron = args.get_size("neuron", 0);
+  plan.position = prompt.size() + args.get_size("step", 1) - 1;
+  plan.flips.count = 1;
+  plan.flips.bits[0] = static_cast<int>(args.get_size("bit", 14));
+
+  InjectorHook injector(plan);
+  Ft2Protector protector(*model);
+  InferenceSession session(*model);
+  session.hooks().add(&injector);
+  if (args.has("protect")) protector.attach(session);
+
+  GenerateOptions opts;
+  opts.max_new_tokens = generation_tokens(dataset);
+  opts.eos_token = -1;
+  const auto out = session.generate(prompt, opts);
+  std::cout << "prompt  : " << sample.prompt_text << "\n"
+            << "fault   : " << layer_kind_name(plan.site.kind) << " block "
+            << plan.site.block << " neuron " << plan.neuron << " bit "
+            << plan.flips.bits[0] << " at position " << plan.position << "\n"
+            << "injected: " << injector.original_value() << " -> "
+            << injector.injected_value() << "\n"
+            << "output  : "
+            << Vocab::shared().decode(truncate_at_eos(out.tokens)) << "\n"
+            << "expect  : " << sample.target_text << "\n";
+  if (args.has("protect")) {
+    std::cout << "corrected: " << protector.stats().oob_corrected
+              << " out-of-bound, " << protector.stats().nan_corrected
+              << " NaN\n";
+  }
+  return 0;
+}
+
+int cmd_profile_bounds(const std::string& model_name, const ArgParser& args) {
+  const auto model = ensure_model(model_name);
+  const DatasetKind dataset = parse_dataset(args.get("dataset", "synthqa"));
+  const auto gen = make_generator(dataset);
+  const std::size_t n = args.get_size("inputs", 16);
+  const BoundStore bounds = profile_offline_bounds(
+      *model, *gen, n, args.get_size("seed", 555), generation_tokens(dataset));
+  const std::string out = args.get("out", model_name + ".bounds");
+  save_bounds(out, bounds);
+  std::cout << "profiled " << bounds.valid_count() << " sites from " << n
+            << " inputs -> " << out << " (" << bounds.memory_bytes()
+            << " bytes of bound state)\n";
+  return 0;
+}
+
+int cmd_campaign(const std::string& model_name, const ArgParser& args) {
+  const auto model = ensure_model(model_name);
+  const DatasetKind dataset = parse_dataset(args.get("dataset", "synthqa"));
+  const SchemeKind scheme = parse_scheme(args.get("scheme", "ft2"));
+  const auto gen = make_generator(dataset);
+  const std::size_t gen_tokens = generation_tokens(dataset);
+
+  const std::size_t n_inputs = args.get_size("inputs", 12);
+  const auto samples = gen->generate_many(n_inputs * 3,
+                                          args.get_size("seed", 20250704));
+  auto inputs = prepare_eval_inputs(*model, samples, gen_tokens, true);
+  if (inputs.size() > n_inputs) inputs.resize(n_inputs);
+  FT2_CHECK_MSG(!inputs.empty(), "model answers no inputs correctly");
+
+  const SchemeSpec spec = scheme_spec(scheme, model->config());
+  BoundStore bounds;
+  if (spec.needs_offline_bounds) {
+    if (args.has("bounds")) {
+      bounds = load_bounds(args.get("bounds", ""), model->config());
+    } else {
+      bounds = profile_offline_bounds(*model, *gen, 16, 555, gen_tokens);
+    }
+  }
+
+  CampaignConfig config;
+  config.fault_model = parse_fault_model(args.get("fault-model", "exp"));
+  config.trials_per_input = args.get_size("trials", 50);
+  config.gen_tokens = gen_tokens;
+  config.seed = args.get_size("campaign-seed", 42);
+  config.faults_per_trial = args.get_size("faults", 1);
+  if (args.has("fp32")) config.vtype = ValueType::kF32;
+
+  CampaignResult result;
+  TraceCollector trace;
+  if (args.has("weights")) {
+    // Persistent weight-fault mode needs a mutable model copy.
+    TransformerLM mutable_model(model->config(), model->weights());
+    result = run_weight_fault_campaign(mutable_model, inputs, spec, bounds,
+                                       config);
+  } else {
+    const bool want_trace = args.has("trace") || args.has("json");
+    result = run_campaign(*model, inputs, spec, bounds, config,
+                          want_trace ? trace.callback() : TrialCallback{});
+  }
+
+  Table table({"metric", "value"});
+  table.begin_row().cell("trials").count(result.trials);
+  table.begin_row().cell("SDC").count(result.sdc);
+  table.begin_row().cell("masked (identical)").count(result.masked_identical);
+  table.begin_row().cell("masked (semantic)").count(result.masked_semantic);
+  table.begin_row().cell("SDC rate").cell(
+      Table::format_pct(result.sdc_rate(), 3) + " +-" +
+      Table::format_pct(result.sdc_ci().margin, 3));
+  table.print(std::cout);
+
+  if (args.has("trace")) {
+    std::ofstream os(args.get("trace", "trace.csv"));
+    trace.write_csv(os);
+    std::cout << "trace -> " << args.get("trace", "trace.csv") << " ("
+              << trace.size() << " rows)\n";
+  }
+  if (args.has("json")) {
+    Json doc = Json::object();
+    doc["model"] = model_name;
+    doc["dataset"] = dataset_name(dataset);
+    doc["scheme"] = scheme_name(scheme);
+    doc["fault_model"] = fault_model_name(config.fault_model);
+    doc["trials"] = result.trials;
+    doc["sdc"] = result.sdc;
+    doc["sdc_rate"] = result.sdc_rate();
+    doc["trace"] = trace.to_json();
+    std::ofstream os(args.get("json", "campaign.json"));
+    doc.write(os);
+    std::cout << "json -> " << args.get("json", "campaign.json") << "\n";
+  }
+  return 0;
+}
+
+int cmd_perf(const ArgParser& args) {
+  const pm::GpuSpec gpu =
+      args.get("gpu", "a100") == "h100" ? pm::h100() : pm::a100();
+  Table table({"model", "params (B)", "prefill(256) ms", "ms/token",
+               "QA inference s", "first-token share"});
+  for (const auto& m : pm::paper_models()) {
+    table.begin_row()
+        .cell(m.name)
+        .num(static_cast<double>(pm::param_count(m)) / 1e9, 2)
+        .num(pm::prefill_seconds(m, gpu, 256) * 1e3, 1)
+        .num(pm::decode_seconds(m, gpu, 256) * 1e3, 1)
+        .num(pm::inference_seconds(m, gpu, 256, 60), 2)
+        .pct(pm::first_token_fraction(m, gpu, 256, 60));
+  }
+  std::cout << "GPU: " << gpu.name << "\n";
+  table.print(std::cout);
+  return 0;
+}
+
+int usage() {
+  std::cout <<
+      "ft2 — FT2 fault-tolerance toolkit\n"
+      "  ft2 list-models\n"
+      "  ft2 critical <model>\n"
+      "  ft2 train <model> [--retrain]\n"
+      "  ft2 generate <model> [--dataset D] [--seed N] [--n K] [--protect]\n"
+      "  ft2 inject <model> [--dataset D] [--layer L] [--block B] [--neuron I]\n"
+      "             [--bit B] [--step S] [--protect]\n"
+      "  ft2 profile-bounds <model> [--dataset D] [--inputs N] [--out FILE]\n"
+      "  ft2 campaign <model> [--dataset D] [--scheme S] [--fault-model F]\n"
+      "               [--inputs N] [--trials T] [--faults K] [--fp32]\n"
+      "               [--bounds FILE] [--trace FILE] [--json FILE] [--weights]\n"
+      "  ft2 perf [--gpu a100|h100]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const std::map<std::string, bool> spec = {
+      {"retrain", false},     {"dataset", true},  {"seed", true},
+      {"n", true},            {"protect", false}, {"layer", true},
+      {"block", true},        {"neuron", true},   {"bit", true},
+      {"step", true},         {"inputs", true},   {"out", true},
+      {"scheme", true},       {"fault-model", true}, {"trials", true},
+      {"faults", true},       {"bounds", true},   {"trace", true},
+      {"json", true},         {"weights", false}, {"gpu", true},
+      {"campaign-seed", true}, {"fp32", false},
+  };
+  try {
+    const ArgParser args(argc - 2, argv + 2, spec);
+    auto need_model = [&]() -> std::string {
+      FT2_CHECK_MSG(!args.positional().empty(),
+                    "command '" << command << "' needs a model name");
+      return args.positional()[0];
+    };
+    if (command == "list-models") return cmd_list_models();
+    if (command == "critical") return cmd_critical(need_model());
+    if (command == "train") return cmd_train(need_model(), args);
+    if (command == "generate") return cmd_generate(need_model(), args);
+    if (command == "inject") return cmd_inject(need_model(), args);
+    if (command == "profile-bounds") {
+      return cmd_profile_bounds(need_model(), args);
+    }
+    if (command == "campaign") return cmd_campaign(need_model(), args);
+    if (command == "perf") return cmd_perf(args);
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
