@@ -41,13 +41,16 @@ int main() {
                             Level{"q=0.001", 0.001},
                             Level{"q=0.01", 0.01},
                             Level{"q=0.05", 0.05}}) {
+    OfflineProfileOptions profile;
+    profile.n_inputs = s.profile_inputs;
+    profile.seed = 555;
+    profile.max_new_tokens = p.gen_tokens;
+    profile.quantile = level.q;
     const BoundStore bounds =
         level.q == 0.0
             ? bench::offline_bounds(*p.model, DatasetKind::kSynthQA,
                                     s.profile_inputs, p.gen_tokens)
-            : profile_offline_bounds_quantile(*p.model, *gen,
-                                              s.profile_inputs, 555, level.q,
-                                              p.gen_tokens);
+            : profile_offline_bounds(*p.model, *gen, profile);
     const auto result =
         run_campaign(*p.model, p.inputs, spec, bounds, config);
     const double correct = fault_free_correct_fraction(

@@ -52,8 +52,13 @@ int main() {
   // generative LLMs).
   {
     const auto gen = make_generator(DatasetKind::kSynthMath);
-    const BoundStore typical_bounds = profile_offline_bounds_with_typical(
-        *p.model, *gen, s.profile_inputs, 555, p.gen_tokens);
+    OfflineProfileOptions profile;
+    profile.n_inputs = s.profile_inputs;
+    profile.seed = 555;
+    profile.max_new_tokens = p.gen_tokens;
+    profile.with_typical = true;
+    const BoundStore typical_bounds =
+        profile_offline_bounds(*p.model, *gen, profile);
     SchemeSpec spec = scheme_spec(SchemeKind::kFt2Offline, p.model->config());
     spec.policy = ClipPolicy::kToTypical;
     const auto result =

@@ -19,7 +19,7 @@ int main() {
 
   ActivationStatsHook stats(10.0f, 40);
   InferenceSession session(*model);
-  session.hooks().add(&stats);
+  const auto stats_reg = session.hooks().add(stats);
   GenerateOptions opts;
   opts.max_new_tokens = generation_tokens(DatasetKind::kSynthQA);
   opts.eos_token = -1;

@@ -1,0 +1,143 @@
+// Prefill throughput of the blocked multi-position engine (forward_span).
+//
+// Sweeps prefill_chunk x thread-pool size on a GEMM-heavy synthetic model
+// and reports wall-clock speedup over the sequential reference path
+// (chunk = 1). Every configuration's generated tokens are checked against
+// the sequential output first — the chunk size and pool size are pure
+// throughput knobs, bit-exact by construction.
+//
+//   FT2_BENCH_PROMPT  prefill length           (default 256)
+//   FT2_BENCH_REPS    timed repetitions, best-of (default 3)
+#include <algorithm>
+#include <chrono>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/env.hpp"
+#include "common/thread_pool.hpp"
+
+using namespace ft2;
+
+namespace {
+
+TransformerLM bench_model() {
+  ModelConfig c;
+  c.name = "bench-prefill";
+  c.arch = ArchFamily::kLlama;
+  c.norm = NormKind::kRmsNorm;
+  c.position = PositionKind::kRotary;
+  c.activation = Activation::kSilu;
+  c.linear_bias = false;
+  c.vocab_size = Vocab::shared().size();
+  c.d_model = 128;
+  c.n_heads = 8;
+  c.n_blocks = 4;
+  c.d_ff = 384;
+  c.max_seq = 512;
+  Xoshiro256 rng(2025);
+  return TransformerLM(c, init_weights(c, rng));
+}
+
+std::vector<int> bench_prompt(const TransformerLM& model, std::size_t n) {
+  std::vector<int> prompt = {Vocab::kBos};
+  const int vocab = static_cast<int>(model.config().vocab_size);
+  for (std::size_t i = 1; i < n; ++i) {
+    prompt.push_back(static_cast<int>(i * 13 + 5) % vocab);
+  }
+  return prompt;
+}
+
+double time_generate(const TransformerLM& model, const std::vector<int>& prompt,
+                     std::size_t chunk, ThreadPool& pool, std::size_t reps,
+                     std::vector<int>& tokens_out) {
+  GenerateOptions opts;
+  opts.max_new_tokens = 4;
+  opts.eos_token = -1;
+  opts.prefill_chunk = chunk;
+  opts.pool = &pool;
+
+  double best_ms = 0.0;
+  for (std::size_t r = 0; r < reps; ++r) {
+    InferenceSession session(model);
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto result = session.generate(prompt, opts);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (r == 0 || ms < best_ms) best_ms = ms;
+    tokens_out = result.tokens;
+  }
+  return best_ms;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("blocked prefill throughput (chunk x threads sweep)",
+                      "engine (first-token phase, paper Fig. 10 setting)");
+
+  const TransformerLM model = bench_model();
+  const std::size_t prompt_len = env_size("FT2_BENCH_PROMPT", 256);
+  const std::size_t reps = env_size("FT2_BENCH_REPS", 3);
+  const auto prompt = bench_prompt(model, prompt_len);
+
+  const std::size_t hw = std::max<std::size_t>(
+      1, std::thread::hardware_concurrency());
+  std::vector<std::size_t> thread_counts = {1, 2, 4, hw};
+  thread_counts.erase(
+      std::remove_if(thread_counts.begin(), thread_counts.end(),
+                     [hw](std::size_t t) { return t > hw; }),
+      thread_counts.end());
+  std::sort(thread_counts.begin(), thread_counts.end());
+  thread_counts.erase(std::unique(thread_counts.begin(), thread_counts.end()),
+                      thread_counts.end());
+  const std::vector<std::size_t> chunks = {8, 16, 32, 64};
+
+  std::cout << "model: d_model=" << model.config().d_model
+            << " blocks=" << model.config().n_blocks
+            << " d_ff=" << model.config().d_ff << ", prompt " << prompt_len
+            << " positions, best of " << reps << " runs, " << hw
+            << " hardware threads\n\n";
+
+  // Sequential reference (chunk = 1 never touches the pool).
+  ThreadPool single(1);
+  std::vector<int> reference;
+  const double seq_ms =
+      time_generate(model, prompt, 1, single, reps, reference);
+  std::cout << "sequential prefill (chunk=1): " << seq_ms << " ms\n\n";
+
+  Table table({"chunk", "threads", "prefill ms", "speedup", "tokens"});
+  bool all_match = true;
+  double best_speedup_chunk16 = 0.0;
+  for (std::size_t threads : thread_counts) {
+    ThreadPool pool(threads);
+    for (std::size_t chunk : chunks) {
+      std::vector<int> tokens;
+      const double ms =
+          time_generate(model, prompt, chunk, pool, reps, tokens);
+      const bool match = tokens == reference;
+      all_match = all_match && match;
+      const double speedup = seq_ms / ms;
+      if (chunk >= 16 && (threads > 1 || hw == 1)) {
+        best_speedup_chunk16 = std::max(best_speedup_chunk16, speedup);
+      }
+      table.begin_row()
+          .count(chunk)
+          .count(threads)
+          .num(ms, 2)
+          .num(speedup, 2)
+          .cell(match ? "= sequential" : "MISMATCH");
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\ntokens bit-exact across all configurations: "
+            << (all_match ? "yes" : "NO — BUG") << "\n";
+  std::cout << "best speedup at chunk >= 16 with threads > 1: "
+            << best_speedup_chunk16 << "x ("
+            << (best_speedup_chunk16 >= 2.0 ? "meets" : "BELOW")
+            << " the 2x acceptance bar)\n";
+  return all_match && best_speedup_chunk16 >= 2.0 ? 0 : 1;
+}

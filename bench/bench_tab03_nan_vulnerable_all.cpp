@@ -27,7 +27,7 @@ int main() {
     const auto gen = make_generator(DatasetKind::kSynthQA);
     ActivationStatsHook stats(8.0f, 32);
     InferenceSession session(*model);
-    session.hooks().add(&stats);
+    const auto stats_reg = session.hooks().add(stats);
     GenerateOptions opts;
     opts.max_new_tokens = generation_tokens(DatasetKind::kSynthQA);
     opts.eos_token = -1;

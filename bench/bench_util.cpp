@@ -44,7 +44,11 @@ BoundStore offline_bounds(const TransformerLM& model, DatasetKind dataset,
                           std::size_t n_profile, std::size_t gen_tokens,
                           std::uint64_t seed) {
   const auto gen = make_generator(dataset);
-  return profile_offline_bounds(model, *gen, n_profile, seed, gen_tokens);
+  OfflineProfileOptions options;
+  options.n_inputs = n_profile;
+  options.seed = seed;
+  options.max_new_tokens = gen_tokens;
+  return profile_offline_bounds(model, *gen, options);
 }
 
 std::string sdc_cell(const CampaignResult& result) {

@@ -33,6 +33,7 @@ RunResult solve_batch(const TransformerLM& model,
 
     InferenceSession session(model);
     std::optional<InjectorHook> injector;
+    HookRegistration injector_reg;
     if (inject) {
       // Worst-case fault: flip the top exponent bit of a critical-layer
       // output neuron right when the answer tokens are being produced.
@@ -48,7 +49,7 @@ RunResult solve_batch(const TransformerLM& model,
       plan.flips.count = 1;
       plan.flips.bits[0] = f16::kExponentHigh;
       injector.emplace(plan);
-      session.hooks().add(&*injector);
+      injector_reg = session.hooks().add(*injector);
     }
     Ft2Protector protector(model);
     if (protect) protector.attach(session);

@@ -26,8 +26,11 @@ int main() {
             << trials << " single-fault trials per scheme, EXP fault model\n\n";
 
   // Baselines need offline bounds (this is the expensive step FT2 removes).
-  const BoundStore bounds =
-      profile_offline_bounds(*model, *gen, 16, 999, gen_tokens);
+  OfflineProfileOptions profile;
+  profile.n_inputs = 16;
+  profile.seed = 999;
+  profile.max_new_tokens = gen_tokens;
+  const BoundStore bounds = profile_offline_bounds(*model, *gen, profile);
 
   CampaignConfig config;
   config.fault_model = FaultModel::kExponentBit;

@@ -60,7 +60,7 @@ int main() {
   {
     InjectorHook injector(plan);
     InferenceSession faulty(*model);
-    faulty.hooks().add(&injector);
+    const auto reg = faulty.hooks().add(injector);
     const auto out = faulty.generate(prompt, opts);
     std::cout << "with fault, NO protection : "
               << Vocab::shared().decode(truncate_at_eos(out.tokens))
@@ -71,7 +71,7 @@ int main() {
     InjectorHook injector(plan);
     Ft2Protector ft2(*model);
     InferenceSession protected_session(*model);
-    protected_session.hooks().add(&injector);
+    const auto reg = protected_session.hooks().add(injector);
     ft2.attach(protected_session);
     const auto out = protected_session.generate(prompt, opts);
     std::cout << "with fault, FT2 protection: "

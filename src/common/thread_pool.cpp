@@ -7,6 +7,12 @@
 
 namespace ft2 {
 
+namespace {
+thread_local bool tl_on_worker_thread = false;
+}  // namespace
+
+bool ThreadPool::on_worker_thread() { return tl_on_worker_thread; }
+
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) threads = std::thread::hardware_concurrency();
   if (threads <= 1) return;  // inline-execution mode
@@ -38,6 +44,7 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::worker_loop() {
+  tl_on_worker_thread = true;
   for (;;) {
     std::function<void()> task;
     {
@@ -56,7 +63,11 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   if (begin >= end) return;
   const std::size_t n = end - begin;
   const std::size_t workers = workers_.empty() ? 1 : workers_.size();
-  if (workers == 1 || n == 1) {
+  // Nested use (a pool task calling parallel_for) runs inline: blocking a
+  // worker on the queue it is supposed to drain can deadlock once every
+  // worker waits. Inline execution keeps results identical — partitioning
+  // never affects per-index arithmetic.
+  if (workers == 1 || n == 1 || tl_on_worker_thread) {
     for (std::size_t i = begin; i < end; ++i) fn(i);
     return;
   }

@@ -32,9 +32,15 @@ class ThreadPool {
 
   /// Runs fn(i) for i in [begin, end), blocking until all iterations finish.
   /// Work is split into contiguous chunks, one per worker. Exceptions inside
-  /// fn propagate to the caller (first one wins).
+  /// fn propagate to the caller (first one wins). Safe to call from inside a
+  /// pool task (nested calls execute inline instead of deadlocking on the
+  /// queue); partitioning is independent of scheduling, so any kernel whose
+  /// per-index work is deterministic stays bit-exact at every pool size.
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& fn);
+
+  /// True when the calling thread is a worker of any ThreadPool.
+  static bool on_worker_thread();
 
   /// Process-wide default pool (size from FT2_THREADS env or hardware).
   static ThreadPool& global();

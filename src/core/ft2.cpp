@@ -16,7 +16,7 @@ Ft2Protector::Ft2Protector(const TransformerLM& model, float bound_scale)
       hook_(model.config(), spec_) {}
 
 void Ft2Protector::attach(InferenceSession& session) {
-  session.hooks().add(&hook_);
+  registration_ = session.hooks().add(hook_);
 }
 
 }  // namespace ft2

@@ -52,9 +52,16 @@ class Ft2Protector {
   /// `bound_scale` defaults to the paper's factor of 2 (take-away #6).
   explicit Ft2Protector(const TransformerLM& model, float bound_scale = 2.0f);
 
-  /// Registers the protection hook on a session. The hook must outlive the
-  /// session's use; keep the protector alive alongside it.
+  /// Registers the protection hook on a session. The registration is owned
+  /// by the protector: it ends when the protector is destroyed, detached, or
+  /// attached elsewhere — the session can safely outlive the protector.
   void attach(InferenceSession& session);
+
+  /// Ends the current registration (no-op when not attached).
+  void detach() { registration_.release(); }
+
+  /// True while attached to a live session.
+  bool attached() const { return registration_.active(); }
 
   /// Critical layers being protected.
   const std::vector<LayerKind>& critical() const { return spec_.covered; }
@@ -73,6 +80,7 @@ class Ft2Protector {
  private:
   SchemeSpec spec_;
   ProtectionHook hook_;
+  HookRegistration registration_;
 };
 
 }  // namespace ft2

@@ -40,12 +40,14 @@ std::vector<int> make_prompt(const Sample& sample) {
 }
 
 GenerateOptions fixed_length_options(std::size_t gen_tokens, ValueType vtype,
-                                     bool chunked_accum = false) {
+                                     bool chunked_accum = false,
+                                     std::size_t prefill_chunk = 32) {
   GenerateOptions options;
   options.max_new_tokens = gen_tokens;
   options.eos_token = -1;  // fixed-length generation, as in the paper
   options.fp16 = vtype == ValueType::kF16;
   options.chunked_accum = chunked_accum;
+  options.prefill_chunk = prefill_chunk;
   return options;
 }
 
@@ -120,12 +122,15 @@ CampaignResult run_campaign_range(const TransformerLM& model,
 
     ProtectionHook protection(model.config(), scheme, offline_bounds);
     InferenceSession session(model);
-    for (auto& injector : injectors) session.hooks().add(&injector);
-    session.hooks().add(&protection);
+    std::vector<HookRegistration> regs;
+    regs.reserve(injectors.size() + 1);
+    for (auto& injector : injectors) regs.push_back(session.hooks().add(injector));
+    regs.push_back(session.hooks().add(protection));
 
     const auto result = session.generate(
-        input.prompt, fixed_length_options(config.gen_tokens, config.vtype,
-                                           config.chunked_accum));
+        input.prompt,
+        fixed_length_options(config.gen_tokens, config.vtype,
+                             config.chunked_accum, config.prefill_chunk));
     bool fired = false;
     for (const auto& injector : injectors) fired |= injector.fired();
     const Outcome outcome = fired ? classify_outcome(result.tokens, input)
@@ -178,7 +183,7 @@ double fault_free_correct_fraction(const TransformerLM& model,
   for (const auto& input : inputs) {
     ProtectionHook protection(model.config(), scheme, offline_bounds);
     InferenceSession session(model);
-    session.hooks().add(&protection);
+    const HookRegistration reg = session.hooks().add(protection);
     const auto result = session.generate(
         input.prompt, fixed_length_options(gen_tokens, ValueType::kF16));
     const std::string text =

@@ -43,6 +43,10 @@ struct CampaignConfig {
   /// fault per inference (§2.3); values > 1 support the single-fault-
   /// assumption sensitivity extension.
   std::size_t faults_per_trial = 1;
+  /// Blocked-prefill chunk for every trial's generation (1 = sequential
+  /// reference path, 0 = whole prompt). Bit-exact at any value, so campaign
+  /// outcomes never depend on it — it is purely a throughput knob.
+  std::size_t prefill_chunk = 32;
 };
 
 struct CampaignResult {

@@ -19,11 +19,16 @@ class InjectorHook : public OutputHook {
 
   void on_output(const HookContext& ctx, std::span<float> values) override {
     if (fired_) return;
-    if (ctx.position != plan_.position || !(ctx.site == plan_.site)) return;
-    FT2_ASSERT(plan_.neuron < values.size());
-    const float before = values[plan_.neuron];
-    values[plan_.neuron] = apply_bit_flips(before, plan_.flips, plan_.vtype);
-    injected_value_ = values[plan_.neuron];
+    if (!(ctx.site == plan_.site) || !ctx.contains_position(plan_.position)) {
+      return;
+    }
+    // Blocked prefill dispatches a whole position span at once; the fault
+    // still hits exactly one (position, neuron) element.
+    auto row = ctx.row(values, plan_.position - ctx.position);
+    FT2_ASSERT(plan_.neuron < row.size());
+    const float before = row[plan_.neuron];
+    row[plan_.neuron] = apply_bit_flips(before, plan_.flips, plan_.vtype);
+    injected_value_ = row[plan_.neuron];
     original_value_ = before;
     fired_ = true;
   }

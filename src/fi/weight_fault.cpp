@@ -74,7 +74,7 @@ CampaignResult run_weight_fault_campaign(TransformerLM& model,
       ScopedWeightFault fault(model, plan);
       ProtectionHook protection(model.config(), scheme, offline_bounds);
       InferenceSession session(model);
-      session.hooks().add(&protection);
+      const HookRegistration reg = session.hooks().add(protection);
 
       GenerateOptions opts;
       opts.max_new_tokens = config.gen_tokens;

@@ -79,6 +79,36 @@ ModelConfig read_config(std::istream& is) {
   return c;
 }
 
+// Generous ceilings for this project's micro models. Their purpose is to
+// turn a corrupt or layout-incompatible file into a clean ft2::Error
+// instead of a multi-gigabyte allocation (std::bad_alloc) inside
+// init_weights when a stale checkpoint deserialises into garbage dims.
+constexpr std::uint64_t kMaxDim = 1u << 20;
+
+void validate_config(const ModelConfig& c, const std::string& path) {
+  auto in_range = [](std::uint64_t v) { return v > 0 && v <= kMaxDim; };
+  FT2_CHECK_MSG(in_range(c.vocab_size) && in_range(c.d_model) &&
+                    in_range(c.n_heads) && in_range(c.n_blocks) &&
+                    in_range(c.d_ff) && in_range(c.max_seq),
+                "implausible dimensions in checkpoint " << path
+                    << " (corrupt or incompatible file): vocab="
+                    << c.vocab_size << " d_model=" << c.d_model
+                    << " heads=" << c.n_heads << " blocks=" << c.n_blocks
+                    << " d_ff=" << c.d_ff << " max_seq=" << c.max_seq);
+  FT2_CHECK_MSG(c.n_heads <= c.d_model && c.d_model % c.n_heads == 0,
+                "checkpoint " << path << ": d_model " << c.d_model
+                              << " not divisible by n_heads " << c.n_heads);
+  FT2_CHECK_MSG(static_cast<std::uint32_t>(c.arch) <=
+                        static_cast<std::uint32_t>(ArchFamily::kLlama) &&
+                    static_cast<std::uint32_t>(c.activation) <=
+                        static_cast<std::uint32_t>(Activation::kSilu) &&
+                    static_cast<std::uint32_t>(c.norm) <=
+                        static_cast<std::uint32_t>(NormKind::kRmsNorm) &&
+                    static_cast<std::uint32_t>(c.position) <=
+                        static_cast<std::uint32_t>(PositionKind::kRotary),
+                "checkpoint " << path << ": enum field out of range");
+}
+
 }  // namespace
 
 void save_checkpoint(const std::string& path, const ModelConfig& config,
@@ -113,6 +143,7 @@ void load_checkpoint(const std::string& path, ModelConfig& config,
   FT2_CHECK_MSG(version == kVersion, "unsupported checkpoint version "
                                          << version);
   config = read_config(is);
+  validate_config(config, path);
 
   // Allocate weight storage of the right shapes, then overwrite by name.
   Xoshiro256 rng(0);
@@ -126,8 +157,15 @@ void load_checkpoint(const std::string& path, ModelConfig& config,
   for (std::uint64_t i = 0; i < n; ++i) {
     const std::string name = read_string(is);
     const auto rank = read_pod<std::uint32_t>(is);
+    FT2_CHECK_MSG(rank >= 1 && rank <= 4,
+                  "implausible rank " << rank << " for " << name << " in "
+                                      << path);
     std::vector<std::size_t> shape(rank);
-    for (auto& d : shape) d = read_pod<std::uint64_t>(is);
+    for (auto& d : shape) {
+      d = read_pod<std::uint64_t>(is);
+      FT2_CHECK_MSG(d > 0 && d <= kMaxDim, "implausible dim " << d << " for "
+                                               << name << " in " << path);
+    }
 
     Tensor* target = nullptr;
     for (auto& [pname, t] : params) {

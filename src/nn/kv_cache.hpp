@@ -41,6 +41,13 @@ class KvCache {
     ++length_;
   }
 
+  /// Advances by `n` positions at once (blocked prefill stores a whole chunk
+  /// of K/V rows before bumping the length).
+  void advance(std::size_t n) {
+    FT2_ASSERT(length_ + n <= max_seq_);
+    length_ += n;
+  }
+
   std::span<const float> key(std::size_t block, std::size_t pos) const {
     return keys_[block].row(pos);
   }

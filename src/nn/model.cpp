@@ -5,36 +5,52 @@
 #include <numeric>
 
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "tensor/ops.hpp"
 
 namespace ft2 {
 
-Workspace::Workspace(const ModelConfig& config)
-    : x({std::size_t{1}, config.d_model}),
-      h({std::size_t{1}, config.d_model}),
-      q({std::size_t{1}, config.d_model}),
-      k({std::size_t{1}, config.d_model}),
-      v({std::size_t{1}, config.d_model}),
-      attn_out({std::size_t{1}, config.d_model}),
-      o({std::size_t{1}, config.d_model}),
-      f1({std::size_t{1}, config.d_ff}),
-      f_up({std::size_t{1}, config.d_ff}),
-      act({std::size_t{1}, config.d_ff}),
-      f2({std::size_t{1}, config.d_model}),
-      scores({std::size_t{1}, config.max_seq}),
+namespace {
+
+std::vector<std::size_t> shape2(std::size_t rows, std::size_t cols) {
+  return {rows, cols};
+}
+
+}  // namespace
+
+Workspace::Workspace(const ModelConfig& config, std::size_t chunk_capacity)
+    : x(shape2(std::max<std::size_t>(chunk_capacity, 1), config.d_model)),
+      h(x.shape()),
+      q(x.shape()),
+      k(x.shape()),
+      v(x.shape()),
+      attn_out(x.shape()),
+      o(x.shape()),
+      f1(shape2(x.dim(0), config.d_ff)),
+      f_up(f1.shape()),
+      act(f1.shape()),
+      f2(x.shape()),
+      scores(shape2(x.dim(0), config.max_seq)),
       final_h({std::size_t{1}, config.d_model}) {}
+
+void Workspace::ensure_chunk_capacity(const ModelConfig& config,
+                                      std::size_t rows) {
+  if (rows <= chunk_capacity()) return;
+  *this = Workspace(config, rows);
+}
 
 TransformerLM::TransformerLM(ModelConfig config, ModelWeights weights)
     : config_(std::move(config)), weights_(std::move(weights)) {
   FT2_CHECK(weights_.blocks.size() == config_.n_blocks);
 }
 
-void TransformerLM::apply_norm(const NormWeights& nw, const Tensor& in,
-                               Tensor& out) const {
+void TransformerLM::apply_norm_row(const NormWeights& nw,
+                                   std::span<const float> in,
+                                   std::span<float> out) const {
   if (config_.norm == NormKind::kLayerNorm) {
-    layernorm_rows(in, nw.gamma.span(), nw.beta.span(), config_.norm_eps, out);
+    layernorm_row(in, nw.gamma.span(), nw.beta.span(), config_.norm_eps, out);
   } else {
-    rmsnorm_rows(in, nw.gamma.span(), config_.norm_eps, out);
+    rmsnorm_row(in, nw.gamma.span(), config_.norm_eps, out);
   }
 }
 
@@ -42,37 +58,6 @@ namespace {
 
 inline void maybe_quantize(std::span<float> v, bool fp16) {
   if (fp16) quantize_span_f16(v);
-}
-
-/// Dot product accumulated in 8-wide partial sums: a different reduction
-/// order from the sequential kernel, standing in for a different GPU
-/// generation's tiling (Fig. 16 hardware sensitivity).
-void linear_forward_row_chunked(std::span<const float> x, const Tensor& w,
-                                std::span<const float> bias,
-                                std::span<float> y) {
-  const std::size_t n = w.dim(0);
-  const std::size_t k = w.dim(1);
-  const float* wd = w.data();
-  for (std::size_t o = 0; o < n; ++o) {
-    const float* row = wd + o * k;
-    float partial[8] = {0, 0, 0, 0, 0, 0, 0, 0};
-    std::size_t i = 0;
-    for (; i + 8 <= k; i += 8) {
-      for (std::size_t lane = 0; lane < 8; ++lane) {
-        partial[lane] += row[i + lane] * x[i + lane];
-      }
-    }
-    float acc = bias.empty() ? 0.0f : bias[o];
-    for (; i < k; ++i) acc += row[i] * x[i];
-    // Pairwise tree reduction of the lanes.
-    partial[0] += partial[4];
-    partial[1] += partial[5];
-    partial[2] += partial[6];
-    partial[3] += partial[7];
-    partial[0] += partial[2];
-    partial[1] += partial[3];
-    y[o] = acc + partial[0] + partial[1];
-  }
 }
 
 inline void run_linear(const LinearWeights& lw, const Tensor& in, Tensor& out,
@@ -87,6 +72,24 @@ inline void run_linear(const LinearWeights& lw, const Tensor& in, Tensor& out,
   maybe_quantize(out.row(0), exec.fp16);
   HookContext ctx{LayerSite{block, kind}, pos, first_token};
   hooks.dispatch(ctx, out.row(0));
+}
+
+/// Blocked counterpart of run_linear: GEMM over the first `rows` rows of
+/// `in`, FP16 quantization of the chunk (elementwise, so identical to
+/// per-row quantization), and ONE hook dispatch carrying the whole
+/// [rows x width] span. Per-element accumulation order matches run_linear.
+inline void run_linear_span(const LinearWeights& lw, const Tensor& in,
+                            std::size_t rows, Tensor& out,
+                            const ExecConfig& exec, ThreadPool& pool,
+                            const HookChain& hooks, int block, LayerKind kind,
+                            std::size_t pos0, bool first_token) {
+  linear_forward_span(in, rows, lw.w, lw.bias_span(), out, exec.chunked_accum,
+                      pool);
+  const std::size_t width = out.dim(1);
+  std::span<float> view{out.data(), rows * width};
+  maybe_quantize(view, exec.fp16);
+  HookContext ctx{LayerSite{block, kind}, pos0, first_token, rows, width};
+  hooks.dispatch(ctx, view);
 }
 
 }  // namespace
@@ -216,7 +219,7 @@ void TransformerLM::forward_position(int token, std::size_t pos,
 
   for (std::size_t bi = 0; bi < config_.n_blocks; ++bi) {
     const auto& blk = weights_.blocks[bi];
-    apply_norm(blk.norm1, ws.x, ws.h);
+    apply_norm_row(blk.norm1, ws.x.row(0), ws.h.row(0));
     maybe_quantize(ws.h.row(0), fp16);
 
     attention(blk, bi, pos, cache, hooks, exec, first_token_phase, ws);
@@ -230,7 +233,7 @@ void TransformerLM::forward_position(int token, std::size_t pos,
     } else {
       add_inplace(x, ws.o.row(0));
       maybe_quantize(x, fp16);
-      apply_norm(blk.norm2, ws.x, ws.h);
+      apply_norm_row(blk.norm2, ws.x.row(0), ws.h.row(0));
       maybe_quantize(ws.h.row(0), fp16);
       mlp(blk, bi, ws.h, hooks, exec, first_token_phase, ws);
       add_inplace(x, ws.f2.row(0));
@@ -239,7 +242,196 @@ void TransformerLM::forward_position(int token, std::size_t pos,
   }
   cache.advance();
 
-  apply_norm(weights_.final_norm, ws.x, ws.final_h);
+  apply_norm_row(weights_.final_norm, ws.x.row(0), ws.final_h.row(0));
+  maybe_quantize(ws.final_h.row(0), fp16);
+  linear_forward_row(ws.final_h.row(0), weights_.lm_head.w, {}, logits);
+}
+
+void TransformerLM::attention_span(const BlockWeights& blk,
+                                   std::size_t block_idx, std::size_t pos0,
+                                   std::size_t n, KvCache& cache,
+                                   const HookChain& hooks,
+                                   const ExecConfig& exec, bool first_token,
+                                   Workspace& ws, ThreadPool& pool) const {
+  const bool fp16 = exec.fp16;
+  const int b = static_cast<int>(block_idx);
+  run_linear_span(blk.q, ws.h, n, ws.q, exec, pool, hooks, b,
+                  LayerKind::kQProj, pos0, first_token);
+  run_linear_span(blk.k, ws.h, n, ws.k, exec, pool, hooks, b,
+                  LayerKind::kKProj, pos0, first_token);
+  run_linear_span(blk.v, ws.h, n, ws.v, exec, pool, hooks, b,
+                  LayerKind::kVProj, pos0, first_token);
+
+  const std::size_t n_heads = config_.n_heads;
+  const std::size_t head_dim = config_.head_dim();
+  if (config_.position == PositionKind::kRotary) {
+    for (std::size_t r = 0; r < n; ++r) {
+      rope_apply(ws.q.row(r), n_heads, head_dim, pos0 + r, config_.rope_theta);
+      rope_apply(ws.k.row(r), n_heads, head_dim, pos0 + r, config_.rope_theta);
+      maybe_quantize(ws.q.row(r), fp16);
+      maybe_quantize(ws.k.row(r), fp16);
+    }
+  }
+
+  // All of the chunk's K/V lands in the cache before any attention row runs:
+  // row r attends over [0, pos0 + r], which includes earlier chunk rows.
+  // Hooks already ran (above), so the stored values match the sequential
+  // path, where each position's K/V is hooked, roped and stored before the
+  // next position executes.
+  for (std::size_t r = 0; r < n; ++r) {
+    cache.store(block_idx, pos0 + r, ws.k.row(r), ws.v.row(r));
+  }
+
+  // Causal attention, one independent task per chunk row (fixed loop order
+  // inside a row keeps it bit-exact with the sequential path).
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim));
+  pool.parallel_for(0, n, [&](std::size_t r) {
+    const std::size_t len = pos0 + r + 1;
+    auto out = ws.attn_out.row(r);
+    std::fill(out.begin(), out.end(), 0.0f);
+    for (std::size_t hh = 0; hh < n_heads; ++hh) {
+      const std::size_t off = hh * head_dim;
+      auto scores = ws.scores.row(r).subspan(0, len);
+      const float* qh = ws.q.row(r).data() + off;
+      for (std::size_t j = 0; j < len; ++j) {
+        const float* kh = cache.key(block_idx, j).data() + off;
+        float dot = 0.0f;
+        for (std::size_t i = 0; i < head_dim; ++i) dot += qh[i] * kh[i];
+        scores[j] = dot * scale;
+      }
+      maybe_quantize(scores, fp16);
+      softmax(scores);
+      maybe_quantize(scores, fp16);
+      float* oh = out.data() + off;
+      for (std::size_t j = 0; j < len; ++j) {
+        const float p = scores[j];
+        if (p == 0.0f) continue;
+        const float* vh = cache.value(block_idx, j).data() + off;
+        for (std::size_t i = 0; i < head_dim; ++i) oh[i] += p * vh[i];
+      }
+    }
+    maybe_quantize(out, fp16);
+  });
+
+  run_linear_span(blk.o, ws.attn_out, n, ws.o, exec, pool, hooks, b,
+                  LayerKind::kOutProj, pos0, first_token);
+}
+
+void TransformerLM::mlp_span(const BlockWeights& blk, std::size_t block_idx,
+                             const Tensor& input, std::size_t pos0,
+                             std::size_t n, const HookChain& hooks,
+                             const ExecConfig& exec, bool first_token,
+                             Workspace& ws, ThreadPool& pool) const {
+  const bool fp16 = exec.fp16;
+  const int b = static_cast<int>(block_idx);
+  const bool llama = config_.arch == ArchFamily::kLlama;
+  const std::size_t d_ff = config_.d_ff;
+  std::span<float> act_view{ws.act.data(), n * d_ff};
+
+  if (llama) {
+    run_linear_span(blk.fc1, input, n, ws.f1, exec, pool, hooks, b,
+                    LayerKind::kGateProj, pos0, first_token);
+    run_linear_span(blk.up, input, n, ws.f_up, exec, pool, hooks, b,
+                    LayerKind::kUpProj, pos0, first_token);
+    std::copy_n(ws.f1.data(), n * d_ff, ws.act.data());
+    silu(act_view);
+    maybe_quantize(act_view, fp16);
+    hooks.dispatch(HookContext{LayerSite{b, LayerKind::kMlpAct}, pos0,
+                               first_token, n, d_ff},
+                   act_view);
+    mul_inplace(act_view, {ws.f_up.data(), n * d_ff});
+    maybe_quantize(act_view, fp16);
+    run_linear_span(blk.fc2, ws.act, n, ws.f2, exec, pool, hooks, b,
+                    LayerKind::kDownProj, pos0, first_token);
+  } else {
+    run_linear_span(blk.fc1, input, n, ws.f1, exec, pool, hooks, b,
+                    LayerKind::kFc1, pos0, first_token);
+    std::copy_n(ws.f1.data(), n * d_ff, ws.act.data());
+    if (config_.activation == Activation::kRelu) {
+      relu(act_view);
+    } else {
+      gelu(act_view);
+    }
+    maybe_quantize(act_view, fp16);
+    hooks.dispatch(HookContext{LayerSite{b, LayerKind::kMlpAct}, pos0,
+                               first_token, n, d_ff},
+                   act_view);
+    run_linear_span(blk.fc2, ws.act, n, ws.f2, exec, pool, hooks, b,
+                    LayerKind::kFc2, pos0, first_token);
+  }
+}
+
+void TransformerLM::forward_span(std::span<const int> tokens, std::size_t pos0,
+                                 KvCache& cache, const HookChain& hooks,
+                                 const ExecConfig& exec,
+                                 bool first_token_phase, Workspace& ws,
+                                 std::span<float> logits) const {
+  const std::size_t n = tokens.size();
+  const bool fp16 = exec.fp16;
+  FT2_CHECK(n > 0);
+  FT2_CHECK_MSG(cache.length() == pos0,
+                "cache length " << cache.length() << " != pos0 " << pos0);
+  FT2_CHECK(pos0 + n <= config_.max_seq);
+  FT2_CHECK(logits.empty() || logits.size() == config_.vocab_size);
+  ws.ensure_chunk_capacity(config_, n);
+  ws.current_pos = pos0;
+  ThreadPool& pool = exec.pool != nullptr ? *exec.pool : ThreadPool::global();
+
+  for (std::size_t r = 0; r < n; ++r) {
+    const int token = tokens[r];
+    FT2_CHECK(token >= 0 &&
+              static_cast<std::size_t>(token) < config_.vocab_size);
+    auto x = ws.x.row(r);
+    auto emb = weights_.tok_emb.row(static_cast<std::size_t>(token));
+    std::copy(emb.begin(), emb.end(), x.begin());
+    if (config_.position == PositionKind::kLearned) {
+      add_inplace(x, weights_.pos_emb.row(pos0 + r));
+    }
+    maybe_quantize(x, fp16);
+  }
+
+  for (std::size_t bi = 0; bi < config_.n_blocks; ++bi) {
+    const auto& blk = weights_.blocks[bi];
+    for (std::size_t r = 0; r < n; ++r) {
+      apply_norm_row(blk.norm1, ws.x.row(r), ws.h.row(r));
+      maybe_quantize(ws.h.row(r), fp16);
+    }
+
+    attention_span(blk, bi, pos0, n, cache, hooks, exec, first_token_phase,
+                   ws, pool);
+
+    if (config_.parallel_block) {
+      mlp_span(blk, bi, ws.h, pos0, n, hooks, exec, first_token_phase, ws,
+               pool);
+      for (std::size_t r = 0; r < n; ++r) {
+        auto x = ws.x.row(r);
+        add_inplace(x, ws.o.row(r));
+        add_inplace(x, ws.f2.row(r));
+        maybe_quantize(x, fp16);
+      }
+    } else {
+      for (std::size_t r = 0; r < n; ++r) {
+        auto x = ws.x.row(r);
+        add_inplace(x, ws.o.row(r));
+        maybe_quantize(x, fp16);
+        apply_norm_row(blk.norm2, ws.x.row(r), ws.h.row(r));
+        maybe_quantize(ws.h.row(r), fp16);
+      }
+      mlp_span(blk, bi, ws.h, pos0, n, hooks, exec, first_token_phase, ws,
+               pool);
+      for (std::size_t r = 0; r < n; ++r) {
+        auto x = ws.x.row(r);
+        add_inplace(x, ws.f2.row(r));
+        maybe_quantize(x, fp16);
+      }
+    }
+  }
+  cache.advance(n);
+
+  if (logits.empty()) return;
+  // Only the last span position's logits are observable: generate() ignores
+  // intermediate prefill logits, so the blocked path never computes them.
+  apply_norm_row(weights_.final_norm, ws.x.row(n - 1), ws.final_h.row(0));
   maybe_quantize(ws.final_h.row(0), fp16);
   linear_forward_row(ws.final_h.row(0), weights_.lm_head.w, {}, logits);
 }
@@ -297,16 +489,29 @@ GenerateResult InferenceSession::generate(std::span<const int> prompt,
   const std::size_t max_seq = model_.config().max_seq;
   std::span<float> logits{logits_.data(), logits_.size()};
 
-  const ExecConfig exec{options.fp16, options.chunked_accum};
+  const ExecConfig exec{options.fp16, options.chunked_accum, options.pool};
 
-  // Prefill: the "first token generation" phase.
+  // Prefill: the "first token generation" phase, processed in blocked
+  // chunks (bit-exact with the sequential path at any chunk size).
+  const std::size_t prompt_len = std::min(prompt.size(), max_seq);
+  const std::size_t chunk =
+      options.prefill_chunk == 0 ? prompt_len : options.prefill_chunk;
   std::size_t pos = 0;
-  for (int token : prompt) {
-    if (pos >= max_seq) break;
-    model_.forward_position(token, pos, cache_, hooks_, exec,
-                            /*first_token_phase=*/true, ws_, logits);
-    ++pos;
-    ++result.positions_run;
+  while (pos < prompt_len) {
+    const std::size_t n = std::min(chunk, prompt_len - pos);
+    // Logits are only needed from the chunk containing the last prompt
+    // position; earlier chunks skip the LM head entirely.
+    const bool last_chunk = pos + n == prompt_len;
+    if (n == 1) {
+      model_.forward_position(prompt[pos], pos, cache_, hooks_, exec,
+                              /*first_token_phase=*/true, ws_, logits);
+    } else {
+      model_.forward_span(prompt.subspan(pos, n), pos, cache_, hooks_, exec,
+                          /*first_token_phase=*/true, ws_,
+                          last_chunk ? logits : std::span<float>{});
+    }
+    pos += n;
+    result.positions_run += n;
   }
 
   // Decode. Greedy by default; NaN-poisoned logits: argmax picks the first

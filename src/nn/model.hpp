@@ -1,7 +1,18 @@
 // Decoder-only transformer inference engine with hookable layer outputs.
 //
-// The engine processes one position at a time against a KV cache (prompt
-// tokens are prefilled sequentially; generation continues incrementally).
+// The engine has two execution paths against the same KV cache:
+//   - forward_position: one position at a time (incremental decode, and the
+//     reference prefill path);
+//   - forward_span: a blocked prefill that pushes a CHUNK of prompt
+//     positions through each layer as an MxK * KxN GEMM parallelised over a
+//     thread pool, with causal attention rows computed per position.
+// The blocked path is bit-exact with running forward_position over the same
+// positions: every output element is one dot product with a fixed
+// accumulation order computed by exactly one task, cross-position dataflow
+// only passes through the KV cache (stored after hooks, exactly like the
+// sequential path), and hooks observe each site's values in increasing
+// position order.
+//
 // When FP16 execution is modelled, every observable tensor — linear outputs,
 // activation outputs, attention output, residual stream, norm outputs — is
 // quantized onto the binary16 grid, so injected bit flips and range
@@ -17,20 +28,30 @@
 
 namespace ft2 {
 
-/// Scratch buffers reused across positions (sized once per model config).
+class ThreadPool;  // common/thread_pool.hpp
+
+/// Scratch buffers reused across positions. Rows 1..capacity-1 are only used
+/// by the blocked prefill; the sequential path always works in row 0.
 struct Workspace {
-  Tensor x;         // [1, d] residual stream
-  Tensor h;         // [1, d] normed input
-  Tensor q, k, v;   // [1, d]
-  Tensor attn_out;  // [1, d]
-  Tensor o;         // [1, d]
-  Tensor f1, f_up, act;  // [1, d_ff]
-  Tensor f2;        // [1, d]
-  Tensor scores;    // [1, max_seq]
+  Tensor x;         // [cap, d] residual stream
+  Tensor h;         // [cap, d] normed input
+  Tensor q, k, v;   // [cap, d]
+  Tensor attn_out;  // [cap, d]
+  Tensor o;         // [cap, d]
+  Tensor f1, f_up, act;  // [cap, d_ff]
+  Tensor f2;        // [cap, d]
+  Tensor scores;    // [cap, max_seq]
   Tensor final_h;   // [1, d]
   std::size_t current_pos = 0;  // position being processed (hook context)
 
-  explicit Workspace(const ModelConfig& config);
+  explicit Workspace(const ModelConfig& config, std::size_t chunk_capacity = 1);
+
+  /// Rows currently allocated for blocked processing.
+  std::size_t chunk_capacity() const { return x.dim(0); }
+
+  /// Grows the scratch buffers to hold at least `rows` positions. No-op when
+  /// already large enough; existing row-0 contents are not preserved.
+  void ensure_chunk_capacity(const ModelConfig& config, std::size_t rows);
 };
 
 /// Execution configuration: numeric-semantics knobs that model different
@@ -38,10 +59,13 @@ struct Workspace {
 /// accumulates dot products in 8-wide partial sums (a different tiling /
 /// reduction order, as a different GPU generation would use) — results stay
 /// semantically equivalent but differ in float rounding, which is exactly
-/// what the hardware-sensitivity experiment (Fig. 16) varies.
+/// what the hardware-sensitivity experiment (Fig. 16) varies. `pool` selects
+/// the thread pool for the blocked prefill (null = process-wide pool); the
+/// pool size never affects results, only wall-clock time.
 struct ExecConfig {
   bool fp16 = true;
   bool chunked_accum = false;
+  ThreadPool* pool = nullptr;
 };
 
 class TransformerLM {
@@ -70,6 +94,20 @@ class TransformerLM {
                      first_token_phase, ws, logits);
   }
 
+  /// Blocked prefill: processes `tokens` at sequence positions
+  /// [pos0, pos0 + tokens.size()) through every layer as a batched GEMM,
+  /// appends the chunk's K/V to the cache in one shot and applies causal
+  /// attention per chunk row. Bit-exact with calling forward_position for
+  /// each position in order, at any pool size (see file header). Hooks fire
+  /// once per layer site with a [n_positions x width] span view. `logits`
+  /// receives the output for the LAST span position only (intermediate
+  /// prefill logits are never observed by generate); pass an empty span to
+  /// skip the LM head entirely.
+  void forward_span(std::span<const int> tokens, std::size_t pos0,
+                    KvCache& cache, const HookChain& hooks,
+                    const ExecConfig& exec, bool first_token_phase,
+                    Workspace& ws, std::span<float> logits) const;
+
   KvCache make_cache() const {
     return KvCache(config_.n_blocks, config_.max_seq, config_.d_model);
   }
@@ -82,7 +120,16 @@ class TransformerLM {
   void mlp(const BlockWeights& blk, std::size_t block_idx, const Tensor& input,
            const HookChain& hooks, const ExecConfig& exec, bool first_token,
            Workspace& ws) const;
-  void apply_norm(const NormWeights& nw, const Tensor& in, Tensor& out) const;
+  void attention_span(const BlockWeights& blk, std::size_t block_idx,
+                      std::size_t pos0, std::size_t n, KvCache& cache,
+                      const HookChain& hooks, const ExecConfig& exec,
+                      bool first_token, Workspace& ws, ThreadPool& pool) const;
+  void mlp_span(const BlockWeights& blk, std::size_t block_idx,
+                const Tensor& input, std::size_t pos0, std::size_t n,
+                const HookChain& hooks, const ExecConfig& exec,
+                bool first_token, Workspace& ws, ThreadPool& pool) const;
+  void apply_norm_row(const NormWeights& nw, std::span<const float> in,
+                      std::span<float> out) const;
 
   ModelConfig config_;
   ModelWeights weights_;
@@ -100,6 +147,11 @@ struct GenerateOptions {
   float temperature = 0.0f;    ///< 0 = greedy; > 0 = softmax sampling
   std::size_t top_k = 0;       ///< 0 = all tokens; else sample among top-k
   std::uint64_t sample_seed = 1;  ///< RNG seed for sampling decode
+  /// Prompt positions processed per blocked-prefill chunk. 1 = fully
+  /// sequential reference path; 0 = the whole prompt in one chunk. Chunking
+  /// is bit-exact with the sequential path, so this is purely a speed knob.
+  std::size_t prefill_chunk = 32;
+  ThreadPool* pool = nullptr;  ///< pool for blocked prefill (null = global)
 };
 
 struct GenerateResult {
@@ -115,9 +167,10 @@ class InferenceSession {
 
   HookChain& hooks() { return hooks_; }
 
-  /// Greedy generation. Prompt tokens are prefilled sequentially (the
-  /// "first token generation" phase of the paper); hooks observe every
-  /// position.
+  /// Greedy generation. Prompt tokens are prefilled in blocked chunks of
+  /// `options.prefill_chunk` positions (the "first token generation" phase
+  /// of the paper) — bit-exact with sequential prefill; hooks observe every
+  /// position. Decode then continues one position at a time.
   GenerateResult generate(std::span<const int> prompt,
                           const GenerateOptions& options);
 

@@ -6,91 +6,56 @@ namespace ft2 {
 
 BoundStore profile_offline_bounds(const TransformerLM& model,
                                   const DatasetGenerator& gen,
-                                  std::size_t n_inputs, std::uint64_t seed,
-                                  std::size_t max_new_tokens) {
-  const auto samples = gen.generate_many(n_inputs, seed);
-  BoundRecorderHook recorder(model.config());
-  InferenceSession session(model);
-  session.hooks().add(&recorder);
+                                  const OfflineProfileOptions& options) {
+  FT2_CHECK_MSG(options.quantile >= 0.0 && options.quantile < 0.5,
+                "quantile must be in [0, 0.5)");
+  const bool need_stats = options.with_typical || options.quantile > 0.0;
+  const auto samples = gen.generate_many(options.n_inputs, options.seed);
 
-  GenerateOptions options;
-  options.max_new_tokens = max_new_tokens;
-  options.eos_token = Vocab::kEos;
-  options.fp16 = true;
+  BoundRecorderHook recorder(model.config());
+  ActivationStatsHook stats(options.stats_range, options.stats_bins);
+  InferenceSession session(model);
+  const HookRegistration recorder_reg = session.hooks().add(recorder);
+  HookRegistration stats_reg;
+  if (need_stats) stats_reg = session.hooks().add(stats);
+
+  GenerateOptions gen_options;
+  gen_options.max_new_tokens = options.max_new_tokens;
+  gen_options.eos_token = Vocab::kEos;
+  gen_options.fp16 = true;
+  gen_options.prefill_chunk = options.prefill_chunk;
 
   for (const auto& sample : samples) {
     std::vector<int> prompt;
     prompt.push_back(Vocab::kBos);
     prompt.insert(prompt.end(), sample.prompt_tokens.begin(),
                   sample.prompt_tokens.end());
-    session.generate(prompt, options);
+    session.generate(prompt, gen_options);
   }
-  return recorder.take_bounds();
-}
 
-BoundStore profile_offline_bounds_with_typical(
-    const TransformerLM& model, const DatasetGenerator& gen,
-    std::size_t n_inputs, std::uint64_t seed, std::size_t max_new_tokens) {
-  const auto samples = gen.generate_many(n_inputs, seed);
-  BoundRecorderHook recorder(model.config());
-  ActivationStatsHook stats(16.0f, 64);
-  InferenceSession session(model);
-  session.hooks().add(&recorder);
-  session.hooks().add(&stats);
-
-  GenerateOptions options;
-  options.max_new_tokens = max_new_tokens;
-  options.eos_token = Vocab::kEos;
-  options.fp16 = true;
-  for (const auto& sample : samples) {
-    std::vector<int> prompt;
-    prompt.push_back(Vocab::kBos);
-    prompt.insert(prompt.end(), sample.prompt_tokens.begin(),
-                  sample.prompt_tokens.end());
-    session.generate(prompt, options);
+  if (options.quantile > 0.0) {
+    BoundStore bounds(model.config());
+    for (const LayerSite& site : stats.observed_sites()) {
+      const auto* s = stats.find(site);
+      if (s == nullptr || s->stats.count() == 0) continue;
+      Bounds& bd = bounds.at(site);
+      bd.lo = static_cast<float>(s->histogram.quantile(options.quantile));
+      bd.hi =
+          static_cast<float>(s->histogram.quantile(1.0 - options.quantile));
+      bd.typical = static_cast<float>(s->histogram.quantile(0.5));
+    }
+    return bounds;
   }
 
   BoundStore bounds = recorder.take_bounds();
-  for (const LayerSite& site : stats.observed_sites()) {
-    const auto* s = stats.find(site);
-    if (s != nullptr && bounds.at(site).valid()) {
-      bounds.at(site).typical =
-          static_cast<float>(s->histogram.quantile(0.5));
+  if (options.with_typical) {
+    for (const LayerSite& site : stats.observed_sites()) {
+      const auto* s = stats.find(site);
+      if (s != nullptr && bounds.at(site).valid()) {
+        bounds.at(site).typical =
+            static_cast<float>(s->histogram.quantile(0.5));
+      }
     }
-  }
-  return bounds;
-}
-
-BoundStore profile_offline_bounds_quantile(
-    const TransformerLM& model, const DatasetGenerator& gen,
-    std::size_t n_inputs, std::uint64_t seed, double q,
-    std::size_t max_new_tokens) {
-  FT2_CHECK_MSG(q >= 0.0 && q < 0.5, "quantile q must be in [0, 0.5)");
-  const auto samples = gen.generate_many(n_inputs, seed);
-  ActivationStatsHook stats(16.0f, 64);
-  InferenceSession session(model);
-  session.hooks().add(&stats);
-
-  GenerateOptions options;
-  options.max_new_tokens = max_new_tokens;
-  options.eos_token = Vocab::kEos;
-  options.fp16 = true;
-  for (const auto& sample : samples) {
-    std::vector<int> prompt;
-    prompt.push_back(Vocab::kBos);
-    prompt.insert(prompt.end(), sample.prompt_tokens.begin(),
-                  sample.prompt_tokens.end());
-    session.generate(prompt, options);
-  }
-
-  BoundStore bounds(model.config());
-  for (const LayerSite& site : stats.observed_sites()) {
-    const auto* s = stats.find(site);
-    if (s == nullptr || s->stats.count() == 0) continue;
-    Bounds& bd = bounds.at(site);
-    bd.lo = static_cast<float>(s->histogram.quantile(q));
-    bd.hi = static_cast<float>(s->histogram.quantile(1.0 - q));
-    bd.typical = static_cast<float>(s->histogram.quantile(0.5));
   }
   return bounds;
 }

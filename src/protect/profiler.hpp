@@ -31,30 +31,74 @@ class BoundRecorderHook : public OutputHook {
   BoundStore bounds_;
 };
 
-/// Runs `n_inputs` fault-free generations of `gen`'s samples through the
-/// model and returns per-site bounds — the classical offline profiling step
-/// of Ranger/MaxiMals/Global Clipper (paper §3.2).
+/// Configuration for offline bound profiling (the single entry point that
+/// replaced the profile_offline_bounds / _with_typical / _quantile trio).
+struct OfflineProfileOptions {
+  std::size_t n_inputs = 16;        ///< profiling samples to run
+  std::uint64_t seed = 1;           ///< dataset generator seed
+  std::size_t max_new_tokens = 24;  ///< decode length per sample
+  /// Fill each site's Bounds::typical with the empirical median (the
+  /// profile the Dr.DNA-style clip-to-typical policy needs).
+  bool with_typical = false;
+  /// 0 = min/max bounds; q in (0, 0.5) = [q, 1-q] empirical quantile
+  /// bounds (tighter bounds catch smaller faulty deviations but clip the
+  /// benign tail — the precision/recall knob; typical is always the
+  /// median when quantile profiling is on).
+  double quantile = 0.0;
+  float stats_range = 16.0f;   ///< histogram range for typical/quantile
+  std::size_t stats_bins = 64; ///< histogram bins for typical/quantile
+  /// Blocked-prefill chunk for the profiling runs (purely a speed knob —
+  /// chunking is bit-exact, so recorded bounds do not depend on it).
+  std::size_t prefill_chunk = 32;
+};
+
+/// Runs fault-free generations of `gen`'s samples through the model and
+/// returns per-site bounds — the classical offline profiling step of
+/// Ranger/MaxiMals/Global Clipper (paper §3.2). See OfflineProfileOptions
+/// for the typical/quantile variants.
 BoundStore profile_offline_bounds(const TransformerLM& model,
                                   const DatasetGenerator& gen,
-                                  std::size_t n_inputs, std::uint64_t seed,
-                                  std::size_t max_new_tokens = 24);
+                                  const OfflineProfileOptions& options = {});
 
-/// Like profile_offline_bounds, but additionally fills each site's
-/// `typical` value with the empirical median of its activations (the
-/// profile the Dr.DNA-style clip-to-typical policy needs).
-BoundStore profile_offline_bounds_with_typical(
+/// Deprecated shims for the pre-OfflineProfileOptions entry points.
+[[deprecated("use profile_offline_bounds(model, gen, OfflineProfileOptions)")]]
+inline BoundStore profile_offline_bounds(const TransformerLM& model,
+                                         const DatasetGenerator& gen,
+                                         std::size_t n_inputs,
+                                         std::uint64_t seed,
+                                         std::size_t max_new_tokens = 24) {
+  OfflineProfileOptions options;
+  options.n_inputs = n_inputs;
+  options.seed = seed;
+  options.max_new_tokens = max_new_tokens;
+  return profile_offline_bounds(model, gen, options);
+}
+
+[[deprecated("use profile_offline_bounds with with_typical = true")]]
+inline BoundStore profile_offline_bounds_with_typical(
     const TransformerLM& model, const DatasetGenerator& gen,
     std::size_t n_inputs, std::uint64_t seed,
-    std::size_t max_new_tokens = 24);
+    std::size_t max_new_tokens = 24) {
+  OfflineProfileOptions options;
+  options.n_inputs = n_inputs;
+  options.seed = seed;
+  options.max_new_tokens = max_new_tokens;
+  options.with_typical = true;
+  return profile_offline_bounds(model, gen, options);
+}
 
-/// Quantile bounds: [q, 1-q] empirical quantiles instead of min/max.
-/// Tighter bounds catch smaller faulty deviations but clip the benign tail
-/// — the precision/recall knob of range restriction (ablation material;
-/// q = 0 degenerates to min/max). `typical` is filled with the median.
-BoundStore profile_offline_bounds_quantile(
+[[deprecated("use profile_offline_bounds with quantile = q")]]
+inline BoundStore profile_offline_bounds_quantile(
     const TransformerLM& model, const DatasetGenerator& gen,
     std::size_t n_inputs, std::uint64_t seed, double q,
-    std::size_t max_new_tokens = 24);
+    std::size_t max_new_tokens = 24) {
+  OfflineProfileOptions options;
+  options.n_inputs = n_inputs;
+  options.seed = seed;
+  options.max_new_tokens = max_new_tokens;
+  options.quantile = q;
+  return profile_offline_bounds(model, gen, options);
+}
 
 /// Per-site activation statistics: histogram + NaN-vulnerable fraction.
 class ActivationStatsHook : public OutputHook {

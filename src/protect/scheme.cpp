@@ -86,6 +86,10 @@ void ProtectionHook::on_generation_begin() {
 
 void ProtectionHook::on_output(const HookContext& ctx,
                                std::span<float> values) {
+  // `values` may span several positions (blocked prefill). Every operation
+  // below is elementwise or an order-insensitive min/max, and bounds are
+  // per-site (not per-position), so the flat span needs no row iteration
+  // and the results match per-position dispatch exactly.
   if (spec_.kind == SchemeKind::kNone) return;
   if (!covered_mask_[static_cast<std::size_t>(ctx.site.kind)]) return;
 

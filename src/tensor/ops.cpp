@@ -3,6 +3,11 @@
 #include <algorithm>
 #include <cmath>
 
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+#include "common/thread_pool.hpp"
 #include "numeric/f16.hpp"
 
 namespace ft2 {
@@ -36,6 +41,178 @@ void linear_forward_row(std::span<const float> x, const Tensor& w,
   }
 }
 
+void linear_forward_row_chunked(std::span<const float> x, const Tensor& w,
+                                std::span<const float> bias,
+                                std::span<float> y) {
+  const std::size_t n = w.dim(0);
+  const std::size_t k = w.dim(1);
+  FT2_ASSERT(x.size() == k && y.size() == n);
+  const float* wd = w.data();
+  for (std::size_t o = 0; o < n; ++o) {
+    const float* row = wd + o * k;
+    float partial[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+    std::size_t i = 0;
+    for (; i + 8 <= k; i += 8) {
+      for (std::size_t lane = 0; lane < 8; ++lane) {
+        partial[lane] += row[i + lane] * x[i + lane];
+      }
+    }
+    float acc = bias.empty() ? 0.0f : bias[o];
+    for (; i < k; ++i) acc += row[i] * x[i];
+    // Pairwise tree reduction of the lanes.
+    partial[0] += partial[4];
+    partial[1] += partial[5];
+    partial[2] += partial[6];
+    partial[3] += partial[7];
+    partial[0] += partial[2];
+    partial[1] += partial[3];
+    y[o] = acc + partial[0] + partial[1];
+  }
+}
+
+namespace {
+
+/// Chunked-accumulation tile (the Fig. 16 alternate-reduction-order mode):
+/// identical to linear_forward_row_chunked per output element.
+void gemm_tile_chunked(std::span<const float> x, const Tensor& w,
+                       std::span<const float> bias, std::span<float> y,
+                       std::size_t o_lo, std::size_t o_hi) {
+  const std::size_t k = w.dim(1);
+  const float* wd = w.data();
+  for (std::size_t o = o_lo; o < o_hi; ++o) {
+    const float* row = wd + o * k;
+    float partial[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+    std::size_t i = 0;
+    for (; i + 8 <= k; i += 8) {
+      for (std::size_t lane = 0; lane < 8; ++lane) {
+        partial[lane] += row[i + lane] * x[i + lane];
+      }
+    }
+    float acc = bias.empty() ? 0.0f : bias[o];
+    for (; i < k; ++i) acc += row[i] * x[i];
+    partial[0] += partial[4];
+    partial[1] += partial[5];
+    partial[2] += partial[6];
+    partial[3] += partial[7];
+    partial[0] += partial[2];
+    partial[1] += partial[3];
+    y[o] = acc + partial[0] + partial[1];
+  }
+}
+
+/// Columns per packed tile of the k-outer GEMM kernel. One tile's
+/// accumulators (kPackCols floats) fit in vector registers.
+constexpr std::size_t kPackCols = 16;
+
+/// Repacks weight columns [o_lo, o_lo + width) transposed into
+/// wt[k][kPackCols] (zero-padded past `width`) so the micro-kernel's inner
+/// loop reads contiguous memory.
+void pack_weight_tile(const Tensor& w, std::size_t o_lo, std::size_t width,
+                      std::vector<float>& wt) {
+  const std::size_t k = w.dim(1);
+  wt.assign(k * kPackCols, 0.0f);
+  for (std::size_t j = 0; j < width; ++j) {
+    const float* src = w.data() + (o_lo + j) * k;
+    for (std::size_t i = 0; i < k; ++i) wt[i * kPackCols + j] = src[i];
+  }
+}
+
+/// k-outer micro-kernel: one input row against a packed weight tile. Each
+/// output element accumulates x[i] * w[o][i] in ascending-i order with a
+/// separate mul and add per step — the exact per-element operation sequence
+/// of linear_forward_row — but the kPackCols accumulators are independent,
+/// so the lanes run in parallel instead of serializing on one dot product's
+/// add-latency chain. This is where the blocked prefill's single-thread
+/// speedup comes from. Explicit SSE keeps the instruction selection out of
+/// the autovectorizer's hands (and SSE mul/add round identically to their
+/// scalar counterparts, so bit-exactness is preserved by construction).
+void kouter_row(const float* x, const float* wt, std::size_t k,
+                const float* bias_padded, float* y, std::size_t width) {
+#if defined(__SSE2__)
+  __m128 acc0 = _mm_loadu_ps(bias_padded);
+  __m128 acc1 = _mm_loadu_ps(bias_padded + 4);
+  __m128 acc2 = _mm_loadu_ps(bias_padded + 8);
+  __m128 acc3 = _mm_loadu_ps(bias_padded + 12);
+  for (std::size_t i = 0; i < k; ++i) {
+    const __m128 xi = _mm_set1_ps(x[i]);
+    const float* wr = wt + i * kPackCols;
+    acc0 = _mm_add_ps(acc0, _mm_mul_ps(xi, _mm_loadu_ps(wr)));
+    acc1 = _mm_add_ps(acc1, _mm_mul_ps(xi, _mm_loadu_ps(wr + 4)));
+    acc2 = _mm_add_ps(acc2, _mm_mul_ps(xi, _mm_loadu_ps(wr + 8)));
+    acc3 = _mm_add_ps(acc3, _mm_mul_ps(xi, _mm_loadu_ps(wr + 12)));
+  }
+  float acc[kPackCols];
+  _mm_storeu_ps(acc + 0, acc0);
+  _mm_storeu_ps(acc + 4, acc1);
+  _mm_storeu_ps(acc + 8, acc2);
+  _mm_storeu_ps(acc + 12, acc3);
+#else
+  float acc[kPackCols];
+  for (std::size_t j = 0; j < kPackCols; ++j) acc[j] = bias_padded[j];
+  for (std::size_t i = 0; i < k; ++i) {
+    const float xi = x[i];
+    const float* wr = wt + i * kPackCols;
+    for (std::size_t j = 0; j < kPackCols; ++j) acc[j] += xi * wr[j];
+  }
+#endif
+  for (std::size_t j = 0; j < width; ++j) y[j] = acc[j];
+}
+
+}  // namespace
+
+void linear_forward_span(const Tensor& x, std::size_t rows, const Tensor& w,
+                         std::span<const float> bias, Tensor& y,
+                         bool chunked_accum, ThreadPool& pool) {
+  FT2_CHECK(x.rank() == 2 && y.rank() == 2 && w.rank() == 2);
+  FT2_CHECK(rows <= x.dim(0) && rows <= y.dim(0));
+  const std::size_t n = w.dim(0);
+  const std::size_t k = w.dim(1);
+  FT2_CHECK_MSG(x.dim(1) == k && y.dim(1) == n,
+                "linear_forward_span: x [" << x.dim(0) << "," << x.dim(1)
+                                           << "] w [" << n << "," << w.dim(1)
+                                           << "] y cols " << y.dim(1));
+  if (rows == 0) return;
+
+  if (chunked_accum) {
+    // Sensitivity-study mode: keep the reference tiling. Split output
+    // columns when rows alone cannot feed the pool.
+    const std::size_t workers = std::max<std::size_t>(pool.size(), 1);
+    std::size_t col_tiles = 1;
+    if (rows < 2 * workers) {
+      col_tiles = std::min(n, (2 * workers + rows - 1) / rows);
+    }
+    const std::size_t tile_cols = (n + col_tiles - 1) / col_tiles;
+    pool.parallel_for(0, rows * col_tiles, [&](std::size_t task) {
+      const std::size_t r = task / col_tiles;
+      const std::size_t t = task % col_tiles;
+      const std::size_t o_lo = t * tile_cols;
+      const std::size_t o_hi = std::min(n, o_lo + tile_cols);
+      gemm_tile_chunked(x.row(r), w, bias, y.row(r), o_lo, o_hi);
+    });
+    return;
+  }
+
+  // Fast path: one task per kPackCols-wide column tile. Each task packs its
+  // weight tile once (amortized over all chunk rows) and runs the k-outer
+  // kernel row by row. Partitioning is per output element, so any pool size
+  // produces identical results.
+  const std::size_t col_groups = (n + kPackCols - 1) / kPackCols;
+  pool.parallel_for(0, col_groups, [&](std::size_t g) {
+    thread_local std::vector<float> wt;
+    const std::size_t o_lo = g * kPackCols;
+    const std::size_t width = std::min(kPackCols, n - o_lo);
+    pack_weight_tile(w, o_lo, width, wt);
+    float bias_padded[kPackCols] = {};
+    if (!bias.empty()) {
+      for (std::size_t j = 0; j < width; ++j) bias_padded[j] = bias[o_lo + j];
+    }
+    for (std::size_t r = 0; r < rows; ++r) {
+      kouter_row(x.row(r).data(), wt.data(), k, bias_padded,
+                 y.row(r).data() + o_lo, width);
+    }
+  });
+}
+
 void softmax(std::span<float> v) {
   if (v.empty()) return;
   float mx = v[0];
@@ -58,6 +235,22 @@ void softmax_rows(float* data, std::size_t rows, std::size_t cols) {
   }
 }
 
+void layernorm_row(std::span<const float> in, std::span<const float> gamma,
+                   std::span<const float> beta, float eps,
+                   std::span<float> out) {
+  const std::size_t d = in.size();
+  float mean = 0.0f;
+  for (float f : in) mean += f;
+  mean /= static_cast<float>(d);
+  float var = 0.0f;
+  for (float f : in) var += (f - mean) * (f - mean);
+  var /= static_cast<float>(d);
+  const float inv = 1.0f / std::sqrt(var + eps);
+  for (std::size_t i = 0; i < d; ++i) {
+    out[i] = (in[i] - mean) * inv * gamma[i] + beta[i];
+  }
+}
+
 void layernorm_rows(const Tensor& x, std::span<const float> gamma,
                     std::span<const float> beta, float eps, Tensor& y) {
   FT2_CHECK(x.rank() == 2);
@@ -65,19 +258,18 @@ void layernorm_rows(const Tensor& x, std::span<const float> gamma,
   FT2_CHECK(gamma.size() == d && beta.size() == d);
   if (!y.same_shape(x)) y = Tensor(x.shape());
   for (std::size_t r = 0; r < x.dim(0); ++r) {
-    auto in = x.row(r);
-    auto out = y.row(r);
-    float mean = 0.0f;
-    for (float f : in) mean += f;
-    mean /= static_cast<float>(d);
-    float var = 0.0f;
-    for (float f : in) var += (f - mean) * (f - mean);
-    var /= static_cast<float>(d);
-    const float inv = 1.0f / std::sqrt(var + eps);
-    for (std::size_t i = 0; i < d; ++i) {
-      out[i] = (in[i] - mean) * inv * gamma[i] + beta[i];
-    }
+    layernorm_row(x.row(r), gamma, beta, eps, y.row(r));
   }
+}
+
+void rmsnorm_row(std::span<const float> in, std::span<const float> gamma,
+                 float eps, std::span<float> out) {
+  const std::size_t d = in.size();
+  float ms = 0.0f;
+  for (float f : in) ms += f * f;
+  ms /= static_cast<float>(d);
+  const float inv = 1.0f / std::sqrt(ms + eps);
+  for (std::size_t i = 0; i < d; ++i) out[i] = in[i] * inv * gamma[i];
 }
 
 void rmsnorm_rows(const Tensor& x, std::span<const float> gamma, float eps,
@@ -87,13 +279,7 @@ void rmsnorm_rows(const Tensor& x, std::span<const float> gamma, float eps,
   FT2_CHECK(gamma.size() == d);
   if (!y.same_shape(x)) y = Tensor(x.shape());
   for (std::size_t r = 0; r < x.dim(0); ++r) {
-    auto in = x.row(r);
-    auto out = y.row(r);
-    float ms = 0.0f;
-    for (float f : in) ms += f * f;
-    ms /= static_cast<float>(d);
-    const float inv = 1.0f / std::sqrt(ms + eps);
-    for (std::size_t i = 0; i < d; ++i) out[i] = in[i] * inv * gamma[i];
+    rmsnorm_row(x.row(r), gamma, eps, y.row(r));
   }
 }
 

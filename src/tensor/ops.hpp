@@ -20,6 +20,26 @@ void linear_forward(const Tensor& x, const Tensor& w,
 void linear_forward_row(std::span<const float> x, const Tensor& w,
                         std::span<const float> bias, std::span<float> y);
 
+/// Single-row version with the dot product accumulated in 8-wide partial
+/// sums and a pairwise lane reduction: a different reduction order from
+/// linear_forward_row, standing in for a different GPU generation's tiling
+/// (the Fig. 16 hardware-sensitivity axis).
+void linear_forward_row_chunked(std::span<const float> x, const Tensor& w,
+                                std::span<const float> bias,
+                                std::span<float> y);
+
+class ThreadPool;  // common/thread_pool.hpp
+
+/// Blocked multi-row GEMM: y.row(r) = W * x.row(r) + b for r in [0, rows),
+/// parallelised over `pool` (rows and, for small row counts, output-column
+/// tiles). Every output element is produced by exactly one task using the
+/// same accumulation order as linear_forward_row (or the chunked variant),
+/// so results are bit-exact with the sequential per-row calls at any pool
+/// size. `x` and `y` may have more than `rows` rows (workspace capacity).
+void linear_forward_span(const Tensor& x, std::size_t rows, const Tensor& w,
+                         std::span<const float> bias, Tensor& y,
+                         bool chunked_accum, ThreadPool& pool);
+
 /// In-place numerically-stable softmax over the last `cols` elements of each
 /// row; `row_len` rows of length `cols`.
 void softmax_rows(float* data, std::size_t rows, std::size_t cols);
@@ -34,6 +54,13 @@ void layernorm_rows(const Tensor& x, std::span<const float> gamma,
 /// RMSNorm: y = x / sqrt(mean(x^2) + eps) * gamma, per row.
 void rmsnorm_rows(const Tensor& x, std::span<const float> gamma, float eps,
                   Tensor& y);
+
+/// Single-row norm kernels (the per-row arithmetic of the *_rows variants).
+void layernorm_row(std::span<const float> in, std::span<const float> gamma,
+                   std::span<const float> beta, float eps,
+                   std::span<float> out);
+void rmsnorm_row(std::span<const float> in, std::span<const float> gamma,
+                 float eps, std::span<float> out);
 
 /// Activations (elementwise, in place).
 void relu(std::span<float> v);

@@ -251,13 +251,20 @@ std::shared_ptr<const TransformerLM> ensure_model(const std::string& name,
 
   std::shared_ptr<const TransformerLM> model;
   if (checkpoint_exists(path)) {
-    ModelConfig config;
-    ModelWeights weights;
-    load_checkpoint(path, config, weights);
-    model = std::make_shared<TransformerLM>(std::move(config),
-                                            std::move(weights));
-    if (!quiet) std::cerr << "[zoo] loaded " << path << std::endl;
-  } else {
+    try {
+      ModelConfig config;
+      ModelWeights weights;
+      load_checkpoint(path, config, weights);
+      model = std::make_shared<TransformerLM>(std::move(config),
+                                              std::move(weights));
+      if (!quiet) std::cerr << "[zoo] loaded " << path << std::endl;
+    } catch (const Error& e) {
+      // Corrupt or format-incompatible cache: retrain below and overwrite.
+      std::cerr << "[zoo] discarding unreadable checkpoint " << path << ": "
+                << e.what() << std::endl;
+    }
+  }
+  if (!model) {
     auto trained = train_zoo_model(entry, quiet);
     std::error_code ec;
     std::filesystem::create_directories(dir, ec);

@@ -120,8 +120,11 @@ TEST_F(EndToEnd, Ft2ProtectorFacadeWorks) {
 TEST_F(EndToEnd, OfflineAndOnlineBoundsAgreeRoughly) {
   // Take-away #7: first-token bounds approximate offline-profiled bounds.
   const auto gen = make_generator(DatasetKind::kSynthQA);
-  const BoundStore offline =
-      profile_offline_bounds(*model_, *gen, 8, 99, 10);
+  OfflineProfileOptions profile;
+  profile.n_inputs = 8;
+  profile.seed = 99;
+  profile.max_new_tokens = 10;
+  const BoundStore offline = profile_offline_bounds(*model_, *gen, profile);
 
   Xoshiro256 rng(17);
   const Sample sample = gen->generate(rng);

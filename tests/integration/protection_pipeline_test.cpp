@@ -53,7 +53,7 @@ TEST(ProtectionPipeline, Ft2ClampsTheInjectedExtremeValue) {
   InjectorHook injector(plan);
   Ft2Protector protector(model);
   InferenceSession session(model);
-  session.hooks().add(&injector);
+  const auto reg = session.hooks().add(injector);
   protector.attach(session);
   session.generate(prompt, opts);
 
@@ -96,7 +96,7 @@ TEST(ProtectionPipeline, ProtectedFaultyRunMatchesCleanRunForCoveredSite) {
     {
       InjectorHook injector(plan);
       InferenceSession session(model);
-      session.hooks().add(&injector);
+      const auto reg = session.hooks().add(injector);
       if (session.generate(prompt, opts).tokens == clean.tokens) {
         ++unprotected_match;
       }
@@ -105,7 +105,7 @@ TEST(ProtectionPipeline, ProtectedFaultyRunMatchesCleanRunForCoveredSite) {
       InjectorHook injector(plan);
       Ft2Protector protector(model);
       InferenceSession session(model);
-      session.hooks().add(&injector);
+      const auto reg = session.hooks().add(injector);
       protector.attach(session);
       if (session.generate(prompt, opts).tokens == clean.tokens) {
         ++protected_match;
@@ -133,7 +133,7 @@ TEST(ProtectionPipeline, UncoveredSiteFaultsPassThroughFt2) {
   InjectorHook injector(plan);
   Ft2Protector protector(model);
   InferenceSession session(model);
-  session.hooks().add(&injector);
+  const auto reg = session.hooks().add(injector);
   protector.attach(session);
   session.generate(prompt, opts);
   ASSERT_TRUE(injector.fired());
@@ -148,7 +148,11 @@ TEST(ProtectionPipeline, RangerIgnoresLinearFaultsEntirely) {
   // activation value.
   const TransformerLM model = micro_model();
   const auto gen = make_generator(DatasetKind::kSynthQA);
-  const BoundStore bounds = profile_offline_bounds(model, *gen, 4, 9, 8);
+  OfflineProfileOptions profile;
+  profile.n_inputs = 4;
+  profile.seed = 9;
+  profile.max_new_tokens = 8;
+  const BoundStore bounds = profile_offline_bounds(model, *gen, profile);
   const auto prompt = test_prompt();
 
   // A benign sign flip on a tiny value: no extreme propagation.
@@ -160,8 +164,8 @@ TEST(ProtectionPipeline, RangerIgnoresLinearFaultsEntirely) {
                         scheme_spec(SchemeKind::kRanger, model.config()),
                         bounds);
   InferenceSession session(model);
-  session.hooks().add(&injector);
-  session.hooks().add(&ranger);
+  const auto injector_reg = session.hooks().add(injector);
+  const auto ranger_reg = session.hooks().add(ranger);
   GenerateOptions opts;
   opts.max_new_tokens = 4;
   opts.eos_token = -1;
@@ -175,8 +179,8 @@ TEST(ProtectionPipeline, NanFaultOnCriticalLayerIsZeroed) {
   class PlantValueHook : public OutputHook {
    public:
     void on_output(const HookContext& ctx, std::span<float> values) override {
-      if (ctx.site.kind == LayerKind::kVProj && ctx.position == 0) {
-        values[0] = 1.5f;  // NaN-vulnerable
+      if (ctx.site.kind == LayerKind::kVProj && ctx.contains_position(0)) {
+        ctx.row(values, 0)[0] = 1.5f;  // NaN-vulnerable; span starts at 0
       }
     }
   };
@@ -194,8 +198,8 @@ TEST(ProtectionPipeline, NanFaultOnCriticalLayerIsZeroed) {
   InjectorHook injector(plan);
   Ft2Protector protector(model);
   InferenceSession session(model);
-  session.hooks().add(&plant);
-  session.hooks().add(&injector);
+  const auto plant_reg = session.hooks().add(plant);
+  const auto injector_reg = session.hooks().add(injector);
   protector.attach(session);
   GenerateOptions opts;
   opts.max_new_tokens = 2;

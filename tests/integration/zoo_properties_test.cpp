@@ -72,7 +72,7 @@ TEST_P(ZooConfigTest, Fp16PathProducesOnlyRepresentableValues) {
   const TransformerLM model = make_model();
   InferenceSession session(model);
   GridCheckHook hook;
-  session.hooks().add(&hook);
+  const auto reg = session.hooks().add(hook);
   GenerateOptions opts;
   opts.max_new_tokens = 6;
   const std::vector<int> grid_prompt = {Vocab::kBos, 5, 6, 7};
@@ -86,9 +86,10 @@ TEST_P(ZooConfigTest, FaultSiteSpaceConsistentWithHooks) {
   class WidthSumHook : public OutputHook {
    public:
     void on_output(const HookContext& ctx, std::span<float> values) override {
-      if (ctx.position != 0) return;
+      if (!ctx.contains_position(0)) return;
       if (!is_linear_layer(ctx.site.kind)) return;
-      sum += values.size();
+      // Only position 0's row counts (a blocked dispatch may span more).
+      sum += ctx.row(values, 0 - ctx.position).size();
     }
     std::size_t sum = 0;
   };
@@ -96,7 +97,7 @@ TEST_P(ZooConfigTest, FaultSiteSpaceConsistentWithHooks) {
   const FaultSiteSpace space(model.config());
   InferenceSession session(model);
   WidthSumHook hook;
-  session.hooks().add(&hook);
+  const auto reg = session.hooks().add(hook);
   GenerateOptions opts;
   opts.max_new_tokens = 1;
   const std::vector<int> width_prompt = {Vocab::kBos, 4};

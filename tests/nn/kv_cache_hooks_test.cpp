@@ -63,8 +63,8 @@ TEST(HookChain, DispatchOrderIsRegistrationOrder) {
   RecordingHook a(&log, "injector", 1.0f);
   RecordingHook b(&log, "protector", 0.0f);
   HookChain chain;
-  chain.add(&a);
-  chain.add(&b);
+  const auto reg_a = chain.add(a);
+  const auto reg_b = chain.add(b);
   EXPECT_EQ(chain.size(), 2u);
 
   std::vector<float> values = {0.0f};
@@ -91,8 +91,8 @@ TEST(HookChain, LaterHookSeesEarlierMutation) {
   };
   ClampHook clamp;
   HookChain chain;
-  chain.add(&inject);
-  chain.add(&clamp);
+  const auto reg_i = chain.add(inject);
+  const auto reg_c = chain.add(clamp);
   std::vector<float> values = {0.5f};
   chain.dispatch(HookContext{{0, LayerKind::kFc2}, 3, false}, values);
   EXPECT_EQ(values[0], 1.0f);  // 0.5 + 100 then clamped
@@ -112,11 +112,87 @@ TEST(HookChain, ClearRemovesHooks) {
   std::vector<std::string> log;
   RecordingHook a(&log, "a");
   HookChain chain;
-  chain.add(&a);
+  auto reg = chain.add(a);
   chain.clear();
+  EXPECT_FALSE(reg.active());
   std::vector<float> values = {1.0f};
   chain.dispatch(HookContext{{0, LayerKind::kQProj}, 0, false}, values);
   EXPECT_TRUE(log.empty());
+}
+
+TEST(HookRegistration, ScopeEndsRegistration) {
+  std::vector<std::string> log;
+  RecordingHook a(&log, "a");
+  HookChain chain;
+  {
+    const auto reg = chain.add(a);
+    EXPECT_EQ(chain.size(), 1u);
+    EXPECT_TRUE(reg.active());
+  }
+  EXPECT_TRUE(chain.empty());
+  std::vector<float> values = {1.0f};
+  chain.dispatch(HookContext{{0, LayerKind::kQProj}, 0, false}, values);
+  EXPECT_TRUE(log.empty());
+}
+
+TEST(HookRegistration, SafeWhenChainDiesFirst) {
+  std::vector<std::string> log;
+  RecordingHook a(&log, "a");
+  HookRegistration reg;
+  {
+    HookChain chain;
+    reg = chain.add(a);
+    EXPECT_TRUE(reg.active());
+  }
+  EXPECT_FALSE(reg.active());
+  reg.release();  // must be a harmless no-op after the chain is gone
+}
+
+TEST(HookRegistration, MoveTransfersOwnership) {
+  std::vector<std::string> log;
+  RecordingHook a(&log, "a");
+  HookChain chain;
+  auto reg = chain.add(a);
+  HookRegistration moved = std::move(reg);
+  EXPECT_FALSE(reg.active());  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(moved.active());
+  moved.release();
+  EXPECT_TRUE(chain.empty());
+}
+
+TEST(HookRegistration, ReleaseRemovesOnlyItsHook) {
+  std::vector<std::string> log;
+  RecordingHook a(&log, "a");
+  RecordingHook b(&log, "b");
+  HookChain chain;
+  auto reg_a = chain.add(a);
+  const auto reg_b = chain.add(b);
+  reg_a.release();
+  std::vector<float> values = {0.0f};
+  chain.dispatch(HookContext{{0, LayerKind::kQProj}, 0, false}, values);
+  EXPECT_EQ(log, std::vector<std::string>{"b"});
+}
+
+TEST(HookContext, SpanRowView) {
+  const HookContext ctx{{0, LayerKind::kQProj}, 4, true, 3, 2};
+  std::vector<float> values = {0, 1, 2, 3, 4, 5};
+  EXPECT_EQ(ctx.n_positions, 3u);
+  const auto r1 = ctx.row(std::span<float>(values), 1);
+  ASSERT_EQ(r1.size(), 2u);
+  EXPECT_EQ(r1[0], 2.0f);
+  EXPECT_EQ(ctx.position_at(1), 5u);
+  EXPECT_TRUE(ctx.contains_position(4));
+  EXPECT_TRUE(ctx.contains_position(6));
+  EXPECT_FALSE(ctx.contains_position(3));
+  EXPECT_FALSE(ctx.contains_position(7));
+
+  // Single-position dispatch built with the legacy 3-field initializer:
+  // row 0 must be the whole span (stride defaults to the span size).
+  const HookContext single{{0, LayerKind::kQProj}, 2, false};
+  EXPECT_EQ(single.n_positions, 1u);
+  EXPECT_EQ(single.row(std::span<float>(values), 0).size(), values.size());
+  EXPECT_TRUE(single.contains_position(2));
+  EXPECT_FALSE(single.contains_position(3));
 }
 
 }  // namespace

@@ -50,10 +50,12 @@ TransformerLM make_model(ArchFamily arch, std::uint64_t seed = 7) {
 class CountingHook : public OutputHook {
  public:
   void on_output(const HookContext& ctx, std::span<float> values) override {
-    ++counts_[static_cast<int>(ctx.site.kind)];
-    last_sizes_[static_cast<int>(ctx.site.kind)] = values.size();
-    if (ctx.first_token_phase) ++first_token_calls_;
-    ++total_;
+    // Blocked prefill dispatches once per chunk; count positions, not calls.
+    const int n = static_cast<int>(ctx.n_positions);
+    counts_[static_cast<int>(ctx.site.kind)] += n;
+    last_sizes_[static_cast<int>(ctx.site.kind)] = ctx.width(values.size());
+    if (ctx.first_token_phase) first_token_calls_ += n;
+    total_ += n;
   }
   void on_generation_begin() override { ++begins_; }
   void on_generation_end() override { ++ends_; }
@@ -96,7 +98,7 @@ TEST_P(ModelArchTest, HooksFireForEveryLinearAtEveryPosition) {
   const ModelConfig& cfg = model.config();
   InferenceSession session(model);
   CountingHook hook;
-  session.hooks().add(&hook);
+  const auto reg = session.hooks().add(hook);
 
   const std::vector<int> prompt = {1, 2, 3, 4, 5};
   GenerateOptions opts;
@@ -195,7 +197,7 @@ TEST_P(ModelArchTest, HookMutationReachesTheLogits) {
 
   BumpVHook hook;
   HookChain chain;
-  chain.add(&hook);
+  const auto reg = chain.add(hook);
   model.forward_position(3, 0, c2, chain, true, true, ws, bumped);
 
   float diff = 0.0f;

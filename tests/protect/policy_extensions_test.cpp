@@ -92,8 +92,12 @@ TEST(MedianProfiling, TypicalValuesFilledAndInsideBounds) {
   Xoshiro256 rng(8);
   const TransformerLM model(c, init_weights(c, rng));
   const auto gen = make_generator(DatasetKind::kSynthQA);
-  const BoundStore bounds =
-      profile_offline_bounds_with_typical(model, *gen, 3, 4, 6);
+  OfflineProfileOptions profile;
+  profile.n_inputs = 3;
+  profile.seed = 4;
+  profile.max_new_tokens = 6;
+  profile.with_typical = true;
+  const BoundStore bounds = profile_offline_bounds(model, *gen, profile);
 
   for (std::size_t b = 0; b < c.n_blocks; ++b) {
     for (LayerKind kind : c.block_layers()) {

@@ -24,10 +24,20 @@ TransformerLM micro_model() {
   return TransformerLM(c, init_weights(c, rng));
 }
 
+OfflineProfileOptions profile_opts(std::size_t n_inputs, std::uint64_t seed,
+                                   std::size_t max_new_tokens) {
+  OfflineProfileOptions o;
+  o.n_inputs = n_inputs;
+  o.seed = seed;
+  o.max_new_tokens = max_new_tokens;
+  return o;
+}
+
 TEST(Profiler, OfflineBoundsCoverEveryLinearSite) {
   const TransformerLM model = micro_model();
   const auto gen = make_generator(DatasetKind::kSynthQA);
-  const BoundStore bounds = profile_offline_bounds(model, *gen, 3, 11, 6);
+  const BoundStore bounds =
+      profile_offline_bounds(model, *gen, profile_opts(3, 11, 6));
 
   for (std::size_t b = 0; b < model.config().n_blocks; ++b) {
     for (LayerKind kind : model.config().block_layers()) {
@@ -42,8 +52,10 @@ TEST(Profiler, OfflineBoundsCoverEveryLinearSite) {
 TEST(Profiler, MoreInputsWidenOrKeepBounds) {
   const TransformerLM model = micro_model();
   const auto gen = make_generator(DatasetKind::kSynthQA);
-  const BoundStore few = profile_offline_bounds(model, *gen, 2, 11, 6);
-  const BoundStore many = profile_offline_bounds(model, *gen, 8, 11, 6);
+  const BoundStore few =
+      profile_offline_bounds(model, *gen, profile_opts(2, 11, 6));
+  const BoundStore many =
+      profile_offline_bounds(model, *gen, profile_opts(8, 11, 6));
   for (std::size_t b = 0; b < model.config().n_blocks; ++b) {
     for (LayerKind kind : model.config().block_layers()) {
       const LayerSite site{static_cast<int>(b), kind};
@@ -56,11 +68,37 @@ TEST(Profiler, MoreInputsWidenOrKeepBounds) {
 TEST(Profiler, BoundsAreDeterministic) {
   const TransformerLM model = micro_model();
   const auto gen = make_generator(DatasetKind::kSynthXQA);
-  const BoundStore a = profile_offline_bounds(model, *gen, 4, 7, 6);
-  const BoundStore b = profile_offline_bounds(model, *gen, 4, 7, 6);
+  const BoundStore a = profile_offline_bounds(model, *gen, profile_opts(4, 7, 6));
+  const BoundStore b = profile_offline_bounds(model, *gen, profile_opts(4, 7, 6));
   const LayerSite site{0, LayerKind::kVProj};
   EXPECT_EQ(a.at(site).lo, b.at(site).lo);
   EXPECT_EQ(a.at(site).hi, b.at(site).hi);
+}
+
+TEST(Profiler, BoundsIndependentOfPrefillChunk) {
+  // The blocked prefill is bit-exact, so profiled bounds must be IDENTICAL
+  // (not just close) for any chunk size.
+  const TransformerLM model = micro_model();
+  const auto gen = make_generator(DatasetKind::kSynthQA);
+  OfflineProfileOptions sequential = profile_opts(3, 5, 6);
+  sequential.prefill_chunk = 1;
+  OfflineProfileOptions chunked = sequential;
+  chunked.prefill_chunk = 8;
+  OfflineProfileOptions whole = sequential;
+  whole.prefill_chunk = 0;  // whole prompt in one chunk
+
+  const BoundStore a = profile_offline_bounds(model, *gen, sequential);
+  const BoundStore b = profile_offline_bounds(model, *gen, chunked);
+  const BoundStore c = profile_offline_bounds(model, *gen, whole);
+  for (std::size_t blk = 0; blk < model.config().n_blocks; ++blk) {
+    for (LayerKind kind : model.config().block_layers()) {
+      const LayerSite site{static_cast<int>(blk), kind};
+      EXPECT_EQ(a.at(site).lo, b.at(site).lo) << layer_kind_name(kind);
+      EXPECT_EQ(a.at(site).hi, b.at(site).hi) << layer_kind_name(kind);
+      EXPECT_EQ(a.at(site).lo, c.at(site).lo) << layer_kind_name(kind);
+      EXPECT_EQ(a.at(site).hi, c.at(site).hi) << layer_kind_name(kind);
+    }
+  }
 }
 
 TEST(ActivationStats, RecordsPerSiteAndAggregates) {

@@ -160,7 +160,7 @@ int cmd_inject(const std::string& model_name, const ArgParser& args) {
   InjectorHook injector(plan);
   Ft2Protector protector(*model);
   InferenceSession session(*model);
-  session.hooks().add(&injector);
+  const auto injector_reg = session.hooks().add(injector);
   if (args.has("protect")) protector.attach(session);
 
   GenerateOptions opts;
@@ -189,8 +189,11 @@ int cmd_profile_bounds(const std::string& model_name, const ArgParser& args) {
   const DatasetKind dataset = parse_dataset(args.get("dataset", "synthqa"));
   const auto gen = make_generator(dataset);
   const std::size_t n = args.get_size("inputs", 16);
-  const BoundStore bounds = profile_offline_bounds(
-      *model, *gen, n, args.get_size("seed", 555), generation_tokens(dataset));
+  OfflineProfileOptions profile;
+  profile.n_inputs = n;
+  profile.seed = args.get_size("seed", 555);
+  profile.max_new_tokens = generation_tokens(dataset);
+  const BoundStore bounds = profile_offline_bounds(*model, *gen, profile);
   const std::string out = args.get("out", model_name + ".bounds");
   save_bounds(out, bounds);
   std::cout << "profiled " << bounds.valid_count() << " sites from " << n
@@ -219,7 +222,10 @@ int cmd_campaign(const std::string& model_name, const ArgParser& args) {
     if (args.has("bounds")) {
       bounds = load_bounds(args.get("bounds", ""), model->config());
     } else {
-      bounds = profile_offline_bounds(*model, *gen, 16, 555, gen_tokens);
+      OfflineProfileOptions profile;
+      profile.seed = 555;
+      profile.max_new_tokens = gen_tokens;
+      bounds = profile_offline_bounds(*model, *gen, profile);
     }
   }
 
