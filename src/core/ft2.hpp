@@ -38,6 +38,7 @@
 #include "protect/profiler.hpp"
 #include "protect/range_restriction.hpp"
 #include "protect/scheme.hpp"
+#include "serve/serve_engine.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/tensor.hpp"
 #include "train/trainer.hpp"

@@ -4,6 +4,7 @@
 
 #include "common/thread_pool.hpp"
 #include "data/matcher.hpp"
+#include "serve/serve_engine.hpp"
 
 namespace ft2 {
 
@@ -105,8 +106,10 @@ CampaignResult run_campaign_range(const TransformerLM& model,
   std::vector<Outcome> outcomes(last_trial - first_trial,
                                 Outcome::kNotInjected);
   std::mutex callback_mutex;
+  ThreadPool& pool =
+      config.pool != nullptr ? *config.pool : ThreadPool::global();
 
-  parallel_for(first_trial, last_trial, [&](std::size_t trial) {
+  pool.parallel_for(first_trial, last_trial, [&](std::size_t trial) {
     const std::size_t input_idx = trial / config.trials_per_input;
     const EvalInput& input = inputs[input_idx];
 
@@ -179,16 +182,31 @@ double fault_free_correct_fraction(const TransformerLM& model,
                                    const BoundStore& offline_bounds,
                                    std::size_t gen_tokens) {
   FT2_CHECK(!inputs.empty());
-  std::size_t correct = 0;
+  // All inputs run through one continuous-batching engine: decode steps for
+  // the whole batch share each weight matrix load. Bit-exact with the serial
+  // per-session loop (each request keeps its own protection hook and cache),
+  // so the reported fraction is identical — only faster.
+  ServeEngine engine(model);
+  const GenerateOptions options =
+      fixed_length_options(gen_tokens, ValueType::kF16);
+  std::vector<ProtectionHook> protections;
+  protections.reserve(inputs.size());  // chains hold raw hook pointers
+  std::vector<HookRegistration> regs;
+  regs.reserve(inputs.size());
+  std::vector<RequestId> ids;
+  ids.reserve(inputs.size());
   for (const auto& input : inputs) {
-    ProtectionHook protection(model.config(), scheme, offline_bounds);
-    InferenceSession session(model);
-    const HookRegistration reg = session.hooks().add(protection);
-    const auto result = session.generate(
-        input.prompt, fixed_length_options(gen_tokens, ValueType::kF16));
-    const std::string text =
-        Vocab::shared().decode(truncate_at_eos(result.tokens));
-    if (contains_reference(text, input.sample.reference)) ++correct;
+    protections.emplace_back(model.config(), scheme, offline_bounds);
+    const RequestId id = engine.submit(input.prompt, options);
+    regs.push_back(engine.hooks(id).add(protections.back()));
+    ids.push_back(id);
+  }
+  engine.run();
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const std::string text = Vocab::shared().decode(
+        truncate_at_eos(engine.result(ids[i]).tokens));
+    if (contains_reference(text, inputs[i].sample.reference)) ++correct;
   }
   return static_cast<double>(correct) / static_cast<double>(inputs.size());
 }

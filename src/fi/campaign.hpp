@@ -47,6 +47,11 @@ struct CampaignConfig {
   /// reference path, 0 = whole prompt). Bit-exact at any value, so campaign
   /// outcomes never depend on it — it is purely a throughput knob.
   std::size_t prefill_chunk = 32;
+  /// Pool that trials fan out over (null = process-wide pool). Like
+  /// prefill_chunk, a pure throughput knob: trial partitioning is
+  /// deterministic and each trial is self-contained, so outcomes and
+  /// per-trial records are identical at any pool size.
+  ThreadPool* pool = nullptr;
 };
 
 struct CampaignResult {

@@ -186,4 +186,44 @@ class HookChain {
   std::shared_ptr<detail::HookChainState> state_;
 };
 
+/// RAII generation bracket: fires on_generation_begin on construction and
+/// on_generation_end exactly once on destruction (or an explicit end()).
+/// InferenceSession::generate brackets each call with one scope; the serve
+/// engine holds a scope per request from admission to completion, so hooks
+/// see the same begin/end traffic whether a request runs solo or batched.
+class GenerationScope {
+ public:
+  GenerationScope() = default;
+  explicit GenerationScope(const HookChain& chain) : chain_(&chain) {
+    chain_->begin();
+  }
+  GenerationScope(GenerationScope&& other) noexcept : chain_(other.chain_) {
+    other.chain_ = nullptr;
+  }
+  GenerationScope& operator=(GenerationScope&& other) noexcept {
+    if (this != &other) {
+      end();
+      chain_ = other.chain_;
+      other.chain_ = nullptr;
+    }
+    return *this;
+  }
+  GenerationScope(const GenerationScope&) = delete;
+  GenerationScope& operator=(const GenerationScope&) = delete;
+  ~GenerationScope() { end(); }
+
+  /// Fires on_generation_end now (idempotent).
+  void end() {
+    if (chain_ != nullptr) {
+      chain_->end();
+      chain_ = nullptr;
+    }
+  }
+
+  bool active() const { return chain_ != nullptr; }
+
+ private:
+  const HookChain* chain_ = nullptr;
+};
+
 }  // namespace ft2

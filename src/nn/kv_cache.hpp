@@ -55,6 +55,12 @@ class KvCache {
     return values_[block].row(pos);
   }
 
+  /// Bytes of K/V storage held by this cache (the serve engine reports the
+  /// aggregate across resident sequences as a capacity counter).
+  std::size_t memory_bytes() const {
+    return 2 * keys_.size() * max_seq_ * d_model_ * sizeof(float);
+  }
+
  private:
   std::size_t max_seq_;
   std::size_t d_model_;

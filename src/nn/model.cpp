@@ -31,7 +31,8 @@ Workspace::Workspace(const ModelConfig& config, std::size_t chunk_capacity)
       act(f1.shape()),
       f2(x.shape()),
       scores(shape2(x.dim(0), config.max_seq)),
-      final_h({std::size_t{1}, config.d_model}) {}
+      final_h(x.shape()),
+      logits(shape2(x.dim(0), config.vocab_size)) {}
 
 void Workspace::ensure_chunk_capacity(const ModelConfig& config,
                                       std::size_t rows) {
@@ -90,6 +91,30 @@ inline void run_linear_span(const LinearWeights& lw, const Tensor& in,
   maybe_quantize(view, exec.fp16);
   HookContext ctx{LayerSite{block, kind}, pos0, first_token, rows, width};
   hooks.dispatch(ctx, view);
+}
+
+/// Cross-sequence counterpart of run_linear: one GEMM over the B slot rows,
+/// then per-row quantization and a per-slot single-position hook dispatch —
+/// each slot's chain sees exactly the context run_linear would have built
+/// for it. Decode never runs in the first-token phase. `pl` supplies
+/// pre-packed tiles (non-chunked accumulation only).
+inline void run_linear_batch(const LinearWeights& lw, const PackedLinear* pl,
+                             const Tensor& in, std::span<DecodeSlot> slots,
+                             Tensor& out, const ExecConfig& exec,
+                             ThreadPool& pool, int block, LayerKind kind) {
+  const std::size_t rows = slots.size();
+  if (pl != nullptr && !exec.chunked_accum) {
+    linear_forward_span_packed(in, rows, *pl, out, pool);
+  } else {
+    linear_forward_span(in, rows, lw.w, lw.bias_span(), out,
+                        exec.chunked_accum, pool);
+  }
+  for (std::size_t r = 0; r < rows; ++r) {
+    maybe_quantize(out.row(r), exec.fp16);
+    HookContext ctx{LayerSite{block, kind}, slots[r].pos,
+                    /*first_token_phase=*/false};
+    slots[r].hooks->dispatch(ctx, out.row(r));
+  }
 }
 
 }  // namespace
@@ -436,17 +461,288 @@ void TransformerLM::forward_span(std::span<const int> tokens, std::size_t pos0,
   linear_forward_row(ws.final_h.row(0), weights_.lm_head.w, {}, logits);
 }
 
+void TransformerLM::attention_batch(const BlockWeights& blk,
+                                    std::size_t block_idx,
+                                    std::span<DecodeSlot> slots,
+                                    const ExecConfig& exec, Workspace& ws,
+                                    ThreadPool& pool,
+                                    const PackedDecodeWeights* packed) const {
+  const bool fp16 = exec.fp16;
+  const int b = static_cast<int>(block_idx);
+  const std::size_t n = slots.size();
+  const PackedDecodeWeights::Block* pb =
+      packed != nullptr ? &packed->blocks[block_idx] : nullptr;
+  run_linear_batch(blk.q, pb != nullptr ? &pb->q : nullptr, ws.h, slots,
+                   ws.q, exec, pool, b, LayerKind::kQProj);
+  run_linear_batch(blk.k, pb != nullptr ? &pb->k : nullptr, ws.h, slots,
+                   ws.k, exec, pool, b, LayerKind::kKProj);
+  run_linear_batch(blk.v, pb != nullptr ? &pb->v : nullptr, ws.h, slots,
+                   ws.v, exec, pool, b, LayerKind::kVProj);
+
+  const std::size_t n_heads = config_.n_heads;
+  const std::size_t head_dim = config_.head_dim();
+  if (config_.position == PositionKind::kRotary) {
+    for (std::size_t r = 0; r < n; ++r) {
+      rope_apply(ws.q.row(r), n_heads, head_dim, slots[r].pos,
+                 config_.rope_theta);
+      rope_apply(ws.k.row(r), n_heads, head_dim, slots[r].pos,
+                 config_.rope_theta);
+      maybe_quantize(ws.q.row(r), fp16);
+      maybe_quantize(ws.k.row(r), fp16);
+    }
+  }
+
+  for (std::size_t r = 0; r < n; ++r) {
+    slots[r].cache->store(block_idx, slots[r].pos, ws.k.row(r), ws.v.row(r));
+  }
+
+  // Causal attention, one independent task per slot — each row reads only
+  // its own sequence's cache, with the sequential path's fixed loop order.
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim));
+  pool.parallel_for(0, n, [&](std::size_t r) {
+    const KvCache& cache = *slots[r].cache;
+    const std::size_t len = slots[r].pos + 1;
+    auto out = ws.attn_out.row(r);
+    std::fill(out.begin(), out.end(), 0.0f);
+    for (std::size_t hh = 0; hh < n_heads; ++hh) {
+      const std::size_t off = hh * head_dim;
+      auto scores = ws.scores.row(r).subspan(0, len);
+      const float* qh = ws.q.row(r).data() + off;
+      for (std::size_t j = 0; j < len; ++j) {
+        const float* kh = cache.key(block_idx, j).data() + off;
+        float dot = 0.0f;
+        for (std::size_t i = 0; i < head_dim; ++i) dot += qh[i] * kh[i];
+        scores[j] = dot * scale;
+      }
+      maybe_quantize(scores, fp16);
+      softmax(scores);
+      maybe_quantize(scores, fp16);
+      float* oh = out.data() + off;
+      for (std::size_t j = 0; j < len; ++j) {
+        const float p = scores[j];
+        if (p == 0.0f) continue;
+        const float* vh = cache.value(block_idx, j).data() + off;
+        for (std::size_t i = 0; i < head_dim; ++i) oh[i] += p * vh[i];
+      }
+    }
+    maybe_quantize(out, fp16);
+  });
+
+  run_linear_batch(blk.o, pb != nullptr ? &pb->o : nullptr, ws.attn_out,
+                   slots, ws.o, exec, pool, b, LayerKind::kOutProj);
+}
+
+void TransformerLM::mlp_batch(const BlockWeights& blk, std::size_t block_idx,
+                              const Tensor& input,
+                              std::span<DecodeSlot> slots,
+                              const ExecConfig& exec, Workspace& ws,
+                              ThreadPool& pool,
+                              const PackedDecodeWeights* packed) const {
+  const bool fp16 = exec.fp16;
+  const int b = static_cast<int>(block_idx);
+  const bool llama = config_.arch == ArchFamily::kLlama;
+  const std::size_t n = slots.size();
+  const std::size_t d_ff = config_.d_ff;
+  std::span<float> act_view{ws.act.data(), n * d_ff};
+  const PackedDecodeWeights::Block* pb =
+      packed != nullptr ? &packed->blocks[block_idx] : nullptr;
+
+  // Per-slot MlpAct hook dispatch: the activation is elementwise, so row r
+  // holds exactly the values the sequential path hands this slot's chain.
+  const auto dispatch_act = [&] {
+    for (std::size_t r = 0; r < n; ++r) {
+      HookContext ctx{LayerSite{b, LayerKind::kMlpAct}, slots[r].pos,
+                      /*first_token_phase=*/false};
+      slots[r].hooks->dispatch(ctx, ws.act.row(r));
+    }
+  };
+
+  if (llama) {
+    run_linear_batch(blk.fc1, pb != nullptr ? &pb->fc1 : nullptr, input,
+                     slots, ws.f1, exec, pool, b, LayerKind::kGateProj);
+    run_linear_batch(blk.up, pb != nullptr ? &pb->up : nullptr, input, slots,
+                     ws.f_up, exec, pool, b, LayerKind::kUpProj);
+    std::copy_n(ws.f1.data(), n * d_ff, ws.act.data());
+    silu(act_view);
+    maybe_quantize(act_view, fp16);
+    dispatch_act();
+    mul_inplace(act_view, {ws.f_up.data(), n * d_ff});
+    maybe_quantize(act_view, fp16);
+    run_linear_batch(blk.fc2, pb != nullptr ? &pb->fc2 : nullptr, ws.act,
+                     slots, ws.f2, exec, pool, b, LayerKind::kDownProj);
+  } else {
+    run_linear_batch(blk.fc1, pb != nullptr ? &pb->fc1 : nullptr, input,
+                     slots, ws.f1, exec, pool, b, LayerKind::kFc1);
+    std::copy_n(ws.f1.data(), n * d_ff, ws.act.data());
+    if (config_.activation == Activation::kRelu) {
+      relu(act_view);
+    } else {
+      gelu(act_view);
+    }
+    maybe_quantize(act_view, fp16);
+    dispatch_act();
+    run_linear_batch(blk.fc2, pb != nullptr ? &pb->fc2 : nullptr, ws.act,
+                     slots, ws.f2, exec, pool, b, LayerKind::kFc2);
+  }
+}
+
+void TransformerLM::forward_batch(std::span<DecodeSlot> slots,
+                                  const ExecConfig& exec, Workspace& ws,
+                                  const PackedDecodeWeights* packed) const {
+  const std::size_t n = slots.size();
+  if (n == 0) return;
+  const bool fp16 = exec.fp16;
+  for (const DecodeSlot& s : slots) {
+    FT2_CHECK(s.cache != nullptr && s.hooks != nullptr);
+    FT2_CHECK_MSG(s.cache->length() == s.pos,
+                  "slot cache length " << s.cache->length() << " != pos "
+                                       << s.pos);
+    FT2_CHECK(s.pos < config_.max_seq);
+    FT2_CHECK(s.token >= 0 &&
+              static_cast<std::size_t>(s.token) < config_.vocab_size);
+    FT2_CHECK(s.logits.size() == config_.vocab_size);
+  }
+  if (packed != nullptr) {
+    FT2_CHECK_MSG(packed->blocks.size() == config_.n_blocks,
+                  "packed weights built for a different model");
+  }
+  ws.ensure_chunk_capacity(config_, n);
+  ThreadPool& pool = exec.pool != nullptr ? *exec.pool : ThreadPool::global();
+
+  for (std::size_t r = 0; r < n; ++r) {
+    auto x = ws.x.row(r);
+    auto emb =
+        weights_.tok_emb.row(static_cast<std::size_t>(slots[r].token));
+    std::copy(emb.begin(), emb.end(), x.begin());
+    if (config_.position == PositionKind::kLearned) {
+      add_inplace(x, weights_.pos_emb.row(slots[r].pos));
+    }
+    maybe_quantize(x, fp16);
+  }
+
+  for (std::size_t bi = 0; bi < config_.n_blocks; ++bi) {
+    const auto& blk = weights_.blocks[bi];
+    for (std::size_t r = 0; r < n; ++r) {
+      apply_norm_row(blk.norm1, ws.x.row(r), ws.h.row(r));
+      maybe_quantize(ws.h.row(r), fp16);
+    }
+
+    attention_batch(blk, bi, slots, exec, ws, pool, packed);
+
+    if (config_.parallel_block) {
+      mlp_batch(blk, bi, ws.h, slots, exec, ws, pool, packed);
+      for (std::size_t r = 0; r < n; ++r) {
+        auto x = ws.x.row(r);
+        add_inplace(x, ws.o.row(r));
+        add_inplace(x, ws.f2.row(r));
+        maybe_quantize(x, fp16);
+      }
+    } else {
+      for (std::size_t r = 0; r < n; ++r) {
+        auto x = ws.x.row(r);
+        add_inplace(x, ws.o.row(r));
+        maybe_quantize(x, fp16);
+        apply_norm_row(blk.norm2, ws.x.row(r), ws.h.row(r));
+        maybe_quantize(ws.h.row(r), fp16);
+      }
+      mlp_batch(blk, bi, ws.h, slots, exec, ws, pool, packed);
+      for (std::size_t r = 0; r < n; ++r) {
+        auto x = ws.x.row(r);
+        add_inplace(x, ws.f2.row(r));
+        maybe_quantize(x, fp16);
+      }
+    }
+  }
+  for (std::size_t r = 0; r < n; ++r) slots[r].cache->advance();
+
+  // LM head: every slot's logits are observable each decode step. The
+  // sequential path always uses the non-chunked kernel here, so the batch
+  // does too (packed tiles share that accumulation order). No quantization
+  // and no hooks on logits — exactly like forward_position.
+  for (std::size_t r = 0; r < n; ++r) {
+    apply_norm_row(weights_.final_norm, ws.x.row(r), ws.final_h.row(r));
+    maybe_quantize(ws.final_h.row(r), fp16);
+  }
+  if (packed != nullptr) {
+    linear_forward_span_packed(ws.final_h, n, packed->lm_head, ws.logits,
+                               pool);
+  } else {
+    linear_forward_span(ws.final_h, n, weights_.lm_head.w, {}, ws.logits,
+                        /*chunked_accum=*/false, pool);
+  }
+  for (std::size_t r = 0; r < n; ++r) {
+    auto row = ws.logits.row(r);
+    std::copy(row.begin(), row.end(), slots[r].logits.begin());
+  }
+}
+
+PackedDecodeWeights::PackedDecodeWeights(const TransformerLM& model) {
+  const ModelConfig& config = model.config();
+  const ModelWeights& w = model.weights();
+  const bool llama = config.arch == ArchFamily::kLlama;
+  blocks.reserve(config.n_blocks);
+  for (std::size_t bi = 0; bi < config.n_blocks; ++bi) {
+    const BlockWeights& blk = w.blocks[bi];
+    Block p;
+    p.q = PackedLinear(blk.q.w, blk.q.bias_span());
+    p.k = PackedLinear(blk.k.w, blk.k.bias_span());
+    p.v = PackedLinear(blk.v.w, blk.v.bias_span());
+    p.o = PackedLinear(blk.o.w, blk.o.bias_span());
+    p.fc1 = PackedLinear(blk.fc1.w, blk.fc1.bias_span());
+    if (llama) p.up = PackedLinear(blk.up.w, blk.up.bias_span());
+    p.fc2 = PackedLinear(blk.fc2.w, blk.fc2.bias_span());
+    blocks.push_back(std::move(p));
+  }
+  lm_head = PackedLinear(w.lm_head.w, {});
+}
+
+std::size_t PackedDecodeWeights::memory_bytes() const {
+  std::size_t total = lm_head.memory_bytes();
+  for (const Block& b : blocks) {
+    total += b.q.memory_bytes() + b.k.memory_bytes() + b.v.memory_bytes() +
+             b.o.memory_bytes() + b.fc1.memory_bytes() + b.up.memory_bytes() +
+             b.fc2.memory_bytes();
+  }
+  return total;
+}
+
 InferenceSession::InferenceSession(const TransformerLM& model)
     : model_(model),
       cache_(model.make_cache()),
       ws_(model.config()),
       logits_(model.config().vocab_size) {}
 
-namespace {
+std::size_t run_prefill(const TransformerLM& model,
+                        std::span<const int> prompt,
+                        const GenerateOptions& options, KvCache& cache,
+                        const HookChain& hooks, Workspace& ws,
+                        std::span<float> logits) {
+  const ExecConfig exec{options.fp16, options.chunked_accum, options.pool};
+  const std::size_t max_seq = model.config().max_seq;
+  const std::size_t prompt_len = std::min(prompt.size(), max_seq);
+  const std::size_t chunk =
+      options.prefill_chunk == 0 ? prompt_len : options.prefill_chunk;
+  std::size_t pos = 0;
+  while (pos < prompt_len) {
+    const std::size_t n = std::min(chunk, prompt_len - pos);
+    // Logits are only needed from the chunk containing the last prompt
+    // position; earlier chunks skip the LM head entirely.
+    const bool last_chunk = pos + n == prompt_len;
+    if (n == 1) {
+      model.forward_position(prompt[pos], pos, cache, hooks, exec,
+                             /*first_token_phase=*/true, ws, logits);
+    } else {
+      model.forward_span(prompt.subspan(pos, n), pos, cache, hooks, exec,
+                         /*first_token_phase=*/true, ws,
+                         last_chunk ? logits : std::span<float>{});
+    }
+    pos += n;
+  }
+  return prompt_len;
+}
 
-/// Temperature / top-k sampling over logits. Deterministic given `rng`.
-int sample_token(std::span<const float> logits, float temperature,
-                 std::size_t top_k, Xoshiro256& rng) {
+int sample_from_logits(std::span<const float> logits, float temperature,
+                       std::size_t top_k, Xoshiro256& rng) {
   const std::size_t vocab = logits.size();
   std::vector<std::size_t> order(vocab);
   std::iota(order.begin(), order.end(), std::size_t{0});
@@ -477,14 +773,12 @@ int sample_token(std::span<const float> logits, float temperature,
   return static_cast<int>(order[k - 1]);
 }
 
-}  // namespace
-
 GenerateResult InferenceSession::generate(std::span<const int> prompt,
                                           const GenerateOptions& options) {
   FT2_CHECK(!prompt.empty());
   GenerateResult result;
   cache_.reset();
-  hooks_.begin();
+  GenerationScope scope(hooks_);
 
   const std::size_t max_seq = model_.config().max_seq;
   std::span<float> logits{logits_.data(), logits_.size()};
@@ -493,26 +787,9 @@ GenerateResult InferenceSession::generate(std::span<const int> prompt,
 
   // Prefill: the "first token generation" phase, processed in blocked
   // chunks (bit-exact with the sequential path at any chunk size).
-  const std::size_t prompt_len = std::min(prompt.size(), max_seq);
-  const std::size_t chunk =
-      options.prefill_chunk == 0 ? prompt_len : options.prefill_chunk;
-  std::size_t pos = 0;
-  while (pos < prompt_len) {
-    const std::size_t n = std::min(chunk, prompt_len - pos);
-    // Logits are only needed from the chunk containing the last prompt
-    // position; earlier chunks skip the LM head entirely.
-    const bool last_chunk = pos + n == prompt_len;
-    if (n == 1) {
-      model_.forward_position(prompt[pos], pos, cache_, hooks_, exec,
-                              /*first_token_phase=*/true, ws_, logits);
-    } else {
-      model_.forward_span(prompt.subspan(pos, n), pos, cache_, hooks_, exec,
-                          /*first_token_phase=*/true, ws_,
-                          last_chunk ? logits : std::span<float>{});
-    }
-    pos += n;
-    result.positions_run += n;
-  }
+  std::size_t pos =
+      run_prefill(model_, prompt, options, cache_, hooks_, ws_, logits);
+  result.positions_run = pos;
 
   // Decode. Greedy by default; NaN-poisoned logits: argmax picks the first
   // index when all comparisons are false, which is deterministic (faithful
@@ -521,8 +798,8 @@ GenerateResult InferenceSession::generate(std::span<const int> prompt,
   for (std::size_t step = 0; step < options.max_new_tokens; ++step) {
     const int next =
         options.temperature > 0.0f
-            ? sample_token(logits, options.temperature, options.top_k,
-                           sampler)
+            ? sample_from_logits(logits, options.temperature, options.top_k,
+                                 sampler)
             : static_cast<int>(argmax(logits));
     if (options.eos_token >= 0 && next == options.eos_token) break;
     result.tokens.push_back(next);
@@ -536,7 +813,6 @@ GenerateResult InferenceSession::generate(std::span<const int> prompt,
     ++result.positions_run;
   }
 
-  hooks_.end();
   return result;
 }
 

@@ -25,13 +25,16 @@
 #include "nn/hooks.hpp"
 #include "nn/kv_cache.hpp"
 #include "nn/weights.hpp"
+#include "tensor/ops.hpp"
 
 namespace ft2 {
 
 class ThreadPool;  // common/thread_pool.hpp
+class Xoshiro256;  // common/rng.hpp
 
-/// Scratch buffers reused across positions. Rows 1..capacity-1 are only used
-/// by the blocked prefill; the sequential path always works in row 0.
+/// Scratch buffers reused across positions. Rows 1..capacity-1 are only
+/// used by the blocked prefill and the batched decode; the sequential path
+/// always works in row 0.
 struct Workspace {
   Tensor x;         // [cap, d] residual stream
   Tensor h;         // [cap, d] normed input
@@ -41,7 +44,8 @@ struct Workspace {
   Tensor f1, f_up, act;  // [cap, d_ff]
   Tensor f2;        // [cap, d]
   Tensor scores;    // [cap, max_seq]
-  Tensor final_h;   // [1, d]
+  Tensor final_h;   // [cap, d]
+  Tensor logits;    // [cap, vocab] (batched decode LM head)
   std::size_t current_pos = 0;  // position being processed (hook context)
 
   explicit Workspace(const ModelConfig& config, std::size_t chunk_capacity = 1);
@@ -66,6 +70,21 @@ struct ExecConfig {
   bool fp16 = true;
   bool chunked_accum = false;
   ThreadPool* pool = nullptr;
+};
+
+struct PackedDecodeWeights;  // defined below
+
+/// One sequence's slot in a batched decode step (forward_batch). The cache,
+/// hook chain and logits belong to the slot's session; forward_batch never
+/// lets dataflow cross slots — only the read-only weights and the scratch
+/// workspace rows are shared — so each sequence computes exactly what a solo
+/// forward_position call would.
+struct DecodeSlot {
+  int token = -1;              ///< token to feed at this step
+  std::size_t pos = 0;         ///< sequence position (== cache->length())
+  KvCache* cache = nullptr;    ///< this sequence's KV cache
+  const HookChain* hooks = nullptr;  ///< this sequence's hook chain
+  std::span<float> logits;     ///< [vocab_size] output for this sequence
 };
 
 class TransformerLM {
@@ -108,6 +127,21 @@ class TransformerLM {
                     const ExecConfig& exec, bool first_token_phase,
                     Workspace& ws, std::span<float> logits) const;
 
+  /// Batched decode: advances every slot's sequence by one position in a
+  /// single pass, stacking the B slots' rows into a B x K * K x N GEMM per
+  /// linear layer (the serve engine's continuous-batching kernel). Each
+  /// slot keeps its own cache, hook chain and logits; hooks fire per slot
+  /// row with single-position contexts, in slot order at every site, so a
+  /// slot's hook chain observes exactly the call sequence forward_position
+  /// would produce (batching is invisible to per-sequence state).
+  /// Bit-exact with calling forward_position once per slot, at any batch
+  /// size and pool size. Decode always runs with first_token_phase ==
+  /// false. `packed` (optional) supplies pre-packed GEMM tiles — a pure
+  /// layout cache that must match this model's current weights.
+  void forward_batch(std::span<DecodeSlot> slots, const ExecConfig& exec,
+                     Workspace& ws,
+                     const PackedDecodeWeights* packed = nullptr) const;
+
   KvCache make_cache() const {
     return KvCache(config_.n_blocks, config_.max_seq, config_.d_model);
   }
@@ -128,11 +162,39 @@ class TransformerLM {
                 const Tensor& input, std::size_t pos0, std::size_t n,
                 const HookChain& hooks, const ExecConfig& exec,
                 bool first_token, Workspace& ws, ThreadPool& pool) const;
+  void attention_batch(const BlockWeights& blk, std::size_t block_idx,
+                       std::span<DecodeSlot> slots, const ExecConfig& exec,
+                       Workspace& ws, ThreadPool& pool,
+                       const PackedDecodeWeights* packed) const;
+  void mlp_batch(const BlockWeights& blk, std::size_t block_idx,
+                 const Tensor& input, std::span<DecodeSlot> slots,
+                 const ExecConfig& exec, Workspace& ws, ThreadPool& pool,
+                 const PackedDecodeWeights* packed) const;
   void apply_norm_row(const NormWeights& nw, std::span<const float> in,
                       std::span<float> out) const;
 
   ModelConfig config_;
   ModelWeights weights_;
+};
+
+/// Pre-packed k-outer GEMM tiles for every decode-path linear layer of one
+/// model (attention projections, MLP, LM head). The batched decode re-runs
+/// each layer's GEMM every step over a handful of rows; packing once here
+/// removes the per-call repack that linear_forward_span amortizes over
+/// whole prefill chunks. Packing is pure layout — results stay bit-exact.
+/// Snapshot semantics: weights mutated after construction (e.g.
+/// ScopedWeightFault) are not reflected; rebuild to observe them.
+struct PackedDecodeWeights {
+  struct Block {
+    PackedLinear q, k, v, o;
+    PackedLinear fc1, up, fc2;  ///< up only for Llama-family gate/up/down
+  };
+  std::vector<Block> blocks;
+  PackedLinear lm_head;
+
+  explicit PackedDecodeWeights(const TransformerLM& model);
+
+  std::size_t memory_bytes() const;
 };
 
 /// Decoding options. Default is greedy (temperature 0), which every
@@ -159,6 +221,27 @@ struct GenerateResult {
   std::size_t positions_run = 0;  ///< forward positions executed
   bool hit_max = false;           ///< stopped by max_new_tokens/max_seq
 };
+
+/// Runs the blocked prompt prefill exactly as InferenceSession::generate
+/// does: chunks of `options.prefill_chunk` positions (0 = whole prompt,
+/// 1-wide chunks go through forward_position), logits computed only from
+/// the chunk containing the last prompt position. Does NOT bracket the
+/// hook chain with begin/end — the caller owns the generation scope.
+/// Returns the number of prompt positions run (the prompt is truncated to
+/// the model's max_seq). Shared by InferenceSession and ServeEngine so the
+/// two paths cannot drift.
+std::size_t run_prefill(const TransformerLM& model,
+                        std::span<const int> prompt,
+                        const GenerateOptions& options, KvCache& cache,
+                        const HookChain& hooks, Workspace& ws,
+                        std::span<float> logits);
+
+/// Temperature / top-k sampling over logits — the decode-step token choice
+/// for `temperature > 0`. Deterministic given `rng`; NaN-poisoned logits
+/// fall back to the argmax candidate. Shared by InferenceSession and
+/// ServeEngine so batched decode draws exactly the per-session RNG stream.
+int sample_from_logits(std::span<const float> logits, float temperature,
+                       std::size_t top_k, Xoshiro256& rng);
 
 /// Stateful generation session: owns the cache, workspace and hook chain.
 class InferenceSession {

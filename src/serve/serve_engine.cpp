@@ -1,0 +1,225 @@
+#include "serve/serve_engine.hpp"
+
+#include <array>
+#include <chrono>
+
+#include "common/check.hpp"
+#include "common/thread_pool.hpp"
+#include "tensor/ops.hpp"
+
+namespace ft2 {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+double ms_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+}  // namespace
+
+/// One in-flight generation. Everything a solo InferenceSession owns lives
+/// here per request — cache, hook chain, sampler, logits — so batching
+/// introduces no shared mutable state between sequences.
+struct ServeEngine::Request {
+  Request(RequestId id_in, const TransformerLM& model,
+          std::span<const int> prompt_in, const GenerateOptions& options_in)
+      : id(id_in),
+        prompt(prompt_in.begin(), prompt_in.end()),
+        options(options_in),
+        cache(model.make_cache()),
+        logits(model.config().vocab_size),
+        sampler(options_in.sample_seed),
+        submit_time(Clock::now()) {}
+
+  RequestId id;
+  std::vector<int> prompt;
+  GenerateOptions options;
+  HookChain hooks;
+  KvCache cache;
+  std::vector<float> logits;
+  Xoshiro256 sampler;
+  GenerationScope scope;   ///< armed at admission, ended at finish
+  std::size_t pos = 0;     ///< next forward position (== cache length)
+  std::size_t steps = 0;   ///< decode loop index (tokens sampled so far)
+  int pending_token = -1;  ///< token to feed at the next batched step
+  bool done = false;
+  GenerateResult result;
+  RequestStats stats;
+  Clock::time_point submit_time;
+  Clock::time_point admit_time;
+};
+
+ServeEngine::ServeEngine(const TransformerLM& model, ServeOptions options)
+    : model_(model),
+      options_(options),
+      ws_(model.config(), std::max<std::size_t>(options.max_batch, 1)) {
+  FT2_CHECK_MSG(options_.max_batch >= 1, "max_batch must be at least 1");
+  if (options_.pack_weights) packed_.emplace(model_);
+}
+
+ServeEngine::~ServeEngine() = default;
+
+RequestId ServeEngine::submit(std::span<const int> prompt,
+                              const GenerateOptions& options) {
+  FT2_CHECK_MSG(!prompt.empty(), "empty prompt");
+  const RequestId id = next_id_++;
+  requests_.emplace(
+      id, std::make_unique<Request>(id, model_, prompt, options));
+  queue_.push_back(id);
+  ++counters_.submitted;
+  counters_.max_queue_depth =
+      std::max(counters_.max_queue_depth, queue_.size());
+  return id;
+}
+
+HookChain& ServeEngine::hooks(RequestId id) { return get(id).hooks; }
+
+ServeEngine::Request& ServeEngine::get(RequestId id) {
+  const auto it = requests_.find(id);
+  FT2_CHECK_MSG(it != requests_.end(), "unknown request id " << id);
+  return *it->second;
+}
+
+const ServeEngine::Request& ServeEngine::get(RequestId id) const {
+  const auto it = requests_.find(id);
+  FT2_CHECK_MSG(it != requests_.end(), "unknown request id " << id);
+  return *it->second;
+}
+
+bool ServeEngine::finished(RequestId id) const { return get(id).done; }
+
+const GenerateResult& ServeEngine::result(RequestId id) const {
+  const Request& req = get(id);
+  FT2_CHECK_MSG(req.done, "request " << id << " has not finished");
+  return req.result;
+}
+
+const RequestStats& ServeEngine::request_stats(RequestId id) const {
+  return get(id).stats;
+}
+
+std::size_t ServeEngine::resident_cache_bytes() const {
+  std::size_t total = 0;
+  for (const auto& [id, req] : requests_) {
+    if (!req->done) total += req->cache.memory_bytes();
+  }
+  return total;
+}
+
+bool ServeEngine::consume_logits(Request& req) {
+  // Mirrors one iteration of InferenceSession::generate's decode loop, up
+  // to (but not including) the forward for the chosen token. `req.steps` is
+  // the loop index; `req.sampler` draws the same per-session RNG stream a
+  // solo generate would (batching never touches it).
+  const GenerateOptions& o = req.options;
+  const std::size_t step = req.steps++;
+  const std::span<const float> logits{req.logits.data(), req.logits.size()};
+  const int next =
+      o.temperature > 0.0f
+          ? sample_from_logits(logits, o.temperature, o.top_k, req.sampler)
+          : static_cast<int>(argmax(logits));
+  if (o.eos_token >= 0 && next == o.eos_token) return false;
+  req.result.tokens.push_back(next);
+  if (step + 1 == o.max_new_tokens || req.pos >= model_.config().max_seq) {
+    req.result.hit_max = true;
+    return false;
+  }
+  req.pending_token = next;
+  return true;
+}
+
+void ServeEngine::finish(Request& req) {
+  req.scope.end();
+  req.done = true;
+  req.stats.generated_tokens = req.result.tokens.size();
+  req.stats.decode_ms = ms_between(req.admit_time, Clock::now());
+  ++counters_.completed;
+  counters_.generated_tokens += req.result.tokens.size();
+}
+
+void ServeEngine::admit_pending() {
+  while (!queue_.empty() && active_.size() < options_.max_batch) {
+    Request& req = get(queue_.front());
+    queue_.pop_front();
+    req.admit_time = Clock::now();
+    req.stats.queue_ms = ms_between(req.submit_time, req.admit_time);
+    req.stats.prompt_tokens = req.prompt.size();
+
+    req.scope = GenerationScope(req.hooks);
+    GenerateOptions opts = req.options;
+    if (opts.pool == nullptr) opts.pool = options_.pool;
+    req.pos = run_prefill(model_, req.prompt, opts, req.cache, req.hooks,
+                          ws_, {req.logits.data(), req.logits.size()});
+    req.result.positions_run = req.pos;
+    counters_.prefill_positions += req.pos;
+    req.stats.prefill_ms = ms_between(req.admit_time, Clock::now());
+
+    // max_new_tokens == 0: generate never enters the decode loop — no
+    // sampling happens at all.
+    if (req.options.max_new_tokens > 0 && consume_logits(req)) {
+      active_.push_back(&req);
+    } else {
+      finish(req);
+    }
+  }
+  counters_.max_active = std::max(counters_.max_active, active_.size());
+}
+
+void ServeEngine::decode_step() {
+  if (active_.empty()) return;
+
+  // Group active requests by execution config; each sub-batch is one
+  // forward_batch call. Group order is fixed, so results stay deterministic
+  // regardless of submission interleaving.
+  std::array<std::vector<Request*>, 4> groups;
+  for (Request* req : active_) {
+    const std::size_t idx = (req->options.fp16 ? 1u : 0u) |
+                            (req->options.chunked_accum ? 2u : 0u);
+    groups[idx].push_back(req);
+  }
+
+  std::vector<DecodeSlot> slots;
+  for (std::size_t idx = 0; idx < groups.size(); ++idx) {
+    auto& group = groups[idx];
+    if (group.empty()) continue;
+    slots.clear();
+    for (Request* req : group) {
+      slots.push_back(DecodeSlot{req->pending_token, req->pos, &req->cache,
+                                 &req->hooks,
+                                 {req->logits.data(), req->logits.size()}});
+    }
+    const ExecConfig exec{(idx & 1u) != 0, (idx & 2u) != 0, options_.pool};
+    model_.forward_batch(slots, exec, ws_,
+                         packed_.has_value() ? &*packed_ : nullptr);
+    ++counters_.decode_steps;
+    counters_.decode_rows += slots.size();
+  }
+
+  // Post-step bookkeeping in admission order: advance positions, sample
+  // from the fresh logits, retire finished sequences.
+  std::vector<Request*> still_active;
+  still_active.reserve(active_.size());
+  for (Request* req : active_) {
+    ++req->pos;
+    ++req->result.positions_run;
+    ++req->stats.decode_steps;
+    if (consume_logits(*req)) {
+      still_active.push_back(req);
+    } else {
+      finish(*req);
+    }
+  }
+  active_ = std::move(still_active);
+}
+
+std::size_t ServeEngine::step() {
+  admit_pending();
+  decode_step();
+  return active_.size();
+}
+
+void ServeEngine::run() {
+  while (!queue_.empty() || !active_.empty()) step();
+}
+
+}  // namespace ft2

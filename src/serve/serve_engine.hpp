@@ -1,0 +1,155 @@
+// Continuous-batching serve engine.
+//
+// ServeEngine admits generation requests into a FIFO queue, runs the blocked
+// prefill per request (the same run_prefill used by InferenceSession), then
+// decodes all active sequences TOGETHER: each decode step stacks the B
+// active sequences' current positions into one B x K * K x N GEMM per linear
+// layer (TransformerLM::forward_batch), so weight traffic is amortized
+// across sequences. Requests join between steps as slots free up (admission
+// on completion: EOS, max_new_tokens, or max_seq).
+//
+// Bit-exactness contract: the engine produces, for every request, exactly
+// the token stream, hook traffic (begin / per-site dispatches in execution
+// order / end), sampling RNG draws, and protection statistics that a solo
+// InferenceSession::generate call with the same prompt and options would
+// produce — at any max_batch, admission order, or pool size. This holds
+// because each request keeps its own KvCache, HookChain, sampler and logits
+// (no cross-slot dataflow), prefill and sampling share the session code
+// path, and forward_batch is bit-exact with per-slot forward_position.
+//
+// Mixed execution configs are supported: requests are grouped by
+// (fp16, chunked_accum) into sub-batches within each step.
+//
+// Single-threaded driver: submit/step/run must be called from one thread
+// (layer GEMMs still fan out over the thread pool internally).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/hooks.hpp"
+#include "nn/kv_cache.hpp"
+#include "nn/model.hpp"
+
+namespace ft2 {
+
+class ThreadPool;
+
+/// Engine-level knobs.
+struct ServeOptions {
+  std::size_t max_batch = 8;   ///< max sequences decoded per step
+  ThreadPool* pool = nullptr;  ///< pool for GEMM fan-out (null = global)
+  /// Pre-pack every decode-path weight matrix into k-outer GEMM tiles at
+  /// engine construction (PackedDecodeWeights). Pure layout: results are
+  /// bit-exact either way. Disable to observe weight mutations made after
+  /// engine construction (e.g. ScopedWeightFault) in the decode GEMMs.
+  bool pack_weights = true;
+};
+
+using RequestId = std::uint64_t;
+
+/// Per-request timing / size counters.
+struct RequestStats {
+  std::size_t prompt_tokens = 0;
+  std::size_t generated_tokens = 0;
+  std::size_t decode_steps = 0;  ///< batched steps this request took part in
+  double queue_ms = 0.0;         ///< submit -> admission
+  double prefill_ms = 0.0;
+  double decode_ms = 0.0;  ///< admission+prefill -> completion
+};
+
+/// Engine-wide counters.
+struct ServeCounters {
+  std::size_t submitted = 0;
+  std::size_t completed = 0;
+  std::size_t decode_steps = 0;       ///< forward_batch invocations
+  std::size_t decode_rows = 0;        ///< total slot-rows across steps
+  std::size_t prefill_positions = 0;  ///< prompt positions run
+  std::size_t generated_tokens = 0;
+  std::size_t max_queue_depth = 0;
+  std::size_t max_active = 0;  ///< peak concurrent decode batch
+
+  /// Mean decode batch size across steps (0 when no step ran).
+  double avg_decode_batch() const {
+    return decode_steps == 0
+               ? 0.0
+               : static_cast<double>(decode_rows) /
+                     static_cast<double>(decode_steps);
+  }
+};
+
+/// Continuous-batching generation engine over one model.
+class ServeEngine {
+ public:
+  explicit ServeEngine(const TransformerLM& model, ServeOptions options = {});
+  ~ServeEngine();
+
+  ServeEngine(const ServeEngine&) = delete;
+  ServeEngine& operator=(const ServeEngine&) = delete;
+
+  /// Enqueues a generation request. The prompt is copied. Hooks can be
+  /// attached via hooks(id) any time before the first step() admits the
+  /// request (on_generation_begin fires at admission, like
+  /// InferenceSession::generate firing at call time).
+  RequestId submit(std::span<const int> prompt,
+                   const GenerateOptions& options);
+
+  /// The request's private hook chain (valid for queued, active and
+  /// finished requests).
+  HookChain& hooks(RequestId id);
+
+  /// Admits queued requests into free slots (prefill + first-token
+  /// sampling), then advances every active sequence by one batched decode
+  /// step. Returns the number of sequences still active (0 = idle).
+  std::size_t step();
+
+  /// Runs step() until all submitted requests have finished.
+  void run();
+
+  bool finished(RequestId id) const;
+
+  /// Result of a finished request — identical to what
+  /// InferenceSession::generate would have returned.
+  const GenerateResult& result(RequestId id) const;
+
+  const RequestStats& request_stats(RequestId id) const;
+  const ServeCounters& counters() const { return counters_; }
+
+  std::size_t queue_depth() const { return queue_.size(); }
+  std::size_t active_requests() const { return active_.size(); }
+
+  /// Aggregate K/V-cache bytes held by unfinished (queued + active)
+  /// requests.
+  std::size_t resident_cache_bytes() const;
+
+ private:
+  struct Request;
+
+  void admit_pending();
+  void decode_step();
+  /// Applies generate()'s decode-step logic to a freshly computed logits
+  /// row: sample/argmax, EOS / max_new_tokens bookkeeping. Returns false
+  /// when the request finished (no further forward needed).
+  bool consume_logits(Request& req);
+  void finish(Request& req);
+  Request& get(RequestId id);
+  const Request& get(RequestId id) const;
+
+  const TransformerLM& model_;
+  ServeOptions options_;
+  std::optional<PackedDecodeWeights> packed_;
+  Workspace ws_;
+  std::unordered_map<RequestId, std::unique_ptr<Request>> requests_;
+  std::deque<RequestId> queue_;      ///< submitted, not yet admitted (FIFO)
+  std::vector<Request*> active_;     ///< decoding, in admission order
+  ServeCounters counters_;
+  RequestId next_id_ = 1;
+};
+
+}  // namespace ft2

@@ -160,6 +160,47 @@ void kouter_row(const float* x, const float* wt, std::size_t k,
 
 }  // namespace
 
+PackedLinear::PackedLinear(const Tensor& w, std::span<const float> bias_in)
+    : n(w.dim(0)), k(w.dim(1)) {
+  FT2_CHECK(w.rank() == 2);
+  FT2_CHECK(bias_in.empty() || bias_in.size() == n);
+  const std::size_t groups = (n + kPackCols - 1) / kPackCols;
+  tiles.assign(groups * k * kPackCols, 0.0f);
+  bias.assign(groups * kPackCols, 0.0f);
+  for (std::size_t g = 0; g < groups; ++g) {
+    const std::size_t o_lo = g * kPackCols;
+    const std::size_t width = std::min(kPackCols, n - o_lo);
+    float* wt = tiles.data() + g * k * kPackCols;
+    for (std::size_t j = 0; j < width; ++j) {
+      const float* src = w.data() + (o_lo + j) * k;
+      for (std::size_t i = 0; i < k; ++i) wt[i * kPackCols + j] = src[i];
+      if (!bias_in.empty()) bias[g * kPackCols + j] = bias_in[o_lo + j];
+    }
+  }
+}
+
+void linear_forward_span_packed(const Tensor& x, std::size_t rows,
+                                const PackedLinear& pl, Tensor& y,
+                                ThreadPool& pool) {
+  FT2_CHECK(x.rank() == 2 && y.rank() == 2);
+  FT2_CHECK(rows <= x.dim(0) && rows <= y.dim(0));
+  FT2_CHECK_MSG(x.dim(1) == pl.k && y.dim(1) == pl.n,
+                "linear_forward_span_packed: x cols " << x.dim(1) << " w ["
+                    << pl.n << "," << pl.k << "] y cols " << y.dim(1));
+  if (rows == 0) return;
+  const std::size_t col_groups = (pl.n + kPackCols - 1) / kPackCols;
+  pool.parallel_for(0, col_groups, [&](std::size_t g) {
+    const float* wt = pl.tiles.data() + g * pl.k * kPackCols;
+    const float* bias_padded = pl.bias.data() + g * kPackCols;
+    const std::size_t o_lo = g * kPackCols;
+    const std::size_t width = std::min(kPackCols, pl.n - o_lo);
+    for (std::size_t r = 0; r < rows; ++r) {
+      kouter_row(x.row(r).data(), wt, pl.k, bias_padded,
+                 y.row(r).data() + o_lo, width);
+    }
+  });
+}
+
 void linear_forward_span(const Tensor& x, std::size_t rows, const Tensor& w,
                          std::span<const float> bias, Tensor& y,
                          bool chunked_accum, ThreadPool& pool) {

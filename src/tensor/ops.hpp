@@ -40,6 +40,37 @@ void linear_forward_span(const Tensor& x, std::size_t rows, const Tensor& w,
                          std::span<const float> bias, Tensor& y,
                          bool chunked_accum, ThreadPool& pool);
 
+/// One weight matrix repacked once into the k-outer micro-kernel's
+/// transposed column tiles (bias pre-padded per tile). linear_forward_span
+/// repacks tiles on every call — fine for prefill, where the pack cost is
+/// amortized over a whole chunk of rows, but wasteful for batched decode,
+/// which re-runs every layer's GEMM each step with only a handful of rows.
+/// Packing only changes memory layout, never the per-element accumulation
+/// order, so the packed path stays bit-exact with linear_forward_row.
+/// Snapshot semantics: mutating `w` after packing (e.g. a weight fault) is
+/// not reflected — construct a fresh PackedLinear instead.
+struct PackedLinear {
+  std::size_t n = 0;         ///< output features
+  std::size_t k = 0;         ///< input features
+  std::vector<float> tiles;  ///< per tile: [k x tile_cols], zero-padded
+  std::vector<float> bias;   ///< per tile: [tile_cols], zero-padded
+
+  PackedLinear() = default;
+  PackedLinear(const Tensor& w, std::span<const float> bias_in);
+
+  bool empty() const { return n == 0; }
+  std::size_t memory_bytes() const {
+    return (tiles.size() + bias.size()) * sizeof(float);
+  }
+};
+
+/// Packed counterpart of linear_forward_span (non-chunked accumulation
+/// only): y.row(r) = W * x.row(r) + b for r in [0, rows). Bit-exact with
+/// linear_forward_row at any pool size.
+void linear_forward_span_packed(const Tensor& x, std::size_t rows,
+                                const PackedLinear& pl, Tensor& y,
+                                ThreadPool& pool);
+
 /// In-place numerically-stable softmax over the last `cols` elements of each
 /// row; `row_len` rows of length `cols`.
 void softmax_rows(float* data, std::size_t rows, std::size_t cols);

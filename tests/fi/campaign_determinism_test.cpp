@@ -1,0 +1,176 @@
+// Campaign determinism across thread-pool sizes and trial partitions:
+//   - run_campaign outcomes and per-trial records are identical under pools
+//     of 1, 2 and 8 workers (trials are self-contained; partitioning is a
+//     pure throughput knob);
+//   - two run_campaign_range halves concatenate to the full-range result
+//     with the same TrialRecord.plan per trial;
+//   - the serve-engine fault_free_correct_fraction equals a serial
+//     per-session reference.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/ft2.hpp"
+#include "data/matcher.hpp"
+
+namespace ft2 {
+namespace {
+
+TransformerLM micro_model() {
+  ModelConfig c;
+  c.arch = ArchFamily::kOpt;
+  c.vocab_size = Vocab::shared().size();
+  c.d_model = 16;
+  c.n_heads = 2;
+  c.n_blocks = 2;
+  c.d_ff = 24;
+  c.max_seq = 96;
+  Xoshiro256 rng(33);
+  return TransformerLM(c, init_weights(c, rng));
+}
+
+bool same_plan(const FaultPlan& a, const FaultPlan& b) {
+  return a.position == b.position && a.site == b.site && a.neuron == b.neuron &&
+         a.vtype == b.vtype && a.in_first_token == b.in_first_token &&
+         a.flips.count == b.flips.count && a.flips.bits == b.flips.bits;
+}
+
+/// Collects TrialRecords and orders them by global trial id (callback
+/// arrival order depends on worker scheduling; trial ids do not).
+std::vector<TrialRecord> sorted_records(std::vector<TrialRecord> records) {
+  std::sort(records.begin(), records.end(),
+            [](const TrialRecord& a, const TrialRecord& b) {
+              return a.trial < b.trial;
+            });
+  return records;
+}
+
+TEST(CampaignDeterminism, OutcomesIdenticalAcrossPoolSizes) {
+  const TransformerLM model = micro_model();
+  const auto samples =
+      make_generator(DatasetKind::kSynthQA)->generate_many(3, 5);
+  const auto inputs = prepare_eval_inputs(model, samples, 6, false);
+  const auto spec = scheme_spec(SchemeKind::kFt2, model.config());
+
+  CampaignConfig config;
+  config.fault_model = FaultModel::kExponentBit;
+  config.trials_per_input = 12;
+  config.gen_tokens = 6;
+
+  ThreadPool pool1(1), pool2(2), pool8(8);
+  std::vector<CampaignResult> results;
+  std::vector<std::vector<TrialRecord>> records;
+  for (ThreadPool* pool : {&pool1, &pool2, &pool8}) {
+    config.pool = pool;
+    std::vector<TrialRecord> trace;
+    results.push_back(run_campaign(
+        model, inputs, spec, BoundStore{}, config,
+        [&](const TrialRecord& r) { trace.push_back(r); }));
+    records.push_back(sorted_records(std::move(trace)));
+  }
+
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].trials, results[0].trials) << "pool run " << i;
+    EXPECT_EQ(results[i].sdc, results[0].sdc) << "pool run " << i;
+    EXPECT_EQ(results[i].masked_identical, results[0].masked_identical)
+        << "pool run " << i;
+    EXPECT_EQ(results[i].masked_semantic, results[0].masked_semantic)
+        << "pool run " << i;
+    EXPECT_EQ(results[i].not_injected, results[0].not_injected)
+        << "pool run " << i;
+    ASSERT_EQ(records[i].size(), records[0].size()) << "pool run " << i;
+    for (std::size_t t = 0; t < records[0].size(); ++t) {
+      EXPECT_EQ(records[i][t].trial, records[0][t].trial);
+      EXPECT_EQ(records[i][t].input_index, records[0][t].input_index);
+      EXPECT_EQ(records[i][t].outcome, records[0][t].outcome)
+          << "pool run " << i << " trial " << t;
+      EXPECT_EQ(records[i][t].detections, records[0][t].detections)
+          << "pool run " << i << " trial " << t;
+      EXPECT_EQ(records[i][t].generated_text, records[0][t].generated_text)
+          << "pool run " << i << " trial " << t;
+      EXPECT_TRUE(same_plan(records[i][t].plan, records[0][t].plan))
+          << "pool run " << i << " trial " << t;
+    }
+  }
+}
+
+TEST(CampaignDeterminism, RangeHalvesConcatenateToFullRun) {
+  const TransformerLM model = micro_model();
+  const auto samples =
+      make_generator(DatasetKind::kSynthQA)->generate_many(2, 9);
+  const auto inputs = prepare_eval_inputs(model, samples, 6, false);
+  const auto spec = scheme_spec(SchemeKind::kNone, model.config());
+
+  CampaignConfig config;
+  config.fault_model = FaultModel::kSingleBit;
+  config.trials_per_input = 10;
+  config.gen_tokens = 6;
+  const std::size_t total = inputs.size() * config.trials_per_input;
+  const std::size_t mid = total / 2;
+
+  std::vector<TrialRecord> full_trace;
+  const auto full = run_campaign(
+      model, inputs, spec, BoundStore{}, config,
+      [&](const TrialRecord& r) { full_trace.push_back(r); });
+
+  std::vector<TrialRecord> split_trace;
+  auto lo = run_campaign_range(
+      model, inputs, spec, BoundStore{}, config, 0, mid,
+      [&](const TrialRecord& r) { split_trace.push_back(r); });
+  const auto hi = run_campaign_range(
+      model, inputs, spec, BoundStore{}, config, mid, total,
+      [&](const TrialRecord& r) { split_trace.push_back(r); });
+  lo.merge(hi);
+
+  EXPECT_EQ(lo.trials, full.trials);
+  EXPECT_EQ(lo.sdc, full.sdc);
+  EXPECT_EQ(lo.masked_identical, full.masked_identical);
+  EXPECT_EQ(lo.masked_semantic, full.masked_semantic);
+  EXPECT_EQ(lo.not_injected, full.not_injected);
+
+  const auto full_sorted = sorted_records(std::move(full_trace));
+  const auto split_sorted = sorted_records(std::move(split_trace));
+  ASSERT_EQ(split_sorted.size(), full_sorted.size());
+  for (std::size_t t = 0; t < full_sorted.size(); ++t) {
+    EXPECT_EQ(split_sorted[t].trial, full_sorted[t].trial);
+    EXPECT_EQ(split_sorted[t].outcome, full_sorted[t].outcome) << "trial " << t;
+    EXPECT_TRUE(same_plan(split_sorted[t].plan, full_sorted[t].plan))
+        << "trial " << t;
+  }
+}
+
+TEST(CampaignDeterminism, FaultFreeFractionMatchesSerialReference) {
+  const TransformerLM model = micro_model();
+  const auto samples =
+      make_generator(DatasetKind::kSynthQA)->generate_many(4, 11);
+  const auto inputs = prepare_eval_inputs(model, samples, 6, false);
+  ASSERT_FALSE(inputs.empty());
+  const auto spec = scheme_spec(SchemeKind::kFt2, model.config());
+  const std::size_t gen_tokens = 6;
+
+  // Serial reference: the pre-serve-engine implementation, one session per
+  // input (pinned here so the batched implementation can never drift).
+  std::size_t correct = 0;
+  for (const auto& input : inputs) {
+    ProtectionHook protection(model.config(), spec, BoundStore{});
+    InferenceSession session(model);
+    const HookRegistration reg = session.hooks().add(protection);
+    GenerateOptions options;
+    options.max_new_tokens = gen_tokens;
+    options.eos_token = -1;
+    const auto result = session.generate(input.prompt, options);
+    const std::string text =
+        Vocab::shared().decode(truncate_at_eos(result.tokens));
+    if (contains_reference(text, input.sample.reference)) ++correct;
+  }
+  const double expected =
+      static_cast<double>(correct) / static_cast<double>(inputs.size());
+
+  const double got = fault_free_correct_fraction(model, inputs, spec,
+                                                 BoundStore{}, gen_tokens);
+  EXPECT_DOUBLE_EQ(got, expected);
+}
+
+}  // namespace
+}  // namespace ft2

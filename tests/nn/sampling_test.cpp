@@ -98,6 +98,45 @@ TEST(Sampling, HighTemperatureExploresVocab) {
   EXPECT_GT(seen.size(), 20u);
 }
 
+TEST(Sampling, CrossRunDeterminismUnderSessionAndServePaths) {
+  // The same seeded sampling request must yield one token stream across
+  // repeated runs of BOTH decode paths — per-session generate and the
+  // batched serve engine — and the two paths must agree with each other.
+  const TransformerLM model = micro_model();
+  const std::vector<int> prompt{1, 2, 3, 4};
+  GenerateOptions opts;
+  opts.max_new_tokens = 12;
+  opts.temperature = 0.9f;
+  opts.top_k = 5;
+  opts.sample_seed = 77;
+
+  std::vector<int> session_tokens;
+  for (int run = 0; run < 2; ++run) {
+    InferenceSession s(model);
+    const auto result = s.generate(prompt, opts);
+    if (run == 0) {
+      session_tokens = result.tokens;
+      ASSERT_FALSE(session_tokens.empty());
+    } else {
+      EXPECT_EQ(result.tokens, session_tokens) << "session run " << run;
+    }
+  }
+
+  for (int run = 0; run < 2; ++run) {
+    ServeEngine engine(model);
+    // A second request with a different seed shares the batch, exercising
+    // per-request RNG isolation.
+    const RequestId id = engine.submit(prompt, opts);
+    GenerateOptions other = opts;
+    other.sample_seed = 78;
+    other.top_k = 4;
+    const RequestId decoy = engine.submit(prompt, other);
+    engine.run();
+    EXPECT_EQ(engine.result(id).tokens, session_tokens) << "serve run " << run;
+    EXPECT_NE(engine.result(decoy).tokens, session_tokens);
+  }
+}
+
 TEST(Perplexity, TrainedModelBeatsRandom) {
   // A briefly-trained model must have lower answer perplexity than a
   // random-weight model of the same shape.

@@ -10,12 +10,15 @@
 //   ft2 campaign <model> [--dataset D] [--scheme S] [--fault-model F]
 //                [--inputs N] [--trials T] [--faults K] [--bounds FILE]
 //                [--trace FILE.csv] [--json FILE.json] [--weights]
+//   ft2 serve-bench <model> [--dataset D] [--requests N] [--batch B]
+//                   [--seed S]
 //   ft2 perf [--gpu a100|h100]
 //
 // Models: opt-sm opt-xs gptj-sm llama-sm vicuna-sm qwen2-sm qwen2-xs
 // Datasets: synthqa synthxqa synthmath
 // Schemes: none ranger maximals global_clipper ft2 ft2_offline
 // Fault models: 1-bit 2-bit exp
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -283,6 +286,71 @@ int cmd_campaign(const std::string& model_name, const ArgParser& args) {
   return 0;
 }
 
+int cmd_serve_bench(const std::string& model_name, const ArgParser& args) {
+  const auto model = ensure_model(model_name);
+  const DatasetKind dataset = parse_dataset(args.get("dataset", "synthqa"));
+  const auto gen = make_generator(dataset);
+  const std::size_t n_requests = args.get_size("requests", 8);
+  const std::size_t max_batch = args.get_size("batch", 8);
+  Xoshiro256 rng(args.get_size("seed", 1));
+
+  GenerateOptions opts;
+  opts.max_new_tokens = generation_tokens(dataset);
+  opts.eos_token = Vocab::kEos;
+  std::vector<std::vector<int>> prompts;
+  prompts.reserve(n_requests);
+  for (std::size_t i = 0; i < n_requests; ++i) {
+    prompts.push_back(prompt_of(gen->generate(rng)));
+  }
+
+  // Sequential baseline: one InferenceSession per request, back to back.
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<GenerateResult> serial;
+  serial.reserve(n_requests);
+  for (const auto& prompt : prompts) {
+    InferenceSession session(*model);
+    serial.push_back(session.generate(prompt, opts));
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+
+  // Continuous batching: all requests through one engine.
+  ServeOptions serve_opts;
+  serve_opts.max_batch = max_batch;
+  ServeEngine engine(*model, serve_opts);
+  std::vector<RequestId> ids;
+  ids.reserve(n_requests);
+  for (const auto& prompt : prompts) ids.push_back(engine.submit(prompt, opts));
+  engine.run();
+  const auto t2 = std::chrono::steady_clock::now();
+
+  std::size_t mismatches = 0;
+  std::size_t total_tokens = 0;
+  for (std::size_t i = 0; i < n_requests; ++i) {
+    if (engine.result(ids[i]).tokens != serial[i].tokens) ++mismatches;
+    total_tokens += serial[i].tokens.size();
+  }
+
+  const double serial_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  const double batched_ms =
+      std::chrono::duration<double, std::milli>(t2 - t1).count();
+  const ServeCounters& c = engine.counters();
+  Table table({"metric", "value"});
+  table.begin_row().cell("requests").count(n_requests);
+  table.begin_row().cell("generated tokens").count(total_tokens);
+  table.begin_row().cell("sequential ms").num(serial_ms, 1);
+  table.begin_row().cell("batched ms").num(batched_ms, 1);
+  table.begin_row().cell("speedup").num(
+      batched_ms > 0.0 ? serial_ms / batched_ms : 0.0, 2);
+  table.begin_row().cell("decode steps").count(c.decode_steps);
+  table.begin_row().cell("avg decode batch").num(c.avg_decode_batch(), 2);
+  table.begin_row().cell("peak active").count(c.max_active);
+  table.begin_row().cell("peak queue depth").count(c.max_queue_depth);
+  table.begin_row().cell("token mismatches").count(mismatches);
+  table.print(std::cout);
+  return mismatches == 0 ? 0 : 1;
+}
+
 int cmd_perf(const ArgParser& args) {
   const pm::GpuSpec gpu =
       args.get("gpu", "a100") == "h100" ? pm::h100() : pm::a100();
@@ -315,6 +383,8 @@ int usage() {
       "  ft2 campaign <model> [--dataset D] [--scheme S] [--fault-model F]\n"
       "               [--inputs N] [--trials T] [--faults K] [--fp32]\n"
       "               [--bounds FILE] [--trace FILE] [--json FILE] [--weights]\n"
+      "  ft2 serve-bench <model> [--dataset D] [--requests N] [--batch B]\n"
+      "                  [--seed S]\n"
       "  ft2 perf [--gpu a100|h100]\n";
   return 2;
 }
@@ -332,7 +402,8 @@ int main(int argc, char** argv) {
       {"scheme", true},       {"fault-model", true}, {"trials", true},
       {"faults", true},       {"bounds", true},   {"trace", true},
       {"json", true},         {"weights", false}, {"gpu", true},
-      {"campaign-seed", true}, {"fp32", false},
+      {"campaign-seed", true}, {"fp32", false}, {"requests", true},
+      {"batch", true},
   };
   try {
     const ArgParser args(argc - 2, argv + 2, spec);
@@ -350,6 +421,7 @@ int main(int argc, char** argv) {
       return cmd_profile_bounds(need_model(), args);
     }
     if (command == "campaign") return cmd_campaign(need_model(), args);
+    if (command == "serve-bench") return cmd_serve_bench(need_model(), args);
     if (command == "perf") return cmd_perf(args);
     return usage();
   } catch (const std::exception& e) {
