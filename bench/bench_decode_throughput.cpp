@@ -75,7 +75,14 @@ int main() {
   std::cout << "model: d_model=" << model.config().d_model
             << " blocks=" << model.config().n_blocks
             << " d_ff=" << model.config().d_ff << ", " << decode_tokens
-            << " decode tokens per request, best of " << reps << " runs\n\n";
+            << " decode tokens per request, best of " << reps << " runs\n";
+  // The engine publishes serve.* metrics to the process registry unless
+  // FT2_METRICS=0; comparing a run in each mode measures metric overhead
+  // (docs/OBSERVABILITY.md records the numbers).
+  std::cout << "serve metrics: "
+            << (default_metrics() != nullptr ? "on (FT2_METRICS=0 to disable)"
+                                             : "off (FT2_METRICS=0)")
+            << "\n\n";
 
   Table table({"batch", "seq ms", "batched ms", "seq tok/s", "batched tok/s",
                "speedup", "tokens"});

@@ -32,6 +32,8 @@
 #include "nn/model.hpp"
 #include "numeric/f16.hpp"
 #include "numeric/stats.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "perfmodel/perfmodel.hpp"
 #include "protect/bounds.hpp"
 #include "protect/critical.hpp"
@@ -67,8 +69,8 @@ class Ft2Protector {
   /// Critical layers being protected.
   const std::vector<LayerKind>& critical() const { return spec_.covered; }
 
-  /// Correction statistics accumulated so far.
-  const ProtectionStats& stats() const { return hook_.stats(); }
+  /// Correction statistics accumulated so far (summed across layer kinds).
+  ProtectionStats stats() const { return hook_.stats(); }
 
   /// Bounds captured during the most recent generation's first-token phase.
   const BoundStore& online_bounds() const { return hook_.online_bounds(); }

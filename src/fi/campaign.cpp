@@ -1,9 +1,12 @@
 #include "fi/campaign.hpp"
 
+#include <array>
+#include <chrono>
 #include <mutex>
 
 #include "common/thread_pool.hpp"
 #include "data/matcher.hpp"
+#include "fi/trace.hpp"
 #include "serve/serve_engine.hpp"
 
 namespace ft2 {
@@ -109,7 +112,37 @@ CampaignResult run_campaign_range(const TransformerLM& model,
   ThreadPool& pool =
       config.pool != nullptr ? *config.pool : ThreadPool::global();
 
+  // campaign.* handles are resolved once here (the registry mutex is only
+  // taken at registration), so trial threads touch nothing but striped
+  // atomics. All handles stay inert when metrics are disabled.
+  MetricsRegistry* reg =
+      config.metrics != nullptr ? config.metrics : default_metrics();
+  struct CampaignMetrics {
+    Counter trials;
+    std::array<Counter, 4> outcome;  ///< indexed by static_cast<int>(Outcome)
+    std::array<Counter, kLayerKindCount> site;
+    HistogramMetric trial_ms;
+  } cm;
+  if (reg != nullptr) {
+    cm.trials = reg->counter("campaign.trials");
+    for (Outcome o : {Outcome::kMaskedIdentical, Outcome::kMaskedSemantic,
+                      Outcome::kSdc, Outcome::kNotInjected}) {
+      cm.outcome[static_cast<std::size_t>(o)] =
+          reg->counter(std::string("campaign.outcome.") + outcome_name(o));
+    }
+    for (std::size_t k = 0; k < kLayerKindCount; ++k) {
+      cm.site[k] = reg->counter(
+          std::string("campaign.site.") +
+          std::string(layer_kind_name(static_cast<LayerKind>(k))));
+    }
+    cm.trial_ms = reg->histogram("campaign.trial_ms", latency_ms_buckets());
+  }
+
   pool.parallel_for(first_trial, last_trial, [&](std::size_t trial) {
+    using TrialClock = std::chrono::steady_clock;
+    const bool timed = cm.trial_ms.enabled();
+    const TrialClock::time_point trial_start =
+        timed ? TrialClock::now() : TrialClock::time_point{};
     const std::size_t input_idx = trial / config.trials_per_input;
     const EvalInput& input = inputs[input_idx];
 
@@ -123,7 +156,7 @@ CampaignResult run_campaign_range(const TransformerLM& model,
                             config.first_token_only));
     }
 
-    ProtectionHook protection(model.config(), scheme, offline_bounds);
+    ProtectionHook protection(model.config(), scheme, offline_bounds, reg);
     InferenceSession session(model);
     std::vector<HookRegistration> regs;
     regs.reserve(injectors.size() + 1);
@@ -139,6 +172,16 @@ CampaignResult run_campaign_range(const TransformerLM& model,
     const Outcome outcome = fired ? classify_outcome(result.tokens, input)
                                   : Outcome::kNotInjected;
     outcomes[trial - first_trial] = outcome;
+    cm.trials.inc();
+    cm.outcome[static_cast<std::size_t>(outcome)].inc();
+    for (const auto& injector : injectors) {
+      cm.site[static_cast<std::size_t>(injector.plan().site.kind)].inc();
+    }
+    if (timed) {
+      cm.trial_ms.observe(std::chrono::duration<double, std::milli>(
+                              TrialClock::now() - trial_start)
+                              .count());
+    }
     if (on_trial) {
       TrialRecord record;
       record.trial = trial;

@@ -52,6 +52,12 @@ struct CampaignConfig {
   /// deterministic and each trial is self-contained, so outcomes and
   /// per-trial records are identical at any pool size.
   ThreadPool* pool = nullptr;
+  /// Registry for campaign.* metrics (per-outcome and per-site-kind
+  /// counters, trial wall-time histogram) and for the protect.* metrics of
+  /// each trial's protection hook. Null = `default_metrics()`. Metrics are
+  /// observational only: outcomes and trial records are bit-identical with
+  /// metrics on or off.
+  MetricsRegistry* metrics = nullptr;
 };
 
 struct CampaignResult {

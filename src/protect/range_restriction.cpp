@@ -6,7 +6,8 @@ namespace ft2 {
 
 void range_restrict(std::span<float> values, const Bounds& bounds,
                     ClipPolicy policy, bool correct_nan,
-                    ProtectionStats* stats, bool detect_only) {
+                    ProtectionStats* stats, bool detect_only,
+                    ClipObserver* observer) {
   if (!bounds.valid()) {
     if (correct_nan) {
       std::size_t n = 0;
@@ -19,6 +20,9 @@ void range_restrict(std::span<float> values, const Bounds& bounds,
         stats->values_checked += values.size();
         stats->nan_corrected += n;
       }
+      if (observer != nullptr) {
+        for (std::size_t i = 0; i < n; ++i) observer->on_nan();
+      }
     }
     return;
   }
@@ -29,10 +33,12 @@ void range_restrict(std::span<float> values, const Bounds& bounds,
       if (correct_nan) {
         if (!detect_only) v = 0.0f;
         ++nan_fixed;
+        if (observer != nullptr) observer->on_nan();
       }
       continue;
     }
     if (v > bounds.hi || v < bounds.lo) {
+      if (observer != nullptr) observer->on_oob(v);
       if (!detect_only) {
         switch (policy) {
           case ClipPolicy::kToBound:

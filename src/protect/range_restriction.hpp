@@ -34,13 +34,27 @@ struct ProtectionStats {
   }
 };
 
+/// Optional per-event observer for range_restrict: called once per
+/// corrected (or, in detect_only mode, detected) value with the ORIGINAL
+/// pre-correction value. Observers only observe — the correction result is
+/// identical with or without one. Used to feed protect.* clip-magnitude
+/// histograms without burdening the common no-observer path.
+class ClipObserver {
+ public:
+  virtual ~ClipObserver() = default;
+  virtual void on_nan() {}
+  virtual void on_oob(float original) { (void)original; }
+};
+
 /// Applies range restriction in place. Infinities count as out-of-bound.
 /// When `correct_nan` is false NaNs pass through untouched (schemes without
 /// NaN handling). `stats` may be null. With `detect_only` the pass counts
-/// violations without modifying any value (detector mode).
+/// violations without modifying any value (detector mode). `observer`, when
+/// non-null, is notified of every NaN / out-of-bound event.
 void range_restrict(std::span<float> values, const Bounds& bounds,
                     ClipPolicy policy, bool correct_nan,
-                    ProtectionStats* stats, bool detect_only = false);
+                    ProtectionStats* stats, bool detect_only = false,
+                    ClipObserver* observer = nullptr);
 
 /// NaN-only correction (FT2's first-token phase and the Fig. 11 ablation):
 /// replaces NaN with 0, leaves all finite values and infinities untouched.

@@ -62,7 +62,8 @@ SchemeSpec scheme_spec(SchemeKind kind, const ModelConfig& config) {
 }
 
 ProtectionHook::ProtectionHook(const ModelConfig& config, SchemeSpec spec,
-                               BoundStore offline_bounds)
+                               BoundStore offline_bounds,
+                               MetricsRegistry* metrics)
     : config_(config),
       spec_(std::move(spec)),
       offline_bounds_(std::move(offline_bounds)),
@@ -78,11 +79,44 @@ ProtectionHook::ProtectionHook(const ModelConfig& config, SchemeSpec spec,
   for (LayerKind k : spec_.covered) {
     covered_mask_[static_cast<std::size_t>(k)] = true;
   }
+  if (metrics != nullptr) {
+    for (LayerKind k : spec_.covered) {
+      KindMetrics& km = kind_metrics_[static_cast<std::size_t>(k)];
+      const std::string kind(layer_kind_name(k));
+      km.checked = metrics->counter("protect.checked." + kind);
+      km.nan = metrics->counter("protect.nan." + kind);
+      km.oob = metrics->counter("protect.oob." + kind);
+      km.clip_magnitude = metrics->histogram("protect.clip_magnitude." + kind,
+                                             magnitude_buckets());
+    }
+  }
+}
+
+ProtectionStats ProtectionHook::stats() const {
+  ProtectionStats total;
+  for (const ProtectionStats& s : kind_stats_) total.merge(s);
+  return total;
 }
 
 void ProtectionHook::on_generation_begin() {
   if (spec_.online) online_bounds_.reset();
 }
+
+namespace {
+
+/// Feeds out-of-bound originals into one kind's clip-magnitude histogram.
+class MagnitudeObserver final : public ClipObserver {
+ public:
+  explicit MagnitudeObserver(HistogramMetric hist) : hist_(hist) {}
+  void on_oob(float original) override {
+    hist_.observe(std::abs(static_cast<double>(original)));
+  }
+
+ private:
+  HistogramMetric hist_;
+};
+
+}  // namespace
 
 void ProtectionHook::on_output(const HookContext& ctx,
                                std::span<float> values) {
@@ -91,26 +125,34 @@ void ProtectionHook::on_output(const HookContext& ctx,
   // per-site (not per-position), so the flat span needs no row iteration
   // and the results match per-position dispatch exactly.
   if (spec_.kind == SchemeKind::kNone) return;
-  if (!covered_mask_[static_cast<std::size_t>(ctx.site.kind)]) return;
+  const std::size_t kind = static_cast<std::size_t>(ctx.site.kind);
+  if (!covered_mask_[kind]) return;
+  ProtectionStats& tally = kind_stats_[kind];
+  KindMetrics& km = kind_metrics_[kind];
 
-  if (spec_.online) {
-    if (ctx.first_token_phase) {
-      // First-token phase: no bounds yet. Correct NaN (always detectable)
-      // and record the observed range for the remaining tokens.
-      stats_.values_checked += values.size();
-      stats_.nan_corrected += correct_nan_to_zero(values);
-      online_bounds_.at(ctx.site).observe_span(values);
-      return;
-    }
-    const Bounds& raw = online_bounds_.at(ctx.site);
+  // Tally per call into a delta so the registry counters advance by
+  // exactly what this dispatch corrected; merging the delta into the
+  // per-kind tally reproduces the old single-struct accounting bit for
+  // bit (integer adds in dispatch order).
+  ProtectionStats delta;
+  if (spec_.online && ctx.first_token_phase) {
+    // First-token phase: no bounds yet. Correct NaN (always detectable)
+    // and record the observed range for the remaining tokens.
+    delta.values_checked = values.size();
+    delta.nan_corrected = correct_nan_to_zero(values);
+    online_bounds_.at(ctx.site).observe_span(values);
+  } else {
+    const Bounds& raw =
+        spec_.online ? online_bounds_.at(ctx.site) : offline_bounds_.at(ctx.site);
+    MagnitudeObserver observer(km.clip_magnitude);
     range_restrict(values, raw.scaled(spec_.bound_scale), spec_.policy,
-                   spec_.correct_nan, &stats_, spec_.detect_only);
-    return;
+                   spec_.correct_nan, &delta, spec_.detect_only,
+                   km.clip_magnitude.enabled() ? &observer : nullptr);
   }
-
-  const Bounds& raw = offline_bounds_.at(ctx.site);
-  range_restrict(values, raw.scaled(spec_.bound_scale), spec_.policy,
-                 spec_.correct_nan, &stats_, spec_.detect_only);
+  tally.merge(delta);
+  km.checked.inc(delta.values_checked);
+  km.nan.inc(delta.nan_corrected);
+  km.oob.inc(delta.oob_corrected);
 }
 
 std::size_t ProtectionHook::bound_memory_bytes() const {

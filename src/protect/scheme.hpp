@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "nn/hooks.hpp"
+#include "obs/metrics.hpp"
 #include "protect/bounds.hpp"
 #include "protect/range_restriction.hpp"
 
@@ -77,14 +78,29 @@ SchemeSpec scheme_spec(SchemeKind kind, const ModelConfig& config);
 /// positions with those bounds scaled by `bound_scale`.
 class ProtectionHook : public OutputHook {
  public:
-  /// `offline_bounds` may be empty for online schemes / kNone.
+  /// `offline_bounds` may be empty for online schemes / kNone. When
+  /// `metrics` is non-null the hook publishes per-layer-kind event
+  /// counters (protect.checked/nan/oob.<KIND>) and clip-magnitude
+  /// histograms (protect.clip_magnitude.<KIND>) to it; metrics never
+  /// change what the hook corrects — values and stats are bit-identical
+  /// with metrics on or off.
   ProtectionHook(const ModelConfig& config, SchemeSpec spec,
-                 BoundStore offline_bounds = BoundStore{});
+                 BoundStore offline_bounds = BoundStore{},
+                 MetricsRegistry* metrics = nullptr);
 
   void on_generation_begin() override;
   void on_output(const HookContext& ctx, std::span<float> values) override;
 
-  const ProtectionStats& stats() const { return stats_; }
+  /// Total corrections across all layer kinds. The tallies are kept per
+  /// kind internally; this façade sums them, preserving the exact values
+  /// the single-struct accounting produced.
+  ProtectionStats stats() const;
+
+  /// Corrections attributed to one layer kind.
+  const ProtectionStats& stats(LayerKind kind) const {
+    return kind_stats_[static_cast<std::size_t>(kind)];
+  }
+
   const SchemeSpec& spec() const { return spec_; }
 
   /// Online bounds captured during the current/most recent generation
@@ -98,12 +114,21 @@ class ProtectionHook : public OutputHook {
   std::size_t protected_layer_count() const;
 
  private:
+  /// protect.* handles for one covered layer kind (inert without metrics).
+  struct KindMetrics {
+    Counter checked;
+    Counter nan;
+    Counter oob;
+    HistogramMetric clip_magnitude;
+  };
+
   ModelConfig config_;
   SchemeSpec spec_;
   BoundStore offline_bounds_;
   BoundStore online_bounds_;
   std::array<bool, kLayerKindCount> covered_mask_{};
-  ProtectionStats stats_;
+  std::array<ProtectionStats, kLayerKindCount> kind_stats_{};
+  std::array<KindMetrics, kLayerKindCount> kind_metrics_{};
 };
 
 }  // namespace ft2

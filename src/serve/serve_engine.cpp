@@ -55,6 +55,26 @@ ServeEngine::ServeEngine(const TransformerLM& model, ServeOptions options)
       ws_(model.config(), std::max<std::size_t>(options.max_batch, 1)) {
   FT2_CHECK_MSG(options_.max_batch >= 1, "max_batch must be at least 1");
   if (options_.pack_weights) packed_.emplace(model_);
+  tracer_ = options_.tracer != nullptr ? options_.tracer : &Tracer::global();
+  MetricsRegistry* reg =
+      options_.metrics != nullptr ? options_.metrics : default_metrics();
+  if (reg != nullptr) {
+    metrics_.submitted = reg->counter("serve.requests.submitted");
+    metrics_.completed = reg->counter("serve.requests.completed");
+    metrics_.generated_tokens = reg->counter("serve.tokens.generated");
+    metrics_.prefill_positions = reg->counter("serve.prefill.positions");
+    metrics_.decode_steps = reg->counter("serve.decode.steps");
+    metrics_.decode_rows = reg->counter("serve.decode.rows");
+    metrics_.queue_wait_ms =
+        reg->histogram("serve.queue.wait_ms", latency_ms_buckets());
+    metrics_.prefill_ms =
+        reg->histogram("serve.prefill.latency_ms", latency_ms_buckets());
+    metrics_.decode_step_ms =
+        reg->histogram("serve.decode.step_ms", latency_ms_buckets());
+    metrics_.request_decode_ms =
+        reg->histogram("serve.request.decode_ms", latency_ms_buckets());
+    metrics_.batch_occupancy = reg->gauge("serve.batch.occupancy");
+  }
 }
 
 ServeEngine::~ServeEngine() = default;
@@ -67,6 +87,7 @@ RequestId ServeEngine::submit(std::span<const int> prompt,
       id, std::make_unique<Request>(id, model_, prompt, options));
   queue_.push_back(id);
   ++counters_.submitted;
+  metrics_.submitted.inc();
   counters_.max_queue_depth =
       std::max(counters_.max_queue_depth, queue_.size());
   return id;
@@ -135,6 +156,9 @@ void ServeEngine::finish(Request& req) {
   req.stats.decode_ms = ms_between(req.admit_time, Clock::now());
   ++counters_.completed;
   counters_.generated_tokens += req.result.tokens.size();
+  metrics_.completed.inc();
+  metrics_.generated_tokens.inc(req.result.tokens.size());
+  metrics_.request_decode_ms.observe(req.stats.decode_ms);
 }
 
 void ServeEngine::admit_pending() {
@@ -144,7 +168,13 @@ void ServeEngine::admit_pending() {
     req.admit_time = Clock::now();
     req.stats.queue_ms = ms_between(req.submit_time, req.admit_time);
     req.stats.prompt_tokens = req.prompt.size();
+    metrics_.queue_wait_ms.observe(req.stats.queue_ms);
 
+    TraceSpan prefill_span = tracer_->span("serve.prefill");
+    if (prefill_span.active()) {
+      prefill_span.tag("request", std::to_string(req.id))
+          .tag("prompt_tokens", std::to_string(req.prompt.size()));
+    }
     req.scope = GenerationScope(req.hooks);
     GenerateOptions opts = req.options;
     if (opts.pool == nullptr) opts.pool = options_.pool;
@@ -152,7 +182,10 @@ void ServeEngine::admit_pending() {
                           ws_, {req.logits.data(), req.logits.size()});
     req.result.positions_run = req.pos;
     counters_.prefill_positions += req.pos;
+    metrics_.prefill_positions.inc(req.pos);
     req.stats.prefill_ms = ms_between(req.admit_time, Clock::now());
+    metrics_.prefill_ms.observe(req.stats.prefill_ms);
+    prefill_span.end();
 
     // max_new_tokens == 0: generate never enters the decode loop — no
     // sampling happens at all.
@@ -167,6 +200,14 @@ void ServeEngine::admit_pending() {
 
 void ServeEngine::decode_step() {
   if (active_.empty()) return;
+
+  metrics_.batch_occupancy.set(static_cast<double>(active_.size()));
+  const bool timed = metrics_.decode_step_ms.enabled();
+  const Clock::time_point step_start = timed ? Clock::now() : Clock::time_point{};
+  TraceSpan step_span = tracer_->span("serve.decode_step");
+  if (step_span.active()) {
+    step_span.tag("rows", std::to_string(active_.size()));
+  }
 
   // Group active requests by execution config; each sub-batch is one
   // forward_batch call. Group order is fixed, so results stay deterministic
@@ -193,6 +234,11 @@ void ServeEngine::decode_step() {
                          packed_.has_value() ? &*packed_ : nullptr);
     ++counters_.decode_steps;
     counters_.decode_rows += slots.size();
+    metrics_.decode_steps.inc();
+    metrics_.decode_rows.inc(slots.size());
+  }
+  if (timed) {
+    metrics_.decode_step_ms.observe(ms_between(step_start, Clock::now()));
   }
 
   // Post-step bookkeeping in admission order: advance positions, sample

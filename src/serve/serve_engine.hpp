@@ -36,6 +36,8 @@
 #include "nn/hooks.hpp"
 #include "nn/kv_cache.hpp"
 #include "nn/model.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace ft2 {
 
@@ -50,6 +52,13 @@ struct ServeOptions {
   /// bit-exact either way. Disable to observe weight mutations made after
   /// engine construction (e.g. ScopedWeightFault) in the decode GEMMs.
   bool pack_weights = true;
+  /// Registry the engine publishes serve.* metrics to. nullptr selects the
+  /// process default (default_metrics(): the global registry, or metrics
+  /// off entirely under FT2_METRICS=0). Tests pass an isolated registry.
+  MetricsRegistry* metrics = nullptr;
+  /// Tracer for serve.prefill / serve.decode_step spans. nullptr selects
+  /// Tracer::global(), which is inert unless FT2_TRACE is set.
+  Tracer* tracer = nullptr;
 };
 
 using RequestId = std::uint64_t;
@@ -65,6 +74,13 @@ struct RequestStats {
 };
 
 /// Engine-wide counters.
+///
+/// Accumulation semantics: counters accumulate monotonically over the
+/// ENGINE's lifetime — across every submit/step/run invocation — and are
+/// never reset implicitly (a second run() continues the same tallies).
+/// Call ServeEngine::reset_counters() to start a fresh accounting window;
+/// the serve.* metrics published to a MetricsRegistry are independent and
+/// stay monotonic regardless.
 struct ServeCounters {
   std::size_t submitted = 0;
   std::size_t completed = 0;
@@ -82,6 +98,9 @@ struct ServeCounters {
                : static_cast<double>(decode_rows) /
                      static_cast<double>(decode_steps);
   }
+
+  /// Zeroes every counter (the explicit start of a new accounting window).
+  void reset() { *this = ServeCounters{}; }
 };
 
 /// Continuous-batching generation engine over one model.
@@ -121,6 +140,11 @@ class ServeEngine {
   const RequestStats& request_stats(RequestId id) const;
   const ServeCounters& counters() const { return counters_; }
 
+  /// Starts a fresh ServeCounters accounting window (see ServeCounters for
+  /// the accumulation semantics). Does not touch per-request stats or the
+  /// monotonic serve.* registry metrics.
+  void reset_counters() { counters_.reset(); }
+
   std::size_t queue_depth() const { return queue_.size(); }
   std::size_t active_requests() const { return active_.size(); }
 
@@ -141,8 +165,25 @@ class ServeEngine {
   Request& get(RequestId id);
   const Request& get(RequestId id) const;
 
+  /// serve.* metric handles; inert when metrics are disabled.
+  struct Metrics {
+    Counter submitted;
+    Counter completed;
+    Counter generated_tokens;
+    Counter prefill_positions;
+    Counter decode_steps;
+    Counter decode_rows;
+    HistogramMetric queue_wait_ms;
+    HistogramMetric prefill_ms;
+    HistogramMetric decode_step_ms;
+    HistogramMetric request_decode_ms;
+    Gauge batch_occupancy;
+  };
+
   const TransformerLM& model_;
   ServeOptions options_;
+  Metrics metrics_;
+  Tracer* tracer_ = nullptr;
   std::optional<PackedDecodeWeights> packed_;
   Workspace ws_;
   std::unordered_map<RequestId, std::unique_ptr<Request>> requests_;

@@ -1,0 +1,218 @@
+// MetricsRegistry unit tests: striped-counter concurrency, histogram
+// bucket-boundary semantics, idempotent registration, snapshot export.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/json.hpp"
+#include "common/table.hpp"
+#include "obs/metrics.hpp"
+
+namespace ft2 {
+namespace {
+
+TEST(MetricsRegistry, CounterAccumulatesAndSnapshots) {
+  MetricsRegistry reg;
+  Counter c = reg.counter("test.counter");
+  EXPECT_TRUE(c.enabled());
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(reg.snapshot().counter_value("test.counter"), 42u);
+  EXPECT_EQ(reg.snapshot().counter_value("test.absent"), 0u);
+}
+
+TEST(MetricsRegistry, InertHandlesAreNoOps) {
+  Counter c;
+  Gauge g;
+  HistogramMetric h;
+  EXPECT_FALSE(c.enabled());
+  EXPECT_FALSE(g.enabled());
+  EXPECT_FALSE(h.enabled());
+  c.inc();        // must not crash
+  g.set(1.0);
+  h.observe(1.0);
+}
+
+TEST(MetricsRegistry, RegistrationIsIdempotent) {
+  MetricsRegistry reg;
+  Counter a = reg.counter("dup.counter");
+  Counter b = reg.counter("dup.counter");
+  a.inc(2);
+  b.inc(3);
+  EXPECT_EQ(reg.snapshot().counter_value("dup.counter"), 5u);
+  EXPECT_EQ(reg.snapshot().counters.size(), 1u);
+
+  const std::vector<double> uppers = {1.0, 2.0};
+  HistogramMetric h1 = reg.histogram("dup.hist", uppers);
+  HistogramMetric h2 = reg.histogram("dup.hist", uppers);
+  h1.observe(0.5);
+  h2.observe(1.5);
+  EXPECT_EQ(reg.snapshot().find_histogram("dup.hist")->count, 2u);
+}
+
+TEST(MetricsRegistry, HistogramRebucketThrows) {
+  MetricsRegistry reg;
+  const std::vector<double> a = {1.0, 2.0};
+  const std::vector<double> b = {1.0, 4.0};
+  (void)reg.histogram("conflict.hist", a);
+  EXPECT_THROW((void)reg.histogram("conflict.hist", b), Error);
+}
+
+TEST(MetricsRegistry, ConcurrentIncrementsSumExactly) {
+  // The acceptance shape: N threads x M increments over shared handles;
+  // the snapshot must equal the exact total (striped relaxed atomics lose
+  // nothing, they only spread contention).
+  MetricsRegistry reg;
+  const std::size_t n_threads = 8;
+  const std::size_t per_thread = 20000;
+  Counter c = reg.counter("mt.counter");
+  HistogramMetric h = reg.histogram("mt.hist", std::vector<double>{0.5, 1.5});
+
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < n_threads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t i = 0; i < per_thread; ++i) {
+        c.inc();
+        h.observe(t % 2 == 0 ? 0.25 : 1.0);  // alternate buckets per thread
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counter_value("mt.counter"), n_threads * per_thread);
+  const auto* hist = snap.find_histogram("mt.hist");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, n_threads * per_thread);
+  EXPECT_EQ(hist->counts[0], n_threads / 2 * per_thread);
+  EXPECT_EQ(hist->counts[1], n_threads / 2 * per_thread);
+  EXPECT_EQ(hist->counts[2], 0u);
+  EXPECT_DOUBLE_EQ(hist->sum, n_threads / 2 * per_thread * (0.25 + 1.0));
+}
+
+TEST(MetricsRegistry, HistogramBucketBoundaries) {
+  MetricsRegistry reg;
+  HistogramMetric h =
+      reg.histogram("edge.hist", std::vector<double>{1.0, 10.0, 100.0});
+  h.observe(-5.0);    // below everything -> first bucket
+  h.observe(0.0);     // first bucket
+  h.observe(1.0);     // exactly on a bound -> that bucket ("le" semantics)
+  h.observe(1.0001);  // just above -> next bucket
+  h.observe(10.0);    // on bound -> second bucket
+  h.observe(100.0);   // on last finite bound -> third bucket
+  h.observe(100.5);   // above last bound -> overflow bucket
+  h.observe(std::numeric_limits<double>::infinity());  // overflow bucket
+  h.observe(std::numeric_limits<double>::quiet_NaN()); // nan_count only
+
+  const MetricsSnapshot snap = reg.snapshot();
+  const auto* hist = snap.find_histogram("edge.hist");
+  ASSERT_NE(hist, nullptr);
+  ASSERT_EQ(hist->uppers.size(), 3u);
+  ASSERT_EQ(hist->counts.size(), 4u);
+  EXPECT_EQ(hist->counts[0], 3u);  // -5, 0, 1
+  EXPECT_EQ(hist->counts[1], 2u);  // 1.0001, 10
+  EXPECT_EQ(hist->counts[2], 1u);  // 100
+  EXPECT_EQ(hist->counts[3], 2u);  // 100.5, +inf
+  EXPECT_EQ(hist->count, 8u);
+  EXPECT_EQ(hist->nan_count, 1u);
+  EXPECT_TRUE(std::isinf(hist->sum));  // +inf sample dominates the sum
+}
+
+TEST(MetricsRegistry, HistogramMeanAndQuantiles) {
+  MetricsRegistry reg;
+  HistogramMetric h =
+      reg.histogram("q.hist", std::vector<double>{1.0, 2.0, 4.0, 8.0});
+  for (int i = 0; i < 100; ++i) h.observe(0.5);  // all in [0, 1]
+  const MetricsSnapshot snap = reg.snapshot();
+  const auto* hist = snap.find_histogram("q.hist");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_DOUBLE_EQ(hist->mean(), 0.5);
+  // Every sample sits in the first bucket: quantiles interpolate within
+  // [0, 1] and can never leave it.
+  EXPECT_GE(hist->quantile(0.5), 0.0);
+  EXPECT_LE(hist->quantile(0.5), 1.0);
+  EXPECT_LE(hist->quantile(0.99), 1.0);
+
+  const MetricsSnapshot empty_snap = MetricsRegistry().snapshot();
+  EXPECT_TRUE(empty_snap.counters.empty());
+}
+
+TEST(MetricsRegistry, GaugeLastWriteWins) {
+  MetricsRegistry reg;
+  Gauge g = reg.gauge("test.gauge");
+  g.set(3.0);
+  g.set(7.5);
+  const MetricsSnapshot snap = reg.snapshot();
+  const auto* gv = snap.find_gauge("test.gauge");
+  ASSERT_NE(gv, nullptr);
+  EXPECT_DOUBLE_EQ(gv->value, 7.5);
+}
+
+TEST(MetricsRegistry, ResetZeroesButKeepsRegistrations) {
+  MetricsRegistry reg;
+  Counter c = reg.counter("r.counter");
+  HistogramMetric h = reg.histogram("r.hist", std::vector<double>{1.0});
+  c.inc(9);
+  h.observe(0.5);
+  reg.reset();
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counter_value("r.counter"), 0u);
+  EXPECT_EQ(snap.find_histogram("r.hist")->count, 0u);
+  // Handles registered before reset keep working.
+  c.inc();
+  EXPECT_EQ(reg.snapshot().counter_value("r.counter"), 1u);
+}
+
+TEST(MetricsRegistry, SnapshotIsSortedByName) {
+  MetricsRegistry reg;
+  (void)reg.counter("z.last");
+  (void)reg.counter("a.first");
+  (void)reg.counter("m.middle");
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 3u);
+  EXPECT_EQ(snap.counters[0].name, "a.first");
+  EXPECT_EQ(snap.counters[1].name, "m.middle");
+  EXPECT_EQ(snap.counters[2].name, "z.last");
+}
+
+TEST(MetricsRegistry, JsonExportRoundTrips) {
+  MetricsRegistry reg;
+  reg.counter("j.counter").inc(5);
+  reg.gauge("j.gauge").set(2.5);
+  reg.histogram("j.hist", std::vector<double>{1.0, 2.0}).observe(1.5);
+  const std::string text = reg.snapshot().to_json().dump();
+  EXPECT_NE(text.find("\"j.counter\""), std::string::npos);
+  EXPECT_NE(text.find("\"j.gauge\""), std::string::npos);
+  EXPECT_NE(text.find("\"j.hist\""), std::string::npos);
+  EXPECT_NE(text.find("\"bucket_counts\""), std::string::npos);
+}
+
+TEST(MetricsRegistry, TableExportListsEveryMetric) {
+  MetricsRegistry reg;
+  reg.counter("t.counter").inc();
+  reg.gauge("t.gauge").set(1.0);
+  reg.histogram("t.hist", std::vector<double>{1.0}).observe(0.5);
+  std::ostringstream os;
+  reg.snapshot().to_table().print(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("t.counter"), std::string::npos);
+  EXPECT_NE(text.find("t.gauge"), std::string::npos);
+  EXPECT_NE(text.find("t.hist"), std::string::npos);
+}
+
+TEST(MetricsRegistry, ExponentialBucketsShape) {
+  const auto buckets = exponential_buckets(0.5, 2.0, 4);
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_DOUBLE_EQ(buckets[0], 0.5);
+  EXPECT_DOUBLE_EQ(buckets[3], 4.0);
+  EXPECT_FALSE(latency_ms_buckets().empty());
+  EXPECT_FALSE(magnitude_buckets().empty());
+}
+
+}  // namespace
+}  // namespace ft2

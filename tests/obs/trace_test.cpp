@@ -1,0 +1,104 @@
+// Tracer unit tests: disabled-tracer inertness, span recording, tags,
+// ring-buffer wrap-around, JSON export.
+#include <gtest/gtest.h>
+
+#include "common/json.hpp"
+#include "obs/trace.hpp"
+
+namespace ft2 {
+namespace {
+
+TEST(Tracer, DisabledTracerRecordsNothing) {
+  Tracer tracer(8, /*enabled=*/false);
+  {
+    TraceSpan span = tracer.span("never");
+    EXPECT_FALSE(span.active());
+    span.tag("k", "v");  // no-op, must not crash
+  }
+  tracer.instant("also-never");
+  EXPECT_EQ(tracer.size(), 0u);
+  EXPECT_EQ(tracer.recorded(), 0u);
+}
+
+TEST(Tracer, SpanRecordsNameTagsAndDuration) {
+  Tracer tracer(8, /*enabled=*/true);
+  {
+    TraceSpan span = tracer.span("work");
+    EXPECT_TRUE(span.active());
+    span.tag("request", "7").tag("rows", "3");
+  }
+  ASSERT_EQ(tracer.size(), 1u);
+  const TraceEvent event = tracer.events()[0];
+  EXPECT_EQ(event.name, "work");
+  EXPECT_GE(event.end_ns, event.start_ns);
+  EXPECT_GE(event.duration_ms(), 0.0);
+  ASSERT_EQ(event.tags.size(), 2u);
+  EXPECT_EQ(event.tags[0].first, "request");
+  EXPECT_EQ(event.tags[0].second, "7");
+}
+
+TEST(Tracer, EndIsIdempotentAndEagerEndRecordsOnce) {
+  Tracer tracer(8, /*enabled=*/true);
+  TraceSpan span = tracer.span("once");
+  span.end();
+  span.end();  // second end must not re-record
+  EXPECT_EQ(tracer.size(), 1u);
+  EXPECT_FALSE(span.active());
+}
+
+TEST(Tracer, MoveTransfersOwnership) {
+  Tracer tracer(8, /*enabled=*/true);
+  {
+    TraceSpan a = tracer.span("moved");
+    TraceSpan b = std::move(a);
+    EXPECT_FALSE(a.active());  // NOLINT(bugprone-use-after-move): asserting it
+    EXPECT_TRUE(b.active());
+  }
+  EXPECT_EQ(tracer.size(), 1u);  // recorded exactly once, by the new owner
+}
+
+TEST(Tracer, RingWrapDropsOldestKeepsSequence) {
+  Tracer tracer(4, /*enabled=*/true);
+  for (int i = 0; i < 10; ++i) {
+    tracer.instant("event" + std::to_string(i));
+  }
+  EXPECT_EQ(tracer.size(), 4u);
+  EXPECT_EQ(tracer.recorded(), 10u);
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest first, and only the newest four survive.
+  EXPECT_EQ(events.front().name, "event6");
+  EXPECT_EQ(events.back().name, "event9");
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, events[i - 1].seq + 1);
+  }
+}
+
+TEST(Tracer, ClearEmptiesBufferKeepsTotal) {
+  Tracer tracer(4, /*enabled=*/true);
+  tracer.instant("a");
+  tracer.instant("b");
+  tracer.clear();
+  EXPECT_EQ(tracer.size(), 0u);
+  EXPECT_EQ(tracer.recorded(), 2u);
+}
+
+TEST(Tracer, JsonExportContainsSpans) {
+  Tracer tracer(4, /*enabled=*/true);
+  tracer.instant("snap", {{"key", "value"}});
+  const std::string text = tracer.to_json().dump();
+  EXPECT_NE(text.find("\"snap\""), std::string::npos);
+  EXPECT_NE(text.find("\"key\""), std::string::npos);
+}
+
+TEST(Tracer, SetEnabledTogglesRecording) {
+  Tracer tracer(4, /*enabled=*/false);
+  tracer.instant("off");
+  tracer.set_enabled(true);
+  tracer.instant("on");
+  EXPECT_EQ(tracer.size(), 1u);
+  EXPECT_EQ(tracer.events()[0].name, "on");
+}
+
+}  // namespace
+}  // namespace ft2

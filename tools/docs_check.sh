@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# docs-check: fail on dangling references in the curated documentation.
+#
+# Scans README.md, ROADMAP.md and docs/*.md for
+#   1. repo-relative file paths (src/..., tests/..., docs/..., bench/...,
+#      tools/..., examples/...) that do not exist;
+#   2. backticked CamelCase type names absent from src/, tools/ and bench/;
+#   3. backticked function() references absent from src/, tools/, bench/
+#      and tests/;
+#   4. backticked FT2_* knobs (env vars / macros) absent from the code.
+# Registered as the DocsCheck ctest (label: unit) and as the `docs-check`
+# build target, so the default `ctest` invocation keeps docs honest.
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT" || exit 1
+
+DOCS=(README.md ROADMAP.md docs/*.md)
+fail=0
+complain() {
+  echo "docs-check: $1: dangling reference '$2'"
+  fail=1
+}
+
+for doc in "${DOCS[@]}"; do
+  [ -f "$doc" ] || { complain "(docs-check)" "$doc"; continue; }
+
+  # 1. Repo paths. Trailing punctuation from prose is stripped; paths under
+  #    build/ (built binaries) are excluded via the lookbehind, and an
+  #    extensionless reference also matches its .cpp source (executable
+  #    target names like examples/quickstart).
+  while IFS= read -r path; do
+    [ -n "$path" ] || continue
+    [ -e "$path" ] || [ -e "$path.cpp" ] || complain "$doc" "$path"
+  done < <(grep -oP '(?<![A-Za-z0-9_./-])(src|tests|docs|bench|tools|examples)/[A-Za-z0-9_./-]+' "$doc" \
+           | sed -e 's/[.,:;)]*$//' | sort -u)
+
+  # 2. Backticked CamelCase type names (two humps or more, so prose words
+  #    and acronyms never match).
+  while IFS= read -r sym; do
+    [ -n "$sym" ] || continue
+    grep -rqw "$sym" src tools bench || complain "$doc" "$sym"
+  done < <(grep -oE '`[A-Z][a-z0-9]+([A-Z][a-z0-9]+)+`' "$doc" | tr -d '`' | sort -u)
+
+  # 3. Backticked function() references (free functions and methods).
+  while IFS= read -r fn; do
+    [ -n "$fn" ] || continue
+    grep -rq "$fn *(" src tools bench tests || complain "$doc" "$fn()"
+  done < <(grep -oE '`[A-Za-z_][A-Za-z0-9_:.]*\(\)`' "$doc" \
+           | sed -e 's/[`()]//g' -e 's/.*:://' -e 's/.*\.//' | sort -u)
+
+  # 4. FT2_* knobs: environment variables and macros.
+  while IFS= read -r knob; do
+    [ -n "$knob" ] || continue
+    grep -rq "$knob" src tools bench || complain "$doc" "$knob"
+  done < <(grep -oE '`FT2_[A-Z0-9_]+`' "$doc" | tr -d '`' | sort -u)
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "docs-check: FAILED (fix the references above or update the docs)"
+  exit 1
+fi
+echo "docs-check: OK (${#DOCS[@]} files checked)"

@@ -10,8 +10,11 @@
 //   ft2 campaign <model> [--dataset D] [--scheme S] [--fault-model F]
 //                [--inputs N] [--trials T] [--faults K] [--bounds FILE]
 //                [--trace FILE.csv] [--json FILE.json] [--weights]
+//                [--metrics-out FILE.json]
 //   ft2 serve-bench <model> [--dataset D] [--requests N] [--batch B]
-//                   [--seed S]
+//                   [--seed S] [--metrics-out FILE.json]
+//   ft2 metrics <model> [--dataset D] [--requests N] [--batch B] [--seed S]
+//               [--scheme S] [--json FILE]
 //   ft2 perf [--gpu a100|h100]
 //
 // Models: opt-sm opt-xs gptj-sm llama-sm vicuna-sm qwen2-sm qwen2-xs
@@ -22,6 +25,7 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <optional>
 
 #include "common/cli.hpp"
 #include "core/ft2.hpp"
@@ -240,6 +244,11 @@ int cmd_campaign(const std::string& model_name, const ArgParser& args) {
   config.faults_per_trial = args.get_size("faults", 1);
   if (args.has("fp32")) config.vtype = ValueType::kF32;
 
+  // Isolated registry so the snapshot contains this campaign's metrics
+  // only, not whatever else ran in the process.
+  MetricsRegistry metrics_registry;
+  if (args.has("metrics-out")) config.metrics = &metrics_registry;
+
   CampaignResult result;
   TraceCollector trace;
   if (args.has("weights")) {
@@ -283,6 +292,12 @@ int cmd_campaign(const std::string& model_name, const ArgParser& args) {
     doc.write(os);
     std::cout << "json -> " << args.get("json", "campaign.json") << "\n";
   }
+  if (args.has("metrics-out")) {
+    const std::string path = args.get("metrics-out", "metrics.json");
+    std::ofstream os(path);
+    metrics_registry.snapshot().to_json().write(os);
+    std::cout << "metrics -> " << path << "\n";
+  }
   return 0;
 }
 
@@ -303,12 +318,27 @@ int cmd_serve_bench(const std::string& model_name, const ArgParser& args) {
     prompts.push_back(prompt_of(gen->generate(rng)));
   }
 
+  // --metrics-out: both paths run with FT2 protection attached (the token
+  // comparison stays bit-exact because both see the same hooks), the engine
+  // publishes to an isolated registry, and the snapshot is written as JSON.
+  // Only the batched path's protection hooks feed the registry, so the
+  // protect.* counters in the snapshot match the engine-side hook stats.
+  const bool want_metrics = args.has("metrics-out");
+  MetricsRegistry registry;
+  const SchemeSpec spec = scheme_spec(SchemeKind::kFt2, model->config());
+
   // Sequential baseline: one InferenceSession per request, back to back.
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<GenerateResult> serial;
   serial.reserve(n_requests);
   for (const auto& prompt : prompts) {
     InferenceSession session(*model);
+    std::optional<ProtectionHook> hook;
+    std::optional<HookRegistration> reg;
+    if (want_metrics) {
+      hook.emplace(model->config(), spec);
+      reg.emplace(session.hooks().add(*hook));
+    }
     serial.push_back(session.generate(prompt, opts));
   }
   const auto t1 = std::chrono::steady_clock::now();
@@ -316,10 +346,24 @@ int cmd_serve_bench(const std::string& model_name, const ArgParser& args) {
   // Continuous batching: all requests through one engine.
   ServeOptions serve_opts;
   serve_opts.max_batch = max_batch;
+  if (want_metrics) serve_opts.metrics = &registry;
   ServeEngine engine(*model, serve_opts);
+  std::vector<ProtectionHook> batch_hooks;
+  std::vector<HookRegistration> batch_regs;
+  if (want_metrics) {
+    batch_hooks.reserve(n_requests);  // chains hold raw hook pointers
+    batch_regs.reserve(n_requests);
+  }
   std::vector<RequestId> ids;
   ids.reserve(n_requests);
-  for (const auto& prompt : prompts) ids.push_back(engine.submit(prompt, opts));
+  for (const auto& prompt : prompts) {
+    const RequestId id = engine.submit(prompt, opts);
+    if (want_metrics) {
+      batch_hooks.emplace_back(model->config(), spec, BoundStore{}, &registry);
+      batch_regs.push_back(engine.hooks(id).add(batch_hooks.back()));
+    }
+    ids.push_back(id);
+  }
   engine.run();
   const auto t2 = std::chrono::steady_clock::now();
 
@@ -348,7 +392,59 @@ int cmd_serve_bench(const std::string& model_name, const ArgParser& args) {
   table.begin_row().cell("peak queue depth").count(c.max_queue_depth);
   table.begin_row().cell("token mismatches").count(mismatches);
   table.print(std::cout);
+  if (want_metrics) {
+    const std::string path = args.get("metrics-out", "metrics.json");
+    std::ofstream os(path);
+    registry.snapshot().to_json().write(os);
+    std::cout << "metrics -> " << path << "\n";
+  }
   return mismatches == 0 ? 0 : 1;
+}
+
+int cmd_metrics(const std::string& model_name, const ArgParser& args) {
+  const auto model = ensure_model(model_name);
+  const DatasetKind dataset = parse_dataset(args.get("dataset", "synthqa"));
+  const auto gen = make_generator(dataset);
+  const std::size_t n_requests = args.get_size("requests", 4);
+  const SchemeKind scheme = parse_scheme(args.get("scheme", "ft2"));
+  Xoshiro256 rng(args.get_size("seed", 1));
+
+  // A short protected serve workload into an isolated registry, then the
+  // full snapshot as a table (or JSON with --json): a live tour of the
+  // serve.* and protect.* metric names.
+  MetricsRegistry registry;
+  ServeOptions serve_opts;
+  serve_opts.max_batch = args.get_size("batch", 4);
+  serve_opts.metrics = &registry;
+  ServeEngine engine(*model, serve_opts);
+
+  GenerateOptions opts;
+  opts.max_new_tokens = generation_tokens(dataset);
+  opts.eos_token = Vocab::kEos;
+
+  const SchemeSpec spec = scheme_spec(scheme, model->config());
+  FT2_CHECK_MSG(!spec.needs_offline_bounds,
+                "ft2 metrics supports online schemes only (none|ft2)");
+  std::vector<ProtectionHook> hooks;
+  hooks.reserve(n_requests);  // chains hold raw hook pointers
+  std::vector<HookRegistration> regs;
+  regs.reserve(n_requests);
+  for (std::size_t i = 0; i < n_requests; ++i) {
+    hooks.emplace_back(model->config(), spec, BoundStore{}, &registry);
+    const RequestId id = engine.submit(prompt_of(gen->generate(rng)), opts);
+    regs.push_back(engine.hooks(id).add(hooks.back()));
+  }
+  engine.run();
+
+  const MetricsSnapshot snap = registry.snapshot();
+  snap.to_table().print(std::cout);
+  if (args.has("json")) {
+    const std::string path = args.get("json", "metrics.json");
+    std::ofstream os(path);
+    snap.to_json().write(os);
+    std::cout << "json -> " << path << "\n";
+  }
+  return 0;
 }
 
 int cmd_perf(const ArgParser& args) {
@@ -383,8 +479,11 @@ int usage() {
       "  ft2 campaign <model> [--dataset D] [--scheme S] [--fault-model F]\n"
       "               [--inputs N] [--trials T] [--faults K] [--fp32]\n"
       "               [--bounds FILE] [--trace FILE] [--json FILE] [--weights]\n"
+      "               [--metrics-out FILE]\n"
       "  ft2 serve-bench <model> [--dataset D] [--requests N] [--batch B]\n"
-      "                  [--seed S]\n"
+      "                  [--seed S] [--metrics-out FILE]\n"
+      "  ft2 metrics <model> [--dataset D] [--requests N] [--batch B]\n"
+      "              [--seed S] [--scheme S] [--json FILE]\n"
       "  ft2 perf [--gpu a100|h100]\n";
   return 2;
 }
@@ -403,7 +502,7 @@ int main(int argc, char** argv) {
       {"faults", true},       {"bounds", true},   {"trace", true},
       {"json", true},         {"weights", false}, {"gpu", true},
       {"campaign-seed", true}, {"fp32", false}, {"requests", true},
-      {"batch", true},
+      {"batch", true},        {"metrics-out", true},
   };
   try {
     const ArgParser args(argc - 2, argv + 2, spec);
@@ -422,6 +521,7 @@ int main(int argc, char** argv) {
     }
     if (command == "campaign") return cmd_campaign(need_model(), args);
     if (command == "serve-bench") return cmd_serve_bench(need_model(), args);
+    if (command == "metrics") return cmd_metrics(need_model(), args);
     if (command == "perf") return cmd_perf(args);
     return usage();
   } catch (const std::exception& e) {
