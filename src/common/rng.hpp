@@ -26,11 +26,17 @@ inline std::uint64_t splitmix64(std::uint64_t& state) {
 class Xoshiro256 {
  public:
   using result_type = std::uint64_t;
+  /// Full generator state: capture with state(), restore with set_state().
+  /// Used by session snapshots to resume a sampling decode mid-stream.
+  using State = std::array<std::uint64_t, 4>;
 
   explicit Xoshiro256(std::uint64_t seed = 0x853C49E6748FEA9BULL) {
     std::uint64_t sm = seed;
     for (auto& s : state_) s = splitmix64(sm);
   }
+
+  const State& state() const { return state_; }
+  void set_state(const State& state) { state_ = state; }
 
   static constexpr result_type min() { return 0; }
   static constexpr result_type max() { return ~std::uint64_t{0}; }

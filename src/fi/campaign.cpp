@@ -2,6 +2,7 @@
 
 #include <array>
 #include <chrono>
+#include <limits>
 #include <mutex>
 
 #include "common/thread_pool.hpp"
@@ -55,25 +56,52 @@ GenerateOptions fixed_length_options(std::size_t gen_tokens, ValueType vtype,
   return options;
 }
 
+/// Buckets for campaign.prefix.reused_positions: powers of two up to 2048
+/// skipped positions (prefill + fault-free decode prefix per forked trial).
+std::span<const double> reused_positions_buckets() {
+  static const std::vector<double> buckets = exponential_buckets(1.0, 2.0, 12);
+  return buckets;
+}
+
 }  // namespace
 
 std::vector<EvalInput> prepare_eval_inputs(const TransformerLM& model,
                                            const std::vector<Sample>& samples,
                                            std::size_t gen_tokens,
-                                           bool only_correct) {
+                                           bool only_correct,
+                                           ThreadPool* pool) {
+  std::vector<EvalInput> generated(samples.size());
+  if (!samples.empty()) {
+    ThreadPool& p = pool != nullptr ? *pool : ThreadPool::global();
+    const GenerateOptions options =
+        fixed_length_options(gen_tokens, ValueType::kF16);
+    // One InferenceSession per contiguous chunk (≈ one per worker), so the
+    // cache/workspace allocation amortizes over the chunk instead of being
+    // paid per sample. Each slot is written exactly once, preserving input
+    // order at any pool size.
+    const std::size_t n_chunks =
+        std::min(samples.size(), std::max<std::size_t>(1, p.size()));
+    const std::size_t per_chunk = (samples.size() + n_chunks - 1) / n_chunks;
+    p.parallel_for(0, n_chunks, [&](std::size_t c) {
+      InferenceSession session(model);
+      const std::size_t begin = c * per_chunk;
+      const std::size_t end = std::min(samples.size(), begin + per_chunk);
+      for (std::size_t i = begin; i < end; ++i) {
+        EvalInput& input = generated[i];
+        input.sample = samples[i];
+        input.prompt = make_prompt(samples[i]);
+        const auto result = session.generate(input.prompt, options);
+        input.reference_tokens = result.tokens;
+        const std::string text =
+            Vocab::shared().decode(truncate_at_eos(result.tokens));
+        input.fault_free_correct =
+            contains_reference(text, samples[i].reference);
+      }
+    });
+  }
   std::vector<EvalInput> inputs;
-  InferenceSession session(model);
-  const GenerateOptions options =
-      fixed_length_options(gen_tokens, ValueType::kF16);
-  for (const auto& sample : samples) {
-    EvalInput input;
-    input.sample = sample;
-    input.prompt = make_prompt(sample);
-    const auto result = session.generate(input.prompt, options);
-    input.reference_tokens = result.tokens;
-    const std::string text =
-        Vocab::shared().decode(truncate_at_eos(result.tokens));
-    input.fault_free_correct = contains_reference(text, sample.reference);
+  inputs.reserve(generated.size());
+  for (auto& input : generated) {
     if (only_correct && !input.fault_free_correct) continue;
     inputs.push_back(std::move(input));
   }
@@ -111,6 +139,43 @@ CampaignResult run_campaign_range(const TransformerLM& model,
   std::mutex callback_mutex;
   ThreadPool& pool =
       config.pool != nullptr ? *config.pool : ThreadPool::global();
+  const GenerateOptions trial_options =
+      fixed_length_options(config.gen_tokens, config.vtype,
+                           config.chunked_accum, config.prefill_chunk);
+
+  // Prefix reuse: one fault-free recording per input in the trial range —
+  // the trial-identical generation (protection hook attached, no fault)
+  // with its KV rows, online bounds and per-boundary hook state captured —
+  // so decode-phase trials fork from it instead of replaying the prefix.
+  // The recording hook publishes NO metrics; each forked trial re-publishes
+  // the skipped prefix's protect.* increments on restore, keeping registry
+  // totals bit-identical to full replay. With first_token_only every fault
+  // lands in the prefill and reuse never applies, so skip the recordings.
+  struct PrefixRecording {
+    SessionSnapshot snap;
+    std::vector<ProtectionState> hook_at;  ///< per token boundary
+  };
+  std::vector<PrefixRecording> recordings;
+  const bool reuse =
+      config.prefix_reuse && !config.first_token_only && first_trial < last_trial;
+  if (reuse) {
+    recordings.resize(inputs.size());
+    const std::size_t first_input = first_trial / config.trials_per_input;
+    const std::size_t last_input =
+        (last_trial - 1) / config.trials_per_input + 1;
+    pool.parallel_for(first_input, last_input, [&](std::size_t i) {
+      PrefixRecording& rec = recordings[i];
+      ProtectionHook protection(model.config(), scheme, offline_bounds,
+                                /*metrics=*/nullptr);
+      protection.set_clip_capture(true);
+      InferenceSession session(model);
+      const HookRegistration reg = session.hooks().add(protection);
+      rec.hook_at.reserve(config.gen_tokens);
+      session.generate_recorded(
+          inputs[i].prompt, trial_options, rec.snap,
+          [&](std::size_t) { rec.hook_at.push_back(protection.capture_state()); });
+    });
+  }
 
   // campaign.* handles are resolved once here (the registry mutex is only
   // taken at registration), so trial threads touch nothing but striped
@@ -122,6 +187,9 @@ CampaignResult run_campaign_range(const TransformerLM& model,
     std::array<Counter, 4> outcome;  ///< indexed by static_cast<int>(Outcome)
     std::array<Counter, kLayerKindCount> site;
     HistogramMetric trial_ms;
+    Counter prefix_hit;   ///< trials forked from the fault-free snapshot
+    Counter prefix_miss;  ///< trials that fell back to the full run
+    HistogramMetric prefix_reused;  ///< positions skipped per forked trial
   } cm;
   if (reg != nullptr) {
     cm.trials = reg->counter("campaign.trials");
@@ -136,6 +204,12 @@ CampaignResult run_campaign_range(const TransformerLM& model,
           std::string(layer_kind_name(static_cast<LayerKind>(k))));
     }
     cm.trial_ms = reg->histogram("campaign.trial_ms", latency_ms_buckets());
+    if (config.prefix_reuse) {
+      cm.prefix_hit = reg->counter("campaign.prefix.hit");
+      cm.prefix_miss = reg->counter("campaign.prefix.miss");
+      cm.prefix_reused = reg->histogram("campaign.prefix.reused_positions",
+                                        reused_positions_buckets());
+    }
   }
 
   pool.parallel_for(first_trial, last_trial, [&](std::size_t trial) {
@@ -163,10 +237,37 @@ CampaignResult run_campaign_range(const TransformerLM& model,
     for (auto& injector : injectors) regs.push_back(session.hooks().add(injector));
     regs.push_back(session.hooks().add(protection));
 
-    const auto result = session.generate(
-        input.prompt,
-        fixed_length_options(config.gen_tokens, config.vtype,
-                             config.chunked_accum, config.prefill_chunk));
+    // Prefix reuse: a single-fault trial is bit-identical to the fault-free
+    // recording up to its first injection position, so decode-phase trials
+    // fork from the snapshot there. Prefill-phase faults (any plan inside
+    // the first-token phase) replay the full run. Injection positions past
+    // the last executed forward clamp to the final boundary: zero forwards
+    // run, the injector never fires, and the restored hook state carries
+    // the full run's detections — exactly what full replay produces.
+    GenerateResult result;
+    bool forked = false;
+    if (reuse) {
+      const PrefixRecording& rec = recordings[input_idx];
+      std::size_t first_pos = std::numeric_limits<std::size_t>::max();
+      for (const auto& injector : injectors) {
+        first_pos = std::min(first_pos, injector.plan().position);
+      }
+      if (rec.snap.valid() && first_pos >= rec.snap.prompt_len) {
+        const std::size_t fork_pos =
+            std::min(first_pos, rec.snap.last_boundary());
+        result = session.resume_from(rec.snap, fork_pos, [&] {
+          protection.restore_state(
+              rec.hook_at[fork_pos - rec.snap.prompt_len]);
+        });
+        forked = true;
+        cm.prefix_hit.inc();
+        cm.prefix_reused.observe(static_cast<double>(fork_pos));
+      }
+    }
+    if (!forked) {
+      result = session.generate(input.prompt, trial_options);
+      if (config.prefix_reuse) cm.prefix_miss.inc();
+    }
     bool fired = false;
     for (const auto& injector : injectors) fired |= injector.fired();
     const Outcome outcome = fired ? classify_outcome(result.tokens, input)

@@ -58,6 +58,17 @@ struct CampaignConfig {
   /// observational only: outcomes and trial records are bit-identical with
   /// metrics on or off.
   MetricsRegistry* metrics = nullptr;
+  /// Fault-free prefix reuse: run each input's fault-free generation once,
+  /// snapshot it (KV rows, online first-token bounds, RNG/position state),
+  /// and fork every decode-phase trial from the snapshot at its first
+  /// injection position instead of replaying prefill plus the fault-free
+  /// decode prefix from token 0. Trials whose first fault lands in the
+  /// prefill fall back to the full run. Like `prefill_chunk` and `pool`
+  /// this is a pure throughput knob: outcomes, per-trial records,
+  /// detections and protect.* counters are bit-identical on or off (a
+  /// single-fault trial is bit-identical to the fault-free run up to its
+  /// injection position, so nothing skipped could have differed).
+  bool prefix_reuse = true;
 };
 
 struct CampaignResult {
@@ -93,10 +104,16 @@ Outcome classify_outcome(const std::vector<int>& generated,
 /// the reference outputs. When `only_correct` is set, samples whose
 /// fault-free output does not contain the reference answer are dropped
 /// (the paper selects inputs all models answer correctly).
+///
+/// Reference generations fan out over `pool` (null = process-wide pool),
+/// one InferenceSession per contiguous chunk of samples. Results are
+/// order-preserving and identical at any pool size — each sample's
+/// generation is self-contained and deterministic.
 std::vector<EvalInput> prepare_eval_inputs(const TransformerLM& model,
                                            const std::vector<Sample>& samples,
                                            std::size_t gen_tokens,
-                                           bool only_correct = true);
+                                           bool only_correct = true,
+                                           ThreadPool* pool = nullptr);
 
 /// Per-trial record for debugging/analysis (CSV/JSON via fi/trace.hpp).
 struct TrialRecord {

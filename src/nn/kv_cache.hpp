@@ -1,6 +1,7 @@
 // Per-block key/value cache for incremental decoding.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "common/check.hpp"
@@ -9,7 +10,16 @@
 namespace ft2 {
 
 /// Stores keys and values (post-RoPE) for every processed position of every
-/// block. Layout per block: [max_seq, d_model] with head-major columns.
+/// block. Layout per block: [rows, d_model] with head-major columns.
+///
+/// Two storage modes:
+///  * plain — one owned [max_seq, d_model] tensor pair per block (the
+///    default for generation and serving);
+///  * forked — rows [0, prefix_len) are read through an immutable,
+///    ref-counted prefix cache shared with other forks, and only a short
+///    appendable tail is owned. Forking is O(tail) allocation: no max_seq
+///    memcpy, no max_seq zero-init. The fault-injection campaign forks one
+///    fault-free prefix into every trial this way.
 class KvCache {
  public:
   KvCache(std::size_t n_blocks, std::size_t max_seq, std::size_t d_model)
@@ -22,7 +32,47 @@ class KvCache {
     }
   }
 
-  void reset() { length_ = 0; }
+  /// Compact copy of the first `n` stored rows of every block (tensors
+  /// shaped [n, d_model], not [max_seq, d_model]) — what a snapshot needs
+  /// to retain, at a fraction of the full cache's footprint.
+  KvCache prefix_copy(std::size_t n) const {
+    FT2_CHECK(prefix_ == nullptr && n <= length_);
+    KvCache out(keys_.size(), n, d_model_);
+    for (std::size_t b = 0; b < keys_.size(); ++b) {
+      const auto k = keys_[b].span().subspan(0, n * d_model_);
+      const auto v = values_[b].span().subspan(0, n * d_model_);
+      std::copy(k.begin(), k.end(), out.keys_[b].span().begin());
+      std::copy(v.begin(), v.end(), out.values_[b].span().begin());
+    }
+    out.length_ = n;
+    return out;
+  }
+
+  /// Creates a forked cache: rows [0, prefix_len) are served read-only from
+  /// `prefix` (shared, never copied) and `tail_rows` appendable rows are
+  /// owned. length() starts at prefix_len; store()/advance() continue from
+  /// there exactly as if the prefix had been computed in place.
+  static KvCache forked(std::shared_ptr<const KvCache> prefix,
+                        std::size_t prefix_len, std::size_t tail_rows) {
+    FT2_CHECK(prefix != nullptr && prefix->prefix_ == nullptr);
+    FT2_CHECK(prefix_len <= prefix->length_);
+    KvCache out(prefix->keys_.size(), tail_rows, prefix->d_model_);
+    out.prefix_ = std::move(prefix);
+    out.prefix_len_ = prefix_len;
+    out.max_seq_ = prefix_len + tail_rows;
+    out.length_ = prefix_len;
+    return out;
+  }
+
+  /// True for caches created by forked(). Forked caches cannot be reset or
+  /// re-prefilled from position 0 — make a fresh cache instead.
+  bool forked() const { return prefix_ != nullptr; }
+  std::size_t prefix_len() const { return prefix_len_; }
+
+  void reset() {
+    FT2_ASSERT(prefix_ == nullptr);
+    length_ = 0;
+  }
 
   std::size_t length() const { return length_; }
   std::size_t max_seq() const { return max_seq_; }
@@ -31,9 +81,11 @@ class KvCache {
   /// for a position before advance() is called.
   void store(std::size_t block, std::size_t pos, std::span<const float> k,
              std::span<const float> v) {
-    FT2_ASSERT(pos < max_seq_ && k.size() == d_model_ && v.size() == d_model_);
-    std::copy(k.begin(), k.end(), keys_[block].row(pos).begin());
-    std::copy(v.begin(), v.end(), values_[block].row(pos).begin());
+    FT2_ASSERT(pos >= prefix_len_ && pos < max_seq_ && k.size() == d_model_ &&
+               v.size() == d_model_);
+    std::copy(k.begin(), k.end(), keys_[block].row(pos - prefix_len_).begin());
+    std::copy(v.begin(), v.end(),
+              values_[block].row(pos - prefix_len_).begin());
   }
 
   void advance() {
@@ -49,16 +101,22 @@ class KvCache {
   }
 
   std::span<const float> key(std::size_t block, std::size_t pos) const {
-    return keys_[block].row(pos);
+    return pos < prefix_len_ ? prefix_->keys_[block].row(pos)
+                             : keys_[block].row(pos - prefix_len_);
   }
   std::span<const float> value(std::size_t block, std::size_t pos) const {
-    return values_[block].row(pos);
+    return pos < prefix_len_ ? prefix_->values_[block].row(pos)
+                             : values_[block].row(pos - prefix_len_);
   }
 
-  /// Bytes of K/V storage held by this cache (the serve engine reports the
-  /// aggregate across resident sequences as a capacity counter).
+  /// Bytes of K/V storage owned by this cache (the serve engine reports the
+  /// aggregate across resident sequences as a capacity counter). A forked
+  /// cache counts only its tail; the shared prefix is attributed once to
+  /// the snapshot that owns it.
   std::size_t memory_bytes() const {
-    return 2 * keys_.size() * max_seq_ * d_model_ * sizeof(float);
+    std::size_t rows = 0;
+    for (const Tensor& k : keys_) rows += k.numel();
+    return 2 * rows * sizeof(float);
   }
 
  private:
@@ -67,6 +125,10 @@ class KvCache {
   std::size_t length_ = 0;
   std::vector<Tensor> keys_;
   std::vector<Tensor> values_;
+  /// Shared immutable prefix (forked mode only): rows [0, prefix_len_) of
+  /// every block resolve into this cache; owned tensors hold the tail.
+  std::shared_ptr<const KvCache> prefix_;
+  std::size_t prefix_len_ = 0;
 };
 
 }  // namespace ft2

@@ -773,29 +773,19 @@ int sample_from_logits(std::span<const float> logits, float temperature,
   return static_cast<int>(order[k - 1]);
 }
 
-GenerateResult InferenceSession::generate(std::span<const int> prompt,
-                                          const GenerateOptions& options) {
-  FT2_CHECK(!prompt.empty());
-  GenerateResult result;
-  cache_.reset();
-  GenerationScope scope(hooks_);
-
+void InferenceSession::decode_loop(
+    const GenerateOptions& options, std::size_t first_step, std::size_t pos,
+    Xoshiro256& sampler, GenerateResult& result,
+    const std::function<void(std::size_t)>& on_token,
+    const std::function<void(std::size_t)>& after_forward) {
+  const ExecConfig exec{options.fp16, options.chunked_accum, options.pool};
   const std::size_t max_seq = model_.config().max_seq;
   std::span<float> logits{logits_.data(), logits_.size()};
 
-  const ExecConfig exec{options.fp16, options.chunked_accum, options.pool};
-
-  // Prefill: the "first token generation" phase, processed in blocked
-  // chunks (bit-exact with the sequential path at any chunk size).
-  std::size_t pos =
-      run_prefill(model_, prompt, options, cache_, hooks_, ws_, logits);
-  result.positions_run = pos;
-
-  // Decode. Greedy by default; NaN-poisoned logits: argmax picks the first
-  // index when all comparisons are false, which is deterministic (faithful
+  // Greedy by default; NaN-poisoned logits: argmax picks the first index
+  // when all comparisons are false, which is deterministic (faithful
   // "garbage token" behaviour).
-  Xoshiro256 sampler(options.sample_seed);
-  for (std::size_t step = 0; step < options.max_new_tokens; ++step) {
+  for (std::size_t step = first_step; step < options.max_new_tokens; ++step) {
     const int next =
         options.temperature > 0.0f
             ? sample_from_logits(logits, options.temperature, options.top_k,
@@ -803,6 +793,7 @@ GenerateResult InferenceSession::generate(std::span<const int> prompt,
             : static_cast<int>(argmax(logits));
     if (options.eos_token >= 0 && next == options.eos_token) break;
     result.tokens.push_back(next);
+    if (on_token) on_token(step);
     if (step + 1 == options.max_new_tokens || pos >= max_seq) {
       result.hit_max = true;
       break;
@@ -811,8 +802,115 @@ GenerateResult InferenceSession::generate(std::span<const int> prompt,
                             /*first_token_phase=*/false, ws_, logits);
     ++pos;
     ++result.positions_run;
+    if (after_forward) after_forward(step);
   }
+}
 
+GenerateResult InferenceSession::generate(std::span<const int> prompt,
+                                          const GenerateOptions& options) {
+  FT2_CHECK(!prompt.empty());
+  GenerateResult result;
+  // A session may alternate between forked trials and full generations; a
+  // forked cache only owns its tail, so full runs start from a fresh cache.
+  if (cache_.forked()) cache_ = model_.make_cache();
+  cache_.reset();
+  GenerationScope scope(hooks_);
+
+  std::span<float> logits{logits_.data(), logits_.size()};
+
+  // Prefill: the "first token generation" phase, processed in blocked
+  // chunks (bit-exact with the sequential path at any chunk size).
+  const std::size_t pos =
+      run_prefill(model_, prompt, options, cache_, hooks_, ws_, logits);
+  result.positions_run = pos;
+
+  Xoshiro256 sampler(options.sample_seed);
+  decode_loop(options, 0, pos, sampler, result, {}, {});
+  return result;
+}
+
+GenerateResult InferenceSession::generate_recorded(
+    std::span<const int> prompt, const GenerateOptions& options,
+    SessionSnapshot& snap,
+    const std::function<void(std::size_t)>& on_boundary) {
+  FT2_CHECK(!prompt.empty());
+  GenerateResult result;
+  if (cache_.forked()) cache_ = model_.make_cache();
+  cache_.reset();
+  GenerationScope scope(hooks_);
+
+  std::span<float> logits{logits_.data(), logits_.size()};
+  const std::size_t pos =
+      run_prefill(model_, prompt, options, cache_, hooks_, ws_, logits);
+  result.positions_run = pos;
+
+  snap = SessionSnapshot{};
+  snap.prompt_len = pos;
+  snap.options = options;
+  if (on_boundary) on_boundary(0);
+
+  Xoshiro256 sampler(options.sample_seed);
+  decode_loop(
+      options, 0, pos, sampler, result,
+      /*on_token=*/
+      [&](std::size_t) { snap.rng_at.push_back(sampler.state()); },
+      /*after_forward=*/
+      [&](std::size_t step) {
+        if (on_boundary) on_boundary(step + 1);
+      });
+  scope.end();
+
+  snap.result = result;
+  // Retain only the rows the run actually stored (copy hygiene: no max_seq
+  // slack travels with the snapshot).
+  snap.cache = std::make_shared<const KvCache>(
+      cache_.prefix_copy(cache_.length()));
+  return result;
+}
+
+GenerateResult InferenceSession::resume_from(
+    const SessionSnapshot& snap, std::size_t pos,
+    const std::function<void()>& on_resume) {
+  FT2_CHECK(snap.valid());
+  FT2_CHECK_MSG(pos >= snap.prompt_len && pos <= snap.last_boundary(),
+                "fork position " << pos << " outside ["
+                                 << snap.prompt_len << ", "
+                                 << snap.last_boundary() << "]");
+  const GenerateOptions& options = snap.options;
+  const std::size_t s = pos - snap.prompt_len;
+  const std::size_t max_seq = model_.config().max_seq;
+
+  GenerateResult result;
+  result.tokens.assign(snap.result.tokens.begin(),
+                       snap.result.tokens.begin() +
+                           static_cast<std::ptrdiff_t>(s + 1));
+  result.positions_run = pos;  // prefill + decode forwards before the fork
+
+  // O(tail) fork: rows [0, pos) are shared with the snapshot; the owned
+  // tail covers exactly the forwards this continuation can still run.
+  const std::size_t horizon =
+      std::min(snap.prompt_len + options.max_new_tokens - 1, max_seq);
+  cache_ = KvCache::forked(snap.cache, pos, horizon > pos ? horizon - pos : 0);
+
+  GenerationScope scope(hooks_);
+  if (on_resume) on_resume();
+
+  Xoshiro256 sampler(options.sample_seed);
+  sampler.set_state(snap.rng_at[s]);
+
+  // Tail of the recorded run's iteration s: it ended either by hitting the
+  // generation limit (no forward left to run) or with the forward at `pos`.
+  if (s + 1 == options.max_new_tokens || pos >= max_seq) {
+    result.hit_max = true;
+    return result;
+  }
+  std::span<float> logits{logits_.data(), logits_.size()};
+  const ExecConfig exec{options.fp16, options.chunked_accum, options.pool};
+  model_.forward_position(result.tokens.back(), pos, cache_, hooks_, exec,
+                          /*first_token_phase=*/false, ws_, logits);
+  ++pos;
+  ++result.positions_run;
+  decode_loop(options, s + 1, pos, sampler, result, {}, {});
   return result;
 }
 

@@ -19,8 +19,14 @@
 // restriction see exactly the values a half-precision GPU run would store.
 #pragma once
 
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
 #include <span>
+#include <vector>
 
+#include "common/rng.hpp"
 #include "nn/config.hpp"
 #include "nn/hooks.hpp"
 #include "nn/kv_cache.hpp"
@@ -30,7 +36,6 @@
 namespace ft2 {
 
 class ThreadPool;  // common/thread_pool.hpp
-class Xoshiro256;  // common/rng.hpp
 
 /// Scratch buffers reused across positions. Rows 1..capacity-1 are only
 /// used by the blocked prefill and the batched decode; the sequential path
@@ -243,6 +248,37 @@ std::size_t run_prefill(const TransformerLM& model,
 int sample_from_logits(std::span<const float> logits, float temperature,
                        std::size_t top_k, Xoshiro256& rng);
 
+/// Immutable record of one completed generation, reusable as a shared
+/// fault-free prefix by forked sessions (InferenceSession::resume_from).
+///
+/// A greedy (or fixed-seed sampling) generation is deterministic, and the
+/// KV cache is append-only — a position's K/V rows are written exactly once
+/// and never touched again. One snapshot of the final cache therefore
+/// serves EVERY token boundary of the run: forking at position p only needs
+/// rows [0, p), which are a prefix of the recorded rows. The snapshot keeps
+/// a compact copy (first stored rows only, not max_seq) behind a
+/// shared_ptr, so any number of concurrent forks share it without copying.
+struct SessionSnapshot {
+  std::size_t prompt_len = 0;  ///< prefilled positions (prompt, truncated)
+  GenerateOptions options;     ///< options the recorded run used
+  GenerateResult result;       ///< the recorded (fault-free) result
+  /// K/V rows [0, prompt_len + result.tokens.size() - 1) of the run,
+  /// stored compactly ([rows, d_model] tensors, no max_seq slack).
+  std::shared_ptr<const KvCache> cache;
+  /// Sampling-RNG state after choosing token s (one entry per token), so a
+  /// temperature > 0 fork draws exactly the suffix of the recorded stream.
+  std::vector<Xoshiro256::State> rng_at;
+
+  bool valid() const { return cache != nullptr && !result.tokens.empty(); }
+
+  /// Fork positions span [prompt_len, last_boundary()]. Boundary b
+  /// (position prompt_len + b) is the instant just before the decode
+  /// forward at that position; last_boundary() is after the final forward.
+  std::size_t last_boundary() const {
+    return prompt_len + result.tokens.size() - 1;
+  }
+};
+
 /// Stateful generation session: owns the cache, workspace and hook chain.
 class InferenceSession {
  public:
@@ -257,7 +293,47 @@ class InferenceSession {
   GenerateResult generate(std::span<const int> prompt,
                           const GenerateOptions& options);
 
+  /// Runs generate() while recording a SessionSnapshot for later forking.
+  /// The generated result is bit-identical to a plain generate() call —
+  /// recording only copies state, never alters the computation.
+  ///
+  /// `on_boundary(b)` fires once per token boundary with the hook chain
+  /// quiescent: b = 0 right after prefill, b = k after the decode forward
+  /// at position prompt_len + k - 1. Capture per-generation hook state
+  /// (e.g. ProtectionHook::capture_state) there; resume_from(snap, pos)
+  /// pairs with the capture at boundary pos - prompt_len.
+  GenerateResult generate_recorded(
+      std::span<const int> prompt, const GenerateOptions& options,
+      SessionSnapshot& snap,
+      const std::function<void(std::size_t)>& on_boundary = {});
+
+  /// Forks this session from a recorded generation at sequence position
+  /// `pos` (in [snap.prompt_len, snap.last_boundary()]): the KV cache
+  /// adopts the snapshot's rows [0, pos) as an immutable shared prefix
+  /// (O(tail) setup, no prefix copy), the sampling RNG resumes mid-stream,
+  /// and generation continues with the recorded tokens up to `pos` already
+  /// emitted. With the same hooks and hook state as the recorded run this
+  /// reproduces its result bit for bit; with a fault injector registered it
+  /// produces exactly what a full from-scratch faulty run would.
+  ///
+  /// `on_resume` fires after on_generation_begin has been dispatched and
+  /// the cache/RNG restored, before the first forward — restore hook state
+  /// (ProtectionHook::restore_state) there, so the begin reset cannot
+  /// clobber it.
+  GenerateResult resume_from(const SessionSnapshot& snap, std::size_t pos,
+                             const std::function<void()>& on_resume = {});
+
  private:
+  /// The decode loop shared by generate / generate_recorded / resume_from
+  /// (one structure, so the three paths cannot drift). `on_token(step)`
+  /// fires right after a token is pushed; `after_forward(step)` after the
+  /// forward that ends iteration `step`.
+  void decode_loop(const GenerateOptions& options, std::size_t first_step,
+                   std::size_t pos, Xoshiro256& sampler,
+                   GenerateResult& result,
+                   const std::function<void(std::size_t)>& on_token,
+                   const std::function<void(std::size_t)>& after_forward);
+
   const TransformerLM& model_;
   KvCache cache_;
   Workspace ws_;

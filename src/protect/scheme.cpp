@@ -100,20 +100,57 @@ ProtectionStats ProtectionHook::stats() const {
 
 void ProtectionHook::on_generation_begin() {
   if (spec_.online) online_bounds_.reset();
+  clip_log_.clear();
+}
+
+ProtectionState ProtectionHook::capture_state() const {
+  ProtectionState state;
+  state.online_bounds = online_bounds_;
+  state.kind_stats = kind_stats_;
+  state.clips = clip_log_;
+  return state;
+}
+
+void ProtectionHook::restore_state(const ProtectionState& state) {
+  online_bounds_ = state.online_bounds;
+  for (std::size_t k = 0; k < kLayerKindCount; ++k) {
+    const ProtectionStats& s = state.kind_stats[k];
+    if (s.values_checked == 0 && s.nan_corrected == 0 && s.oob_corrected == 0) {
+      continue;
+    }
+    kind_stats_[k].merge(s);
+    // Publish the skipped prefix's increments so the registry counters
+    // advance exactly as a full from-scratch run would have.
+    KindMetrics& km = kind_metrics_[k];
+    km.checked.inc(s.values_checked);
+    km.nan.inc(s.nan_corrected);
+    km.oob.inc(s.oob_corrected);
+  }
+  clip_log_ = state.clips;
+  for (const auto& [kind, original] : state.clips) {
+    kind_metrics_[static_cast<std::size_t>(kind)].clip_magnitude.observe(
+        std::abs(static_cast<double>(original)));
+  }
 }
 
 namespace {
 
-/// Feeds out-of-bound originals into one kind's clip-magnitude histogram.
+/// Feeds out-of-bound originals into one kind's clip-magnitude histogram
+/// and, when a capture log is supplied, records them for ProtectionState.
 class MagnitudeObserver final : public ClipObserver {
  public:
-  explicit MagnitudeObserver(HistogramMetric hist) : hist_(hist) {}
+  MagnitudeObserver(HistogramMetric hist, LayerKind kind,
+                    std::vector<std::pair<LayerKind, float>>* log)
+      : hist_(hist), kind_(kind), log_(log) {}
   void on_oob(float original) override {
     hist_.observe(std::abs(static_cast<double>(original)));
+    if (log_ != nullptr) log_->emplace_back(kind_, original);
   }
 
  private:
   HistogramMetric hist_;
+  LayerKind kind_;
+  std::vector<std::pair<LayerKind, float>>* log_;
 };
 
 }  // namespace
@@ -144,10 +181,12 @@ void ProtectionHook::on_output(const HookContext& ctx,
   } else {
     const Bounds& raw =
         spec_.online ? online_bounds_.at(ctx.site) : offline_bounds_.at(ctx.site);
-    MagnitudeObserver observer(km.clip_magnitude);
+    MagnitudeObserver observer(km.clip_magnitude, ctx.site.kind,
+                               capture_clips_ ? &clip_log_ : nullptr);
     range_restrict(values, raw.scaled(spec_.bound_scale), spec_.policy,
                    spec_.correct_nan, &delta, spec_.detect_only,
-                   km.clip_magnitude.enabled() ? &observer : nullptr);
+                   km.clip_magnitude.enabled() || capture_clips_ ? &observer
+                                                                 : nullptr);
   }
   tally.merge(delta);
   km.checked.inc(delta.values_checked);

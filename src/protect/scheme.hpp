@@ -15,6 +15,7 @@
 
 #include <array>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "nn/hooks.hpp"
@@ -23,6 +24,20 @@
 #include "protect/range_restriction.hpp"
 
 namespace ft2 {
+
+/// Point-in-time snapshot of a ProtectionHook's per-generation state, taken
+/// at a token boundary of a fault-free run and restored into a fresh hook
+/// when a trial forks from that boundary (prefix-reuse campaigns). Carries
+/// everything the hook accumulated over the skipped prefix: the online
+/// first-token bounds, the per-kind correction tallies, and the individual
+/// out-of-bound originals (so clip-magnitude histograms replay exactly).
+struct ProtectionState {
+  BoundStore online_bounds;
+  std::array<ProtectionStats, kLayerKindCount> kind_stats{};
+  /// Out-of-bound ORIGINAL values observed so far, in dispatch order
+  /// (recorded only while clip capture is enabled on the source hook).
+  std::vector<std::pair<LayerKind, float>> clips;
+};
 
 enum class SchemeKind {
   kNone = 0,
@@ -107,6 +122,22 @@ class ProtectionHook : public OutputHook {
   /// (valid after the first-token phase of an FT2 run).
   const BoundStore& online_bounds() const { return online_bounds_; }
 
+  /// Records every out-of-bound original value so capture_state() can carry
+  /// it. Off by default (the common path stays allocation-free); turn on
+  /// for the fault-free recording run of a prefix-reuse campaign.
+  void set_clip_capture(bool on) { capture_clips_ = on; }
+
+  /// Captures the per-generation state at the current token boundary.
+  ProtectionState capture_state() const;
+
+  /// Restores captured state into this hook as if it had processed the
+  /// recorded prefix itself: online bounds and per-kind tallies are merged
+  /// in, the prefix's protect.* counter increments are published to the
+  /// metrics registry, and recorded clips replay into the clip-magnitude
+  /// histograms. Call after on_generation_begin (which resets online
+  /// bounds), e.g. from InferenceSession::resume_from's on_resume hook.
+  void restore_state(const ProtectionState& state);
+
   /// Memory footprint of the bounds this scheme stores (paper §5.2.2).
   std::size_t bound_memory_bytes() const;
 
@@ -129,6 +160,8 @@ class ProtectionHook : public OutputHook {
   std::array<bool, kLayerKindCount> covered_mask_{};
   std::array<ProtectionStats, kLayerKindCount> kind_stats_{};
   std::array<KindMetrics, kLayerKindCount> kind_metrics_{};
+  bool capture_clips_ = false;
+  std::vector<std::pair<LayerKind, float>> clip_log_;
 };
 
 }  // namespace ft2

@@ -29,6 +29,9 @@ TEST(Campaign, TruncateAtEos) {
   EXPECT_EQ(truncate_at_eos({5, 6, Vocab::kEos, 7}), (std::vector<int>{5, 6}));
   EXPECT_EQ(truncate_at_eos({Vocab::kEos}), (std::vector<int>{}));
   EXPECT_EQ(truncate_at_eos({7, 8}), (std::vector<int>{7, 8}));
+  // Edges: empty generation, <eos> leading a non-empty tail.
+  EXPECT_EQ(truncate_at_eos({}), (std::vector<int>{}));
+  EXPECT_EQ(truncate_at_eos({Vocab::kEos, 5, 6}), (std::vector<int>{}));
 }
 
 TEST(Campaign, ClassifyOutcome) {
@@ -53,6 +56,63 @@ TEST(Campaign, ClassifyOutcome) {
 
   // Empty output.
   EXPECT_EQ(classify_outcome({}, input), Outcome::kSdc);
+
+  // Generation shorter than the reference: a bare prefix without the
+  // answer is SDC; a short output that still contains the answer is
+  // masked-semantic.
+  EXPECT_EQ(classify_outcome(v.encode("bob lives"), input), Outcome::kSdc);
+  EXPECT_EQ(classify_outcome(v.encode("paris"), input),
+            Outcome::kMaskedSemantic);
+
+  // Reference that is all <eos>: only the identical (empty-after-
+  // truncation) generation is masked-identical.
+  EvalInput eos_input;
+  eos_input.sample.reference = "paris";
+  eos_input.reference_tokens = {Vocab::kEos};
+  EXPECT_EQ(classify_outcome({Vocab::kEos, 9}, eos_input),
+            Outcome::kMaskedIdentical);
+  EXPECT_EQ(classify_outcome(v.encode("cairo"), eos_input), Outcome::kSdc);
+}
+
+TEST(Campaign, NotInjectedWhenFaultSiteBeyondDecodeHorizon) {
+  // With max_seq shorter than prompt_len + gen_tokens - 1 some planned
+  // decode positions are never executed: the injector cannot fire and the
+  // trial classifies as kNotInjected (regardless of prefix reuse, which
+  // clamps such forks to the last executed boundary).
+  ModelConfig c;
+  c.arch = ArchFamily::kOpt;
+  c.vocab_size = Vocab::shared().size();
+  c.d_model = 16;
+  c.n_heads = 2;
+  c.n_blocks = 2;
+  c.d_ff = 24;
+  c.max_seq = 16;
+  Xoshiro256 rng(21);
+  const TransformerLM model(c, init_weights(c, rng));
+
+  auto samples = qa_samples(1);
+  while (samples[0].prompt_tokens.size() < 14) {
+    samples[0].prompt_tokens.push_back(samples[0].prompt_tokens.front());
+  }
+  const auto inputs = prepare_eval_inputs(model, samples, 8, false);
+  CampaignConfig config;
+  config.trials_per_input = 30;
+  config.gen_tokens = 8;
+  config.fault_model = FaultModel::kExponentBit;
+
+  std::vector<TrialRecord> trace;
+  const auto result =
+      run_campaign(model, inputs, SchemeKind::kNone, BoundStore{}, config,
+                   [&](const TrialRecord& r) { trace.push_back(r); });
+  EXPECT_GT(result.not_injected, 0u);
+  std::size_t seen = 0;
+  for (const TrialRecord& r : trace) {
+    if (r.outcome != Outcome::kNotInjected) continue;
+    ++seen;
+    // Every not-injected plan points past the last executed forward.
+    EXPECT_GE(r.plan.position, c.max_seq);
+  }
+  EXPECT_EQ(seen, result.not_injected);
 }
 
 TEST(Campaign, PrepareEvalInputsFiltersIncorrect) {

@@ -1,0 +1,83 @@
+// Forked-mode KvCache: shared immutable prefix + owned tail.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "nn/kv_cache.hpp"
+
+namespace ft2 {
+namespace {
+
+/// Fills `n` positions of a 1-block cache with rows [p, p, ..] = p.
+void fill(KvCache& cache, std::size_t n, std::size_t d) {
+  for (std::size_t p = cache.length(); p < n; ++p) {
+    const std::vector<float> row(d, static_cast<float>(p));
+    cache.store(0, p, row, row);
+    cache.advance();
+  }
+}
+
+TEST(KvCacheFork, PrefixCopyIsCompact) {
+  KvCache cache(1, /*max_seq=*/16, /*d_model=*/4);
+  fill(cache, 5, 4);
+  const KvCache copy = cache.prefix_copy(3);
+  EXPECT_EQ(copy.length(), 3u);
+  EXPECT_EQ(copy.max_seq(), 3u);  // rows beyond the copy are not allocated
+  for (std::size_t p = 0; p < 3; ++p) {
+    EXPECT_EQ(copy.key(0, p)[0], static_cast<float>(p));
+    EXPECT_EQ(copy.value(0, p)[3], static_cast<float>(p));
+  }
+  // [n, d] rows, keys + values, one block.
+  EXPECT_EQ(copy.memory_bytes(), 2 * 3 * 4 * sizeof(float));
+}
+
+TEST(KvCacheFork, ForkReadsPrefixAndAppendsTail) {
+  KvCache base(1, 16, 4);
+  fill(base, 6, 4);
+  const auto prefix =
+      std::make_shared<const KvCache>(base.prefix_copy(base.length()));
+
+  KvCache fork = KvCache::forked(prefix, /*prefix_len=*/4, /*tail_rows=*/3);
+  EXPECT_TRUE(fork.forked());
+  EXPECT_EQ(fork.prefix_len(), 4u);
+  EXPECT_EQ(fork.length(), 4u);
+  EXPECT_EQ(fork.max_seq(), 7u);
+  // Only the tail is owned: 3 rows of keys + values.
+  EXPECT_EQ(fork.memory_bytes(), 2 * 3 * 4 * sizeof(float));
+
+  // Prefix rows resolve through the shared cache; stores continue from the
+  // fork point as if the prefix had been computed in place.
+  EXPECT_EQ(fork.key(0, 2)[0], 2.0f);
+  const std::vector<float> row(4, 40.0f);
+  fork.store(0, 4, row, row);
+  fork.advance();
+  EXPECT_EQ(fork.length(), 5u);
+  EXPECT_EQ(fork.key(0, 3)[0], 3.0f);   // still the prefix value
+  EXPECT_EQ(fork.key(0, 4)[0], 40.0f);  // the tail write
+
+  // Two forks of the same prefix are independent.
+  KvCache other = KvCache::forked(prefix, 4, 3);
+  const std::vector<float> row2(4, 99.0f);
+  other.store(0, 4, row2, row2);
+  other.advance();
+  EXPECT_EQ(fork.key(0, 4)[0], 40.0f);
+  EXPECT_EQ(other.key(0, 4)[0], 99.0f);
+}
+
+TEST(KvCacheFork, ZeroTailForkIsValid) {
+  // A fork at the last executed boundary owns no rows at all (clamped
+  // campaign forks run zero forwards).
+  KvCache base(1, 8, 2);
+  fill(base, 4, 2);
+  const auto prefix =
+      std::make_shared<const KvCache>(base.prefix_copy(4));
+  const KvCache fork = KvCache::forked(prefix, 4, 0);
+  EXPECT_EQ(fork.length(), 4u);
+  EXPECT_EQ(fork.max_seq(), 4u);
+  EXPECT_EQ(fork.memory_bytes(), 0u);
+  EXPECT_EQ(fork.key(0, 3)[1], 3.0f);
+}
+
+}  // namespace
+}  // namespace ft2
