@@ -1,6 +1,8 @@
 #include "common/json.hpp"
 
+#include <cctype>
 #include <cmath>
+#include <cstdlib>
 #include <sstream>
 
 #include "common/check.hpp"
@@ -130,6 +132,246 @@ std::string Json::dump(int indent) const {
   std::ostringstream os;
   write(os, indent);
   return os.str();
+}
+
+double Json::as_double() const {
+  const double* d = std::get_if<double>(&value_);
+  FT2_CHECK_MSG(d != nullptr, "Json::as_double on non-number");
+  return *d;
+}
+
+bool Json::as_bool() const {
+  const bool* b = std::get_if<bool>(&value_);
+  FT2_CHECK_MSG(b != nullptr, "Json::as_bool on non-bool");
+  return *b;
+}
+
+const std::string& Json::as_string() const {
+  const std::string* s = std::get_if<std::string>(&value_);
+  FT2_CHECK_MSG(s != nullptr, "Json::as_string on non-string");
+  return *s;
+}
+
+const Json* Json::find(const std::string& key) const {
+  FT2_CHECK_MSG(is_object(), "Json::find on non-object");
+  for (const auto& [k, v] : std::get<Object>(value_).members) {
+    if (k == key) return v.get();
+  }
+  return nullptr;
+}
+
+const Json& Json::at(const std::string& key) const {
+  const Json* member = find(key);
+  FT2_CHECK_MSG(member != nullptr, "Json object has no member '" << key << "'");
+  return *member;
+}
+
+const Json& Json::at(std::size_t index) const {
+  FT2_CHECK_MSG(is_array(), "Json::at(index) on non-array");
+  const auto& items = std::get<Array>(value_).items;
+  FT2_CHECK_MSG(index < items.size(),
+                "Json array index " << index << " out of range (size "
+                                    << items.size() << ")");
+  return *items[index];
+}
+
+std::vector<std::string> Json::keys() const {
+  FT2_CHECK_MSG(is_object(), "Json::keys on non-object");
+  std::vector<std::string> out;
+  for (const auto& [k, v] : std::get<Object>(value_).members) {
+    out.push_back(k);
+  }
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent parser over one contiguous buffer. Depth is bounded so
+/// adversarial nesting cannot blow the stack.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json parse_document() {
+    Json value = parse_value(0);
+    skip_ws();
+    FT2_CHECK_MSG(pos_ == text_.size(),
+                  "JSON: trailing characters at offset " << pos_);
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 128;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw Error("JSON parse error at offset " + std::to_string(pos_) + ": " +
+                what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  Json parse_value(int depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': return Json(parse_string());
+      case 't':
+        if (consume_literal("true")) return Json(true);
+        fail("invalid literal");
+      case 'f':
+        if (consume_literal("false")) return Json(false);
+        fail("invalid literal");
+      case 'n':
+        if (consume_literal("null")) return Json();
+        fail("invalid literal");
+      default: return parse_number();
+    }
+  }
+
+  Json parse_object(int depth) {
+    expect('{');
+    Json object = Json::object();
+    if (peek() == '}') {
+      ++pos_;
+      return object;
+    }
+    while (true) {
+      if (peek() != '"') fail("expected object key");
+      const std::string key = parse_string();
+      expect(':');
+      object[key] = parse_value(depth + 1);
+      const char next = peek();
+      ++pos_;
+      if (next == '}') return object;
+      if (next != ',') fail("expected ',' or '}'");
+    }
+  }
+
+  Json parse_array(int depth) {
+    expect('[');
+    Json array = Json::array();
+    if (peek() == ']') {
+      ++pos_;
+      return array;
+    }
+    while (true) {
+      array.push_back(parse_value(depth + 1));
+      const char next = peek();
+      ++pos_;
+      if (next == ']') return array;
+      if (next != ',') fail("expected ',' or ']'");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("invalid \\u escape");
+            }
+          }
+          // UTF-8 encode (the writer only escapes control characters, so
+          // surrogate pairs never round-trip through our own output; decode
+          // them anyway for externally produced files).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: fail("invalid escape");
+      }
+    }
+  }
+
+  Json parse_number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) fail("malformed number");
+    return Json(value);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::parse(std::string_view text) {
+  return Parser(text).parse_document();
 }
 
 }  // namespace ft2

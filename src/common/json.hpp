@@ -1,14 +1,16 @@
-// Minimal JSON value builder + writer (output only).
+// Minimal JSON value builder, writer and parser.
 //
-// Bench binaries and the CLI can dump structured results (campaign tables,
-// bounds, fault plans) for downstream plotting. Only construction and
-// serialization are supported — the library never needs to parse JSON.
+// Bench binaries and the CLI dump structured results (campaign tables,
+// bounds, fault plans) for downstream plotting; the forensics layer reads
+// them back (campaign flight-recorder JSONL via `ft2 report`, Chrome-trace
+// shape validation in tests), so parsing is supported too via Json::parse.
 #pragma once
 
 #include <map>
 #include <memory>
 #include <ostream>
 #include <string>
+#include <string_view>
 #include <variant>
 #include <vector>
 
@@ -36,6 +38,11 @@ class Json {
     return j;
   }
 
+  /// Parses one JSON document (throws ft2::Error on malformed input or
+  /// trailing garbage). Numbers parse as double — the same representation
+  /// the writer emits.
+  static Json parse(std::string_view text);
+
   /// Object member access (creates the member; the Json must be an object).
   Json& operator[](const std::string& key);
 
@@ -44,7 +51,27 @@ class Json {
 
   bool is_object() const { return std::holds_alternative<Object>(value_); }
   bool is_array() const { return std::holds_alternative<Array>(value_); }
+  bool is_null() const {
+    return std::holds_alternative<std::nullptr_t>(value_);
+  }
+  bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  bool is_number() const { return std::holds_alternative<double>(value_); }
+  bool is_string() const { return std::holds_alternative<std::string>(value_); }
   std::size_t size() const;
+
+  /// Typed read access (throws ft2::Error on a type mismatch).
+  double as_double() const;
+  bool as_bool() const;
+  const std::string& as_string() const;
+
+  /// Member lookup on an object: null when absent (throws on a non-object).
+  const Json* find(const std::string& key) const;
+  /// Member access that throws when the key is absent.
+  const Json& at(const std::string& key) const;
+  /// Array element access (bounds-checked).
+  const Json& at(std::size_t index) const;
+  /// Object member names in insertion order (throws on a non-object).
+  std::vector<std::string> keys() const;
 
   /// Serialization; `indent` < 0 emits compact single-line JSON.
   void write(std::ostream& os, int indent = 2) const;

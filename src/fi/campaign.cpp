@@ -4,10 +4,12 @@
 #include <chrono>
 #include <limits>
 #include <mutex>
+#include <optional>
 
 #include "common/thread_pool.hpp"
 #include "data/matcher.hpp"
 #include "fi/trace.hpp"
+#include "protect/drift.hpp"
 #include "serve/serve_engine.hpp"
 
 namespace ft2 {
@@ -212,6 +214,9 @@ CampaignResult run_campaign_range(const TransformerLM& model,
     }
   }
 
+  Tracer* tracer =
+      config.tracer != nullptr ? config.tracer : &Tracer::global();
+
   pool.parallel_for(first_trial, last_trial, [&](std::size_t trial) {
     using TrialClock = std::chrono::steady_clock;
     const bool timed = cm.trial_ms.enabled();
@@ -219,6 +224,11 @@ CampaignResult run_campaign_range(const TransformerLM& model,
         timed ? TrialClock::now() : TrialClock::time_point{};
     const std::size_t input_idx = trial / config.trials_per_input;
     const EvalInput& input = inputs[input_idx];
+    TraceSpan trial_span = tracer->span("campaign.trial");
+    if (trial_span.active()) {
+      trial_span.tag("trial", std::to_string(trial))
+          .tag("input", std::to_string(input_idx));
+    }
 
     PhiloxStream rng(config.seed, trial);
     std::vector<InjectorHook> injectors;
@@ -231,11 +241,20 @@ CampaignResult run_campaign_range(const TransformerLM& model,
     }
 
     ProtectionHook protection(model.config(), scheme, offline_bounds, reg);
+    protection.set_clip_capture(config.capture_clips);
+    // The drift monitor registers AFTER protection so it observes
+    // post-correction values; it never mutates them, so everything the
+    // trial reports stays bit-identical with it on or off.
+    std::optional<BoundDriftMonitor> drift;
+    if (config.drift_monitor) {
+      drift.emplace(protection, DriftMonitorOptions{0.10, reg});
+    }
     InferenceSession session(model);
     std::vector<HookRegistration> regs;
-    regs.reserve(injectors.size() + 1);
+    regs.reserve(injectors.size() + 2);
     for (auto& injector : injectors) regs.push_back(session.hooks().add(injector));
     regs.push_back(session.hooks().add(protection));
+    if (drift.has_value()) regs.push_back(session.hooks().add(*drift));
 
     // Prefix reuse: a single-fault trial is bit-identical to the fault-free
     // recording up to its first injection position, so decode-phase trials
@@ -273,6 +292,10 @@ CampaignResult run_campaign_range(const TransformerLM& model,
     const Outcome outcome = fired ? classify_outcome(result.tokens, input)
                                   : Outcome::kNotInjected;
     outcomes[trial - first_trial] = outcome;
+    if (trial_span.active()) {
+      trial_span.tag("outcome", outcome_name(outcome))
+          .tag("fork", forked ? "hit" : "miss");
+    }
     cm.trials.inc();
     cm.outcome[static_cast<std::size_t>(outcome)].inc();
     for (const auto& injector : injectors) {
@@ -293,6 +316,14 @@ CampaignResult run_campaign_range(const TransformerLM& model,
                           protection.stats().nan_corrected;
       record.generated_text =
           Vocab::shared().decode(truncate_at_eos(result.tokens));
+      record.fault_model = config.fault_model;
+      record.fired = fired;
+      record.nan_detections = protection.stats().nan_corrected;
+      record.oob_detections = protection.stats().oob_corrected;
+      record.detect_position = protection.first_detect_position();
+      record.injected_original = injectors.front().original_value();
+      record.injected_value = injectors.front().injected_value();
+      if (config.capture_clips) record.clips = protection.clip_events();
       std::lock_guard lock(callback_mutex);
       on_trial(record);
     }

@@ -17,6 +17,7 @@
 #include "fi/injector.hpp"
 #include "nn/model.hpp"
 #include "numeric/stats.hpp"
+#include "obs/trace.hpp"
 #include "protect/scheme.hpp"
 
 namespace ft2 {
@@ -69,6 +70,20 @@ struct CampaignConfig {
   /// single-fault trial is bit-identical to the fault-free run up to its
   /// injection position, so nothing skipped could have differed).
   bool prefix_reuse = true;
+  /// Record per-trial ClipEvents (layer kind, position, original value) on
+  /// each trial's protection hook so TrialRecord::clips carries them. Off
+  /// by default: capture allocates per clip, and most campaigns only need
+  /// the aggregate counters.
+  bool capture_clips = false;
+  /// Attach a BoundDriftMonitor behind each trial's protection hook,
+  /// publishing protect.headroom.* to the campaign registry. Strictly
+  /// observational: outcomes, detections and protect.* counters are
+  /// bit-identical with the monitor on or off.
+  bool drift_monitor = false;
+  /// Tracer for campaign.trial spans (one per trial: trial/input/outcome
+  /// tags). nullptr selects Tracer::global(), inert unless FT2_TRACE is
+  /// set.
+  Tracer* tracer = nullptr;
 };
 
 struct CampaignResult {
@@ -115,7 +130,8 @@ std::vector<EvalInput> prepare_eval_inputs(const TransformerLM& model,
                                            bool only_correct = true,
                                            ThreadPool* pool = nullptr);
 
-/// Per-trial record for debugging/analysis (CSV/JSON via fi/trace.hpp).
+/// Per-trial record for debugging/analysis (CSV/JSON/JSONL via
+/// fi/trace.hpp; aggregated offline by fi/report.hpp / `ft2 report`).
 struct TrialRecord {
   std::size_t trial = 0;
   std::size_t input_index = 0;
@@ -125,6 +141,21 @@ struct TrialRecord {
   /// (out-of-bound + NaN) — the detection signal in detect-only mode.
   std::size_t detections = 0;
   std::string generated_text;
+  /// Fault model the plan was sampled from (copied from the config so a
+  /// recorded log is self-describing).
+  FaultModel fault_model = FaultModel::kSingleBit;
+  bool fired = false;  ///< the (first) injector actually flipped a value
+  std::size_t nan_detections = 0;  ///< NaN corrections (detections = nan+oob)
+  std::size_t oob_detections = 0;  ///< out-of-bound corrections
+  /// Earliest sequence position where protection corrected anything
+  /// (-1 = no detection). Minus plan.position this is the detection
+  /// latency in token positions.
+  long long detect_position = -1;
+  float injected_original = 0.0f;  ///< value before the bit flip (if fired)
+  float injected_value = 0.0f;     ///< value after the bit flip (if fired)
+  /// Individual out-of-bound events (only with CampaignConfig::
+  /// capture_clips).
+  std::vector<ClipEvent> clips;
 };
 
 /// Called for every finished trial; invocations are serialized.

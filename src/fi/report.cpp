@@ -1,0 +1,198 @@
+#include "fi/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace ft2 {
+
+double CampaignReport::latency_quantile(double q) const {
+  if (detection_latencies.empty()) return 0.0;
+  const double rank = q * static_cast<double>(detection_latencies.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(rank));
+  const std::size_t hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return detection_latencies[lo] * (1.0 - frac) +
+         detection_latencies[hi] * frac;
+}
+
+CampaignReport aggregate_trial_records(
+    const std::vector<TrialRecord>& records) {
+  CampaignReport report;
+  for (const TrialRecord& r : records) {
+    ++report.result.trials;
+    switch (r.outcome) {
+      case Outcome::kMaskedIdentical: ++report.result.masked_identical; break;
+      case Outcome::kMaskedSemantic: ++report.result.masked_semantic; break;
+      case Outcome::kSdc: ++report.result.sdc; break;
+      case Outcome::kNotInjected: ++report.result.not_injected; break;
+    }
+
+    const bool sdc = r.outcome == Outcome::kSdc;
+    const bool detected = r.detections > 0;
+    const LayerKind kind = r.plan.site.kind;
+
+    CampaignReport::Tally& layer = report.by_layer[kind];
+    ++layer.faults;
+    layer.sdc += sdc ? 1 : 0;
+    layer.detected += detected ? 1 : 0;
+
+    auto& per_bit = report.by_model_layer_bit[r.fault_model][kind];
+    for (int b = 0; b < r.plan.flips.count; ++b) {
+      CampaignReport::Tally& tally = per_bit[r.plan.flips.bits[
+          static_cast<std::size_t>(b)]];
+      ++tally.faults;
+      tally.sdc += sdc ? 1 : 0;
+      tally.detected += detected ? 1 : 0;
+    }
+
+    if (r.fired && r.detect_position >= 0 &&
+        r.detect_position >= static_cast<long long>(r.plan.position)) {
+      report.detection_latencies.push_back(static_cast<double>(
+          r.detect_position - static_cast<long long>(r.plan.position)));
+    }
+  }
+  std::sort(report.detection_latencies.begin(),
+            report.detection_latencies.end());
+  return report;
+}
+
+Table CampaignReport::outcome_table() const {
+  Table table({"outcome", "trials", "fraction"});
+  const auto row = [&](const char* name, std::size_t n) {
+    table.begin_row().cell(name).count(n).pct(
+        result.trials == 0
+            ? 0.0
+            : static_cast<double>(n) / static_cast<double>(result.trials));
+  };
+  row("masked_identical", result.masked_identical);
+  row("masked_semantic", result.masked_semantic);
+  row("sdc", result.sdc);
+  row("not_injected", result.not_injected);
+  table.begin_row().cell("total").count(result.trials).pct(
+      result.trials == 0 ? 0.0 : 1.0);
+  return table;
+}
+
+Table CampaignReport::layer_table() const {
+  Table table({"layer", "faults", "sdc", "sdc_rate", "detected",
+               "detected_rate"});
+  for (const auto& [kind, tally] : by_layer) {
+    table.begin_row()
+        .cell(std::string(layer_kind_name(kind)))
+        .count(tally.faults)
+        .count(tally.sdc)
+        .pct(tally.sdc_rate())
+        .count(tally.detected)
+        .pct(tally.detected_rate());
+  }
+  return table;
+}
+
+Table CampaignReport::layer_bit_table() const {
+  Table table({"fault_model", "layer", "bit", "faults", "sdc", "sdc_rate"});
+  for (const auto& [model, per_layer] : by_model_layer_bit) {
+    for (const auto& [kind, per_bit] : per_layer) {
+      for (const auto& [bit, tally] : per_bit) {
+        table.begin_row()
+            .cell(fault_model_name(model))
+            .cell(std::string(layer_kind_name(kind)))
+            .count(static_cast<std::size_t>(bit))
+            .count(tally.faults)
+            .count(tally.sdc)
+            .pct(tally.sdc_rate());
+      }
+    }
+  }
+  return table;
+}
+
+Table CampaignReport::latency_table() const {
+  Table table({"detections", "p50", "p95", "p99", "max"});
+  table.begin_row()
+      .count(detection_latencies.size())
+      .num(latency_quantile(0.50), 1)
+      .num(latency_quantile(0.95), 1)
+      .num(latency_quantile(0.99), 1)
+      .num(detection_latencies.empty() ? 0.0 : detection_latencies.back(), 1);
+  return table;
+}
+
+Json CampaignReport::to_json() const {
+  Json doc = Json::object();
+
+  Json outcomes = Json::object();
+  outcomes["trials"] = result.trials;
+  outcomes["masked_identical"] = result.masked_identical;
+  outcomes["masked_semantic"] = result.masked_semantic;
+  outcomes["sdc"] = result.sdc;
+  outcomes["not_injected"] = result.not_injected;
+  outcomes["sdc_rate"] = result.sdc_rate();
+  doc["outcomes"] = std::move(outcomes);
+
+  Json layers = Json::object();
+  for (const auto& [kind, tally] : by_layer) {
+    Json entry = Json::object();
+    entry["faults"] = tally.faults;
+    entry["sdc"] = tally.sdc;
+    entry["sdc_rate"] = tally.sdc_rate();
+    entry["detected"] = tally.detected;
+    entry["detected_rate"] = tally.detected_rate();
+    layers[std::string(layer_kind_name(kind))] = std::move(entry);
+  }
+  doc["by_layer"] = std::move(layers);
+
+  Json models = Json::object();
+  for (const auto& [model, per_layer] : by_model_layer_bit) {
+    Json layer_obj = Json::object();
+    for (const auto& [kind, per_bit] : per_layer) {
+      Json bits = Json::object();
+      for (const auto& [bit, tally] : per_bit) {
+        Json entry = Json::object();
+        entry["faults"] = tally.faults;
+        entry["sdc"] = tally.sdc;
+        entry["sdc_rate"] = tally.sdc_rate();
+        bits[std::to_string(bit)] = std::move(entry);
+      }
+      layer_obj[std::string(layer_kind_name(kind))] = std::move(bits);
+    }
+    models[fault_model_name(model)] = std::move(layer_obj);
+  }
+  doc["by_model_layer_bit"] = std::move(models);
+
+  Json latency = Json::object();
+  latency["count"] = detection_latencies.size();
+  latency["p50"] = latency_quantile(0.50);
+  latency["p95"] = latency_quantile(0.95);
+  latency["p99"] = latency_quantile(0.99);
+  latency["max"] =
+      detection_latencies.empty() ? 0.0 : detection_latencies.back();
+  doc["detection_latency"] = std::move(latency);
+
+  return doc;
+}
+
+std::vector<TrialRecord> load_trial_records(const std::string& path) {
+  std::ifstream file(path);
+  FT2_CHECK_MSG(file.good(), "cannot open trial log '" << path << "'");
+  if (path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0) {
+    return read_trial_records_csv(file);
+  }
+  // Sniff: a JSON array document starts with '['; JSONL lines start with
+  // '{'.
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  const std::string text = buffer.str();
+  const std::size_t first = text.find_first_not_of(" \t\r\n");
+  FT2_CHECK_MSG(first != std::string::npos, "empty trial log '" << path << "'");
+  if (text[first] == '[') {
+    return read_trial_records_json(Json::parse(text));
+  }
+  std::istringstream lines(text);
+  return read_trial_records_jsonl(lines);
+}
+
+}  // namespace ft2

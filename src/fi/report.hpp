@@ -1,0 +1,78 @@
+// Offline campaign forensics: aggregates recorded trial logs (CSV / JSON /
+// JSONL from fi/trace.hpp) into the paper-style breakdowns without
+// rerunning a single trial — `ft2 report` is the CLI front end.
+//
+// The headline guarantee: aggregating a campaign's recorded log reproduces
+// the exact CampaignResult outcome counts the in-process run returned
+// (pinned by tests/fi/report_test.cpp), so a flight-recorder file IS the
+// campaign for analysis purposes.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/table.hpp"
+#include "fi/trace.hpp"
+
+namespace ft2 {
+
+/// Aggregated view over one recorded campaign log.
+struct CampaignReport {
+  /// Exact outcome counts, reconstructed from the per-trial records —
+  /// equal to the CampaignResult of the run that produced the log.
+  CampaignResult result;
+
+  struct Tally {
+    std::size_t faults = 0;    ///< trials attributed to this key
+    std::size_t sdc = 0;       ///< ... that ended as SDC
+    std::size_t detected = 0;  ///< ... where protection corrected something
+    double sdc_rate() const {
+      return faults == 0 ? 0.0
+                         : static_cast<double>(sdc) /
+                               static_cast<double>(faults);
+    }
+    double detected_rate() const {
+      return faults == 0 ? 0.0
+                         : static_cast<double>(detected) /
+                               static_cast<double>(faults);
+    }
+  };
+
+  /// Per layer kind (paper Fig. 13's per-layer axis).
+  std::map<LayerKind, Tally> by_layer;
+  /// fault model -> layer kind -> bit position (a 2-bit trial counts
+  /// toward each of its flipped bits).
+  std::map<FaultModel, std::map<LayerKind, std::map<int, Tally>>>
+      by_model_layer_bit;
+  /// Detection latencies in token positions (detect_position -
+  /// plan.position) for fired trials whose protection detected at or after
+  /// the injection position. Sorted ascending.
+  std::vector<double> detection_latencies;
+
+  /// Exact order statistic over detection_latencies (0 when empty).
+  double latency_quantile(double q) const;
+
+  /// Outcome counts + SDC rate, one row per outcome.
+  Table outcome_table() const;
+  /// Per-layer-kind faults / SDC / detection rates.
+  Table layer_table() const;
+  /// SDC rate by fault model x layer kind x bit position.
+  Table layer_bit_table() const;
+  /// Detection latency percentiles (p50 / p95 / p99, count, max).
+  Table latency_table() const;
+
+  /// Everything above as one JSON document.
+  Json to_json() const;
+};
+
+/// Builds the report from loaded records.
+CampaignReport aggregate_trial_records(
+    const std::vector<TrialRecord>& records);
+
+/// Loads a recorded log by format sniffing: files ending in .csv parse as
+/// CSV, anything else parses as JSON when the first non-space byte is '['
+/// and as JSONL otherwise.
+std::vector<TrialRecord> load_trial_records(const std::string& path);
+
+}  // namespace ft2

@@ -1,6 +1,35 @@
 #include "fi/trace.hpp"
 
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/check.hpp"
+#include "protect/bounds_io.hpp"
+
 namespace ft2 {
+
+Outcome outcome_from_name(std::string_view name) {
+  for (Outcome o : {Outcome::kMaskedIdentical, Outcome::kMaskedSemantic,
+                    Outcome::kSdc, Outcome::kNotInjected}) {
+    if (name == outcome_name(o)) return o;
+  }
+  throw Error("unknown outcome name '" + std::string(name) + "'");
+}
+
+FaultModel fault_model_from_name(std::string_view name) {
+  for (FaultModel m : all_fault_models()) {
+    if (name == fault_model_name(m)) return m;
+  }
+  throw Error("unknown fault model name '" + std::string(name) + "'");
+}
+
+ValueType value_type_from_name(std::string_view name) {
+  if (name == value_type_name(ValueType::kF16)) return ValueType::kF16;
+  if (name == value_type_name(ValueType::kF32)) return ValueType::kF32;
+  throw Error("unknown value type name '" + std::string(name) + "'");
+}
+
 namespace {
 
 std::string bits_string(const BitFlips& flips) {
@@ -12,39 +41,382 @@ std::string bits_string(const BitFlips& flips) {
   return out;
 }
 
+BitFlips bits_from_string(const std::string& text) {
+  BitFlips flips;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t plus = text.find('+', start);
+    if (plus == std::string::npos) plus = text.size();
+    FT2_CHECK_MSG(flips.count < static_cast<int>(flips.bits.size()),
+                  "too many bit flips in '" << text << "'");
+    flips.bits[static_cast<std::size_t>(flips.count++)] =
+        std::atoi(text.substr(start, plus - start).c_str());
+    start = plus + 1;
+  }
+  return flips;
+}
+
+/// %.9g float encoding: round-trips every float exactly and — unlike a
+/// JSON number — survives inf/nan (Json::write emits null for those).
+std::string float_string(float value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", static_cast<double>(value));
+  return buf;
+}
+
+float float_from_string(const std::string& text) {
+  return std::strtof(text.c_str(), nullptr);
+}
+
+/// "KIND@position:original;..." — compact clip-event list (no commas, so
+/// the CSV cell needs no special care beyond quoting).
+std::string clips_string(const std::vector<ClipEvent>& clips) {
+  std::string out;
+  for (const ClipEvent& clip : clips) {
+    if (!out.empty()) out += ';';
+    out += layer_kind_name(clip.kind);
+    out += '@';
+    out += std::to_string(clip.position);
+    out += ':';
+    out += float_string(clip.original);
+  }
+  return out;
+}
+
+std::vector<ClipEvent> clips_from_string(const std::string& text) {
+  std::vector<ClipEvent> clips;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t semi = text.find(';', start);
+    if (semi == std::string::npos) semi = text.size();
+    const std::string item = text.substr(start, semi - start);
+    const std::size_t at = item.find('@');
+    const std::size_t colon = item.find(':', at == std::string::npos ? 0 : at);
+    FT2_CHECK_MSG(at != std::string::npos && colon != std::string::npos,
+                  "malformed clip event '" << item << "'");
+    ClipEvent clip;
+    clip.kind = layer_kind_from_name(item.substr(0, at));
+    clip.position = static_cast<std::size_t>(
+        std::strtoull(item.substr(at + 1, colon - at - 1).c_str(), nullptr, 10));
+    clip.original = float_from_string(item.substr(colon + 1));
+    clips.push_back(clip);
+    start = semi + 1;
+  }
+  return clips;
+}
+
+// --- Coercing readers -------------------------------------------------
+// CSV parsing lifts every cell to a JSON string; the JSON readers see
+// typed values. One setter per field handles both by coercing.
+
+double as_num(const Json& j) {
+  if (j.is_number()) return j.as_double();
+  return std::strtod(j.as_string().c_str(), nullptr);
+}
+
+bool as_boolish(const Json& j) {
+  if (j.is_bool()) return j.as_bool();
+  return as_num(j) != 0.0;
+}
+
+/// THE field-ordering source of truth: CSV columns, JSON keys and JSONL
+/// keys all come from this table, in this order. Append new fields at the
+/// end — readers default missing trailing fields, so old logs stay
+/// readable.
+struct TrialField {
+  const char* name;
+  Json (*get)(const TrialRecord&);
+  void (*set)(TrialRecord&, const Json&);
+  bool quote_csv;  ///< always quote this cell (free-form text)
+};
+
+const std::vector<TrialField>& trial_record_fields() {
+  static const std::vector<TrialField> fields = {
+      {"trial", [](const TrialRecord& r) { return Json(r.trial); },
+       [](TrialRecord& r, const Json& j) {
+         r.trial = static_cast<std::size_t>(as_num(j));
+       },
+       false},
+      {"input", [](const TrialRecord& r) { return Json(r.input_index); },
+       [](TrialRecord& r, const Json& j) {
+         r.input_index = static_cast<std::size_t>(as_num(j));
+       },
+       false},
+      {"position", [](const TrialRecord& r) { return Json(r.plan.position); },
+       [](TrialRecord& r, const Json& j) {
+         r.plan.position = static_cast<std::size_t>(as_num(j));
+       },
+       false},
+      {"in_first_token",
+       [](const TrialRecord& r) { return Json(r.plan.in_first_token); },
+       [](TrialRecord& r, const Json& j) {
+         r.plan.in_first_token = as_boolish(j);
+       },
+       false},
+      {"block", [](const TrialRecord& r) { return Json(r.plan.site.block); },
+       [](TrialRecord& r, const Json& j) {
+         r.plan.site.block = static_cast<std::size_t>(as_num(j));
+       },
+       false},
+      {"layer",
+       [](const TrialRecord& r) {
+         return Json(std::string(layer_kind_name(r.plan.site.kind)));
+       },
+       [](TrialRecord& r, const Json& j) {
+         r.plan.site.kind = layer_kind_from_name(j.as_string());
+       },
+       false},
+      {"neuron", [](const TrialRecord& r) { return Json(r.plan.neuron); },
+       [](TrialRecord& r, const Json& j) {
+         r.plan.neuron = static_cast<std::size_t>(as_num(j));
+       },
+       false},
+      {"bits",
+       [](const TrialRecord& r) { return Json(bits_string(r.plan.flips)); },
+       [](TrialRecord& r, const Json& j) {
+         r.plan.flips = bits_from_string(j.as_string());
+       },
+       false},
+      {"dtype",
+       [](const TrialRecord& r) {
+         return Json(std::string(value_type_name(r.plan.vtype)));
+       },
+       [](TrialRecord& r, const Json& j) {
+         r.plan.vtype = value_type_from_name(j.as_string());
+       },
+       false},
+      {"outcome",
+       [](const TrialRecord& r) {
+         return Json(std::string(outcome_name(r.outcome)));
+       },
+       [](TrialRecord& r, const Json& j) {
+         r.outcome = outcome_from_name(j.as_string());
+       },
+       false},
+      {"generated",
+       [](const TrialRecord& r) { return Json(r.generated_text); },
+       [](TrialRecord& r, const Json& j) { r.generated_text = j.as_string(); },
+       true},
+      {"fault_model",
+       [](const TrialRecord& r) {
+         return Json(std::string(fault_model_name(r.fault_model)));
+       },
+       [](TrialRecord& r, const Json& j) {
+         r.fault_model = fault_model_from_name(j.as_string());
+       },
+       false},
+      {"fired", [](const TrialRecord& r) { return Json(r.fired); },
+       [](TrialRecord& r, const Json& j) { r.fired = as_boolish(j); }, false},
+      {"detections",
+       [](const TrialRecord& r) { return Json(r.detections); },
+       [](TrialRecord& r, const Json& j) {
+         r.detections = static_cast<std::size_t>(as_num(j));
+       },
+       false},
+      {"nan_detections",
+       [](const TrialRecord& r) { return Json(r.nan_detections); },
+       [](TrialRecord& r, const Json& j) {
+         r.nan_detections = static_cast<std::size_t>(as_num(j));
+       },
+       false},
+      {"oob_detections",
+       [](const TrialRecord& r) { return Json(r.oob_detections); },
+       [](TrialRecord& r, const Json& j) {
+         r.oob_detections = static_cast<std::size_t>(as_num(j));
+       },
+       false},
+      {"detect_position",
+       [](const TrialRecord& r) {
+         return Json(static_cast<double>(r.detect_position));
+       },
+       [](TrialRecord& r, const Json& j) {
+         r.detect_position = static_cast<long long>(as_num(j));
+       },
+       false},
+      {"injected_original",
+       [](const TrialRecord& r) { return Json(float_string(r.injected_original)); },
+       [](TrialRecord& r, const Json& j) {
+         r.injected_original = float_from_string(j.as_string());
+       },
+       false},
+      {"injected_value",
+       [](const TrialRecord& r) { return Json(float_string(r.injected_value)); },
+       [](TrialRecord& r, const Json& j) {
+         r.injected_value = float_from_string(j.as_string());
+       },
+       false},
+      {"clips",
+       [](const TrialRecord& r) { return Json(clips_string(r.clips)); },
+       [](TrialRecord& r, const Json& j) {
+         r.clips = clips_from_string(j.as_string());
+       },
+       true},
+  };
+  return fields;
+}
+
+// --- CSV ---------------------------------------------------------------
+
+/// Quotes a CSV cell when required (or forced): doubles embedded quotes.
+std::string csv_cell(const std::string& text, bool force_quote) {
+  const bool needs =
+      force_quote || text.find_first_of(",\"\n") != std::string::npos;
+  if (!needs) return text;
+  std::string out = "\"";
+  for (char c : text) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+/// Renders one field value as its raw CSV cell text.
+std::string csv_value(const Json& value) {
+  if (value.is_string()) return value.as_string();
+  if (value.is_bool()) return value.as_bool() ? "1" : "0";
+  return value.dump(-1);  // numbers (and null, which never occurs)
+}
+
+/// Splits one CSV line honoring quoted cells with doubled quotes.
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cell += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        cell += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      cells.push_back(std::move(cell));
+      cell.clear();
+    } else {
+      cell += c;
+    }
+  }
+  cells.push_back(std::move(cell));
+  return cells;
+}
+
 }  // namespace
 
+Json trial_record_to_json(const TrialRecord& record) {
+  Json item = Json::object();
+  for (const TrialField& field : trial_record_fields()) {
+    item[field.name] = field.get(record);
+  }
+  return item;
+}
+
+TrialRecord trial_record_from_json(const Json& json) {
+  TrialRecord record;
+  for (const TrialField& field : trial_record_fields()) {
+    if (const Json* value = json.find(field.name)) {
+      field.set(record, *value);
+    }
+  }
+  return record;
+}
+
+void TraceCollector::add(const TrialRecord& record) {
+  ++recorded_;
+  if (sink_ != nullptr) {
+    trial_record_to_json(record).write(*sink_, -1);
+    *sink_ << '\n';
+  }
+  if (records_.size() < max_records_) records_.push_back(record);
+}
+
 void TraceCollector::write_csv(std::ostream& os) const {
-  os << "trial,input,position,in_first_token,block,layer,neuron,bits,dtype,"
-        "outcome,generated\n";
+  const auto& fields = trial_record_fields();
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    os << (i == 0 ? "" : ",") << fields[i].name;
+  }
+  os << '\n';
   for (const auto& r : records_) {
-    os << r.trial << ',' << r.input_index << ',' << r.plan.position << ','
-       << (r.plan.in_first_token ? 1 : 0) << ',' << r.plan.site.block << ','
-       << layer_kind_name(r.plan.site.kind) << ',' << r.plan.neuron << ','
-       << bits_string(r.plan.flips) << ',' << value_type_name(r.plan.vtype)
-       << ',' << outcome_name(r.outcome) << ",\"" << r.generated_text
-       << "\"\n";
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      if (i != 0) os << ',';
+      os << csv_cell(csv_value(fields[i].get(r)), fields[i].quote_csv);
+    }
+    os << '\n';
   }
 }
 
 Json TraceCollector::to_json() const {
   Json array = Json::array();
-  for (const auto& r : records_) {
-    Json item = Json::object();
-    item["trial"] = r.trial;
-    item["input"] = r.input_index;
-    item["position"] = r.plan.position;
-    item["in_first_token"] = r.plan.in_first_token;
-    item["block"] = r.plan.site.block;
-    item["layer"] = std::string(layer_kind_name(r.plan.site.kind));
-    item["neuron"] = r.plan.neuron;
-    item["bits"] = bits_string(r.plan.flips);
-    item["dtype"] = value_type_name(r.plan.vtype);
-    item["outcome"] = outcome_name(r.outcome);
-    item["generated"] = r.generated_text;
-    array.push_back(std::move(item));
-  }
+  for (const auto& r : records_) array.push_back(trial_record_to_json(r));
   return array;
+}
+
+void TraceCollector::write_jsonl(std::ostream& os) const {
+  for (const auto& r : records_) {
+    trial_record_to_json(r).write(os, -1);
+    os << '\n';
+  }
+}
+
+std::vector<TrialRecord> read_trial_records_csv(std::istream& is) {
+  std::vector<TrialRecord> out;
+  std::string line;
+  FT2_CHECK_MSG(std::getline(is, line), "empty CSV trial log");
+  const std::vector<std::string> header = split_csv_line(line);
+  const auto& fields = trial_record_fields();
+  // Map header columns onto known fields (unknown columns are skipped, so
+  // logs from future schema revisions still load their shared columns).
+  std::vector<const TrialField*> columns;
+  for (const std::string& name : header) {
+    const TrialField* match = nullptr;
+    for (const TrialField& field : fields) {
+      if (name == field.name) {
+        match = &field;
+        break;
+      }
+    }
+    columns.push_back(match);
+  }
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const std::vector<std::string> cells = split_csv_line(line);
+    FT2_CHECK_MSG(cells.size() == columns.size(),
+                  "CSV row has " << cells.size() << " cells, header has "
+                                 << columns.size());
+    TrialRecord record;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (columns[i] != nullptr) columns[i]->set(record, Json(cells[i]));
+    }
+    out.push_back(std::move(record));
+  }
+  return out;
+}
+
+std::vector<TrialRecord> read_trial_records_jsonl(std::istream& is) {
+  std::vector<TrialRecord> out;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    out.push_back(trial_record_from_json(Json::parse(line)));
+  }
+  return out;
+}
+
+std::vector<TrialRecord> read_trial_records_json(const Json& array) {
+  FT2_CHECK_MSG(array.is_array(), "trial log JSON must be an array");
+  std::vector<TrialRecord> out;
+  for (std::size_t i = 0; i < array.size(); ++i) {
+    out.push_back(trial_record_from_json(array.at(i)));
+  }
+  return out;
 }
 
 std::map<LayerKind, TraceCollector::LayerTally> TraceCollector::sdc_by_layer()

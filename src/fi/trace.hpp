@@ -1,9 +1,19 @@
-// Trial trace recording: per-trial CSV / JSON dumps for debugging and
-// offline analysis of fault-injection campaigns.
+// Trial trace recording: the campaign flight recorder.
+//
+// TrialRecords serialize to three equivalent formats — a JSON array, CSV,
+// and streaming JSONL (one compact JSON object per line, written as trials
+// finish so a crashed campaign still leaves a usable log). All three share
+// ONE field-ordering source of truth (trial_record_fields() in trace.cpp):
+// CSV columns and JSON keys are the same names in the same order, and
+// every format round-trips through read_trial_records_*, so `ft2 report`
+// can aggregate any of them.
 #pragma once
 
+#include <cstdint>
+#include <istream>
 #include <map>
 #include <ostream>
+#include <string_view>
 #include <vector>
 
 #include "common/json.hpp"
@@ -21,23 +31,71 @@ constexpr const char* outcome_name(Outcome o) {
   return "unknown";
 }
 
+/// Inverse of outcome_name (throws ft2::Error on an unknown name).
+Outcome outcome_from_name(std::string_view name);
+
+/// Inverse of fault_model_name / value_type_name (throw on unknown names).
+FaultModel fault_model_from_name(std::string_view name);
+ValueType value_type_from_name(std::string_view name);
+
+/// One TrialRecord as a JSON object — keys in the shared field order.
+Json trial_record_to_json(const TrialRecord& record);
+
+/// Parses a record from a JSON object (as produced by trial_record_to_json
+/// or a CSV row lifted to strings). Missing new-style keys default, so logs
+/// recorded before a field existed still load.
+TrialRecord trial_record_from_json(const Json& json);
+
+/// Readers for the three serialized formats. CSV expects the header line
+/// written by TraceCollector::write_csv; JSONL expects one object per line
+/// (blank lines skipped); the JSON reader takes a parsed array document.
+std::vector<TrialRecord> read_trial_records_csv(std::istream& is);
+std::vector<TrialRecord> read_trial_records_jsonl(std::istream& is);
+std::vector<TrialRecord> read_trial_records_json(const Json& array);
+
 /// Collects TrialRecords; use `collector.callback()` as the campaign's
 /// on_trial argument, then serialize.
+///
+/// Bounded-memory streaming: construct with a sink stream and the
+/// collector appends one JSONL line per record as it arrives (under the
+/// campaign's serialized-callback lock), retaining at most `max_records`
+/// in memory — a multi-million-trial campaign records everything to disk
+/// while holding O(max_records) RAM. `recorded()` counts every record ever
+/// seen; `records()` returns the retained prefix.
 class TraceCollector {
  public:
+  TraceCollector() = default;
+  explicit TraceCollector(std::ostream* sink,
+                          std::size_t max_records = SIZE_MAX)
+      : sink_(sink), max_records_(max_records) {}
+
   TrialCallback callback() {
-    return [this](const TrialRecord& r) { records_.push_back(r); };
+    return [this](const TrialRecord& r) { add(r); };
   }
+
+  /// Records one trial: streams it to the sink (if any) and retains it in
+  /// memory up to the cap.
+  void add(const TrialRecord& record);
 
   const std::vector<TrialRecord>& records() const { return records_; }
   std::size_t size() const { return records_.size(); }
-  void clear() { records_.clear(); }
+  /// Total records ever added (>= size() once the cap truncates).
+  std::size_t recorded() const { return recorded_; }
+  void clear() {
+    records_.clear();
+    recorded_ = 0;
+  }
 
-  /// One CSV row per trial, with a header line.
+  /// One CSV row per trial, with a header line (column order = the shared
+  /// field order).
   void write_csv(std::ostream& os) const;
 
-  /// JSON array of trial objects.
+  /// JSON array of trial objects (key order = the shared field order).
   Json to_json() const;
+
+  /// One compact JSON object per line (the same lines the streaming sink
+  /// receives).
+  void write_jsonl(std::ostream& os) const;
 
   /// SDC records only (the interesting ones for debugging).
   std::vector<TrialRecord> sdc_records() const;
@@ -57,6 +115,9 @@ class TraceCollector {
 
  private:
   std::vector<TrialRecord> records_;
+  std::ostream* sink_ = nullptr;
+  std::size_t max_records_ = SIZE_MAX;
+  std::size_t recorded_ = 0;
 };
 
 }  // namespace ft2

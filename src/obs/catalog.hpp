@@ -1,0 +1,35 @@
+// Central catalog of every metric and trace-span name the library can
+// register. The catalog is the documentation contract: `ft2 metric-names`
+// dumps it, tools/docs_check.sh verifies every metric name mentioned in the
+// docs against that dump, and tests/obs/catalog_test.cpp verifies that
+// every name a live workload actually registers is cataloged — so a metric
+// cannot be added, renamed, or documented without the three staying in
+// sync.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ft2 {
+
+/// One observable name. `kind` distinguishes metric types from trace span
+/// names (spans share the dotted namespace but live in the Tracer, not the
+/// MetricsRegistry).
+struct CatalogEntry {
+  std::string name;
+  const char* kind;  ///< "counter" | "gauge" | "histogram" | "span"
+  const char* help;  ///< one-line description
+};
+
+/// The full expanded catalog: `<KIND>` placeholders fanned out over every
+/// LayerKind and `<OUTCOME>` over every campaign outcome, sorted by name.
+const std::vector<CatalogEntry>& metric_catalog();
+
+/// All catalog names, in catalog order — the `ft2 metric-names` dump.
+std::vector<std::string> all_metric_names();
+
+/// True when `name` appears in the catalog (exact match).
+bool is_cataloged_metric(std::string_view name);
+
+}  // namespace ft2

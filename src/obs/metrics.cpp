@@ -68,6 +68,20 @@ void HistogramCell::add(double x) {
   add_double_bits(sums[stripe].value, x);
 }
 
+void HistogramCell::add_prebucketed(
+    std::span<const std::uint64_t> bucket_counts, double sum) {
+  FT2_CHECK_MSG(bucket_counts.size() == n_buckets(),
+                "pre-bucketed counts must match the histogram's buckets");
+  const std::size_t stripe = stripe_index();
+  for (std::size_t b = 0; b < bucket_counts.size(); ++b) {
+    if (bucket_counts[b] != 0) {
+      counts[stripe * n_buckets() + b].value.fetch_add(
+          bucket_counts[b], std::memory_order_relaxed);
+    }
+  }
+  if (sum != 0.0) add_double_bits(sums[stripe].value, sum);
+}
+
 }  // namespace detail_obs
 
 Counter MetricsRegistry::counter(std::string_view name) {
@@ -273,6 +287,7 @@ Json MetricsSnapshot::to_json() const {
     entry["sum"] = h.sum;
     entry["mean"] = h.mean();
     entry["p50"] = h.quantile(0.5);
+    entry["p95"] = h.quantile(0.95);
     entry["p99"] = h.quantile(0.99);
     entry["nan_count"] = h.nan_count;
     hists_json[h.name] = std::move(entry);
@@ -281,14 +296,14 @@ Json MetricsSnapshot::to_json() const {
 }
 
 Table MetricsSnapshot::to_table() const {
-  Table table({"metric", "type", "value", "mean", "p50", "p99"});
+  Table table({"metric", "type", "value", "mean", "p50", "p95", "p99"});
   for (const auto& c : counters) {
     table.begin_row().cell(c.name).cell("counter").count(c.value).cell("").cell(
-        "").cell("");
+        "").cell("").cell("");
   }
   for (const auto& g : gauges) {
     table.begin_row().cell(g.name).cell("gauge").num(g.value, 2).cell("").cell(
-        "").cell("");
+        "").cell("").cell("");
   }
   for (const auto& h : histograms) {
     table.begin_row()
@@ -297,6 +312,7 @@ Table MetricsSnapshot::to_table() const {
         .count(h.count)
         .num(h.mean(), 3)
         .num(h.quantile(0.5), 3)
+        .num(h.quantile(0.95), 3)
         .num(h.quantile(0.99), 3);
   }
   return table;

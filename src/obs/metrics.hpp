@@ -82,6 +82,8 @@ struct HistogramCell {
   std::array<Stripe, kMetricStripes> sums;
 
   void add(double x);
+  void add_prebucketed(std::span<const std::uint64_t> bucket_counts,
+                       double sum);
   std::size_t n_buckets() const { return uppers.size() + 1; }
 };
 
@@ -123,6 +125,15 @@ class HistogramMetric {
   HistogramMetric() = default;
   void observe(double x) {
     if (cell_ != nullptr) cell_->add(x);
+  }
+  /// Merges counts a caller has already bucketed with this histogram's
+  /// semantics (bucket i = first upper >= x, trailing overflow) plus the
+  /// corresponding sample sum — one call instead of one observe() per
+  /// sample, for hooks that accumulate on a hot path and flush at a
+  /// boundary. `bucket_counts.size()` must equal uppers.size() + 1.
+  void observe_prebucketed(std::span<const std::uint64_t> bucket_counts,
+                           double sum) {
+    if (cell_ != nullptr) cell_->add_prebucketed(bucket_counts, sum);
   }
   bool enabled() const { return cell_ != nullptr; }
 
@@ -174,7 +185,7 @@ struct MetricsSnapshot {
   Json to_json() const;
 
   /// Human-readable table (one row per metric; histograms show
-  /// count/mean/p50/p99) via common/table.hpp.
+  /// count/mean/p50/p95/p99) via common/table.hpp.
   Table to_table() const;
 };
 

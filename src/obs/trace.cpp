@@ -1,5 +1,6 @@
 #include "obs/trace.hpp"
 
+#include <atomic>
 #include <chrono>
 
 #include "common/check.hpp"
@@ -19,9 +20,22 @@ std::uint64_t now_ns() {
 
 }  // namespace
 
+std::uint32_t trace_thread_index() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t index =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
+std::size_t default_trace_capacity() {
+  const std::size_t capacity = env_size("FT2_TRACE_CAPACITY", 4096);
+  return capacity == 0 ? 4096 : capacity;
+}
+
 TraceSpan::TraceSpan(Tracer* tracer, std::string name) : tracer_(tracer) {
   event_.name = std::move(name);
   event_.start_ns = now_ns();
+  event_.thread_index = trace_thread_index();
 }
 
 TraceSpan& TraceSpan::tag(std::string key, std::string value) {
@@ -55,6 +69,7 @@ void Tracer::instant(std::string name,
   TraceEvent event;
   event.name = std::move(name);
   event.start_ns = event.end_ns = now_ns();
+  event.thread_index = trace_thread_index();
   event.tags = std::move(tags);
   record(std::move(event));
 }
@@ -102,6 +117,7 @@ Json Tracer::to_json() const {
     Json entry = Json::object();
     entry["name"] = event.name;
     entry["seq"] = event.seq;
+    entry["thread"] = static_cast<std::size_t>(event.thread_index);
     entry["start_ns"] = static_cast<double>(event.start_ns);
     entry["end_ns"] = static_cast<double>(event.end_ns);
     entry["dur_ms"] = event.duration_ms();
@@ -116,7 +132,7 @@ Json Tracer::to_json() const {
 }
 
 Tracer& Tracer::global() {
-  static Tracer tracer(4096, env_flag("FT2_TRACE", false));
+  static Tracer tracer(default_trace_capacity(), env_flag("FT2_TRACE", false));
   return tracer;
 }
 

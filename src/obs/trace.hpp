@@ -22,6 +22,14 @@ namespace ft2 {
 
 class Json;
 
+/// Ring capacity for Tracer::global(): the FT2_TRACE_CAPACITY environment
+/// variable, or 4096 when unset/zero.
+std::size_t default_trace_capacity();
+
+/// Dense index of the calling thread among all threads that ever traced
+/// (assigned on first use, stable for the thread's lifetime).
+std::uint32_t trace_thread_index();
+
 /// One finished span. Timestamps are steady-clock nanoseconds (comparable
 /// within a process, not wall-clock). `seq` increases monotonically with
 /// recording order, surviving ring wrap-around.
@@ -30,6 +38,10 @@ struct TraceEvent {
   std::uint64_t start_ns = 0;
   std::uint64_t end_ns = 0;
   std::uint64_t seq = 0;
+  /// Dense per-process index of the thread that started the span (first
+  /// tracing thread = 0, second = 1, ...). Stable for a thread's lifetime;
+  /// the Chrome exporter uses it as the fallback tid.
+  std::uint32_t thread_index = 0;
   std::vector<std::pair<std::string, std::string>> tags;
 
   double duration_ms() const {
@@ -107,7 +119,8 @@ class Tracer {
   /// [{"name", "start_ns", "end_ns", "dur_ms", "seq", "tags": {...}}, ...]
   Json to_json() const;
 
-  /// Process-wide tracer; enabled at startup iff FT2_TRACE is truthy.
+  /// Process-wide tracer; enabled at startup iff FT2_TRACE is truthy, ring
+  /// capacity from FT2_TRACE_CAPACITY (default 4096).
   static Tracer& global();
 
  private:

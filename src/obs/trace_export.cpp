@@ -1,0 +1,195 @@
+#include "obs/trace_export.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <tuple>
+#include <utility>
+
+#include "common/json.hpp"
+
+namespace ft2 {
+
+namespace {
+
+const std::string* find_tag(const TraceEvent& event, const std::string& key) {
+  for (const auto& [k, v] : event.tags) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+/// Parses a track id from a tag value; non-numeric values hash-free
+/// fall back to `fallback` so a stray tag never aborts an export.
+long long parse_track_id(const std::string& text, long long fallback) {
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') return fallback;
+  return value;
+}
+
+std::vector<std::string> split_csv(const std::string& text) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    if (comma == std::string::npos) {
+      out.push_back(text.substr(start));
+      break;
+    }
+    out.push_back(text.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+struct Track {
+  long long pid = 0;
+  long long tid = 0;
+  bool named_pid = false;  ///< pid came from the pid_tag (vs fallback 0)
+  bool named_tid = false;  ///< tid came from the tid_tag (vs thread_index)
+
+  bool operator<(const Track& other) const {
+    return std::tie(pid, tid) < std::tie(other.pid, other.tid);
+  }
+};
+
+/// Every (pid, tid) track an event belongs to. Batched events with
+/// `<pid_tag>s` / `<tid_tag>s` CSV lists fan out to one track per entry.
+std::vector<Track> event_tracks(const TraceEvent& event,
+                                const ChromeTraceOptions& options) {
+  std::vector<Track> tracks;
+  const std::string* pids = find_tag(event, options.pid_tag + "s");
+  if (pids != nullptr && !pids->empty()) {
+    const std::string* tids = find_tag(event, options.tid_tag + "s");
+    const std::vector<std::string> pid_list = split_csv(*pids);
+    const std::vector<std::string> tid_list =
+        tids != nullptr ? split_csv(*tids) : std::vector<std::string>{};
+    for (std::size_t i = 0; i < pid_list.size(); ++i) {
+      Track track;
+      track.pid = parse_track_id(pid_list[i], 0);
+      track.named_pid = true;
+      if (i < tid_list.size()) {
+        track.tid = parse_track_id(tid_list[i], 0);
+        track.named_tid = true;
+      } else {
+        track.tid = event.thread_index;
+      }
+      tracks.push_back(track);
+    }
+    if (!tracks.empty()) return tracks;
+  }
+
+  Track track;
+  track.tid = event.thread_index;
+  if (const std::string* pid = find_tag(event, options.pid_tag)) {
+    track.pid = parse_track_id(*pid, 0);
+    track.named_pid = true;
+  }
+  if (const std::string* tid = find_tag(event, options.tid_tag)) {
+    track.tid = parse_track_id(*tid, 0);
+    track.named_tid = true;
+  }
+  tracks.push_back(track);
+  return tracks;
+}
+
+Json metadata_event(const char* kind, long long pid, long long tid,
+                    const std::string& label) {
+  Json meta = Json::object();
+  meta["name"] = kind;
+  meta["ph"] = "M";
+  meta["pid"] = static_cast<double>(pid);
+  meta["tid"] = static_cast<double>(tid);
+  Json args = Json::object();
+  args["name"] = label;
+  meta["args"] = std::move(args);
+  return meta;
+}
+
+}  // namespace
+
+Json chrome_trace_json(const std::vector<TraceEvent>& events,
+                       const ChromeTraceOptions& options) {
+  std::vector<const TraceEvent*> ordered;
+  ordered.reserve(events.size());
+  for (const TraceEvent& event : events) ordered.push_back(&event);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const TraceEvent* a, const TraceEvent* b) {
+              return std::tie(a->start_ns, a->seq) <
+                     std::tie(b->start_ns, b->seq);
+            });
+
+  std::uint64_t base_ns = 0;
+  if (options.normalize_ts && !ordered.empty()) {
+    base_ns = ordered.front()->start_ns;
+  }
+
+  // Track registry: label processes/threads once, in first-seen order.
+  std::map<long long, std::string> process_names;
+  std::map<std::pair<long long, long long>, std::string> thread_names;
+
+  Json trace_events = Json::array();
+  for (const TraceEvent* event : ordered) {
+    for (const Track& track : event_tracks(*event, options)) {
+      if (process_names.find(track.pid) == process_names.end()) {
+        process_names[track.pid] =
+            track.named_pid
+                ? options.pid_tag + " " + std::to_string(track.pid)
+                : "ft2";
+      }
+      const std::pair<long long, long long> key{track.pid, track.tid};
+      if (thread_names.find(key) == thread_names.end()) {
+        thread_names[key] =
+            track.named_tid
+                ? options.tid_tag + " " + std::to_string(track.tid)
+                : "thread " + std::to_string(track.tid);
+      }
+
+      Json entry = Json::object();
+      entry["name"] = event->name;
+      entry["ph"] = "X";
+      entry["ts"] = static_cast<double>(event->start_ns - base_ns) / 1e3;
+      entry["dur"] =
+          static_cast<double>(event->end_ns - event->start_ns) / 1e3;
+      entry["pid"] = static_cast<double>(track.pid);
+      entry["tid"] = static_cast<double>(track.tid);
+      if (!event->tags.empty()) {
+        Json args = Json::object();
+        for (const auto& [k, v] : event->tags) args[k] = v;
+        entry["args"] = std::move(args);
+      }
+      trace_events.push_back(std::move(entry));
+    }
+  }
+
+  // Prepend metadata so viewers label tracks before any data event.
+  Json all = Json::array();
+  for (const auto& [pid, label] : process_names) {
+    all.push_back(metadata_event("process_name", pid, 0, label));
+  }
+  for (const auto& [key, label] : thread_names) {
+    all.push_back(metadata_event("thread_name", key.first, key.second, label));
+  }
+  for (std::size_t i = 0; i < trace_events.size(); ++i) {
+    all.push_back(trace_events.at(i));
+  }
+
+  Json document = Json::object();
+  document["traceEvents"] = std::move(all);
+  document["displayTimeUnit"] = "ms";
+  return document;
+}
+
+Json chrome_trace_json(const Tracer& tracer,
+                       const ChromeTraceOptions& options) {
+  return chrome_trace_json(tracer.events(), options);
+}
+
+void write_chrome_trace(std::ostream& os, const Tracer& tracer,
+                        const ChromeTraceOptions& options) {
+  chrome_trace_json(tracer, options).write(os, -1);
+  os << "\n";
+}
+
+}  // namespace ft2

@@ -1,0 +1,47 @@
+// Chrome Trace Event (about://tracing, Perfetto) export for Tracer spans.
+//
+// The exporter maps span tags onto the Trace Event track model so
+// continuous-batching interleaving is visible as a swimlane per request:
+// the tag named by `pid_tag` ("request" by default) becomes the event's
+// pid, the tag named by `tid_tag` ("slot") becomes its tid, and events
+// that cover several requests at once (a batched decode step) carry
+// comma-separated `<pid_tag>s` / `<tid_tag>s` tag lists and are fanned out
+// onto every (pid, tid) track they touch. Events with neither tag land on
+// pid 0 with the recording thread's index as tid. Metadata ("M") events
+// name each process/thread track so the viewer shows "request 3 / slot 1"
+// instead of bare numbers.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace ft2 {
+
+class Json;
+
+struct ChromeTraceOptions {
+  /// Tag whose numeric value becomes the Trace Event pid (one process
+  /// lane per distinct value). Campaign exports use "input".
+  std::string pid_tag = "request";
+  /// Tag whose numeric value becomes the tid within the pid's lane.
+  std::string tid_tag = "slot";
+  /// Rebase timestamps so the earliest span starts at ts = 0.
+  bool normalize_ts = true;
+};
+
+/// Builds the Trace Event document: {"traceEvents": [...],
+/// "displayTimeUnit": "ms"}. Events are emitted as complete ("X") spans
+/// sorted by start time (stable on seq), so per-track ts is monotonic.
+Json chrome_trace_json(const std::vector<TraceEvent>& events,
+                       const ChromeTraceOptions& options = {});
+Json chrome_trace_json(const Tracer& tracer,
+                       const ChromeTraceOptions& options = {});
+
+/// Writes the document to a stream (compact, one trailing newline).
+void write_chrome_trace(std::ostream& os, const Tracer& tracer,
+                        const ChromeTraceOptions& options = {});
+
+}  // namespace ft2

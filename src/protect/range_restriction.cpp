@@ -11,34 +11,33 @@ void range_restrict(std::span<float> values, const Bounds& bounds,
   if (!bounds.valid()) {
     if (correct_nan) {
       std::size_t n = 0;
-      if (detect_only) {
-        for (float v : values) n += std::isnan(v) ? 1 : 0;
-      } else {
-        n = correct_nan_to_zero(values);
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        if (!std::isnan(values[i])) continue;
+        if (!detect_only) values[i] = 0.0f;
+        ++n;
+        if (observer != nullptr) observer->on_nan(i);
       }
       if (stats != nullptr) {
         stats->values_checked += values.size();
         stats->nan_corrected += n;
-      }
-      if (observer != nullptr) {
-        for (std::size_t i = 0; i < n; ++i) observer->on_nan();
       }
     }
     return;
   }
   std::size_t nan_fixed = 0;
   std::size_t oob_fixed = 0;
-  for (float& v : values) {
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    float& v = values[i];
     if (std::isnan(v)) {
       if (correct_nan) {
         if (!detect_only) v = 0.0f;
         ++nan_fixed;
-        if (observer != nullptr) observer->on_nan();
+        if (observer != nullptr) observer->on_nan(i);
       }
       continue;
     }
     if (v > bounds.hi || v < bounds.lo) {
-      if (observer != nullptr) observer->on_oob(v);
+      if (observer != nullptr) observer->on_oob(v, i);
       if (!detect_only) {
         switch (policy) {
           case ClipPolicy::kToBound:

@@ -36,14 +36,19 @@ struct ProtectionStats {
 
 /// Optional per-event observer for range_restrict: called once per
 /// corrected (or, in detect_only mode, detected) value with the ORIGINAL
-/// pre-correction value. Observers only observe — the correction result is
-/// identical with or without one. Used to feed protect.* clip-magnitude
-/// histograms without burdening the common no-observer path.
+/// pre-correction value and its index into the dispatched span (callers
+/// with multi-position spans map the index back to a sequence position).
+/// Observers only observe — the correction result is identical with or
+/// without one. Used to feed protect.* clip-magnitude histograms without
+/// burdening the common no-observer path.
 class ClipObserver {
  public:
   virtual ~ClipObserver() = default;
-  virtual void on_nan() {}
-  virtual void on_oob(float original) { (void)original; }
+  virtual void on_nan(std::size_t index) { (void)index; }
+  virtual void on_oob(float original, std::size_t index) {
+    (void)original;
+    (void)index;
+  }
 };
 
 /// Applies range restriction in place. Infinities count as out-of-bound.

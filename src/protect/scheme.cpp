@@ -101,6 +101,7 @@ ProtectionStats ProtectionHook::stats() const {
 void ProtectionHook::on_generation_begin() {
   if (spec_.online) online_bounds_.reset();
   clip_log_.clear();
+  first_detect_pos_ = -1;
 }
 
 ProtectionState ProtectionHook::capture_state() const {
@@ -108,6 +109,7 @@ ProtectionState ProtectionHook::capture_state() const {
   state.online_bounds = online_bounds_;
   state.kind_stats = kind_stats_;
   state.clips = clip_log_;
+  state.first_detect_pos = first_detect_pos_;
   return state;
 }
 
@@ -127,30 +129,45 @@ void ProtectionHook::restore_state(const ProtectionState& state) {
     km.oob.inc(s.oob_corrected);
   }
   clip_log_ = state.clips;
-  for (const auto& [kind, original] : state.clips) {
-    kind_metrics_[static_cast<std::size_t>(kind)].clip_magnitude.observe(
-        std::abs(static_cast<double>(original)));
+  if (state.first_detect_pos >= 0 &&
+      (first_detect_pos_ < 0 || state.first_detect_pos < first_detect_pos_)) {
+    first_detect_pos_ = state.first_detect_pos;
+  }
+  for (const ClipEvent& clip : state.clips) {
+    kind_metrics_[static_cast<std::size_t>(clip.kind)].clip_magnitude.observe(
+        std::abs(static_cast<double>(clip.original)));
   }
 }
 
 namespace {
 
 /// Feeds out-of-bound originals into one kind's clip-magnitude histogram
-/// and, when a capture log is supplied, records them for ProtectionState.
+/// and, when a capture log is supplied, records positioned ClipEvents for
+/// ProtectionState / campaign flight records.
 class MagnitudeObserver final : public ClipObserver {
  public:
   MagnitudeObserver(HistogramMetric hist, LayerKind kind,
-                    std::vector<std::pair<LayerKind, float>>* log)
-      : hist_(hist), kind_(kind), log_(log) {}
-  void on_oob(float original) override {
+                    std::size_t base_position, std::size_t row_width,
+                    std::vector<ClipEvent>* log)
+      : hist_(hist),
+        kind_(kind),
+        base_position_(base_position),
+        row_width_(row_width),
+        log_(log) {}
+  void on_oob(float original, std::size_t index) override {
     hist_.observe(std::abs(static_cast<double>(original)));
-    if (log_ != nullptr) log_->emplace_back(kind_, original);
+    if (log_ != nullptr) {
+      log_->push_back(
+          ClipEvent{kind_, base_position_ + index / row_width_, original});
+    }
   }
 
  private:
   HistogramMetric hist_;
   LayerKind kind_;
-  std::vector<std::pair<LayerKind, float>>* log_;
+  std::size_t base_position_;
+  std::size_t row_width_;
+  std::vector<ClipEvent>* log_;
 };
 
 }  // namespace
@@ -181,12 +198,20 @@ void ProtectionHook::on_output(const HookContext& ctx,
   } else {
     const Bounds& raw =
         spec_.online ? online_bounds_.at(ctx.site) : offline_bounds_.at(ctx.site);
-    MagnitudeObserver observer(km.clip_magnitude, ctx.site.kind,
+    MagnitudeObserver observer(km.clip_magnitude, ctx.site.kind, ctx.position,
+                               ctx.width(values.size()),
                                capture_clips_ ? &clip_log_ : nullptr);
     range_restrict(values, raw.scaled(spec_.bound_scale), spec_.policy,
                    spec_.correct_nan, &delta, spec_.detect_only,
                    km.clip_magnitude.enabled() || capture_clips_ ? &observer
                                                                  : nullptr);
+  }
+  if ((delta.nan_corrected != 0 || delta.oob_corrected != 0) &&
+      first_detect_pos_ < 0) {
+    // Dispatches arrive in nondecreasing position order, so the first
+    // detecting dispatch carries the earliest position (span-start
+    // granularity during chunked prefill).
+    first_detect_pos_ = static_cast<long long>(ctx.position);
   }
   tally.merge(delta);
   km.checked.inc(delta.values_checked);

@@ -25,18 +25,31 @@
 
 namespace ft2 {
 
+/// One out-of-bound correction, attributed to the layer kind and the
+/// sequence position of the clipped value (forensics: campaign flight
+/// records carry these so `ft2 report` can localize detections without
+/// rerunning the trial).
+struct ClipEvent {
+  LayerKind kind = LayerKind::kQProj;
+  std::size_t position = 0;  ///< sequence position of the clipped value
+  float original = 0.0f;     ///< pre-correction value
+};
+
 /// Point-in-time snapshot of a ProtectionHook's per-generation state, taken
 /// at a token boundary of a fault-free run and restored into a fresh hook
 /// when a trial forks from that boundary (prefix-reuse campaigns). Carries
 /// everything the hook accumulated over the skipped prefix: the online
 /// first-token bounds, the per-kind correction tallies, and the individual
-/// out-of-bound originals (so clip-magnitude histograms replay exactly).
+/// out-of-bound events (so clip-magnitude histograms replay exactly).
 struct ProtectionState {
   BoundStore online_bounds;
   std::array<ProtectionStats, kLayerKindCount> kind_stats{};
-  /// Out-of-bound ORIGINAL values observed so far, in dispatch order
-  /// (recorded only while clip capture is enabled on the source hook).
-  std::vector<std::pair<LayerKind, float>> clips;
+  /// Out-of-bound events observed so far, in dispatch order (recorded only
+  /// while clip capture is enabled on the source hook).
+  std::vector<ClipEvent> clips;
+  /// Earliest sequence position where any correction (NaN or out-of-bound)
+  /// fired, -1 when none has.
+  long long first_detect_pos = -1;
 };
 
 enum class SchemeKind {
@@ -122,6 +135,20 @@ class ProtectionHook : public OutputHook {
   /// (valid after the first-token phase of an FT2 run).
   const BoundStore& online_bounds() const { return online_bounds_; }
 
+  /// Offline (profiled) bounds this hook protects with; invalid entries for
+  /// online schemes constructed without profiles.
+  const BoundStore& offline_bounds() const { return offline_bounds_; }
+
+  /// Out-of-bound events recorded this generation (only while clip capture
+  /// is on — see set_clip_capture).
+  const std::vector<ClipEvent>& clip_events() const { return clip_log_; }
+
+  /// Earliest sequence position where any correction fired this generation
+  /// (-1 = none). During chunked prefill the granularity is the dispatched
+  /// span's first position; decode dispatches are single-position, so the
+  /// value is exact wherever detection latency matters.
+  long long first_detect_position() const { return first_detect_pos_; }
+
   /// Records every out-of-bound original value so capture_state() can carry
   /// it. Off by default (the common path stays allocation-free); turn on
   /// for the fault-free recording run of a prefix-reuse campaign.
@@ -161,7 +188,8 @@ class ProtectionHook : public OutputHook {
   std::array<ProtectionStats, kLayerKindCount> kind_stats_{};
   std::array<KindMetrics, kLayerKindCount> kind_metrics_{};
   bool capture_clips_ = false;
-  std::vector<std::pair<LayerKind, float>> clip_log_;
+  std::vector<ClipEvent> clip_log_;
+  long long first_detect_pos_ = -1;
 };
 
 }  // namespace ft2

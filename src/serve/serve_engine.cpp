@@ -39,6 +39,7 @@ struct ServeEngine::Request {
   std::vector<float> logits;
   Xoshiro256 sampler;
   GenerationScope scope;   ///< armed at admission, ended at finish
+  std::size_t slot = 0;    ///< batch slot held from admission to finish
   std::size_t pos = 0;     ///< next forward position (== cache length)
   std::size_t steps = 0;   ///< decode loop index (tokens sampled so far)
   int pending_token = -1;  ///< token to feed at the next batched step
@@ -152,6 +153,7 @@ bool ServeEngine::consume_logits(Request& req) {
 void ServeEngine::finish(Request& req) {
   req.scope.end();
   req.done = true;
+  if (req.slot < slot_in_use_.size()) slot_in_use_[req.slot] = false;
   req.stats.generated_tokens = req.result.tokens.size();
   req.stats.decode_ms = ms_between(req.admit_time, Clock::now());
   ++counters_.completed;
@@ -170,9 +172,21 @@ void ServeEngine::admit_pending() {
     req.stats.prompt_tokens = req.prompt.size();
     metrics_.queue_wait_ms.observe(req.stats.queue_ms);
 
+    // Lowest free batch slot; held until finish() releases it.
+    std::size_t slot = 0;
+    while (slot < slot_in_use_.size() && slot_in_use_[slot]) ++slot;
+    if (slot == slot_in_use_.size()) {
+      slot_in_use_.push_back(true);
+    } else {
+      slot_in_use_[slot] = true;
+    }
+    req.slot = slot;
+    req.stats.slot = slot;
+
     TraceSpan prefill_span = tracer_->span("serve.prefill");
     if (prefill_span.active()) {
       prefill_span.tag("request", std::to_string(req.id))
+          .tag("slot", std::to_string(req.slot))
           .tag("prompt_tokens", std::to_string(req.prompt.size()));
     }
     req.scope = GenerationScope(req.hooks);
@@ -206,7 +220,21 @@ void ServeEngine::decode_step() {
   const Clock::time_point step_start = timed ? Clock::now() : Clock::time_point{};
   TraceSpan step_span = tracer_->span("serve.decode_step");
   if (step_span.active()) {
-    step_span.tag("rows", std::to_string(active_.size()));
+    // Parallel CSV lists let the Chrome exporter fan this one span out onto
+    // every (request, slot) track it covered.
+    std::string requests;
+    std::string slots_csv;
+    for (const Request* req : active_) {
+      if (!requests.empty()) {
+        requests += ',';
+        slots_csv += ',';
+      }
+      requests += std::to_string(req->id);
+      slots_csv += std::to_string(req->slot);
+    }
+    step_span.tag("rows", std::to_string(active_.size()))
+        .tag("requests", std::move(requests))
+        .tag("slots", std::move(slots_csv));
   }
 
   // Group active requests by execution config; each sub-batch is one

@@ -68,6 +68,11 @@ struct RequestStats {
   std::size_t prompt_tokens = 0;
   std::size_t generated_tokens = 0;
   std::size_t decode_steps = 0;  ///< batched steps this request took part in
+  /// Batch slot held from admission to completion: the lowest index free at
+  /// admission time (< max_batch while decoding). Slots are reused once a
+  /// request finishes; trace spans tag it so the Chrome exporter can lay
+  /// decode work out per slot lane.
+  std::size_t slot = 0;
   double queue_ms = 0.0;         ///< submit -> admission
   double prefill_ms = 0.0;
   double decode_ms = 0.0;  ///< admission+prefill -> completion
@@ -189,6 +194,7 @@ class ServeEngine {
   std::unordered_map<RequestId, std::unique_ptr<Request>> requests_;
   std::deque<RequestId> queue_;      ///< submitted, not yet admitted (FIFO)
   std::vector<Request*> active_;     ///< decoding, in admission order
+  std::vector<bool> slot_in_use_;    ///< batch-slot occupancy (index = slot)
   ServeCounters counters_;
   RequestId next_id_ = 1;
 };

@@ -83,5 +83,80 @@ TEST(Json, OperatorIndexReassigns) {
   EXPECT_EQ(j.size(), 1u);
 }
 
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_TRUE(Json::parse("true").as_bool());
+  EXPECT_FALSE(Json::parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(Json::parse("42").as_double(), 42.0);
+  EXPECT_DOUBLE_EQ(Json::parse("-2.5e3").as_double(), -2500.0);
+  EXPECT_EQ(Json::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonParse, RoundTripsWriterOutput) {
+  Json j = Json::object();
+  j["name"] = "ft2 \"quoted\"\n";
+  j["pi"] = 3.25;
+  j["n"] = -17;
+  j["ok"] = true;
+  j["none"] = Json();
+  j["list"] = Json::array();
+  j["list"].push_back(Json(1));
+  j["list"].push_back(Json("two"));
+  Json nested = Json::object();
+  nested["k"] = 0.5;
+  j["list"].push_back(std::move(nested));
+
+  for (int indent : {-1, 2}) {
+    const Json back = Json::parse(j.dump(indent));
+    EXPECT_EQ(back.dump(-1), j.dump(-1)) << "indent=" << indent;
+  }
+}
+
+TEST(JsonParse, PreservesObjectOrderAndAccessors) {
+  const Json j = Json::parse("{\"zebra\": 1, \"apple\": {\"x\": [10, 20]}}");
+  EXPECT_EQ(j.keys(), (std::vector<std::string>{"zebra", "apple"}));
+  EXPECT_DOUBLE_EQ(j.at("zebra").as_double(), 1.0);
+  EXPECT_DOUBLE_EQ(j.at("apple").at("x").at(1).as_double(), 20.0);
+  EXPECT_EQ(j.find("missing"), nullptr);
+  EXPECT_THROW(j.at("missing"), Error);
+  EXPECT_THROW(j.at("apple").at("x").at(2), Error);
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(Json::parse("\"a\\\"b\\\\c\\n\\t\\u0041\"").as_string(),
+            "a\"b\\c\n\tA");
+  // \u escapes above ASCII decode to UTF-8.
+  EXPECT_EQ(Json::parse("\"\\u00e9\"").as_string(), "\xc3\xa9");
+  EXPECT_EQ(Json::parse("\"\\u20ac\"").as_string(), "\xe2\x82\xac");
+}
+
+TEST(JsonParse, TypeMismatchThrows) {
+  const Json j = Json::parse("{\"a\": 1}");
+  EXPECT_THROW(j.as_double(), Error);
+  EXPECT_THROW(j.at("a").as_string(), Error);
+  EXPECT_THROW(j.at("a").as_bool(), Error);
+  EXPECT_THROW(j.at(std::size_t{0}), Error);  // object, not array
+}
+
+TEST(JsonParse, MalformedInputThrows) {
+  const char* bad[] = {
+      "",          "{",           "[1,",      "{\"a\":}",   "tru",
+      "01x",       "\"unclosed",  "\"\\q\"",  "\"\\u12g4\"", "[1] extra",
+      "{\"a\" 1}", "[1 2]",       "nan",
+  };
+  for (const char* text : bad) {
+    EXPECT_THROW(Json::parse(text), Error) << "input: " << text;
+  }
+}
+
+TEST(JsonParse, DepthLimit) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_THROW(Json::parse(deep), Error);
+  std::string ok(100, '[');
+  ok += std::string(100, ']');
+  EXPECT_NO_THROW(Json::parse(ok));
+}
+
 }  // namespace
 }  // namespace ft2

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <sstream>
 
 namespace ft2 {
@@ -19,6 +21,16 @@ TrialRecord make_record(std::size_t trial, Outcome outcome) {
   r.plan.in_first_token = trial == 0;
   r.outcome = outcome;
   r.generated_text = "bob lives in paris";
+  r.fault_model = FaultModel::kDoubleBit;
+  r.fired = true;
+  r.nan_detections = 1;
+  r.oob_detections = 2;
+  r.detections = 3;
+  r.detect_position = static_cast<long long>(r.plan.position) + 1;
+  r.injected_original = 0.125f;
+  r.injected_value = -3.5f;
+  r.clips = {{LayerKind::kVProj, 11, 123.456f},
+             {LayerKind::kFc2, 12, -9.25f}};
   return r;
 }
 
@@ -64,6 +76,143 @@ TEST(Trace, OutcomeNames) {
   EXPECT_STREQ(outcome_name(Outcome::kSdc), "sdc");
   EXPECT_STREQ(outcome_name(Outcome::kMaskedIdentical), "masked_identical");
   EXPECT_STREQ(outcome_name(Outcome::kNotInjected), "not_injected");
+}
+
+TEST(Trace, FieldOrderIsSharedAcrossFormats) {
+  // CSV columns and JSON keys must agree exactly — both come from
+  // trial_record_fields(), the single source of truth.
+  TraceCollector collector;
+  collector.callback()(make_record(0, Outcome::kSdc));
+  std::ostringstream os;
+  collector.write_csv(os);
+  const std::string header = os.str().substr(0, os.str().find('\n'));
+
+  const Json obj = trial_record_to_json(collector.records()[0]);
+  std::string joined;
+  for (const std::string& key : obj.keys()) {
+    if (!joined.empty()) joined += ',';
+    joined += key;
+  }
+  EXPECT_EQ(header, joined);
+  // Pin the schema: renaming/reordering a field is a format break and must
+  // be a conscious decision.
+  EXPECT_EQ(joined,
+            "trial,input,position,in_first_token,block,layer,neuron,bits,"
+            "dtype,outcome,generated,fault_model,fired,detections,"
+            "nan_detections,oob_detections,detect_position,"
+            "injected_original,injected_value,clips");
+}
+
+std::string jsonl_of(const std::vector<TrialRecord>& records) {
+  std::ostringstream os;
+  for (const TrialRecord& r : records) {
+    trial_record_to_json(r).write(os, -1);
+    os << '\n';
+  }
+  return os.str();
+}
+
+TEST(Trace, CsvRoundTripsIncludingAwkwardValues) {
+  TraceCollector collector;
+  auto cb = collector.callback();
+  TrialRecord tricky = make_record(0, Outcome::kSdc);
+  tricky.generated_text = "says \"hi\", twice";  // embedded quote + comma
+  tricky.injected_value = std::numeric_limits<float>::infinity();
+  tricky.injected_original = std::numeric_limits<float>::quiet_NaN();
+  cb(tricky);
+  cb(make_record(1, Outcome::kMaskedIdentical));
+  TrialRecord bare = make_record(2, Outcome::kNotInjected);
+  bare.fired = false;
+  bare.clips.clear();
+  bare.generated_text.clear();
+  cb(bare);
+
+  std::ostringstream os;
+  collector.write_csv(os);
+  std::istringstream is(os.str());
+  const std::vector<TrialRecord> loaded = read_trial_records_csv(is);
+  ASSERT_EQ(loaded.size(), collector.size());
+  // Bit-for-bit: re-serializing the loaded records reproduces the
+  // original text (inf/nan survive via the %.9g string encoding).
+  EXPECT_EQ(jsonl_of(loaded), jsonl_of(collector.records()));
+  EXPECT_TRUE(std::isinf(loaded[0].injected_value));
+  EXPECT_TRUE(std::isnan(loaded[0].injected_original));
+  EXPECT_EQ(loaded[0].generated_text, "says \"hi\", twice");
+  ASSERT_EQ(loaded[0].clips.size(), 2u);
+  EXPECT_EQ(loaded[0].clips[1].kind, LayerKind::kFc2);
+  EXPECT_EQ(loaded[0].clips[1].position, 12u);
+  EXPECT_FLOAT_EQ(loaded[0].clips[1].original, -9.25f);
+  EXPECT_EQ(loaded[0].detect_position, 11);
+  EXPECT_EQ(loaded[2].detect_position, 13);
+  EXPECT_FALSE(loaded[2].fired);
+}
+
+TEST(Trace, JsonlAndJsonRoundTrip) {
+  TraceCollector collector;
+  auto cb = collector.callback();
+  cb(make_record(0, Outcome::kMaskedSemantic));
+  cb(make_record(1, Outcome::kSdc));
+
+  std::ostringstream jl;
+  collector.write_jsonl(jl);
+  std::istringstream jl_in(jl.str());
+  const auto from_jsonl = read_trial_records_jsonl(jl_in);
+  ASSERT_EQ(from_jsonl.size(), 2u);
+  EXPECT_EQ(jsonl_of(from_jsonl), jl.str());
+
+  const auto from_json = read_trial_records_json(
+      Json::parse(collector.to_json().dump(2)));
+  ASSERT_EQ(from_json.size(), 2u);
+  EXPECT_EQ(jsonl_of(from_json), jl.str());
+}
+
+TEST(Trace, MissingTrailingFieldsDefault) {
+  // Logs recorded before a field existed still load: a pre-forensics JSONL
+  // line without the newer keys parses with defaults.
+  std::istringstream is(
+      "{\"trial\": 4, \"position\": 9, \"layer\": \"FC1\", "
+      "\"outcome\": \"sdc\"}\n");
+  const auto loaded = read_trial_records_jsonl(is);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0].trial, 4u);
+  EXPECT_EQ(loaded[0].plan.site.kind, LayerKind::kFc1);
+  EXPECT_EQ(loaded[0].outcome, Outcome::kSdc);
+  EXPECT_EQ(loaded[0].fault_model, FaultModel::kSingleBit);
+  EXPECT_FALSE(loaded[0].fired);
+  EXPECT_EQ(loaded[0].detect_position, -1);
+  EXPECT_TRUE(loaded[0].clips.empty());
+}
+
+TEST(Trace, StreamingSinkAndMemoryCap) {
+  std::ostringstream sink;
+  TraceCollector collector(&sink, /*max_records=*/2);
+  auto cb = collector.callback();
+  for (std::size_t i = 0; i < 5; ++i) cb(make_record(i, Outcome::kSdc));
+
+  // Every record streams to the sink; memory holds only the capped prefix.
+  EXPECT_EQ(collector.recorded(), 5u);
+  EXPECT_EQ(collector.size(), 2u);
+  std::istringstream is(sink.str());
+  const auto streamed = read_trial_records_jsonl(is);
+  ASSERT_EQ(streamed.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(streamed[i].trial, i);
+  // The streamed lines are exactly the JSONL serialization.
+  EXPECT_EQ(sink.str(), jsonl_of(streamed));
+}
+
+TEST(Trace, NameInverses) {
+  for (Outcome o : {Outcome::kMaskedIdentical, Outcome::kMaskedSemantic,
+                    Outcome::kSdc, Outcome::kNotInjected}) {
+    EXPECT_EQ(outcome_from_name(outcome_name(o)), o);
+  }
+  for (FaultModel m : all_fault_models()) {
+    EXPECT_EQ(fault_model_from_name(fault_model_name(m)), m);
+  }
+  EXPECT_EQ(value_type_from_name("fp16"), ValueType::kF16);
+  EXPECT_EQ(value_type_from_name("fp32"), ValueType::kF32);
+  EXPECT_THROW(outcome_from_name("bogus"), Error);
+  EXPECT_THROW(fault_model_from_name("bogus"), Error);
+  EXPECT_THROW(value_type_from_name("bogus"), Error);
 }
 
 TEST(Trace, CampaignIntegration) {

@@ -142,6 +142,66 @@ TEST(MetricsRegistry, HistogramMeanAndQuantiles) {
   EXPECT_TRUE(empty_snap.counters.empty());
 }
 
+TEST(MetricsRegistry, QuantileEdgeCases) {
+  MetricsRegistry reg;
+  HistogramMetric h =
+      reg.histogram("qe.hist", std::vector<double>{1.0, 2.0, 4.0});
+
+  // Empty histogram: every quantile is 0 (no samples to interpolate over).
+  {
+    const MetricsSnapshot snap = reg.snapshot();
+    const auto* hist = snap.find_histogram("qe.hist");
+    ASSERT_NE(hist, nullptr);
+    EXPECT_DOUBLE_EQ(hist->quantile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(hist->quantile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(hist->quantile(1.0), 0.0);
+  }
+
+  // Single sample: every quantile lands inside that sample's bucket.
+  h.observe(1.5);  // bucket (1, 2]
+  {
+    const MetricsSnapshot snap = reg.snapshot();
+    const auto* hist = snap.find_histogram("qe.hist");
+    ASSERT_NE(hist, nullptr);
+    for (double q : {0.01, 0.5, 0.95, 0.99, 1.0}) {
+      EXPECT_GE(hist->quantile(q), 1.0) << "q=" << q;
+      EXPECT_LE(hist->quantile(q), 2.0) << "q=" << q;
+    }
+  }
+
+  // All samples in the overflow bucket: quantiles report the overflow
+  // bucket's lower bound (the last finite upper edge) at every q, and an
+  // out-of-range q clamps rather than throwing.
+  MetricsRegistry reg2;
+  HistogramMetric over =
+      reg2.histogram("qe.over", std::vector<double>{1.0, 2.0, 4.0});
+  for (int i = 0; i < 10; ++i) over.observe(100.0);
+  {
+    const MetricsSnapshot snap = reg2.snapshot();
+    const auto* hist = snap.find_histogram("qe.over");
+    ASSERT_NE(hist, nullptr);
+    EXPECT_DOUBLE_EQ(hist->quantile(0.5), 4.0);
+    EXPECT_DOUBLE_EQ(hist->quantile(0.95), 4.0);
+    EXPECT_DOUBLE_EQ(hist->quantile(0.99), 4.0);
+    EXPECT_DOUBLE_EQ(hist->quantile(1.5), 4.0);
+  }
+}
+
+TEST(MetricsRegistry, ExportsIncludeP95) {
+  MetricsRegistry reg;
+  HistogramMetric h = reg.histogram("p.hist", std::vector<double>{1.0, 2.0});
+  for (int i = 0; i < 20; ++i) h.observe(0.5);
+  const Json doc = reg.snapshot().to_json();
+  const Json& entry = doc.at("histograms").at("p.hist");
+  ASSERT_NE(entry.find("p50"), nullptr);
+  ASSERT_NE(entry.find("p95"), nullptr);
+  ASSERT_NE(entry.find("p99"), nullptr);
+
+  std::ostringstream os;
+  reg.snapshot().to_table().print(os);
+  EXPECT_NE(os.str().find("p95"), std::string::npos);
+}
+
 TEST(MetricsRegistry, GaugeLastWriteWins) {
   MetricsRegistry reg;
   Gauge g = reg.gauge("test.gauge");

@@ -1,0 +1,157 @@
+// Chrome-trace exporter shape checks, registered as the TraceExportCheck
+// ctest: the exported document must be a valid Chrome Trace Event /
+// Perfetto JSON — parseable by the project's own Json::parse, every data
+// event carrying name/ph/ts/dur/pid/tid, metadata events labelling each
+// track before any data event, and timestamps monotonic within each
+// (pid, tid) track.
+#include "obs/trace_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "common/json.hpp"
+#include "core/ft2.hpp"
+#include "serve/serve_engine.hpp"
+
+namespace ft2 {
+namespace {
+
+TraceEvent make_event(std::string name, std::uint64_t start_us,
+                      std::uint64_t dur_us,
+                      std::vector<std::pair<std::string, std::string>> tags) {
+  TraceEvent e;
+  e.name = std::move(name);
+  e.start_ns = start_us * 1000;
+  e.end_ns = (start_us + dur_us) * 1000;
+  e.tags = std::move(tags);
+  return e;
+}
+
+TEST(TraceExportCheck, HandBuiltEventsExportWithTracksAndMetadata) {
+  std::vector<TraceEvent> events;
+  events.push_back(
+      make_event("serve.prefill", 100, 50, {{"request", "3"}, {"slot", "0"}}));
+  events.push_back(make_event("serve.decode_step", 160, 10,
+                              {{"requests", "3,4"}, {"slots", "0,1"}}));
+  events.push_back(make_event("untagged", 180, 5, {}));
+
+  const Json doc = chrome_trace_json(events);
+  const Json& list = doc.at("traceEvents");
+  ASSERT_TRUE(list.is_array());
+
+  std::size_t meta = 0;
+  std::size_t data = 0;
+  bool seen_data = false;
+  std::set<long long> pids;
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    const Json& e = list.at(i);
+    const std::string ph = e.at("ph").as_string();
+    ASSERT_NE(e.find("name"), nullptr);
+    ASSERT_NE(e.find("pid"), nullptr);
+    ASSERT_NE(e.find("tid"), nullptr);
+    if (ph == "M") {
+      // All metadata precedes all data events.
+      EXPECT_FALSE(seen_data);
+      ++meta;
+      continue;
+    }
+    ASSERT_EQ(ph, "X");
+    seen_data = true;
+    ++data;
+    ASSERT_NE(e.find("ts"), nullptr);
+    ASSERT_NE(e.find("dur"), nullptr);
+    pids.insert(static_cast<long long>(e.at("pid").as_double()));
+  }
+  // prefill + the batched step fanned out to two tracks + untagged.
+  EXPECT_EQ(data, 4u);
+  EXPECT_GT(meta, 0u);
+  // Requests 3 and 4 plus the untagged fallback pid 0.
+  EXPECT_EQ(pids, (std::set<long long>{0, 3, 4}));
+
+  // Normalized timestamps start at 0 and durations stay in microseconds.
+  double min_ts = 1e18;
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    const Json& e = list.at(i);
+    if (e.at("ph").as_string() != "X") continue;
+    min_ts = std::min(min_ts, e.at("ts").as_double());
+    if (e.at("name").as_string() == "serve.prefill") {
+      EXPECT_DOUBLE_EQ(e.at("dur").as_double(), 50.0);
+    }
+  }
+  EXPECT_DOUBLE_EQ(min_ts, 0.0);
+  EXPECT_EQ(doc.at("displayTimeUnit").as_string(), "ms");
+}
+
+TEST(TraceExportCheck, ServeRunExportsParseableMonotonicTrace) {
+  ModelConfig c;
+  c.arch = ArchFamily::kOpt;
+  c.vocab_size = Vocab::shared().size();
+  c.d_model = 16;
+  c.n_heads = 2;
+  c.n_blocks = 2;
+  c.d_ff = 24;
+  c.max_seq = 96;
+  Xoshiro256 rng(7);
+  const TransformerLM model(c, init_weights(c, rng));
+
+  Tracer tracer(1024, /*enabled=*/true);
+  ServeOptions serve_opts;
+  serve_opts.tracer = &tracer;
+  ServeEngine engine(model, serve_opts);
+  GenerateOptions opts;
+  opts.max_new_tokens = 5;
+  opts.eos_token = -1;
+  const std::size_t n_requests = 3;
+  std::vector<RequestId> ids;
+  for (std::size_t r = 0; r < n_requests; ++r) {
+    const std::vector<int> prompt = {Vocab::kBos, static_cast<int>(5 + r), 9};
+    ids.push_back(engine.submit(prompt, opts));
+  }
+  engine.run();
+
+  std::ostringstream os;
+  write_chrome_trace(os, tracer);
+  const Json doc = Json::parse(os.str());
+  const Json& list = doc.at("traceEvents");
+  ASSERT_TRUE(list.is_array());
+  ASSERT_GT(list.size(), 0u);
+
+  // Per-track monotonic timestamps, required keys on every data event, and
+  // one prefill pid per request.
+  std::map<std::pair<long long, long long>, double> last_ts;
+  std::set<long long> prefill_pids;
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    const Json& e = list.at(i);
+    if (e.at("ph").as_string() == "M") {
+      EXPECT_NE(e.at("name").as_string().find("_name"), std::string::npos);
+      continue;
+    }
+    ASSERT_EQ(e.at("ph").as_string(), "X");
+    const double ts = e.at("ts").as_double();
+    const double dur = e.at("dur").as_double();
+    EXPECT_GE(ts, 0.0);
+    EXPECT_GE(dur, 0.0);
+    const std::pair<long long, long long> track{
+        static_cast<long long>(e.at("pid").as_double()),
+        static_cast<long long>(e.at("tid").as_double())};
+    const auto it = last_ts.find(track);
+    if (it != last_ts.end()) EXPECT_GE(ts, it->second);
+    last_ts[track] = ts;
+    if (e.at("name").as_string() == "serve.prefill") {
+      prefill_pids.insert(track.first);
+      // Prefill spans carry request/slot/prompt_tokens args.
+      ASSERT_NE(e.find("args"), nullptr);
+      EXPECT_NE(e.at("args").find("request"), nullptr);
+      EXPECT_NE(e.at("args").find("slot"), nullptr);
+    }
+  }
+  EXPECT_EQ(prefill_pids.size(), n_requests);
+}
+
+}  // namespace
+}  // namespace ft2

@@ -1,6 +1,9 @@
 // Tracer unit tests: disabled-tracer inertness, span recording, tags,
-// ring-buffer wrap-around, JSON export.
+// ring-buffer wrap-around, the FT2_TRACE_CAPACITY knob, JSON export.
 #include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <thread>
 
 #include "common/json.hpp"
 #include "obs/trace.hpp"
@@ -89,6 +92,38 @@ TEST(Tracer, JsonExportContainsSpans) {
   const std::string text = tracer.to_json().dump();
   EXPECT_NE(text.find("\"snap\""), std::string::npos);
   EXPECT_NE(text.find("\"key\""), std::string::npos);
+}
+
+TEST(Tracer, CapacityKnobControlsRingSizeAndWraps) {
+  ::setenv("FT2_TRACE_CAPACITY", "3", /*overwrite=*/1);
+  EXPECT_EQ(default_trace_capacity(), 3u);
+  Tracer tracer(default_trace_capacity(), /*enabled=*/true);
+  for (int i = 0; i < 7; ++i) {
+    tracer.instant("e" + std::to_string(i));
+  }
+  EXPECT_EQ(tracer.size(), 3u);
+  EXPECT_EQ(tracer.recorded(), 7u);
+  const auto events = tracer.events();
+  EXPECT_EQ(events.front().name, "e4");
+  EXPECT_EQ(events.back().name, "e6");
+
+  ::setenv("FT2_TRACE_CAPACITY", "0", /*overwrite=*/1);
+  EXPECT_EQ(default_trace_capacity(), 4096u);  // zero falls back to default
+  ::unsetenv("FT2_TRACE_CAPACITY");
+  EXPECT_EQ(default_trace_capacity(), 4096u);
+}
+
+TEST(Tracer, ThreadIndexDistinguishesThreads) {
+  Tracer tracer(8, /*enabled=*/true);
+  tracer.instant("main");
+  std::thread worker([&] { tracer.instant("worker"); });
+  worker.join();
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_NE(events[0].thread_index, events[1].thread_index);
+  // Stable per thread: a second event from this thread repeats the index.
+  tracer.instant("main-again");
+  EXPECT_EQ(tracer.events()[2].thread_index, events[0].thread_index);
 }
 
 TEST(Tracer, SetEnabledTogglesRecording) {

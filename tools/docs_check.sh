@@ -8,12 +8,22 @@
 #   3. backticked function() references absent from src/, tools/, bench/
 #      and tests/;
 #   4. backticked FT2_* knobs (env vars / macros) absent from the code.
+#   5. backticked serve.* / protect.* / campaign.* metric and span names
+#      absent from the generated catalog dump (`ft2 metric-names`);
+#      `<KIND>` / `<OUTCOME>` / `<name>` placeholders are normalized before
+#      lookup. Skipped when the ft2 binary has not been built yet.
 # Registered as the DocsCheck ctest (label: unit) and as the `docs-check`
 # build target, so the default `ctest` invocation keeps docs honest.
 set -u
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$ROOT" || exit 1
+
+FT2_BIN="${FT2_BIN:-$ROOT/build/tools/ft2}"
+CATALOG=""
+if [ -x "$FT2_BIN" ]; then
+  CATALOG="$("$FT2_BIN" metric-names 2>/dev/null)" || CATALOG=""
+fi
 
 DOCS=(README.md ROADMAP.md docs/*.md)
 fail=0
@@ -36,10 +46,11 @@ for doc in "${DOCS[@]}"; do
            | sed -e 's/[.,:;)]*$//' | sort -u)
 
   # 2. Backticked CamelCase type names (two humps or more, so prose words
-  #    and acronyms never match).
+  #    and acronyms never match). tests/ is included for referenced test
+  #    suite names (e.g. ctest aggregates).
   while IFS= read -r sym; do
     [ -n "$sym" ] || continue
-    grep -rqw "$sym" src tools bench || complain "$doc" "$sym"
+    grep -rqw "$sym" src tools bench tests || complain "$doc" "$sym"
   done < <(grep -oE '`[A-Z][a-z0-9]+([A-Z][a-z0-9]+)+`' "$doc" | tr -d '`' | sort -u)
 
   # 3. Backticked function() references (free functions and methods).
@@ -54,6 +65,18 @@ for doc in "${DOCS[@]}"; do
     [ -n "$knob" ] || continue
     grep -rq "$knob" src tools bench || complain "$doc" "$knob"
   done < <(grep -oE '`FT2_[A-Z0-9_]+`' "$doc" | tr -d '`' | sort -u)
+
+  # 5. Metric / span names against the generated catalog dump.
+  if [ -n "$CATALOG" ]; then
+    while IFS= read -r metric; do
+      [ -n "$metric" ] || continue
+      norm="${metric//<KIND>/Q_PROJ}"
+      norm="${norm//<OUTCOME>/sdc}"
+      norm="${norm//<name>/sdc}"
+      grep -Fxq "$norm" <<<"$CATALOG" || complain "$doc" "$metric"
+    done < <(grep -oE '`(serve|protect|campaign)\.[A-Za-z0-9_.<>]+`' "$doc" \
+             | tr -d '`' | sort -u)
+  fi
 done
 
 if [ "$fail" -ne 0 ]; then

@@ -10,11 +10,15 @@
 //   ft2 campaign <model> [--dataset D] [--scheme S] [--fault-model F]
 //                [--inputs N] [--trials T] [--faults K] [--bounds FILE]
 //                [--trace FILE.csv] [--json FILE.json] [--weights]
-//                [--metrics-out FILE.json]
+//                [--metrics-out FILE.json] [--jsonl FILE.jsonl]
+//                [--trace-out FILE.json] [--drift] [--clips]
 //   ft2 serve-bench <model> [--dataset D] [--requests N] [--batch B]
 //                   [--seed S] [--metrics-out FILE.json]
+//                   [--trace-out FILE.json]
+//   ft2 report <LOG> [--json FILE]
 //   ft2 metrics <model> [--dataset D] [--requests N] [--batch B] [--seed S]
 //               [--scheme S] [--json FILE]
+//   ft2 metric-names
 //   ft2 perf [--gpu a100|h100]
 //
 // Models: opt-sm opt-xs gptj-sm llama-sm vicuna-sm qwen2-sm qwen2-xs
@@ -29,8 +33,11 @@
 
 #include "common/cli.hpp"
 #include "core/ft2.hpp"
+#include "fi/report.hpp"
 #include "fi/trace.hpp"
 #include "fi/weight_fault.hpp"
+#include "obs/catalog.hpp"
+#include "obs/trace_export.hpp"
 #include "protect/bounds_io.hpp"
 
 using namespace ft2;
@@ -248,16 +255,31 @@ int cmd_campaign(const std::string& model_name, const ArgParser& args) {
   // only, not whatever else ran in the process.
   MetricsRegistry metrics_registry;
   if (args.has("metrics-out")) config.metrics = &metrics_registry;
+  config.drift_monitor = args.has("drift");
+  config.capture_clips = args.has("clips");
+
+  // --trace-out: campaign.trial spans into an isolated tracer, exported as
+  // Chrome Trace Event JSON (chrome://tracing / Perfetto).
+  Tracer tracer(default_trace_capacity(), /*enabled=*/true);
+  if (args.has("trace-out")) config.tracer = &tracer;
+
+  // --jsonl: stream every trial record to disk as it finishes (flight
+  // recorder); the in-memory collector still powers --trace / --json.
+  std::ofstream jsonl_sink;
+  if (args.has("jsonl")) {
+    jsonl_sink.open(args.get("jsonl", "trials.jsonl"));
+  }
 
   CampaignResult result;
-  TraceCollector trace;
+  TraceCollector trace(jsonl_sink.is_open() ? &jsonl_sink : nullptr);
   if (args.has("weights")) {
     // Persistent weight-fault mode needs a mutable model copy.
     TransformerLM mutable_model(model->config(), model->weights());
     result = run_weight_fault_campaign(mutable_model, inputs, spec, bounds,
                                        config);
   } else {
-    const bool want_trace = args.has("trace") || args.has("json");
+    const bool want_trace =
+        args.has("trace") || args.has("json") || args.has("jsonl");
     result = run_campaign(*model, inputs, spec, bounds, config,
                           want_trace ? trace.callback() : TrialCallback{});
   }
@@ -292,11 +314,25 @@ int cmd_campaign(const std::string& model_name, const ArgParser& args) {
     doc.write(os);
     std::cout << "json -> " << args.get("json", "campaign.json") << "\n";
   }
+  if (args.has("jsonl")) {
+    std::cout << "jsonl -> " << args.get("jsonl", "trials.jsonl") << " ("
+              << trace.recorded() << " records)\n";
+  }
   if (args.has("metrics-out")) {
     const std::string path = args.get("metrics-out", "metrics.json");
     std::ofstream os(path);
     metrics_registry.snapshot().to_json().write(os);
     std::cout << "metrics -> " << path << "\n";
+  }
+  if (args.has("trace-out")) {
+    const std::string path = args.get("trace-out", "trace-events.json");
+    std::ofstream os(path);
+    ChromeTraceOptions trace_opts;
+    trace_opts.pid_tag = "input";
+    trace_opts.tid_tag = "trial";
+    write_chrome_trace(os, tracer, trace_opts);
+    std::cout << "trace-out -> " << path << " (" << tracer.size()
+              << " spans)\n";
   }
   return 0;
 }
@@ -327,6 +363,11 @@ int cmd_serve_bench(const std::string& model_name, const ArgParser& args) {
   MetricsRegistry registry;
   const SchemeSpec spec = scheme_spec(SchemeKind::kFt2, model->config());
 
+  // --trace-out: serve.prefill / serve.decode_step spans into an isolated
+  // tracer, exported as Chrome Trace Event JSON with one pid per request
+  // and one tid per batch slot.
+  Tracer tracer(default_trace_capacity(), /*enabled=*/true);
+
   // Sequential baseline: one InferenceSession per request, back to back.
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<GenerateResult> serial;
@@ -347,6 +388,7 @@ int cmd_serve_bench(const std::string& model_name, const ArgParser& args) {
   ServeOptions serve_opts;
   serve_opts.max_batch = max_batch;
   if (want_metrics) serve_opts.metrics = &registry;
+  if (args.has("trace-out")) serve_opts.tracer = &tracer;
   ServeEngine engine(*model, serve_opts);
   std::vector<ProtectionHook> batch_hooks;
   std::vector<HookRegistration> batch_regs;
@@ -398,6 +440,13 @@ int cmd_serve_bench(const std::string& model_name, const ArgParser& args) {
     registry.snapshot().to_json().write(os);
     std::cout << "metrics -> " << path << "\n";
   }
+  if (args.has("trace-out")) {
+    const std::string path = args.get("trace-out", "trace-events.json");
+    std::ofstream os(path);
+    write_chrome_trace(os, tracer);  // default request/slot tags
+    std::cout << "trace-out -> " << path << " (" << tracer.size()
+              << " spans)\n";
+  }
   return mismatches == 0 ? 0 : 1;
 }
 
@@ -447,6 +496,40 @@ int cmd_metrics(const std::string& model_name, const ArgParser& args) {
   return 0;
 }
 
+int cmd_report(const std::string& log_path, const ArgParser& args) {
+  // Aggregate a recorded campaign log (CSV / JSON / JSONL) into the
+  // paper-style breakdowns. The outcome counts equal the CampaignResult of
+  // the run that produced the log — no trial is rerun.
+  const std::vector<TrialRecord> records = load_trial_records(log_path);
+  const CampaignReport report = aggregate_trial_records(records);
+
+  std::cout << "outcomes (" << records.size() << " records)\n";
+  report.outcome_table().print(std::cout);
+  std::cout << "\nby layer kind\n";
+  report.layer_table().print(std::cout);
+  std::cout << "\nby fault model x layer x bit\n";
+  report.layer_bit_table().print(std::cout);
+  std::cout << "\ndetection latency (token positions)\n";
+  report.latency_table().print(std::cout);
+
+  if (args.has("json")) {
+    const std::string path = args.get("json", "report.json");
+    std::ofstream os(path);
+    report.to_json().write(os);
+    std::cout << "\njson -> " << path << "\n";
+  }
+  return 0;
+}
+
+int cmd_metric_names() {
+  // One name per line: the dump tools/docs_check.sh verifies doc metric
+  // references against.
+  for (const std::string& name : all_metric_names()) {
+    std::cout << name << "\n";
+  }
+  return 0;
+}
+
 int cmd_perf(const ArgParser& args) {
   const pm::GpuSpec gpu =
       args.get("gpu", "a100") == "h100" ? pm::h100() : pm::a100();
@@ -479,11 +562,14 @@ int usage() {
       "  ft2 campaign <model> [--dataset D] [--scheme S] [--fault-model F]\n"
       "               [--inputs N] [--trials T] [--faults K] [--fp32]\n"
       "               [--bounds FILE] [--trace FILE] [--json FILE] [--weights]\n"
-      "               [--metrics-out FILE]\n"
+      "               [--metrics-out FILE] [--jsonl FILE] [--trace-out FILE]\n"
+      "               [--drift] [--clips]\n"
       "  ft2 serve-bench <model> [--dataset D] [--requests N] [--batch B]\n"
-      "                  [--seed S] [--metrics-out FILE]\n"
+      "                  [--seed S] [--metrics-out FILE] [--trace-out FILE]\n"
+      "  ft2 report <LOG.csv|.json|.jsonl> [--json FILE]\n"
       "  ft2 metrics <model> [--dataset D] [--requests N] [--batch B]\n"
       "              [--seed S] [--scheme S] [--json FILE]\n"
+      "  ft2 metric-names\n"
       "  ft2 perf [--gpu a100|h100]\n";
   return 2;
 }
@@ -502,7 +588,8 @@ int main(int argc, char** argv) {
       {"faults", true},       {"bounds", true},   {"trace", true},
       {"json", true},         {"weights", false}, {"gpu", true},
       {"campaign-seed", true}, {"fp32", false}, {"requests", true},
-      {"batch", true},        {"metrics-out", true},
+      {"batch", true},        {"metrics-out", true}, {"jsonl", true},
+      {"trace-out", true},    {"drift", false},   {"clips", false},
   };
   try {
     const ArgParser args(argc - 2, argv + 2, spec);
@@ -521,7 +608,13 @@ int main(int argc, char** argv) {
     }
     if (command == "campaign") return cmd_campaign(need_model(), args);
     if (command == "serve-bench") return cmd_serve_bench(need_model(), args);
+    if (command == "report") {
+      FT2_CHECK_MSG(!args.positional().empty(),
+                    "report needs a recorded trial log path");
+      return cmd_report(args.positional()[0], args);
+    }
     if (command == "metrics") return cmd_metrics(need_model(), args);
+    if (command == "metric-names") return cmd_metric_names();
     if (command == "perf") return cmd_perf(args);
     return usage();
   } catch (const std::exception& e) {
