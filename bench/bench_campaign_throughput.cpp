@@ -98,7 +98,7 @@ TimedRun time_campaign(const TransformerLM& model,
   TimedRun best;
   for (std::size_t r = 0; r < reps; ++r) {
     MetricsRegistry registry;
-    config.metrics = &registry;
+    config.obs.metrics = &registry;
     std::vector<TrialRecord> trace;
     const auto t0 = std::chrono::steady_clock::now();
     const auto result =

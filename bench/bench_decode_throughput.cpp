@@ -175,7 +175,7 @@ int main() {
           regs.push_back(engine.hooks(id).add(hooks.back()));
           if (with_drift) {
             DriftMonitorOptions drift_opts;
-            drift_opts.metrics = &drift_registry;
+            drift_opts.obs.metrics = &drift_registry;
             monitors.emplace_back(hooks.back(), drift_opts);
             regs.push_back(engine.hooks(id).add(monitors.back()));
           }

@@ -24,8 +24,13 @@ int main() {
 
   Table table({"protection", "SDC rate (95% CI)", "masked_identical",
                "masked_semantic"});
-  for (SchemeKind kind : all_schemes()) {
-    if (kind == SchemeKind::kFt2Offline) continue;  // not part of Fig. 2
+  // Fig. 2 compares the paper's baselines only (no ft2_offline, no newer
+  // registry schemes).
+  const SchemeKind kFigSchemes[] = {
+      SchemeKind::kNone, SchemeKind::kRanger, SchemeKind::kMaxiMals,
+      SchemeKind::kGlobalClipper, SchemeKind::kFt2,
+  };
+  for (SchemeKind kind : kFigSchemes) {
     const auto result = run_campaign(*p.model, p.inputs, kind, bounds, config);
     table.begin_row()
         .cell(scheme_name(kind))

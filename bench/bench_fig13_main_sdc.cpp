@@ -29,6 +29,14 @@ int main() {
     }
   }
 
+  // The figure compares exactly the paper's Table 1 family; newer registry
+  // schemes (abft-linear, ft2-adaptive) are not part of Fig. 13.
+  const SchemeKind kFigSchemes[] = {
+      SchemeKind::kNone,          SchemeKind::kRanger,
+      SchemeKind::kMaxiMals,      SchemeKind::kGlobalClipper,
+      SchemeKind::kFt2,           SchemeKind::kFt2Offline,
+  };
+
   double sum_reduction = 0.0;
   double sum_none = 0.0, sum_ft2 = 0.0, sum_ft2_offline = 0.0;
   std::map<SchemeKind, double> scheme_rate_sum;
@@ -50,7 +58,7 @@ int main() {
 
       table.begin_row().cell(cell.model).cell(dataset_name(cell.dataset));
       double none_rate = 0.0;
-      for (SchemeKind sk : all_schemes()) {
+      for (SchemeKind sk : kFigSchemes) {
         const auto result = run_campaign(*p.model, p.inputs, sk, bounds,
                                          config);
         table.pct(result.sdc_rate(), 2);
@@ -78,7 +86,7 @@ int main() {
   std::cout << "\n=== summary across all " << cells.size() * 3
             << " (model, dataset, fault-model) cells ===\n";
   Table summary({"scheme", "average SDC rate"});
-  for (SchemeKind sk : all_schemes()) {
+  for (SchemeKind sk : kFigSchemes) {
     summary.begin_row()
         .cell(scheme_name(sk))
         .pct(scheme_rate_sum[sk] / n_cells, 3);

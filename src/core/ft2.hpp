@@ -37,6 +37,7 @@
 #include "perfmodel/perfmodel.hpp"
 #include "protect/bounds.hpp"
 #include "protect/critical.hpp"
+#include "protect/detection_scheme.hpp"
 #include "protect/profiler.hpp"
 #include "protect/range_restriction.hpp"
 #include "protect/scheme.hpp"

@@ -65,6 +65,17 @@ std::span<const double> reused_positions_buckets() {
   return buckets;
 }
 
+/// Per-trial scheme factory: every trial (and every prefix recording)
+/// drives a fresh DetectionScheme instance, so scheme-private state never
+/// leaks across trials and any registered scheme runs the same machinery.
+using SchemeFactory = std::function<std::unique_ptr<DetectionScheme>()>;
+
+CampaignResult run_campaign_range_impl(
+    const TransformerLM& model, const std::vector<EvalInput>& inputs,
+    const std::string& scheme_display, const SchemeFactory& make_scheme,
+    const CampaignConfig& config, std::size_t first_trial,
+    std::size_t last_trial, const TrialCallback& on_trial);
+
 }  // namespace
 
 std::vector<EvalInput> prepare_eval_inputs(const TransformerLM& model,
@@ -129,6 +140,46 @@ CampaignResult run_campaign_range(const TransformerLM& model,
                                   std::size_t first_trial,
                                   std::size_t last_trial,
                                   const TrialCallback& on_trial) {
+  return run_campaign_range_impl(
+      model, inputs, spec_display_name(scheme),
+      [&] {
+        return std::make_unique<RangeRestrictScheme>(model.config(), scheme,
+                                                     offline_bounds);
+      },
+      config, first_trial, last_trial, on_trial);
+}
+
+CampaignResult run_campaign(const TransformerLM& model,
+                            const std::vector<EvalInput>& inputs,
+                            const SchemeRef& scheme,
+                            const BoundStore& offline_bounds,
+                            const CampaignConfig& config,
+                            const TrialCallback& on_trial) {
+  return run_campaign_range(model, inputs, scheme, offline_bounds, config, 0,
+                            inputs.size() * config.trials_per_input, on_trial);
+}
+
+CampaignResult run_campaign_range(const TransformerLM& model,
+                                  const std::vector<EvalInput>& inputs,
+                                  const SchemeRef& scheme,
+                                  const BoundStore& offline_bounds,
+                                  const CampaignConfig& config,
+                                  std::size_t first_trial,
+                                  std::size_t last_trial,
+                                  const TrialCallback& on_trial) {
+  return run_campaign_range_impl(
+      model, inputs, scheme.display(),
+      [&] { return scheme.instantiate(model.config(), offline_bounds); },
+      config, first_trial, last_trial, on_trial);
+}
+
+namespace {
+
+CampaignResult run_campaign_range_impl(
+    const TransformerLM& model, const std::vector<EvalInput>& inputs,
+    const std::string& scheme_display, const SchemeFactory& make_scheme,
+    const CampaignConfig& config, std::size_t first_trial,
+    std::size_t last_trial, const TrialCallback& on_trial) {
   FT2_CHECK(!inputs.empty());
   FT2_CHECK(config.faults_per_trial >= 1);
   const std::size_t total = inputs.size() * config.trials_per_input;
@@ -167,8 +218,7 @@ CampaignResult run_campaign_range(const TransformerLM& model,
         (last_trial - 1) / config.trials_per_input + 1;
     pool.parallel_for(first_input, last_input, [&](std::size_t i) {
       PrefixRecording& rec = recordings[i];
-      ProtectionHook protection(model.config(), scheme, offline_bounds,
-                                /*metrics=*/nullptr);
+      ProtectionHook protection(model.config(), make_scheme(), ObsSinks{});
       protection.set_clip_capture(true);
       InferenceSession session(model);
       const HookRegistration reg = session.hooks().add(protection);
@@ -183,7 +233,7 @@ CampaignResult run_campaign_range(const TransformerLM& model,
   // taken at registration), so trial threads touch nothing but striped
   // atomics. All handles stay inert when metrics are disabled.
   MetricsRegistry* reg =
-      config.metrics != nullptr ? config.metrics : default_metrics();
+      config.obs.metrics != nullptr ? config.obs.metrics : default_metrics();
   struct CampaignMetrics {
     Counter trials;
     std::array<Counter, 4> outcome;  ///< indexed by static_cast<int>(Outcome)
@@ -215,11 +265,13 @@ CampaignResult run_campaign_range(const TransformerLM& model,
   }
 
   Tracer* tracer =
-      config.tracer != nullptr ? config.tracer : &Tracer::global();
+      config.obs.tracer != nullptr ? config.obs.tracer : &Tracer::global();
 
   pool.parallel_for(first_trial, last_trial, [&](std::size_t trial) {
     using TrialClock = std::chrono::steady_clock;
-    const bool timed = cm.trial_ms.enabled();
+    // Trials are timed for the histogram AND for TrialRecord::trial_ms;
+    // the clock reads are nanoseconds against millisecond-scale trials.
+    const bool timed = cm.trial_ms.enabled() || static_cast<bool>(on_trial);
     const TrialClock::time_point trial_start =
         timed ? TrialClock::now() : TrialClock::time_point{};
     const std::size_t input_idx = trial / config.trials_per_input;
@@ -240,14 +292,15 @@ CampaignResult run_campaign_range(const TransformerLM& model,
                             config.first_token_only));
     }
 
-    ProtectionHook protection(model.config(), scheme, offline_bounds, reg);
+    ProtectionHook protection(model.config(), make_scheme(),
+                              ObsSinks{reg, nullptr});
     protection.set_clip_capture(config.capture_clips);
     // The drift monitor registers AFTER protection so it observes
     // post-correction values; it never mutates them, so everything the
     // trial reports stays bit-identical with it on or off.
     std::optional<BoundDriftMonitor> drift;
     if (config.drift_monitor) {
-      drift.emplace(protection, DriftMonitorOptions{0.10, reg});
+      drift.emplace(protection, DriftMonitorOptions{0.10, ObsSinks{reg, nullptr}});
     }
     InferenceSession session(model);
     std::vector<HookRegistration> regs;
@@ -301,10 +354,12 @@ CampaignResult run_campaign_range(const TransformerLM& model,
     for (const auto& injector : injectors) {
       cm.site[static_cast<std::size_t>(injector.plan().site.kind)].inc();
     }
+    double elapsed_ms = 0.0;
     if (timed) {
-      cm.trial_ms.observe(std::chrono::duration<double, std::milli>(
-                              TrialClock::now() - trial_start)
-                              .count());
+      elapsed_ms = std::chrono::duration<double, std::milli>(TrialClock::now() -
+                                                             trial_start)
+                       .count();
+      cm.trial_ms.observe(elapsed_ms);
     }
     if (on_trial) {
       TrialRecord record;
@@ -324,6 +379,8 @@ CampaignResult run_campaign_range(const TransformerLM& model,
       record.injected_original = injectors.front().original_value();
       record.injected_value = injectors.front().injected_value();
       if (config.capture_clips) record.clips = protection.clip_events();
+      record.scheme = scheme_display;
+      record.trial_ms = elapsed_ms;
       std::lock_guard lock(callback_mutex);
       on_trial(record);
     }
@@ -341,6 +398,8 @@ CampaignResult run_campaign_range(const TransformerLM& model,
   }
   return result;
 }
+
+}  // namespace
 
 CampaignResult run_campaign(const TransformerLM& model,
                             const std::vector<EvalInput>& inputs,

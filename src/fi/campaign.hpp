@@ -17,8 +17,9 @@
 #include "fi/injector.hpp"
 #include "nn/model.hpp"
 #include "numeric/stats.hpp"
+#include "obs/sinks.hpp"
 #include "obs/trace.hpp"
-#include "protect/scheme.hpp"
+#include "protect/detection_scheme.hpp"
 
 namespace ft2 {
 
@@ -53,12 +54,14 @@ struct CampaignConfig {
   /// deterministic and each trial is self-contained, so outcomes and
   /// per-trial records are identical at any pool size.
   ThreadPool* pool = nullptr;
-  /// Registry for campaign.* metrics (per-outcome and per-site-kind
-  /// counters, trial wall-time histogram) and for the protect.* metrics of
-  /// each trial's protection hook. Null = `default_metrics()`. Metrics are
-  /// observational only: outcomes and trial records are bit-identical with
-  /// metrics on or off.
-  MetricsRegistry* metrics = nullptr;
+  /// Observability sinks. `obs.metrics` receives campaign.* metrics
+  /// (per-outcome and per-site-kind counters, trial wall-time histogram)
+  /// and the protect.* metrics of each trial's protection hook; null =
+  /// `default_metrics()`. `obs.tracer` receives campaign.trial spans (one
+  /// per trial: trial/input/outcome tags); null selects Tracer::global(),
+  /// inert unless FT2_TRACE is set. Both sinks are observational only:
+  /// outcomes and trial records are bit-identical with them on or off.
+  ObsSinks obs;
   /// Fault-free prefix reuse: run each input's fault-free generation once,
   /// snapshot it (KV rows, online first-token bounds, RNG/position state),
   /// and fork every decode-phase trial from the snapshot at its first
@@ -80,10 +83,6 @@ struct CampaignConfig {
   /// observational: outcomes, detections and protect.* counters are
   /// bit-identical with the monitor on or off.
   bool drift_monitor = false;
-  /// Tracer for campaign.trial spans (one per trial: trial/input/outcome
-  /// tags). nullptr selects Tracer::global(), inert unless FT2_TRACE is
-  /// set.
-  Tracer* tracer = nullptr;
 };
 
 struct CampaignResult {
@@ -156,6 +155,16 @@ struct TrialRecord {
   /// Individual out-of-bound events (only with CampaignConfig::
   /// capture_clips).
   std::vector<ClipEvent> clips;
+  /// Display name of the protection scheme the trial ran under
+  /// (SchemeRef::display for registry schemes, the spec's name otherwise).
+  /// Lets `ft2 report` aggregate a merged multi-scheme log into the
+  /// head-to-head comparison table.
+  std::string scheme;
+  /// Trial wall time in milliseconds (generation + classification),
+  /// measured whenever a trial callback or metrics sink is attached; 0
+  /// otherwise. Timing is observational: excluded from determinism
+  /// comparisons.
+  double trial_ms = 0.0;
 };
 
 /// Called for every finished trial; invocations are serialized.
@@ -190,6 +199,27 @@ CampaignResult run_campaign(const TransformerLM& model,
                             SchemeKind scheme, const BoundStore& offline_bounds,
                             const CampaignConfig& config,
                             const TrialCallback& on_trial = {});
+
+/// Registry path: every trial instantiates `scheme` through its registered
+/// factory (so any DetectionScheme — checksum, adaptive, custom — runs the
+/// same campaign machinery). `offline_bounds` may be empty when
+/// `scheme.needs_offline_bounds()` is false. TrialRecord::scheme carries
+/// `scheme.display()`.
+CampaignResult run_campaign(const TransformerLM& model,
+                            const std::vector<EvalInput>& inputs,
+                            const SchemeRef& scheme,
+                            const BoundStore& offline_bounds,
+                            const CampaignConfig& config,
+                            const TrialCallback& on_trial = {});
+
+CampaignResult run_campaign_range(const TransformerLM& model,
+                                  const std::vector<EvalInput>& inputs,
+                                  const SchemeRef& scheme,
+                                  const BoundStore& offline_bounds,
+                                  const CampaignConfig& config,
+                                  std::size_t first_trial,
+                                  std::size_t last_trial,
+                                  const TrialCallback& on_trial = {});
 
 /// Fault-free "campaign": runs every input once with the scheme applied and
 /// no fault, reporting how many outputs remain correct (Fig. 3's

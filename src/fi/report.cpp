@@ -9,14 +9,26 @@
 
 namespace ft2 {
 
-double CampaignReport::latency_quantile(double q) const {
-  if (detection_latencies.empty()) return 0.0;
-  const double rank = q * static_cast<double>(detection_latencies.size() - 1);
+namespace {
+
+/// Exact order statistic over a sorted sample (0 when empty).
+double sorted_quantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double rank = q * static_cast<double>(sorted.size() - 1);
   const std::size_t lo = static_cast<std::size_t>(std::floor(rank));
   const std::size_t hi = static_cast<std::size_t>(std::ceil(rank));
   const double frac = rank - static_cast<double>(lo);
-  return detection_latencies[lo] * (1.0 - frac) +
-         detection_latencies[hi] * frac;
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+double CampaignReport::latency_quantile(double q) const {
+  return sorted_quantile(detection_latencies, q);
+}
+
+double CampaignReport::SchemeTally::latency_quantile(double q) const {
+  return sorted_quantile(detection_latencies, q);
 }
 
 CampaignReport aggregate_trial_records(
@@ -49,14 +61,29 @@ CampaignReport aggregate_trial_records(
       tally.detected += detected ? 1 : 0;
     }
 
+    CampaignReport::SchemeTally& scheme = report.by_scheme[r.scheme];
+    ++scheme.trials;
+    scheme.sdc += sdc ? 1 : 0;
+    scheme.detected += detected ? 1 : 0;
+    if (r.trial_ms > 0.0) {
+      ++scheme.timed;
+      scheme.total_ms += r.trial_ms;
+    }
+
     if (r.fired && r.detect_position >= 0 &&
         r.detect_position >= static_cast<long long>(r.plan.position)) {
-      report.detection_latencies.push_back(static_cast<double>(
-          r.detect_position - static_cast<long long>(r.plan.position)));
+      const double latency = static_cast<double>(
+          r.detect_position - static_cast<long long>(r.plan.position));
+      report.detection_latencies.push_back(latency);
+      scheme.detection_latencies.push_back(latency);
     }
   }
   std::sort(report.detection_latencies.begin(),
             report.detection_latencies.end());
+  for (auto& [name, scheme] : report.by_scheme) {
+    std::sort(scheme.detection_latencies.begin(),
+              scheme.detection_latencies.end());
+  }
   return report;
 }
 
@@ -105,6 +132,44 @@ Table CampaignReport::layer_bit_table() const {
             .count(tally.sdc)
             .pct(tally.sdc_rate());
       }
+    }
+  }
+  return table;
+}
+
+Table CampaignReport::scheme_table() const {
+  const auto it = by_scheme.find("none");
+  const SchemeTally* none =
+      it != by_scheme.end() && it->second.trials > 0 ? &it->second : nullptr;
+
+  Table table({"scheme", "trials", "sdc", "sdc_rate", "sdc_reduction",
+               "detected_rate", "lat_p50", "lat_p95", "lat_p99", "mean_ms",
+               "overhead"});
+  for (const auto& [name, tally] : by_scheme) {
+    table.begin_row()
+        .cell(name.empty() ? "(unrecorded)" : name)
+        .count(tally.trials)
+        .count(tally.sdc)
+        .pct(tally.sdc_rate());
+    if (none != nullptr && none != &tally && none->sdc_rate() > 0.0) {
+      table.pct(1.0 - tally.sdc_rate() / none->sdc_rate());
+    } else {
+      table.cell("-");
+    }
+    table.pct(tally.detected_rate())
+        .num(tally.latency_quantile(0.50), 1)
+        .num(tally.latency_quantile(0.95), 1)
+        .num(tally.latency_quantile(0.99), 1);
+    if (tally.timed > 0) {
+      table.num(tally.mean_trial_ms(), 3);
+    } else {
+      table.cell("-");
+    }
+    if (none != nullptr && none != &tally && tally.timed > 0 &&
+        none->mean_trial_ms() > 0.0) {
+      table.pct(tally.mean_trial_ms() / none->mean_trial_ms() - 1.0);
+    } else {
+      table.cell("-");
     }
   }
   return table;
@@ -162,6 +227,36 @@ Json CampaignReport::to_json() const {
     models[fault_model_name(model)] = std::move(layer_obj);
   }
   doc["by_model_layer_bit"] = std::move(models);
+
+  Json schemes = Json::object();
+  const auto none_it = by_scheme.find("none");
+  const SchemeTally* none =
+      none_it != by_scheme.end() && none_it->second.trials > 0
+          ? &none_it->second
+          : nullptr;
+  for (const auto& [name, tally] : by_scheme) {
+    Json entry = Json::object();
+    entry["trials"] = tally.trials;
+    entry["sdc"] = tally.sdc;
+    entry["sdc_rate"] = tally.sdc_rate();
+    if (none != nullptr && none != &tally && none->sdc_rate() > 0.0) {
+      entry["sdc_reduction"] = 1.0 - tally.sdc_rate() / none->sdc_rate();
+    }
+    entry["detected"] = tally.detected;
+    entry["detected_rate"] = tally.detected_rate();
+    entry["latency_count"] = tally.detection_latencies.size();
+    entry["latency_p50"] = tally.latency_quantile(0.50);
+    entry["latency_p95"] = tally.latency_quantile(0.95);
+    entry["latency_p99"] = tally.latency_quantile(0.99);
+    if (tally.timed > 0) {
+      entry["mean_trial_ms"] = tally.mean_trial_ms();
+      if (none != nullptr && none != &tally && none->mean_trial_ms() > 0.0) {
+        entry["overhead"] = tally.mean_trial_ms() / none->mean_trial_ms() - 1.0;
+      }
+    }
+    schemes[name.empty() ? "(unrecorded)" : name] = std::move(entry);
+  }
+  doc["by_scheme"] = std::move(schemes);
 
   Json latency = Json::object();
   latency["count"] = detection_latencies.size();

@@ -39,6 +39,36 @@ struct CampaignReport {
     }
   };
 
+  /// Per protection scheme (TrialRecord::scheme). A merged multi-scheme
+  /// log aggregates into one entry per scheme display name, powering the
+  /// head-to-head comparison table; logs recorded before schemes were
+  /// threaded into records land under the empty name.
+  struct SchemeTally {
+    std::size_t trials = 0;
+    std::size_t sdc = 0;
+    std::size_t detected = 0;
+    std::size_t timed = 0;  ///< trials that carried a wall time
+    double total_ms = 0.0;  ///< summed trial_ms over timed trials
+    /// Detection latencies (token positions), sorted ascending.
+    std::vector<double> detection_latencies;
+
+    double sdc_rate() const {
+      return trials == 0 ? 0.0
+                         : static_cast<double>(sdc) /
+                               static_cast<double>(trials);
+    }
+    double detected_rate() const {
+      return trials == 0 ? 0.0
+                         : static_cast<double>(detected) /
+                               static_cast<double>(trials);
+    }
+    double mean_trial_ms() const {
+      return timed == 0 ? 0.0 : total_ms / static_cast<double>(timed);
+    }
+    double latency_quantile(double q) const;
+  };
+  std::map<std::string, SchemeTally> by_scheme;
+
   /// Per layer kind (paper Fig. 13's per-layer axis).
   std::map<LayerKind, Tally> by_layer;
   /// fault model -> layer kind -> bit position (a 2-bit trial counts
@@ -61,6 +91,11 @@ struct CampaignReport {
   Table layer_bit_table() const;
   /// Detection latency percentiles (p50 / p95 / p99, count, max).
   Table latency_table() const;
+  /// Head-to-head scheme comparison: SDC rate and reduction vs the "none"
+  /// baseline, detection rate, detection-latency percentiles, and mean
+  /// trial wall time with its overhead vs "none". Reduction/overhead cells
+  /// show "-" when the log carries no "none" rows (or no timing).
+  Table scheme_table() const;
 
   /// Everything above as one JSON document.
   Json to_json() const;

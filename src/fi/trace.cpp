@@ -251,6 +251,12 @@ const std::vector<TrialField>& trial_record_fields() {
          r.clips = clips_from_string(j.as_string());
        },
        true},
+      // Appended fields (readers default them, so pre-scheme logs load):
+      {"scheme", [](const TrialRecord& r) { return Json(r.scheme); },
+       [](TrialRecord& r, const Json& j) { r.scheme = j.as_string(); }, true},
+      {"trial_ms",
+       [](const TrialRecord& r) { return Json(r.trial_ms); },
+       [](TrialRecord& r, const Json& j) { r.trial_ms = as_num(j); }, false},
   };
   return fields;
 }

@@ -54,11 +54,12 @@ ScopedWeightFault::ScopedWeightFault(TransformerLM& model,
 
 ScopedWeightFault::~ScopedWeightFault() { *target_ = original_; }
 
-CampaignResult run_weight_fault_campaign(TransformerLM& model,
-                                         const std::vector<EvalInput>& inputs,
-                                         const SchemeSpec& scheme,
-                                         const BoundStore& offline_bounds,
-                                         const CampaignConfig& config) {
+namespace {
+
+CampaignResult run_weight_fault_campaign_impl(
+    TransformerLM& model, const std::vector<EvalInput>& inputs,
+    const std::function<std::unique_ptr<DetectionScheme>()>& make_scheme,
+    const CampaignConfig& config) {
   FT2_CHECK(!inputs.empty());
   const WeightFaultSpace space(model.config());
 
@@ -72,7 +73,7 @@ CampaignResult run_weight_fault_campaign(TransformerLM& model,
           space.sample(config.fault_model, config.vtype, rng);
 
       ScopedWeightFault fault(model, plan);
-      ProtectionHook protection(model.config(), scheme, offline_bounds);
+      ProtectionHook protection(model.config(), make_scheme(), ObsSinks{});
       InferenceSession session(model);
       const HookRegistration reg = session.hooks().add(protection);
 
@@ -92,6 +93,33 @@ CampaignResult run_weight_fault_campaign(TransformerLM& model,
     }
   }
   return result;
+}
+
+}  // namespace
+
+CampaignResult run_weight_fault_campaign(TransformerLM& model,
+                                         const std::vector<EvalInput>& inputs,
+                                         const SchemeSpec& scheme,
+                                         const BoundStore& offline_bounds,
+                                         const CampaignConfig& config) {
+  return run_weight_fault_campaign_impl(
+      model, inputs,
+      [&] {
+        return std::make_unique<RangeRestrictScheme>(model.config(), scheme,
+                                                     offline_bounds);
+      },
+      config);
+}
+
+CampaignResult run_weight_fault_campaign(TransformerLM& model,
+                                         const std::vector<EvalInput>& inputs,
+                                         const SchemeRef& scheme,
+                                         const BoundStore& offline_bounds,
+                                         const CampaignConfig& config) {
+  return run_weight_fault_campaign_impl(
+      model, inputs,
+      [&] { return scheme.instantiate(model.config(), offline_bounds); },
+      config);
 }
 
 }  // namespace ft2

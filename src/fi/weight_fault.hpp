@@ -70,4 +70,12 @@ CampaignResult run_weight_fault_campaign(TransformerLM& model,
                                          const BoundStore& offline_bounds,
                                          const CampaignConfig& config);
 
+/// Registry path: each trial instantiates `scheme` through its registered
+/// factory, so any DetectionScheme runs the weight-fault campaign.
+CampaignResult run_weight_fault_campaign(TransformerLM& model,
+                                         const std::vector<EvalInput>& inputs,
+                                         const SchemeRef& scheme,
+                                         const BoundStore& offline_bounds,
+                                         const CampaignConfig& config);
+
 }  // namespace ft2

@@ -37,6 +37,12 @@ constexpr Template kTemplates[] = {
     {"protect.oob.<KIND>", "counter", "out-of-bound values clipped"},
     {"protect.clip_magnitude.<KIND>", "histogram",
      "|original| of clipped values"},
+    // protect/abft_linear.cpp
+    {"protect.checksum_mismatch.<KIND>", "counter",
+     "rows whose column-sum checksum missed its calibrated band"},
+    // protect/adaptive.cpp
+    {"protect.adapt.<KIND>", "counter",
+     "online bound re-profiles triggered by low headroom"},
     // protect/drift.cpp
     {"protect.headroom.<KIND>", "histogram",
      "per-dispatch fraction of the enforced bound left unused"},

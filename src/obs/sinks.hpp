@@ -1,0 +1,28 @@
+// ObsSinks: the observability plumbing bundle.
+//
+// Every subsystem that publishes metrics and/or trace spans used to carry
+// its own `MetricsRegistry* metrics` + `Tracer* tracer` pair (ServeOptions,
+// CampaignConfig, hook constructors, ...). ObsSinks consolidates the pair
+// into one small value type so a new subsystem gets both sinks with a
+// single field, and call sites wire them with one assignment.
+//
+// Null semantics are owned by the consumer, matching the pre-ObsSinks
+// contract of each field:
+//  * engines/campaigns resolve a null `metrics` to `default_metrics()` and
+//    a null `tracer` to `Tracer::global()`;
+//  * hooks treat a null `metrics` as "inert handles" (no publication).
+// Sinks are observational only everywhere: outcomes, records and corrected
+// values are bit-identical whichever sinks are attached.
+#pragma once
+
+namespace ft2 {
+
+class MetricsRegistry;
+class Tracer;
+
+struct ObsSinks {
+  MetricsRegistry* metrics = nullptr;
+  Tracer* tracer = nullptr;
+};
+
+}  // namespace ft2

@@ -1,0 +1,73 @@
+// abft-linear: statistical ABFT over linear-layer outputs.
+//
+// Classical ABFT verifies a GEMM with checksum-extended operands; ReaLM's
+// observation is that for LLM inference a *statistical* checksum over the
+// output suffices: the column sum of a linear layer's per-position output
+// row is a stable quantity, so a transient fault that corrupts any element
+// shifts the row sum far outside its fault-free range. This scheme applies
+// that idea online, FT2-style:
+//  * first-token phase — NaN-only correction while calibrating, per site,
+//    the fault-free row-sum range AND elementwise value bounds;
+//  * later positions — per row: correct NaNs, recompute the row sum, and
+//    flag the row when the sum deviates from the calibrated interval by
+//    more than `margin` half-widths. Flagged rows take the bound-clamp
+//    fallback (clip-to-bound against the scaled elementwise bounds), since
+//    the checksum localizes the faulty row but not the faulty element.
+// Detection cost is one add per element (the row sum); correction cost is
+// paid only on flagged rows. Each flagged row increments
+// protect.checksum_mismatch.<KIND>.
+#pragma once
+
+#include "protect/detection_scheme.hpp"
+
+namespace ft2 {
+
+struct AbftLinearOptions {
+  /// Tolerated row-sum deviation, in calibrated half-widths (plus a small
+  /// relative slack so a degenerate zero-width calibration still accepts
+  /// fault-free rounding noise). Smaller = more sensitive + more benign
+  /// clipping.
+  float margin = 4.0f;
+  /// Scaling of the calibrated elementwise bounds used by the fallback
+  /// clamp on flagged rows (FT2's x2 default).
+  float scale = 2.0f;
+};
+
+class AbftLinearScheme final : public DetectionScheme {
+ public:
+  explicit AbftLinearScheme(const ModelConfig& config,
+                            AbftLinearOptions options = {});
+
+  void bind_metrics(MetricsRegistry& metrics) override;
+  void begin_generation() override;
+  void detect_and_correct(const HookContext& ctx, std::span<float> values,
+                          ProtectionStats& delta,
+                          ClipObserver* observer) override;
+  std::shared_ptr<const SchemeState> capture_state() const override;
+  void restore_state(const SchemeState* state) override;
+  /// The calibrated elementwise bounds (the fallback-clamp store).
+  const BoundStore& online_bounds() const override { return elem_bounds_; }
+  /// Four floats per covered site: the row-sum interval plus the
+  /// elementwise bounds.
+  std::size_t state_memory_bytes(const ModelConfig& config) const override {
+    return spec().covered.size() * config.n_blocks * 4 * sizeof(float);
+  }
+
+  /// Rows flagged by the checksum so far (across generations, like the
+  /// driver's per-kind tallies).
+  std::size_t checksum_mismatches() const { return mismatches_; }
+  /// The calibrated per-site row-sum intervals ([lo, hi] of Bounds).
+  const BoundStore& row_sum_bounds() const { return row_sums_; }
+
+ private:
+  bool row_sum_ok(const Bounds& calibrated, double sum) const;
+
+  AbftLinearOptions options_;
+  BoundStore row_sums_;     ///< per-site fault-free row-sum range
+  BoundStore elem_bounds_;  ///< per-site elementwise range (fallback clamp)
+  std::array<Counter, kLayerKindCount> mismatch_counters_{};
+  std::array<std::size_t, kLayerKindCount> kind_mismatches_{};
+  std::size_t mismatches_ = 0;
+};
+
+}  // namespace ft2

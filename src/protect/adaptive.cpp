@@ -1,0 +1,113 @@
+#include "protect/adaptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "protect/critical.hpp"
+
+namespace ft2 {
+
+namespace {
+
+struct AdaptiveState final : SchemeState {
+  BoundStore online_bounds;
+  std::array<std::size_t, kLayerKindCount> kind_adapts{};
+};
+
+SchemeSpec adaptive_spec(const ModelConfig& config,
+                         const AdaptiveFt2Options& options) {
+  SchemeSpec spec = scheme_spec(SchemeKind::kFt2, config);
+  spec.name = "ft2-adaptive";
+  spec.bound_scale = options.scale;
+  return spec;
+}
+
+}  // namespace
+
+AdaptiveFt2Scheme::AdaptiveFt2Scheme(const ModelConfig& config,
+                                     AdaptiveFt2Options options)
+    : DetectionScheme(adaptive_spec(config, options)),
+      options_(options),
+      online_bounds_(config) {}
+
+void AdaptiveFt2Scheme::bind_metrics(MetricsRegistry& metrics) {
+  for (LayerKind k : spec().covered) {
+    adapt_counters_[static_cast<std::size_t>(k)] = metrics.counter(
+        "protect.adapt." + std::string(layer_kind_name(k)));
+  }
+}
+
+void AdaptiveFt2Scheme::begin_generation() { online_bounds_.reset(); }
+
+void AdaptiveFt2Scheme::detect_and_correct(const HookContext& ctx,
+                                           std::span<float> values,
+                                           ProtectionStats& delta,
+                                           ClipObserver* observer) {
+  if (ctx.first_token_phase) {
+    // Identical to FT2's first-token phase: NaN-only correction while the
+    // bounds record.
+    delta.values_checked = values.size();
+    delta.nan_corrected = correct_nan_to_zero(values);
+    online_bounds_.at(ctx.site).observe_span(values);
+    return;
+  }
+
+  // Pre-correction span extremes (NaN compares false: contributes to
+  // neither) — the same scan the drift monitor uses for headroom.
+  float mn = std::numeric_limits<float>::infinity();
+  float mx = -std::numeric_limits<float>::infinity();
+  for (float v : values) {
+    mn = std::min(mn, v);
+    mx = std::max(mx, v);
+  }
+
+  Bounds& raw = online_bounds_.at(ctx.site);
+  const Bounds enforced = raw.scaled(spec_.bound_scale);
+  range_restrict(values, enforced, spec_.policy, spec_.correct_nan, &delta,
+                 spec_.detect_only, observer);
+
+  // Re-profile only on clean dispatches: a corrected excursion is a
+  // suspected fault and must not widen the bounds it violated.
+  if (delta.nan_corrected != 0 || delta.oob_corrected != 0) return;
+  if (!enforced.valid()) return;
+  double usage = 0.0;
+  if (mx > 0.0f && enforced.hi > 0.0f) {
+    usage = std::max(
+        usage, static_cast<double>(mx) / static_cast<double>(enforced.hi));
+  }
+  if (mn < 0.0f && enforced.lo < 0.0f) {
+    usage = std::max(
+        usage, static_cast<double>(mn) / static_cast<double>(enforced.lo));
+  }
+  const double headroom = std::max(0.0, 1.0 - usage);
+  if (headroom > static_cast<double>(options_.threshold)) return;
+  raw.observe(mn);
+  raw.observe(mx);
+  const std::size_t kind = static_cast<std::size_t>(ctx.site.kind);
+  ++adapts_;
+  ++kind_adapts_[kind];
+  adapt_counters_[kind].inc();
+}
+
+std::shared_ptr<const SchemeState> AdaptiveFt2Scheme::capture_state() const {
+  auto state = std::make_shared<AdaptiveState>();
+  state->online_bounds = online_bounds_;
+  state->kind_adapts = kind_adapts_;
+  return state;
+}
+
+void AdaptiveFt2Scheme::restore_state(const SchemeState* state) {
+  const auto* adaptive = dynamic_cast<const AdaptiveState*>(state);
+  if (adaptive == nullptr) return;
+  online_bounds_ = adaptive->online_bounds;
+  for (std::size_t k = 0; k < kLayerKindCount; ++k) {
+    const std::size_t n = adaptive->kind_adapts[k];
+    if (n == 0) continue;
+    kind_adapts_[k] += n;
+    adapts_ += n;
+    adapt_counters_[k].inc(n);
+  }
+}
+
+}  // namespace ft2

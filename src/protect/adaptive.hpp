@@ -1,0 +1,56 @@
+// ft2-adaptive: FT2 online bounds with closed-loop re-profiling.
+//
+// PR 5's BoundDriftMonitor showed that first-token bounds can drift tight
+// over a long generation: benign activations creep toward the enforced
+// bounds (headroom -> 0) until legitimate values get clipped. This scheme
+// closes the loop. It behaves exactly like FT2 (first-token bound
+// recording, clip-to-bound x scale afterwards) but measures, per dispatch,
+// the same headroom the drift monitor reports; when a *clean* dispatch
+// (no NaN, nothing out of bounds) lands within `threshold` of the enforced
+// bounds, the observed span extremes are merged back into the raw online
+// bounds — re-profiling them online so the enforced interval keeps a
+// safety margin ahead of the benign distribution. Faulty dispatches are
+// never absorbed: anything corrected is excluded from re-profiling, so a
+// detected excursion cannot widen the bounds. Each widening increments
+// protect.adapt.<KIND>.
+#pragma once
+
+#include "protect/detection_scheme.hpp"
+
+namespace ft2 {
+
+struct AdaptiveFt2Options {
+  /// Near-clip headroom threshold (the drift monitor's default): a clean
+  /// dispatch with headroom <= threshold triggers a re-profile.
+  float threshold = 0.10f;
+  /// Bound scaling, as FT2 (enforced = raw x scale).
+  float scale = 2.0f;
+};
+
+class AdaptiveFt2Scheme final : public DetectionScheme {
+ public:
+  explicit AdaptiveFt2Scheme(const ModelConfig& config,
+                             AdaptiveFt2Options options = {});
+
+  void bind_metrics(MetricsRegistry& metrics) override;
+  void begin_generation() override;
+  void detect_and_correct(const HookContext& ctx, std::span<float> values,
+                          ProtectionStats& delta,
+                          ClipObserver* observer) override;
+  std::shared_ptr<const SchemeState> capture_state() const override;
+  void restore_state(const SchemeState* state) override;
+  const BoundStore& online_bounds() const override { return online_bounds_; }
+
+  /// Re-profile events so far (across generations, like the driver's
+  /// per-kind tallies).
+  std::size_t adapt_events() const { return adapts_; }
+
+ private:
+  AdaptiveFt2Options options_;
+  BoundStore online_bounds_;
+  std::array<Counter, kLayerKindCount> adapt_counters_{};
+  std::array<std::size_t, kLayerKindCount> kind_adapts_{};
+  std::size_t adapts_ = 0;
+};
+
+}  // namespace ft2

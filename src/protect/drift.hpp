@@ -21,6 +21,7 @@
 
 #include "nn/hooks.hpp"
 #include "obs/metrics.hpp"
+#include "obs/sinks.hpp"
 #include "protect/bounds.hpp"
 #include "protect/scheme.hpp"
 
@@ -30,9 +31,10 @@ struct DriftMonitorOptions {
   /// A dispatch whose headroom is <= this fraction counts as "near clip"
   /// (the numerator of protect.headroom.near_clip_frac).
   double near_clip_threshold = 0.10;
-  /// Registry for protect.headroom.* exports; nullptr selects the process
-  /// default (or no publishing when metrics are disabled).
-  MetricsRegistry* metrics = nullptr;
+  /// Observability sinks; `obs.metrics` receives the protect.headroom.*
+  /// exports, nullptr selects the process default (or no publishing when
+  /// metrics are disabled).
+  ObsSinks obs;
 };
 
 /// Histogram buckets for bound-usage headroom in [0, 1].

@@ -60,46 +60,6 @@ BoundStore profile_offline_bounds(const TransformerLM& model,
                                   const DatasetGenerator& gen,
                                   const OfflineProfileOptions& options = {});
 
-/// Deprecated shims for the pre-OfflineProfileOptions entry points.
-[[deprecated("use profile_offline_bounds(model, gen, OfflineProfileOptions)")]]
-inline BoundStore profile_offline_bounds(const TransformerLM& model,
-                                         const DatasetGenerator& gen,
-                                         std::size_t n_inputs,
-                                         std::uint64_t seed,
-                                         std::size_t max_new_tokens = 24) {
-  OfflineProfileOptions options;
-  options.n_inputs = n_inputs;
-  options.seed = seed;
-  options.max_new_tokens = max_new_tokens;
-  return profile_offline_bounds(model, gen, options);
-}
-
-[[deprecated("use profile_offline_bounds with with_typical = true")]]
-inline BoundStore profile_offline_bounds_with_typical(
-    const TransformerLM& model, const DatasetGenerator& gen,
-    std::size_t n_inputs, std::uint64_t seed,
-    std::size_t max_new_tokens = 24) {
-  OfflineProfileOptions options;
-  options.n_inputs = n_inputs;
-  options.seed = seed;
-  options.max_new_tokens = max_new_tokens;
-  options.with_typical = true;
-  return profile_offline_bounds(model, gen, options);
-}
-
-[[deprecated("use profile_offline_bounds with quantile = q")]]
-inline BoundStore profile_offline_bounds_quantile(
-    const TransformerLM& model, const DatasetGenerator& gen,
-    std::size_t n_inputs, std::uint64_t seed, double q,
-    std::size_t max_new_tokens = 24) {
-  OfflineProfileOptions options;
-  options.n_inputs = n_inputs;
-  options.seed = seed;
-  options.max_new_tokens = max_new_tokens;
-  options.quantile = q;
-  return profile_offline_bounds(model, gen, options);
-}
-
 /// Per-site activation statistics: histogram + NaN-vulnerable fraction.
 class ActivationStatsHook : public OutputHook {
  public:

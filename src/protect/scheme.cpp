@@ -1,8 +1,10 @@
 #include "protect/scheme.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "protect/critical.hpp"
+#include "protect/detection_scheme.hpp"
 
 namespace ft2 {
 
@@ -13,6 +15,7 @@ bool SchemeSpec::covers(LayerKind k) const {
 SchemeSpec scheme_spec(SchemeKind kind, const ModelConfig& config) {
   SchemeSpec spec;
   spec.kind = kind;
+  spec.name = scheme_name(kind);
   auto keep_present = [&config](std::vector<LayerKind> kinds) {
     std::vector<LayerKind> out;
     for (LayerKind k : kinds) {
@@ -61,36 +64,41 @@ SchemeSpec scheme_spec(SchemeKind kind, const ModelConfig& config) {
   return spec;
 }
 
+std::string spec_display_name(const SchemeSpec& spec) {
+  return spec.name.empty() ? scheme_name(spec.kind) : spec.name;
+}
+
+ProtectionHook::ProtectionHook(const ModelConfig& config,
+                               std::unique_ptr<DetectionScheme> scheme,
+                               ObsSinks obs)
+    : config_(config), scheme_(std::move(scheme)) {
+  FT2_CHECK_MSG(scheme_ != nullptr, "ProtectionHook requires a scheme");
+  for (LayerKind k : scheme_->spec().covered) {
+    covered_mask_[static_cast<std::size_t>(k)] = true;
+  }
+  if (obs.metrics != nullptr) {
+    for (LayerKind k : scheme_->spec().covered) {
+      KindMetrics& km = kind_metrics_[static_cast<std::size_t>(k)];
+      const std::string kind(layer_kind_name(k));
+      km.checked = obs.metrics->counter("protect.checked." + kind);
+      km.nan = obs.metrics->counter("protect.nan." + kind);
+      km.oob = obs.metrics->counter("protect.oob." + kind);
+      km.clip_magnitude = obs.metrics->histogram(
+          "protect.clip_magnitude." + kind, magnitude_buckets());
+    }
+    scheme_->bind_metrics(*obs.metrics);
+  }
+}
+
 ProtectionHook::ProtectionHook(const ModelConfig& config, SchemeSpec spec,
                                BoundStore offline_bounds,
                                MetricsRegistry* metrics)
-    : config_(config),
-      spec_(std::move(spec)),
-      offline_bounds_(std::move(offline_bounds)),
-      online_bounds_(config) {
-  FT2_CHECK_MSG(!spec_.needs_offline_bounds || !offline_bounds_.empty(),
-                "scheme " << scheme_name(spec_.kind)
-                          << " requires offline bounds");
-  if (offline_bounds_.empty()) {
-    // Invalid (never-observed) bounds: range_restrict degrades to NaN-only
-    // correction, which is what bound-less protection can still do.
-    offline_bounds_ = BoundStore(config_);
-  }
-  for (LayerKind k : spec_.covered) {
-    covered_mask_[static_cast<std::size_t>(k)] = true;
-  }
-  if (metrics != nullptr) {
-    for (LayerKind k : spec_.covered) {
-      KindMetrics& km = kind_metrics_[static_cast<std::size_t>(k)];
-      const std::string kind(layer_kind_name(k));
-      km.checked = metrics->counter("protect.checked." + kind);
-      km.nan = metrics->counter("protect.nan." + kind);
-      km.oob = metrics->counter("protect.oob." + kind);
-      km.clip_magnitude = metrics->histogram("protect.clip_magnitude." + kind,
-                                             magnitude_buckets());
-    }
-  }
-}
+    : ProtectionHook(config,
+                     std::make_unique<RangeRestrictScheme>(
+                         config, std::move(spec), std::move(offline_bounds)),
+                     ObsSinks{metrics, nullptr}) {}
+
+ProtectionHook::~ProtectionHook() = default;
 
 ProtectionStats ProtectionHook::stats() const {
   ProtectionStats total;
@@ -98,23 +106,33 @@ ProtectionStats ProtectionHook::stats() const {
   return total;
 }
 
+const SchemeSpec& ProtectionHook::spec() const { return scheme_->spec(); }
+
+const BoundStore& ProtectionHook::online_bounds() const {
+  return scheme_->online_bounds();
+}
+
+const BoundStore& ProtectionHook::offline_bounds() const {
+  return scheme_->offline_bounds();
+}
+
 void ProtectionHook::on_generation_begin() {
-  if (spec_.online) online_bounds_.reset();
+  scheme_->begin_generation();
   clip_log_.clear();
   first_detect_pos_ = -1;
 }
 
 ProtectionState ProtectionHook::capture_state() const {
   ProtectionState state;
-  state.online_bounds = online_bounds_;
   state.kind_stats = kind_stats_;
   state.clips = clip_log_;
   state.first_detect_pos = first_detect_pos_;
+  state.scheme = scheme_->capture_state();
   return state;
 }
 
 void ProtectionHook::restore_state(const ProtectionState& state) {
-  online_bounds_ = state.online_bounds;
+  scheme_->restore_state(state.scheme.get());
   for (std::size_t k = 0; k < kLayerKindCount; ++k) {
     const ProtectionStats& s = state.kind_stats[k];
     if (s.values_checked == 0 && s.nan_corrected == 0 && s.oob_corrected == 0) {
@@ -174,38 +192,22 @@ class MagnitudeObserver final : public ClipObserver {
 
 void ProtectionHook::on_output(const HookContext& ctx,
                                std::span<float> values) {
-  // `values` may span several positions (blocked prefill). Every operation
-  // below is elementwise or an order-insensitive min/max, and bounds are
-  // per-site (not per-position), so the flat span needs no row iteration
-  // and the results match per-position dispatch exactly.
-  if (spec_.kind == SchemeKind::kNone) return;
   const std::size_t kind = static_cast<std::size_t>(ctx.site.kind);
   if (!covered_mask_[kind]) return;
   ProtectionStats& tally = kind_stats_[kind];
   KindMetrics& km = kind_metrics_[kind];
 
-  // Tally per call into a delta so the registry counters advance by
-  // exactly what this dispatch corrected; merging the delta into the
-  // per-kind tally reproduces the old single-struct accounting bit for
+  // The scheme tallies per call into a delta so the registry counters
+  // advance by exactly what this dispatch corrected; merging the delta
+  // into the per-kind tally reproduces single-struct accounting bit for
   // bit (integer adds in dispatch order).
   ProtectionStats delta;
-  if (spec_.online && ctx.first_token_phase) {
-    // First-token phase: no bounds yet. Correct NaN (always detectable)
-    // and record the observed range for the remaining tokens.
-    delta.values_checked = values.size();
-    delta.nan_corrected = correct_nan_to_zero(values);
-    online_bounds_.at(ctx.site).observe_span(values);
-  } else {
-    const Bounds& raw =
-        spec_.online ? online_bounds_.at(ctx.site) : offline_bounds_.at(ctx.site);
-    MagnitudeObserver observer(km.clip_magnitude, ctx.site.kind, ctx.position,
-                               ctx.width(values.size()),
-                               capture_clips_ ? &clip_log_ : nullptr);
-    range_restrict(values, raw.scaled(spec_.bound_scale), spec_.policy,
-                   spec_.correct_nan, &delta, spec_.detect_only,
-                   km.clip_magnitude.enabled() || capture_clips_ ? &observer
-                                                                 : nullptr);
-  }
+  MagnitudeObserver observer(km.clip_magnitude, ctx.site.kind, ctx.position,
+                             ctx.width(values.size()),
+                             capture_clips_ ? &clip_log_ : nullptr);
+  scheme_->detect_and_correct(
+      ctx, values, delta,
+      km.clip_magnitude.enabled() || capture_clips_ ? &observer : nullptr);
   if ((delta.nan_corrected != 0 || delta.oob_corrected != 0) &&
       first_detect_pos_ < 0) {
     // Dispatches arrive in nondecreasing position order, so the first
@@ -220,11 +222,11 @@ void ProtectionHook::on_output(const HookContext& ctx,
 }
 
 std::size_t ProtectionHook::bound_memory_bytes() const {
-  return protected_layer_count() * 2 * sizeof(float);
+  return scheme_->state_memory_bytes(config_);
 }
 
 std::size_t ProtectionHook::protected_layer_count() const {
-  return spec_.covered.size() * config_.n_blocks;
+  return spec().covered.size() * config_.n_blocks;
 }
 
 }  // namespace ft2

@@ -1,6 +1,18 @@
-// Protection schemes: FT2 and the range-restriction baselines.
+// Protection driver and scheme descriptors.
 //
-// Coverage follows the paper's Table 1:
+// The protection layer is split in two (see protect/detection_scheme.hpp
+// for the pluggable half):
+//  * DetectionScheme — the detection/correction algorithm itself, behind a
+//    small virtual interface (range restriction, checksums, ...). Schemes
+//    are registered by name and resolved at runtime.
+//  * ProtectionHook (this header) — the thin driver that owns everything a
+//    scheme should not have to reimplement: per-layer-kind tallies,
+//    protect.* metric publication, the clip-event log, first-detection
+//    accounting, generation lifecycle, and capture/restore of the whole
+//    bundle for prefix-reuse campaigns.
+//
+// Coverage of the built-in range-restriction schemes follows the paper's
+// Table 1:
 //   Ranger         — activation-layer outputs only, clip-to-zero, no NaN fix.
 //   MaxiMals       — attention-block and MLP outputs (OUT_PROJ, FC2,
 //                    DOWN_PROJ), clip-to-zero, NaN fix, mild bound scaling.
@@ -14,16 +26,21 @@
 #pragma once
 
 #include <array>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "nn/hooks.hpp"
 #include "obs/metrics.hpp"
+#include "obs/sinks.hpp"
 #include "protect/bounds.hpp"
 #include "protect/range_restriction.hpp"
 
 namespace ft2 {
+
+class DetectionScheme;
+class SchemeState;
 
 /// One out-of-bound correction, attributed to the layer kind and the
 /// sequence position of the clipped value (forensics: campaign flight
@@ -38,11 +55,10 @@ struct ClipEvent {
 /// Point-in-time snapshot of a ProtectionHook's per-generation state, taken
 /// at a token boundary of a fault-free run and restored into a fresh hook
 /// when a trial forks from that boundary (prefix-reuse campaigns). Carries
-/// everything the hook accumulated over the skipped prefix: the online
-/// first-token bounds, the per-kind correction tallies, and the individual
-/// out-of-bound events (so clip-magnitude histograms replay exactly).
+/// the driver-side accumulation (per-kind correction tallies, out-of-bound
+/// events, first detection) plus an opaque snapshot of the scheme's private
+/// state (online first-token bounds, checksum calibration, ...).
 struct ProtectionState {
-  BoundStore online_bounds;
   std::array<ProtectionStats, kLayerKindCount> kind_stats{};
   /// Out-of-bound events observed so far, in dispatch order (recorded only
   /// while clip capture is enabled on the source hook).
@@ -50,8 +66,17 @@ struct ProtectionState {
   /// Earliest sequence position where any correction (NaN or out-of-bound)
   /// fired, -1 when none has.
   long long first_detect_pos = -1;
+  /// Scheme-private state at the boundary (DetectionScheme::capture_state;
+  /// null when the scheme carries none). Immutable and shared: restoring
+  /// never mutates the snapshot.
+  std::shared_ptr<const SchemeState> scheme;
 };
 
+/// The built-in range-restriction scheme family (the paper's Table 1).
+/// This enum only enumerates that family; the full scheme zoo — including
+/// checksum and adaptive detectors — lives in the string-keyed registry
+/// (protect/detection_scheme.hpp), which is what CLI and campaign paths
+/// resolve names against.
 enum class SchemeKind {
   kNone = 0,
   kRanger,
@@ -73,17 +98,13 @@ constexpr const char* scheme_name(SchemeKind kind) {
   return "unknown";
 }
 
-inline const std::vector<SchemeKind>& all_schemes() {
-  static const std::vector<SchemeKind> kinds = {
-      SchemeKind::kNone,          SchemeKind::kRanger,
-      SchemeKind::kMaxiMals,      SchemeKind::kGlobalClipper,
-      SchemeKind::kFt2,           SchemeKind::kFt2Offline};
-  return kinds;
-}
-
 /// Resolved protection parameters for one scheme on one architecture.
 struct SchemeSpec {
   SchemeKind kind = SchemeKind::kNone;
+  /// Registry/display name ("ft2", "abft-linear", ...). scheme_spec() fills
+  /// it from the kind; schemes built by the registry carry their registered
+  /// name. Threaded into TrialRecord::scheme by campaigns.
+  std::string name;
   std::vector<LayerKind> covered;  ///< protected layer kinds
   ClipPolicy policy = ClipPolicy::kToZero;
   bool correct_nan = false;
@@ -98,23 +119,37 @@ struct SchemeSpec {
 /// Coverage/policy of `kind` for the given architecture.
 SchemeSpec scheme_spec(SchemeKind kind, const ModelConfig& config);
 
-/// The protection hook: applies a SchemeSpec during generation.
+/// Display name of a spec for records and tables: the registered name when
+/// set, otherwise the legacy enum name.
+std::string spec_display_name(const SchemeSpec& spec);
+
+/// The protection hook: drives a DetectionScheme during generation.
 ///
-/// Offline schemes clamp every covered layer at every position using the
-/// supplied profiled bounds. FT2 (online) records bounds during the
-/// first-token phase (with NaN correction only) and protects subsequent
-/// positions with those bounds scaled by `bound_scale`.
+/// The driver dispatches every covered layer output to the scheme's
+/// detect_and_correct, accumulates the per-kind tallies it reports,
+/// publishes protect.* metrics, records clip events and the earliest
+/// detection position, and snapshots/restores the whole bundle (driver
+/// accounting + scheme-private state) for prefix-reuse campaign forks.
 class ProtectionHook : public OutputHook {
  public:
-  /// `offline_bounds` may be empty for online schemes / kNone. When
-  /// `metrics` is non-null the hook publishes per-layer-kind event
-  /// counters (protect.checked/nan/oob.<KIND>) and clip-magnitude
-  /// histograms (protect.clip_magnitude.<KIND>) to it; metrics never
-  /// change what the hook corrects — values and stats are bit-identical
-  /// with metrics on or off.
+  /// Drives `scheme` (never null). When `obs.metrics` is non-null the hook
+  /// publishes per-layer-kind event counters (protect.checked/nan/
+  /// oob.<KIND>), clip-magnitude histograms (protect.clip_magnitude.<KIND>)
+  /// and any scheme-private metrics to it; metrics never change what the
+  /// hook corrects — values and stats are bit-identical with metrics on or
+  /// off. (`obs.tracer` is carried for uniformity; the hook emits no spans.)
+  ProtectionHook(const ModelConfig& config,
+                 std::unique_ptr<DetectionScheme> scheme, ObsSinks obs = {});
+
+  /// Convenience: a range-restriction scheme resolved from its spec.
+  /// `offline_bounds` may be empty for online schemes / kNone.
   ProtectionHook(const ModelConfig& config, SchemeSpec spec,
                  BoundStore offline_bounds = BoundStore{},
                  MetricsRegistry* metrics = nullptr);
+
+  ~ProtectionHook() override;
+  ProtectionHook(ProtectionHook&&) = default;
+  ProtectionHook& operator=(ProtectionHook&&) = default;
 
   void on_generation_begin() override;
   void on_output(const HookContext& ctx, std::span<float> values) override;
@@ -129,15 +164,21 @@ class ProtectionHook : public OutputHook {
     return kind_stats_[static_cast<std::size_t>(kind)];
   }
 
-  const SchemeSpec& spec() const { return spec_; }
+  /// The driven scheme's resolved spec (coverage, policy, scaling).
+  const SchemeSpec& spec() const;
+
+  /// The scheme under the driver (for scheme-specific inspection).
+  DetectionScheme& scheme() { return *scheme_; }
+  const DetectionScheme& scheme() const { return *scheme_; }
 
   /// Online bounds captured during the current/most recent generation
-  /// (valid after the first-token phase of an FT2 run).
-  const BoundStore& online_bounds() const { return online_bounds_; }
+  /// (valid after the first-token phase of an FT2 run; an empty store for
+  /// schemes without online bounds).
+  const BoundStore& online_bounds() const;
 
-  /// Offline (profiled) bounds this hook protects with; invalid entries for
-  /// online schemes constructed without profiles.
-  const BoundStore& offline_bounds() const { return offline_bounds_; }
+  /// Offline (profiled) bounds the scheme protects with; invalid entries
+  /// for online schemes constructed without profiles.
+  const BoundStore& offline_bounds() const;
 
   /// Out-of-bound events recorded this generation (only while clip capture
   /// is on — see set_clip_capture).
@@ -158,14 +199,18 @@ class ProtectionHook : public OutputHook {
   ProtectionState capture_state() const;
 
   /// Restores captured state into this hook as if it had processed the
-  /// recorded prefix itself: online bounds and per-kind tallies are merged
-  /// in, the prefix's protect.* counter increments are published to the
-  /// metrics registry, and recorded clips replay into the clip-magnitude
-  /// histograms. Call after on_generation_begin (which resets online
-  /// bounds), e.g. from InferenceSession::resume_from's on_resume hook.
+  /// recorded prefix itself: scheme-private state and per-kind tallies are
+  /// reinstated, the prefix's protect.* counter increments are published to
+  /// the metrics registry, and recorded clips replay into the
+  /// clip-magnitude histograms. Call after on_generation_begin (which
+  /// resets scheme state), e.g. from InferenceSession::resume_from's
+  /// on_resume hook.
   void restore_state(const ProtectionState& state);
 
-  /// Memory footprint of the bounds this scheme stores (paper §5.2.2).
+  /// Memory footprint of the per-site state this scheme stores (paper
+  /// §5.2.2 — two bound floats per protected layer instance for the
+  /// range-restriction family; checksum schemes report their calibration
+  /// storage on top).
   std::size_t bound_memory_bytes() const;
 
   /// Number of protected layer instances (covered kinds x blocks).
@@ -181,9 +226,7 @@ class ProtectionHook : public OutputHook {
   };
 
   ModelConfig config_;
-  SchemeSpec spec_;
-  BoundStore offline_bounds_;
-  BoundStore online_bounds_;
+  std::unique_ptr<DetectionScheme> scheme_;
   std::array<bool, kLayerKindCount> covered_mask_{};
   std::array<ProtectionStats, kLayerKindCount> kind_stats_{};
   std::array<KindMetrics, kLayerKindCount> kind_metrics_{};

@@ -56,9 +56,11 @@ ServeEngine::ServeEngine(const TransformerLM& model, ServeOptions options)
       ws_(model.config(), std::max<std::size_t>(options.max_batch, 1)) {
   FT2_CHECK_MSG(options_.max_batch >= 1, "max_batch must be at least 1");
   if (options_.pack_weights) packed_.emplace(model_);
-  tracer_ = options_.tracer != nullptr ? options_.tracer : &Tracer::global();
+  tracer_ = options_.obs.tracer != nullptr ? options_.obs.tracer
+                                           : &Tracer::global();
   MetricsRegistry* reg =
-      options_.metrics != nullptr ? options_.metrics : default_metrics();
+      options_.obs.metrics != nullptr ? options_.obs.metrics
+                                      : default_metrics();
   if (reg != nullptr) {
     metrics_.submitted = reg->counter("serve.requests.submitted");
     metrics_.completed = reg->counter("serve.requests.completed");

@@ -37,6 +37,7 @@
 #include "nn/kv_cache.hpp"
 #include "nn/model.hpp"
 #include "obs/metrics.hpp"
+#include "obs/sinks.hpp"
 #include "obs/trace.hpp"
 
 namespace ft2 {
@@ -52,13 +53,13 @@ struct ServeOptions {
   /// bit-exact either way. Disable to observe weight mutations made after
   /// engine construction (e.g. ScopedWeightFault) in the decode GEMMs.
   bool pack_weights = true;
-  /// Registry the engine publishes serve.* metrics to. nullptr selects the
-  /// process default (default_metrics(): the global registry, or metrics
-  /// off entirely under FT2_METRICS=0). Tests pass an isolated registry.
-  MetricsRegistry* metrics = nullptr;
-  /// Tracer for serve.prefill / serve.decode_step spans. nullptr selects
-  /// Tracer::global(), which is inert unless FT2_TRACE is set.
-  Tracer* tracer = nullptr;
+  /// Observability sinks. `obs.metrics` is the registry the engine
+  /// publishes serve.* metrics to; nullptr selects the process default
+  /// (default_metrics(): the global registry, or metrics off entirely under
+  /// FT2_METRICS=0). `obs.tracer` receives serve.prefill /
+  /// serve.decode_step spans; nullptr selects Tracer::global(), inert
+  /// unless FT2_TRACE is set. Tests pass an isolated registry.
+  ObsSinks obs;
 };
 
 using RequestId = std::uint64_t;

@@ -1,0 +1,95 @@
+// End-to-end campaign coverage for the registry-only schemes: abft-linear
+// and ft2-adaptive must run through the full fault-injection machinery, be
+// bit-identical with prefix reuse on and off (their capture_state /
+// restore_state implementations carry calibration across trial forks), and
+// stamp their display name into every trial record.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/ft2.hpp"
+#include "fi/trace.hpp"
+
+namespace ft2 {
+namespace {
+
+TransformerLM tiny_model() {
+  ModelConfig c;
+  c.arch = ArchFamily::kOpt;
+  c.vocab_size = Vocab::shared().size();
+  c.d_model = 16;
+  c.n_heads = 2;
+  c.n_blocks = 2;
+  c.d_ff = 24;
+  c.max_seq = 96;
+  Xoshiro256 rng(21);
+  return TransformerLM(c, init_weights(c, rng));
+}
+
+/// Records normalized for determinism comparison (trial_ms is wall time).
+std::string records_digest(std::vector<TrialRecord> records) {
+  std::string out;
+  for (TrialRecord& r : records) {
+    r.trial_ms = 0.0;
+    out += trial_record_to_json(r).dump(-1);
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<TrialRecord> run_with_reuse(const TransformerLM& model,
+                                        const std::vector<EvalInput>& inputs,
+                                        const SchemeRef& scheme,
+                                        bool prefix_reuse) {
+  CampaignConfig config;
+  config.fault_model = FaultModel::kExponentBit;
+  config.trials_per_input = 8;
+  config.gen_tokens = 5;
+  config.seed = 9;
+  config.capture_clips = true;
+  config.prefix_reuse = prefix_reuse;
+  TraceCollector collector;
+  run_campaign(model, inputs, scheme, BoundStore{}, config,
+               collector.callback());
+  return collector.records();
+}
+
+class NewSchemeCampaign : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(NewSchemeCampaign, RunsAndIsBitIdenticalAcrossPrefixReuse) {
+  const SchemeRef scheme = SchemeRef::parse(GetParam());
+  const TransformerLM model = tiny_model();
+  const auto gen = make_generator(DatasetKind::kSynthQA);
+  const auto samples = gen->generate_many(2, 5);
+  const auto inputs = prepare_eval_inputs(model, samples, 5, false);
+  ASSERT_FALSE(inputs.empty());
+
+  const auto off = run_with_reuse(model, inputs, scheme, false);
+  const auto on = run_with_reuse(model, inputs, scheme, true);
+  ASSERT_EQ(off.size(), inputs.size() * 8);
+  EXPECT_EQ(records_digest(off), records_digest(on));
+
+  for (const TrialRecord& r : off) {
+    EXPECT_EQ(r.scheme, scheme.display());
+    EXPECT_GT(r.trial_ms, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, NewSchemeCampaign,
+                         ::testing::Values("abft-linear", "ft2-adaptive",
+                                           "ft2-adaptive:threshold=0.5",
+                                           "abft-linear:margin=2"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '-' || c == ':' || c == '=' ||
+                                 c == '.') {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace ft2

@@ -57,7 +57,7 @@ CampaignCapture run_once(const TransformerLM& model,
   MetricsRegistry registry;
   config.prefix_reuse = prefix_reuse;
   config.pool = pool;
-  config.metrics = &registry;
+  config.obs.metrics = &registry;
   CampaignCapture cap;
   std::vector<TrialRecord> trace;
   cap.result =

@@ -100,7 +100,7 @@ TEST(Trace, FieldOrderIsSharedAcrossFormats) {
             "trial,input,position,in_first_token,block,layer,neuron,bits,"
             "dtype,outcome,generated,fault_model,fired,detections,"
             "nan_detections,oob_detections,detect_position,"
-            "injected_original,injected_value,clips");
+            "injected_original,injected_value,clips,scheme,trial_ms");
 }
 
 std::string jsonl_of(const std::vector<TrialRecord>& records) {

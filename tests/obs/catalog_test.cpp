@@ -62,8 +62,8 @@ TEST(MetricCatalog, LiveWorkloadRegistersOnlyCatalogedNames) {
   // Serve path with protection hooks.
   {
     ServeOptions serve_opts;
-    serve_opts.metrics = &registry;
-    serve_opts.tracer = &tracer;
+    serve_opts.obs.metrics = &registry;
+    serve_opts.obs.tracer = &tracer;
     ServeEngine engine(model, serve_opts);
     const SchemeSpec spec = scheme_spec(SchemeKind::kFt2, model.config());
     ProtectionHook hook(model.config(), spec, BoundStore{}, &registry);
@@ -84,8 +84,8 @@ TEST(MetricCatalog, LiveWorkloadRegistersOnlyCatalogedNames) {
     CampaignConfig config;
     config.trials_per_input = 4;
     config.gen_tokens = 4;
-    config.metrics = &registry;
-    config.tracer = &tracer;
+    config.obs.metrics = &registry;
+    config.obs.tracer = &tracer;
     config.drift_monitor = true;
     config.capture_clips = true;
     run_campaign(model, inputs, SchemeKind::kFt2, BoundStore{}, config);

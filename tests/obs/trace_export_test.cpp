@@ -101,7 +101,7 @@ TEST(TraceExportCheck, ServeRunExportsParseableMonotonicTrace) {
 
   Tracer tracer(1024, /*enabled=*/true);
   ServeOptions serve_opts;
-  serve_opts.tracer = &tracer;
+  serve_opts.obs.tracer = &tracer;
   ServeEngine engine(model, serve_opts);
   GenerateOptions opts;
   opts.max_new_tokens = 5;

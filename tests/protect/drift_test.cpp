@@ -44,7 +44,7 @@ TEST(BoundDrift, ObservesPostFirstTokenDispatches) {
 
   ProtectionHook protection(model.config(), spec, BoundStore{}, &registry);
   DriftMonitorOptions options;
-  options.metrics = &registry;
+  options.obs.metrics = &registry;
   BoundDriftMonitor monitor(protection, options);
 
   InferenceSession session(model);
@@ -98,7 +98,7 @@ CampaignArtifacts run_with_drift(bool drift) {
   config.trials_per_input = 12;
   config.gen_tokens = 6;
   config.fault_model = FaultModel::kExponentBit;
-  config.metrics = &registry;
+  config.obs.metrics = &registry;
   config.capture_clips = true;
   config.drift_monitor = drift;
 
@@ -106,8 +106,15 @@ CampaignArtifacts run_with_drift(bool drift) {
   TraceCollector trace;
   out.result = run_campaign(model, inputs, SchemeKind::kFt2, BoundStore{},
                             config, trace.callback());
+  // trial_ms is wall time — documented as excluded from determinism
+  // comparisons — so zero it before serializing.
+  TraceCollector normalized;
+  for (TrialRecord r : trace.records()) {
+    r.trial_ms = 0.0;
+    normalized.callback()(r);
+  }
   std::ostringstream os;
-  trace.write_jsonl(os);
+  normalized.write_jsonl(os);
   out.records_jsonl = os.str();
   out.snapshot = registry.snapshot();
   return out;

@@ -2,9 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "protect/critical.hpp"
+#include "protect/detection_scheme.hpp"
 
 namespace ft2 {
 namespace {
@@ -95,7 +97,16 @@ TEST(SchemeSpec, NoneCoversNothing) {
 TEST(SchemeSpec, Names) {
   EXPECT_STREQ(scheme_name(SchemeKind::kFt2), "ft2");
   EXPECT_STREQ(scheme_name(SchemeKind::kGlobalClipper), "global_clipper");
-  EXPECT_EQ(all_schemes().size(), 6u);
+  // The registry supersedes the old fixed enum list: the range family plus
+  // the checksum/adaptive built-ins are all registered by name.
+  const std::vector<std::string> names = all_scheme_names();
+  EXPECT_GE(names.size(), 8u);
+  for (const char* expected :
+       {"none", "ranger", "maximals", "global_clipper", "ft2", "ft2_offline",
+        "abft-linear", "ft2-adaptive"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
 }
 
 // --- ProtectionHook behaviour ------------------------------------------------

@@ -67,7 +67,7 @@ TEST(ServeMetrics, RegistryCountersEqualServeCounters) {
   MetricsRegistry registry;
   ServeOptions serve_opts;
   serve_opts.max_batch = 2;
-  serve_opts.metrics = &registry;
+  serve_opts.obs.metrics = &registry;
   ServeEngine engine(model, serve_opts);
   std::vector<RequestId> ids;
   for (std::size_t r = 0; r < batch; ++r) {
@@ -122,7 +122,7 @@ TEST(ServeMetrics, ProtectCountersPinnedToProtectionStats) {
 
   MetricsRegistry registry;
   ServeOptions serve_opts;
-  serve_opts.metrics = &registry;
+  serve_opts.obs.metrics = &registry;
   ServeEngine engine(model, serve_opts);
   std::vector<ProtectionHook> hooks;
   hooks.reserve(batch);  // chains hold raw hook pointers
@@ -178,7 +178,7 @@ TEST(ServeMetrics, CountersAccumulateAcrossRunsAndResetExplicitly) {
 
   MetricsRegistry registry;
   ServeOptions serve_opts;
-  serve_opts.metrics = &registry;
+  serve_opts.obs.metrics = &registry;
   ServeEngine engine(model, serve_opts);
 
   engine.submit(prompts[0], options[0]);
@@ -219,8 +219,8 @@ TEST(ServeMetrics, TracerThroughServeOptionsRecordsSpans) {
   Tracer tracer(64, /*enabled=*/true);
   MetricsRegistry registry;
   ServeOptions serve_opts;
-  serve_opts.metrics = &registry;
-  serve_opts.tracer = &tracer;
+  serve_opts.obs.metrics = &registry;
+  serve_opts.obs.tracer = &tracer;
   ServeEngine engine(model, serve_opts);
   for (std::size_t r = 0; r < 2; ++r) {
     engine.submit(prompts[r], options[r]);
@@ -248,7 +248,7 @@ TEST(ServeMetrics, NullRegistryRunsWithInertHandles) {
 
   MetricsRegistry unrelated;
   ServeOptions serve_opts;
-  serve_opts.metrics = &unrelated;
+  serve_opts.obs.metrics = &unrelated;
   {
     ServeEngine engine(model, serve_opts);
     engine.submit(prompts[0], options[0]);

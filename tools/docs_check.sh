@@ -12,6 +12,9 @@
 #      absent from the generated catalog dump (`ft2 metric-names`);
 #      `<KIND>` / `<OUTCOME>` / `<name>` placeholders are normalized before
 #      lookup. Skipped when the ft2 binary has not been built yet.
+#   6. `--scheme NAME` references whose NAME is not a registered detection
+#      scheme (`ft2 scheme-names`); `:key=value` parameters are stripped
+#      and `<...>` placeholders skipped. Skipped before the first build.
 # Registered as the DocsCheck ctest (label: unit) and as the `docs-check`
 # build target, so the default `ctest` invocation keeps docs honest.
 set -u
@@ -21,8 +24,10 @@ cd "$ROOT" || exit 1
 
 FT2_BIN="${FT2_BIN:-$ROOT/build/tools/ft2}"
 CATALOG=""
+SCHEMES=""
 if [ -x "$FT2_BIN" ]; then
   CATALOG="$("$FT2_BIN" metric-names 2>/dev/null)" || CATALOG=""
+  SCHEMES="$("$FT2_BIN" scheme-names 2>/dev/null)" || SCHEMES=""
 fi
 
 DOCS=(README.md ROADMAP.md docs/*.md)
@@ -76,6 +81,19 @@ for doc in "${DOCS[@]}"; do
       grep -Fxq "$norm" <<<"$CATALOG" || complain "$doc" "$metric"
     done < <(grep -oE '`(serve|protect|campaign)\.[A-Za-z0-9_.<>]+`' "$doc" \
              | tr -d '`' | sort -u)
+  fi
+
+  # 6. Detection-scheme names against the live registry dump. Only
+  #    `--scheme NAME` occurrences are scanned (bare scheme words in prose
+  #    would over-match); parameters after ':' never affect the lookup.
+  if [ -n "$SCHEMES" ]; then
+    while IFS= read -r scheme; do
+      [ -n "$scheme" ] || continue
+      case "$scheme" in '<'*) continue ;; esac  # `--scheme <name>` placeholder
+      grep -Fxq "$scheme" <<<"$SCHEMES" || complain "$doc" "--scheme $scheme"
+    done < <(grep -oE -- '--scheme[= ][<A-Za-z0-9_.:=-]+' "$doc" \
+             | sed -e 's/--scheme[= ]//' -e 's/:.*$//' -e 's/[`.,)]*$//' \
+             | sort -u)
   fi
 done
 

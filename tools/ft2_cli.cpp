@@ -13,17 +13,19 @@
 //                [--metrics-out FILE.json] [--jsonl FILE.jsonl]
 //                [--trace-out FILE.json] [--drift] [--clips]
 //   ft2 serve-bench <model> [--dataset D] [--requests N] [--batch B]
-//                   [--seed S] [--metrics-out FILE.json]
+//                   [--seed S] [--scheme S] [--metrics-out FILE.json]
 //                   [--trace-out FILE.json]
 //   ft2 report <LOG> [--json FILE]
 //   ft2 metrics <model> [--dataset D] [--requests N] [--batch B] [--seed S]
 //               [--scheme S] [--json FILE]
 //   ft2 metric-names
+//   ft2 scheme-names [--long]
 //   ft2 perf [--gpu a100|h100]
 //
 // Models: opt-sm opt-xs gptj-sm llama-sm vicuna-sm qwen2-sm qwen2-xs
 // Datasets: synthqa synthxqa synthmath
-// Schemes: none ranger maximals global_clipper ft2 ft2_offline
+// Schemes: any registered detection scheme, optionally parameterized as
+//   name:key=value,... (`ft2 scheme-names` lists them)
 // Fault models: 1-bit 2-bit exp
 #include <chrono>
 #include <filesystem>
@@ -52,12 +54,6 @@ DatasetKind parse_dataset(const std::string& name) {
   throw Error("unknown dataset: " + name + " (synthqa|synthxqa|synthmath)");
 }
 
-SchemeKind parse_scheme(const std::string& name) {
-  for (SchemeKind k : all_schemes()) {
-    if (name == scheme_name(k)) return k;
-  }
-  throw Error("unknown scheme: " + name);
-}
 
 FaultModel parse_fault_model(const std::string& name) {
   if (name == "1-bit") return FaultModel::kSingleBit;
@@ -219,7 +215,7 @@ int cmd_profile_bounds(const std::string& model_name, const ArgParser& args) {
 int cmd_campaign(const std::string& model_name, const ArgParser& args) {
   const auto model = ensure_model(model_name);
   const DatasetKind dataset = parse_dataset(args.get("dataset", "synthqa"));
-  const SchemeKind scheme = parse_scheme(args.get("scheme", "ft2"));
+  const SchemeRef scheme = SchemeRef::parse(args.get("scheme", "ft2"));
   const auto gen = make_generator(dataset);
   const std::size_t gen_tokens = generation_tokens(dataset);
 
@@ -230,9 +226,8 @@ int cmd_campaign(const std::string& model_name, const ArgParser& args) {
   if (inputs.size() > n_inputs) inputs.resize(n_inputs);
   FT2_CHECK_MSG(!inputs.empty(), "model answers no inputs correctly");
 
-  const SchemeSpec spec = scheme_spec(scheme, model->config());
   BoundStore bounds;
-  if (spec.needs_offline_bounds) {
+  if (scheme.needs_offline_bounds()) {
     if (args.has("bounds")) {
       bounds = load_bounds(args.get("bounds", ""), model->config());
     } else {
@@ -254,14 +249,14 @@ int cmd_campaign(const std::string& model_name, const ArgParser& args) {
   // Isolated registry so the snapshot contains this campaign's metrics
   // only, not whatever else ran in the process.
   MetricsRegistry metrics_registry;
-  if (args.has("metrics-out")) config.metrics = &metrics_registry;
+  if (args.has("metrics-out")) config.obs.metrics = &metrics_registry;
   config.drift_monitor = args.has("drift");
   config.capture_clips = args.has("clips");
 
   // --trace-out: campaign.trial spans into an isolated tracer, exported as
   // Chrome Trace Event JSON (chrome://tracing / Perfetto).
   Tracer tracer(default_trace_capacity(), /*enabled=*/true);
-  if (args.has("trace-out")) config.tracer = &tracer;
+  if (args.has("trace-out")) config.obs.tracer = &tracer;
 
   // --jsonl: stream every trial record to disk as it finishes (flight
   // recorder); the in-memory collector still powers --trace / --json.
@@ -275,12 +270,12 @@ int cmd_campaign(const std::string& model_name, const ArgParser& args) {
   if (args.has("weights")) {
     // Persistent weight-fault mode needs a mutable model copy.
     TransformerLM mutable_model(model->config(), model->weights());
-    result = run_weight_fault_campaign(mutable_model, inputs, spec, bounds,
+    result = run_weight_fault_campaign(mutable_model, inputs, scheme, bounds,
                                        config);
   } else {
     const bool want_trace =
         args.has("trace") || args.has("json") || args.has("jsonl");
-    result = run_campaign(*model, inputs, spec, bounds, config,
+    result = run_campaign(*model, inputs, scheme, bounds, config,
                           want_trace ? trace.callback() : TrialCallback{});
   }
 
@@ -304,7 +299,7 @@ int cmd_campaign(const std::string& model_name, const ArgParser& args) {
     Json doc = Json::object();
     doc["model"] = model_name;
     doc["dataset"] = dataset_name(dataset);
-    doc["scheme"] = scheme_name(scheme);
+    doc["scheme"] = scheme.display();
     doc["fault_model"] = fault_model_name(config.fault_model);
     doc["trials"] = result.trials;
     doc["sdc"] = result.sdc;
@@ -354,14 +349,17 @@ int cmd_serve_bench(const std::string& model_name, const ArgParser& args) {
     prompts.push_back(prompt_of(gen->generate(rng)));
   }
 
-  // --metrics-out: both paths run with FT2 protection attached (the token
+  // --metrics-out: both paths run with protection attached (the token
   // comparison stays bit-exact because both see the same hooks), the engine
   // publishes to an isolated registry, and the snapshot is written as JSON.
   // Only the batched path's protection hooks feed the registry, so the
   // protect.* counters in the snapshot match the engine-side hook stats.
   const bool want_metrics = args.has("metrics-out");
   MetricsRegistry registry;
-  const SchemeSpec spec = scheme_spec(SchemeKind::kFt2, model->config());
+  const SchemeRef scheme = SchemeRef::parse(args.get("scheme", "ft2"));
+  FT2_CHECK_MSG(!scheme.needs_offline_bounds(),
+                "ft2 serve-bench supports online schemes only ("
+                    << scheme.name << " needs profiled bounds)");
 
   // --trace-out: serve.prefill / serve.decode_step spans into an isolated
   // tracer, exported as Chrome Trace Event JSON with one pid per request
@@ -377,7 +375,8 @@ int cmd_serve_bench(const std::string& model_name, const ArgParser& args) {
     std::optional<ProtectionHook> hook;
     std::optional<HookRegistration> reg;
     if (want_metrics) {
-      hook.emplace(model->config(), spec);
+      hook.emplace(model->config(), scheme.instantiate(model->config()),
+                   ObsSinks{});
       reg.emplace(session.hooks().add(*hook));
     }
     serial.push_back(session.generate(prompt, opts));
@@ -387,8 +386,8 @@ int cmd_serve_bench(const std::string& model_name, const ArgParser& args) {
   // Continuous batching: all requests through one engine.
   ServeOptions serve_opts;
   serve_opts.max_batch = max_batch;
-  if (want_metrics) serve_opts.metrics = &registry;
-  if (args.has("trace-out")) serve_opts.tracer = &tracer;
+  if (want_metrics) serve_opts.obs.metrics = &registry;
+  if (args.has("trace-out")) serve_opts.obs.tracer = &tracer;
   ServeEngine engine(*model, serve_opts);
   std::vector<ProtectionHook> batch_hooks;
   std::vector<HookRegistration> batch_regs;
@@ -401,7 +400,9 @@ int cmd_serve_bench(const std::string& model_name, const ArgParser& args) {
   for (const auto& prompt : prompts) {
     const RequestId id = engine.submit(prompt, opts);
     if (want_metrics) {
-      batch_hooks.emplace_back(model->config(), spec, BoundStore{}, &registry);
+      batch_hooks.emplace_back(model->config(),
+                               scheme.instantiate(model->config()),
+                               ObsSinks{&registry, nullptr});
       batch_regs.push_back(engine.hooks(id).add(batch_hooks.back()));
     }
     ids.push_back(id);
@@ -455,7 +456,7 @@ int cmd_metrics(const std::string& model_name, const ArgParser& args) {
   const DatasetKind dataset = parse_dataset(args.get("dataset", "synthqa"));
   const auto gen = make_generator(dataset);
   const std::size_t n_requests = args.get_size("requests", 4);
-  const SchemeKind scheme = parse_scheme(args.get("scheme", "ft2"));
+  const SchemeRef scheme = SchemeRef::parse(args.get("scheme", "ft2"));
   Xoshiro256 rng(args.get_size("seed", 1));
 
   // A short protected serve workload into an isolated registry, then the
@@ -464,22 +465,23 @@ int cmd_metrics(const std::string& model_name, const ArgParser& args) {
   MetricsRegistry registry;
   ServeOptions serve_opts;
   serve_opts.max_batch = args.get_size("batch", 4);
-  serve_opts.metrics = &registry;
+  serve_opts.obs.metrics = &registry;
   ServeEngine engine(*model, serve_opts);
 
   GenerateOptions opts;
   opts.max_new_tokens = generation_tokens(dataset);
   opts.eos_token = Vocab::kEos;
 
-  const SchemeSpec spec = scheme_spec(scheme, model->config());
-  FT2_CHECK_MSG(!spec.needs_offline_bounds,
-                "ft2 metrics supports online schemes only (none|ft2)");
+  FT2_CHECK_MSG(!scheme.needs_offline_bounds(),
+                "ft2 metrics supports online schemes only ("
+                    << scheme.name << " needs profiled bounds)");
   std::vector<ProtectionHook> hooks;
   hooks.reserve(n_requests);  // chains hold raw hook pointers
   std::vector<HookRegistration> regs;
   regs.reserve(n_requests);
   for (std::size_t i = 0; i < n_requests; ++i) {
-    hooks.emplace_back(model->config(), spec, BoundStore{}, &registry);
+    hooks.emplace_back(model->config(), scheme.instantiate(model->config()),
+                       ObsSinks{&registry, nullptr});
     const RequestId id = engine.submit(prompt_of(gen->generate(rng)), opts);
     regs.push_back(engine.hooks(id).add(hooks.back()));
   }
@@ -505,6 +507,8 @@ int cmd_report(const std::string& log_path, const ArgParser& args) {
 
   std::cout << "outcomes (" << records.size() << " records)\n";
   report.outcome_table().print(std::cout);
+  std::cout << "\nby scheme (SDC reduction / overhead vs 'none')\n";
+  report.scheme_table().print(std::cout);
   std::cout << "\nby layer kind\n";
   report.layer_table().print(std::cout);
   std::cout << "\nby fault model x layer x bit\n";
@@ -530,6 +534,27 @@ int cmd_metric_names() {
   return 0;
 }
 
+int cmd_scheme_names(const ArgParser& args) {
+  // One registered scheme name per line (registration order). The bare dump
+  // is what tools/docs_check.sh verifies doc scheme references against;
+  // --long adds the registry summaries for humans.
+  if (args.has("long")) {
+    Table table({"scheme", "offline bounds", "summary"});
+    for (const SchemeInfo& info : SchemeRegistry::instance().entries()) {
+      table.begin_row()
+          .cell(info.name)
+          .cell(info.needs_offline_bounds ? "required" : "-")
+          .cell(info.summary);
+    }
+    table.print(std::cout);
+    return 0;
+  }
+  for (const std::string& name : all_scheme_names()) {
+    std::cout << name << "\n";
+  }
+  return 0;
+}
+
 int cmd_perf(const ArgParser& args) {
   const pm::GpuSpec gpu =
       args.get("gpu", "a100") == "h100" ? pm::h100() : pm::a100();
@@ -550,6 +575,11 @@ int cmd_perf(const ArgParser& args) {
 }
 
 int usage() {
+  std::string schemes;
+  for (const std::string& name : all_scheme_names()) {
+    if (!schemes.empty()) schemes += " ";
+    schemes += name;
+  }
   std::cout <<
       "ft2 — FT2 fault-tolerance toolkit\n"
       "  ft2 list-models\n"
@@ -565,12 +595,16 @@ int usage() {
       "               [--metrics-out FILE] [--jsonl FILE] [--trace-out FILE]\n"
       "               [--drift] [--clips]\n"
       "  ft2 serve-bench <model> [--dataset D] [--requests N] [--batch B]\n"
-      "                  [--seed S] [--metrics-out FILE] [--trace-out FILE]\n"
+      "                  [--seed S] [--scheme S] [--metrics-out FILE]\n"
+      "                  [--trace-out FILE]\n"
       "  ft2 report <LOG.csv|.json|.jsonl> [--json FILE]\n"
       "  ft2 metrics <model> [--dataset D] [--requests N] [--batch B]\n"
       "              [--seed S] [--scheme S] [--json FILE]\n"
       "  ft2 metric-names\n"
-      "  ft2 perf [--gpu a100|h100]\n";
+      "  ft2 scheme-names [--long]\n"
+      "  ft2 perf [--gpu a100|h100]\n"
+      "schemes (S accepts name or name:key=value,...):\n"
+      "  " << schemes << "\n";
   return 2;
 }
 
@@ -590,6 +624,7 @@ int main(int argc, char** argv) {
       {"campaign-seed", true}, {"fp32", false}, {"requests", true},
       {"batch", true},        {"metrics-out", true}, {"jsonl", true},
       {"trace-out", true},    {"drift", false},   {"clips", false},
+      {"long", false},
   };
   try {
     const ArgParser args(argc - 2, argv + 2, spec);
@@ -615,6 +650,7 @@ int main(int argc, char** argv) {
     }
     if (command == "metrics") return cmd_metrics(need_model(), args);
     if (command == "metric-names") return cmd_metric_names();
+    if (command == "scheme-names") return cmd_scheme_names(args);
     if (command == "perf") return cmd_perf(args);
     return usage();
   } catch (const std::exception& e) {
