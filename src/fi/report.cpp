@@ -21,6 +21,44 @@ double sorted_quantile(const std::vector<double>& sorted, double q) {
   return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
 }
 
+/// "[lo%, hi%]" interval cell.
+std::string ci_cell(double lo, double hi) {
+  return "[" + Table::format_pct(lo, 2) + ", " + Table::format_pct(hi, 2) +
+         "]";
+}
+
+std::string wilson_cell(std::size_t k, std::size_t n,
+                        const CampaignReport::CiConfig& ci) {
+  if (n == 0) return "-";
+  const ProportionCI w = wilson_ci(k, n, ci.z);
+  return ci_cell(w.lo, w.hi);
+}
+
+std::string bootstrap_cell(std::size_t k, std::size_t n,
+                           const CampaignReport::CiConfig& ci) {
+  if (n == 0) return "-";
+  const BootstrapCI b = bootstrap_proportion_ci(k, n, ci.bootstrap);
+  return ci_cell(b.lo, b.hi);
+}
+
+Json ci_pair(double lo, double hi) {
+  Json pair = Json::array();
+  pair.push_back(lo);
+  pair.push_back(hi);
+  return pair;
+}
+
+/// Attaches `<prefix>_wilson` / `<prefix>_bootstrap` interval pairs for
+/// the rate k/n to a JSON entry.
+void attach_rate_cis(Json& entry, const std::string& prefix, std::size_t k,
+                     std::size_t n, const CampaignReport::CiConfig& ci) {
+  if (n == 0) return;
+  const ProportionCI w = wilson_ci(k, n, ci.z);
+  entry[prefix + "_wilson"] = ci_pair(w.lo, w.hi);
+  const BootstrapCI b = bootstrap_proportion_ci(k, n, ci.bootstrap);
+  entry[prefix + "_bootstrap"] = ci_pair(b.lo, b.hi);
+}
+
 }  // namespace
 
 double CampaignReport::latency_quantile(double q) const {
@@ -88,31 +126,42 @@ CampaignReport aggregate_trial_records(
 }
 
 Table CampaignReport::outcome_table() const {
-  Table table({"outcome", "trials", "fraction"});
+  Table table({"outcome", "trials", "fraction", "wilson_95", "bootstrap_95"});
   const auto row = [&](const char* name, std::size_t n) {
-    table.begin_row().cell(name).count(n).pct(
-        result.trials == 0
-            ? 0.0
-            : static_cast<double>(n) / static_cast<double>(result.trials));
+    table.begin_row()
+        .cell(name)
+        .count(n)
+        .pct(result.trials == 0
+                 ? 0.0
+                 : static_cast<double>(n) /
+                       static_cast<double>(result.trials))
+        .cell(wilson_cell(n, result.trials, ci))
+        .cell(bootstrap_cell(n, result.trials, ci));
   };
   row("masked_identical", result.masked_identical);
   row("masked_semantic", result.masked_semantic);
   row("sdc", result.sdc);
   row("not_injected", result.not_injected);
-  table.begin_row().cell("total").count(result.trials).pct(
-      result.trials == 0 ? 0.0 : 1.0);
+  table.begin_row()
+      .cell("total")
+      .count(result.trials)
+      .pct(result.trials == 0 ? 0.0 : 1.0)
+      .cell("-")
+      .cell("-");
   return table;
 }
 
 Table CampaignReport::layer_table() const {
-  Table table({"layer", "faults", "sdc", "sdc_rate", "detected",
-               "detected_rate"});
+  Table table({"layer", "faults", "sdc", "sdc_rate", "sdc_wilson",
+               "sdc_boot", "detected", "detected_rate"});
   for (const auto& [kind, tally] : by_layer) {
     table.begin_row()
         .cell(std::string(layer_kind_name(kind)))
         .count(tally.faults)
         .count(tally.sdc)
         .pct(tally.sdc_rate())
+        .cell(wilson_cell(tally.sdc, tally.faults, ci))
+        .cell(bootstrap_cell(tally.sdc, tally.faults, ci))
         .count(tally.detected)
         .pct(tally.detected_rate());
   }
@@ -142,21 +191,24 @@ Table CampaignReport::scheme_table() const {
   const SchemeTally* none =
       it != by_scheme.end() && it->second.trials > 0 ? &it->second : nullptr;
 
-  Table table({"scheme", "trials", "sdc", "sdc_rate", "sdc_reduction",
-               "detected_rate", "lat_p50", "lat_p95", "lat_p99", "mean_ms",
-               "overhead"});
+  Table table({"scheme", "trials", "sdc", "sdc_rate", "sdc_wilson",
+               "sdc_boot", "sdc_reduction", "detected_rate", "det_wilson",
+               "lat_p50", "lat_p95", "lat_p99", "mean_ms", "overhead"});
   for (const auto& [name, tally] : by_scheme) {
     table.begin_row()
         .cell(name.empty() ? "(unrecorded)" : name)
         .count(tally.trials)
         .count(tally.sdc)
-        .pct(tally.sdc_rate());
+        .pct(tally.sdc_rate())
+        .cell(wilson_cell(tally.sdc, tally.trials, ci))
+        .cell(bootstrap_cell(tally.sdc, tally.trials, ci));
     if (none != nullptr && none != &tally && none->sdc_rate() > 0.0) {
       table.pct(1.0 - tally.sdc_rate() / none->sdc_rate());
     } else {
       table.cell("-");
     }
     table.pct(tally.detected_rate())
+        .cell(wilson_cell(tally.detected, tally.trials, ci))
         .num(tally.latency_quantile(0.50), 1)
         .num(tally.latency_quantile(0.95), 1)
         .num(tally.latency_quantile(0.99), 1);
@@ -196,7 +248,21 @@ Json CampaignReport::to_json() const {
   outcomes["sdc"] = result.sdc;
   outcomes["not_injected"] = result.not_injected;
   outcomes["sdc_rate"] = result.sdc_rate();
+  attach_rate_cis(outcomes, "masked_identical", result.masked_identical,
+                  result.trials, ci);
+  attach_rate_cis(outcomes, "masked_semantic", result.masked_semantic,
+                  result.trials, ci);
+  attach_rate_cis(outcomes, "sdc", result.sdc, result.trials, ci);
+  attach_rate_cis(outcomes, "not_injected", result.not_injected,
+                  result.trials, ci);
   doc["outcomes"] = std::move(outcomes);
+
+  Json ci_doc = Json::object();
+  ci_doc["z"] = ci.z;
+  ci_doc["confidence"] = ci.bootstrap.confidence;
+  ci_doc["bootstrap_resamples"] = ci.bootstrap.resamples;
+  ci_doc["bootstrap_seed"] = std::to_string(ci.bootstrap.seed);
+  doc["ci"] = std::move(ci_doc);
 
   Json layers = Json::object();
   for (const auto& [kind, tally] : by_layer) {
@@ -206,6 +272,8 @@ Json CampaignReport::to_json() const {
     entry["sdc_rate"] = tally.sdc_rate();
     entry["detected"] = tally.detected;
     entry["detected_rate"] = tally.detected_rate();
+    attach_rate_cis(entry, "sdc", tally.sdc, tally.faults, ci);
+    attach_rate_cis(entry, "detected", tally.detected, tally.faults, ci);
     layers[std::string(layer_kind_name(kind))] = std::move(entry);
   }
   doc["by_layer"] = std::move(layers);
@@ -244,6 +312,8 @@ Json CampaignReport::to_json() const {
     }
     entry["detected"] = tally.detected;
     entry["detected_rate"] = tally.detected_rate();
+    attach_rate_cis(entry, "sdc", tally.sdc, tally.trials, ci);
+    attach_rate_cis(entry, "detected", tally.detected, tally.trials, ci);
     entry["latency_count"] = tally.detection_latencies.size();
     entry["latency_p50"] = tally.latency_quantile(0.50);
     entry["latency_p95"] = tally.latency_quantile(0.95);

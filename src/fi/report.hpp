@@ -13,12 +13,23 @@
 
 #include "common/json.hpp"
 #include "common/table.hpp"
+#include "fi/stats.hpp"
 #include "fi/trace.hpp"
 
 namespace ft2 {
 
 /// Aggregated view over one recorded campaign log.
 struct CampaignReport {
+  /// Confidence-interval settings for every rate the report emits: `z`
+  /// parameterizes the Wilson intervals, `bootstrap` the percentile
+  /// resampling (fi/stats.hpp). Adjust before rendering tables/JSON; the
+  /// defaults give 95% two-sided intervals reproducible from the one seed.
+  struct CiConfig {
+    double z = 1.959964;
+    BootstrapOptions bootstrap;
+  };
+  CiConfig ci;
+
   /// Exact outcome counts, reconstructed from the per-trial records —
   /// equal to the CampaignResult of the run that produced the log.
   CampaignResult result;
@@ -83,16 +94,19 @@ struct CampaignReport {
   /// Exact order statistic over detection_latencies (0 when empty).
   double latency_quantile(double q) const;
 
-  /// Outcome counts + SDC rate, one row per outcome.
+  /// Outcome counts + rate per outcome, each with Wilson and bootstrap
+  /// 95% intervals on the rate.
   Table outcome_table() const;
-  /// Per-layer-kind faults / SDC / detection rates.
+  /// Per-layer-kind faults / SDC / detection rates, with Wilson +
+  /// bootstrap intervals on the SDC rate.
   Table layer_table() const;
   /// SDC rate by fault model x layer kind x bit position.
   Table layer_bit_table() const;
   /// Detection latency percentiles (p50 / p95 / p99, count, max).
   Table latency_table() const;
-  /// Head-to-head scheme comparison: SDC rate and reduction vs the "none"
-  /// baseline, detection rate, detection-latency percentiles, and mean
+  /// Head-to-head scheme comparison: SDC rate (with Wilson + bootstrap
+  /// intervals) and reduction vs the "none" baseline, detection rate
+  /// (Wilson interval), detection-latency percentiles, and mean
   /// trial wall time with its overhead vs "none". Reduction/overhead cells
   /// show "-" when the log carries no "none" rows (or no timing).
   Table scheme_table() const;

@@ -1,0 +1,313 @@
+#include "fi/shard.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <utility>
+
+#include "common/check.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace ft2 {
+namespace {
+
+const Json& manifest_field(const Json& json, const char* key) {
+  const Json* value = json.find(key);
+  FT2_CHECK_MSG(value != nullptr, "shard manifest missing key '" << key << "'");
+  return *value;
+}
+
+std::size_t manifest_size(const Json& json, const char* key) {
+  return static_cast<std::size_t>(manifest_field(json, key).as_double());
+}
+
+void bump_outcome(CampaignResult& result, Outcome outcome) {
+  ++result.trials;
+  switch (outcome) {
+    case Outcome::kMaskedIdentical: ++result.masked_identical; break;
+    case Outcome::kMaskedSemantic: ++result.masked_semantic; break;
+    case Outcome::kSdc: ++result.sdc; break;
+    case Outcome::kNotInjected: ++result.not_injected; break;
+  }
+}
+
+}  // namespace
+
+Json ShardManifest::to_json() const {
+  Json json = Json::object();
+  json["ft2_shard"] = Json(version);
+  json["model"] = Json(model);
+  json["model_digest"] = Json(model_digest);
+  json["dataset"] = Json(dataset);
+  json["scheme"] = Json(scheme);
+  json["fault_model"] = Json(fault_model);
+  json["vtype"] = Json(vtype);
+  // The seed is a full 64-bit value; JSON numbers are doubles, so it rides
+  // as a decimal string to survive the round trip exactly.
+  json["campaign_seed"] = Json(std::to_string(campaign_seed));
+  json["trials_per_input"] = Json(trials_per_input);
+  json["gen_tokens"] = Json(gen_tokens);
+  json["faults_per_trial"] = Json(faults_per_trial);
+  json["n_inputs"] = Json(n_inputs);
+  json["total_trials"] = Json(total_trials);
+  json["shard_index"] = Json(shard_index);
+  json["shard_count"] = Json(shard_count);
+  json["first_trial"] = Json(first_trial);
+  json["last_trial"] = Json(last_trial);
+  return json;
+}
+
+ShardManifest ShardManifest::from_json(const Json& json) {
+  ShardManifest m;
+  m.version = static_cast<int>(manifest_field(json, "ft2_shard").as_double());
+  m.model = manifest_field(json, "model").as_string();
+  m.model_digest = manifest_field(json, "model_digest").as_string();
+  m.dataset = manifest_field(json, "dataset").as_string();
+  m.scheme = manifest_field(json, "scheme").as_string();
+  m.fault_model = manifest_field(json, "fault_model").as_string();
+  m.vtype = manifest_field(json, "vtype").as_string();
+  m.campaign_seed = std::strtoull(
+      manifest_field(json, "campaign_seed").as_string().c_str(), nullptr, 10);
+  m.trials_per_input = manifest_size(json, "trials_per_input");
+  m.gen_tokens = manifest_size(json, "gen_tokens");
+  m.faults_per_trial = manifest_size(json, "faults_per_trial");
+  m.n_inputs = manifest_size(json, "n_inputs");
+  m.total_trials = manifest_size(json, "total_trials");
+  m.shard_index = manifest_size(json, "shard_index");
+  m.shard_count = manifest_size(json, "shard_count");
+  m.first_trial = manifest_size(json, "first_trial");
+  m.last_trial = manifest_size(json, "last_trial");
+  return m;
+}
+
+void ShardManifest::check_compatible(const ShardManifest& other,
+                                     bool same_shard) const {
+  std::string mismatches;
+  const auto differ = [&mismatches](const char* field, const auto& a,
+                                    const auto& b) {
+    if (a == b) return;
+    if (!mismatches.empty()) mismatches += ", ";
+    mismatches += field;
+  };
+  differ("model", model, other.model);
+  differ("model_digest", model_digest, other.model_digest);
+  differ("dataset", dataset, other.dataset);
+  differ("scheme", scheme, other.scheme);
+  differ("fault_model", fault_model, other.fault_model);
+  differ("vtype", vtype, other.vtype);
+  differ("campaign_seed", campaign_seed, other.campaign_seed);
+  differ("trials_per_input", trials_per_input, other.trials_per_input);
+  differ("gen_tokens", gen_tokens, other.gen_tokens);
+  differ("faults_per_trial", faults_per_trial, other.faults_per_trial);
+  differ("n_inputs", n_inputs, other.n_inputs);
+  differ("total_trials", total_trials, other.total_trials);
+  if (same_shard) {
+    differ("shard_index", shard_index, other.shard_index);
+    differ("shard_count", shard_count, other.shard_count);
+    differ("first_trial", first_trial, other.first_trial);
+    differ("last_trial", last_trial, other.last_trial);
+  }
+  FT2_CHECK_MSG(mismatches.empty(),
+                "shard manifest mismatch (" << mismatches
+                                            << ") — refusing to mix campaigns");
+}
+
+std::vector<TrialRange> partition_trials(std::size_t total,
+                                         std::size_t shards) {
+  FT2_CHECK_MSG(shards > 0, "partition_trials: zero shards");
+  std::vector<TrialRange> ranges(shards);
+  const std::size_t base = total / shards;
+  const std::size_t extra = total % shards;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < shards; ++i) {
+    const std::size_t size = base + (i < extra ? 1 : 0);
+    ranges[i] = {start, start + size};
+    start += size;
+  }
+  return ranges;
+}
+
+std::string shard_log_path(const std::string& dir, std::size_t index,
+                           std::size_t count) {
+  return dir + "/shard-" + std::to_string(index) + "-of-" +
+         std::to_string(count) + ".jsonl";
+}
+
+ShardScan scan_shard_log(const std::string& path) {
+  ShardScan out;
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return out;  // missing file = fresh shard
+  JsonlScan scan = scan_trial_records_jsonl(is);
+  out.torn_tail = scan.torn_tail;
+  out.valid_bytes = scan.valid_bytes;
+  if (scan.manifests.empty()) {
+    // A shard killed while writing its very first line leaves only a torn
+    // manifest; that is a fresh shard, not an error. Records without any
+    // manifest, though, mean this is not a shard log at all.
+    FT2_CHECK_MSG(scan.records.empty(),
+                  "shard log '" << path << "' has records but no manifest");
+    out.valid_bytes = 0;
+    return out;
+  }
+  FT2_CHECK_MSG(scan.manifests.size() == 1,
+                "shard log '" << path << "' has " << scan.manifests.size()
+                              << " manifest lines (expected 1)");
+  out.has_manifest = true;
+  out.manifest = ShardManifest::from_json(scan.manifests.front());
+  out.records = std::move(scan.records);
+  // The shard writer flushes in trial order, so an intact log is a
+  // contiguous prefix of the shard's range. Anything else is corruption a
+  // resume must not paper over.
+  const std::size_t range =
+      out.manifest.last_trial - out.manifest.first_trial;
+  FT2_CHECK_MSG(out.records.size() <= range,
+                "shard log '" << path << "' holds " << out.records.size()
+                              << " records for a " << range << "-trial range");
+  for (std::size_t i = 0; i < out.records.size(); ++i) {
+    const std::size_t expect = out.manifest.first_trial + i;
+    FT2_CHECK_MSG(out.records[i].trial == expect,
+                  "shard log '" << path << "' out of order: record " << i
+                                << " is trial " << out.records[i].trial
+                                << ", expected " << expect);
+  }
+  out.resume_from = out.manifest.first_trial + out.records.size();
+  return out;
+}
+
+ShardRunResult run_campaign_shard(const TransformerLM& model,
+                                  const std::vector<EvalInput>& inputs,
+                                  const SchemeRef& scheme,
+                                  const BoundStore& offline_bounds,
+                                  const CampaignConfig& config,
+                                  const ShardManifest& manifest,
+                                  const std::string& path, bool resume) {
+  FT2_CHECK_MSG(manifest.first_trial <= manifest.last_trial &&
+                    manifest.last_trial <=
+                        inputs.size() * config.trials_per_input,
+                "shard range [" << manifest.first_trial << ", "
+                                << manifest.last_trial
+                                << ") exceeds the campaign trial space");
+  ShardRunResult out;
+  std::vector<TrialRecord> recovered;
+  bool fresh = true;
+  if (resume) {
+    ShardScan scan = scan_shard_log(path);
+    if (scan.has_manifest) {
+      manifest.check_compatible(scan.manifest, /*same_shard=*/true);
+      recovered = std::move(scan.records);
+      out.torn_tail_recovered = scan.torn_tail;
+      if (scan.torn_tail) {
+        std::filesystem::resize_file(path, scan.valid_bytes);
+      }
+      fresh = false;
+    }
+  }
+
+  MetricsRegistry* metrics =
+      config.obs.metrics != nullptr ? config.obs.metrics : default_metrics();
+  Tracer* tracer =
+      config.obs.tracer != nullptr ? config.obs.tracer : &Tracer::global();
+  Counter resumed_counter = metrics->counter("campaign.shard.resumed");
+  Counter executed_counter = metrics->counter("campaign.shard.executed");
+  Counter torn_counter = metrics->counter("campaign.shard.torn_tail");
+  TraceSpan span = tracer->span("campaign.shard");
+  span.tag("shard", std::to_string(manifest.shard_index))
+      .tag("shards", std::to_string(manifest.shard_count))
+      .tag("first", std::to_string(manifest.first_trial))
+      .tag("last", std::to_string(manifest.last_trial));
+
+  std::ofstream os;
+  if (fresh) {
+    os.open(path, std::ios::binary | std::ios::trunc);
+    FT2_CHECK_MSG(os, "cannot open shard log '" << path << "' for writing");
+    manifest.to_json().write(os, -1);
+    os << '\n';
+    os.flush();
+  } else {
+    os.open(path, std::ios::binary | std::ios::app);
+    FT2_CHECK_MSG(os, "cannot reopen shard log '" << path << "' to resume");
+  }
+
+  out.resumed = recovered.size();
+  if (out.resumed > 0) resumed_counter.inc(out.resumed);
+  if (out.torn_tail_recovered) torn_counter.inc();
+  for (const TrialRecord& r : recovered) bump_outcome(out.result, r.outcome);
+
+  const std::size_t resume_from = manifest.first_trial + recovered.size();
+  recovered.clear();
+  if (resume_from < manifest.last_trial) {
+    // Trials may finish out of order under a thread pool; buffering and
+    // flushing in trial order keeps the log's intact prefix contiguous,
+    // which is what makes the resume scan trivial. The campaign serializes
+    // callback invocations, so no extra lock is needed here.
+    std::map<std::size_t, TrialRecord> pending;
+    std::size_t next = resume_from;
+    const TrialCallback writer = [&](const TrialRecord& record) {
+      pending.emplace(record.trial, record);
+      while (!pending.empty() && pending.begin()->first == next) {
+        trial_record_to_json(pending.begin()->second).write(os, -1);
+        os << '\n';
+        os.flush();
+        pending.erase(pending.begin());
+        ++next;
+      }
+    };
+    const CampaignResult ran =
+        run_campaign_range(model, inputs, scheme, offline_bounds, config,
+                           resume_from, manifest.last_trial, writer);
+    FT2_CHECK_MSG(pending.empty() && next == manifest.last_trial,
+                  "shard writer stalled at trial " << next << " of ["
+                                                   << manifest.first_trial
+                                                   << ", "
+                                                   << manifest.last_trial
+                                                   << ")");
+    out.executed = ran.trials;
+    executed_counter.inc(ran.trials);
+    out.result.merge(ran);
+  }
+  span.tag("resumed", std::to_string(out.resumed))
+      .tag("executed", std::to_string(out.executed));
+  return out;
+}
+
+ShardMerge merge_shard_logs(const std::vector<std::string>& paths) {
+  FT2_CHECK_MSG(!paths.empty(), "merge_shard_logs: no shard logs given");
+  ShardMerge merge;
+  for (const std::string& path : paths) {
+    ShardScan scan = scan_shard_log(path);
+    FT2_CHECK_MSG(scan.has_manifest,
+                  "'" << path << "' is not a shard log (no manifest line)");
+    if (!merge.manifests.empty()) {
+      merge.manifests.front().check_compatible(scan.manifest,
+                                               /*same_shard=*/false);
+    }
+    if (scan.torn_tail) ++merge.torn_tails;
+    merge.manifests.push_back(std::move(scan.manifest));
+    for (TrialRecord& r : scan.records) merge.records.push_back(std::move(r));
+  }
+  merge.total_trials = merge.manifests.front().total_trials;
+  std::stable_sort(merge.records.begin(), merge.records.end(),
+                   [](const TrialRecord& a, const TrialRecord& b) {
+                     return a.trial < b.trial;
+                   });
+  std::size_t next = 0;
+  std::size_t prev = SIZE_MAX;
+  for (const TrialRecord& r : merge.records) {
+    if (r.trial == prev) {
+      ++merge.duplicate_trials;
+      continue;
+    }
+    if (r.trial > next) merge.gaps.push_back({next, r.trial});
+    prev = r.trial;
+    next = r.trial + 1;
+  }
+  if (next < merge.total_trials) {
+    merge.gaps.push_back({next, merge.total_trials});
+  }
+  return merge;
+}
+
+}  // namespace ft2

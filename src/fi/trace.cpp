@@ -2,7 +2,9 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <iterator>
 #include <string>
+#include <utility>
 
 #include "common/check.hpp"
 #include "protect/bounds_io.hpp"
@@ -407,13 +409,61 @@ std::vector<TrialRecord> read_trial_records_csv(std::istream& is) {
 }
 
 std::vector<TrialRecord> read_trial_records_jsonl(std::istream& is) {
-  std::vector<TrialRecord> out;
-  std::string line;
-  while (std::getline(is, line)) {
-    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
-    out.push_back(trial_record_from_json(Json::parse(line)));
+  JsonlScan scan = scan_trial_records_jsonl(is);
+  FT2_CHECK_MSG(!scan.torn_tail,
+                "JSONL trial log ends in a torn partial record ('"
+                    << (scan.torn_line.size() > 64
+                            ? scan.torn_line.substr(0, 64) + "..."
+                            : scan.torn_line)
+                    << "'); truncate to " << scan.valid_bytes
+                    << " bytes or load via scan_trial_records_jsonl");
+  return std::move(scan.records);
+}
+
+JsonlScan scan_trial_records_jsonl(std::istream& is) {
+  const std::string content{std::istreambuf_iterator<char>(is),
+                            std::istreambuf_iterator<char>()};
+  JsonlScan scan;
+  std::size_t start = 0;
+  while (start < content.size()) {
+    const std::size_t nl = content.find('\n', start);
+    if (nl == std::string::npos) {
+      // Final line never got its newline: a write torn by a dying process.
+      // Even if the fragment parses as JSON (truncation can land exactly on
+      // a '}' and silently drop trailing fields), it is not trustworthy.
+      scan.torn_tail = true;
+      scan.torn_line = content.substr(start);
+      break;
+    }
+    std::string line = content.substr(start, nl - start);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const std::size_t next = nl + 1;
+    if (line.find_first_not_of(" \t") != std::string::npos) {
+      Json parsed;
+      try {
+        parsed = Json::parse(line);
+      } catch (const Error&) {
+        const bool last_line = content.find_first_not_of(" \t\r\n", next) ==
+                               std::string::npos;
+        // The newline can be flushed without the full line before it; only
+        // the final line gets that benefit of the doubt.
+        FT2_CHECK_MSG(last_line, "corrupt JSONL trial log at byte offset "
+                                     << start << ": unparseable mid-file line");
+        scan.torn_tail = true;
+        scan.torn_line = line;
+        break;
+      }
+      if (parsed.is_object() && parsed.find("ft2_shard") != nullptr) {
+        scan.manifests.push_back(std::move(parsed));
+      } else {
+        scan.records.push_back(trial_record_from_json(parsed));
+      }
+    }
+    scan.valid_bytes = next;
+    start = next;
   }
-  return out;
+  if (!scan.torn_tail) scan.valid_bytes = content.size();
+  return scan;
 }
 
 std::vector<TrialRecord> read_trial_records_json(const Json& array) {

@@ -48,10 +48,37 @@ TrialRecord trial_record_from_json(const Json& json);
 
 /// Readers for the three serialized formats. CSV expects the header line
 /// written by TraceCollector::write_csv; JSONL expects one object per line
-/// (blank lines skipped); the JSON reader takes a parsed array document.
+/// (blank lines skipped, `"ft2_shard"` manifest lines ignored); the JSON
+/// reader takes a parsed array document.
+///
+/// The JSONL reader is strict about torn tails: a final line without a
+/// trailing newline is a partial write from a killed process, and it is
+/// rejected with ft2::Error even when the fragment happens to parse as
+/// valid JSON for a prefix of the record's fields. Use
+/// scan_trial_records_jsonl to recover the intact prefix instead.
 std::vector<TrialRecord> read_trial_records_csv(std::istream& is);
 std::vector<TrialRecord> read_trial_records_jsonl(std::istream& is);
 std::vector<TrialRecord> read_trial_records_json(const Json& array);
+
+/// Tolerant JSONL scan for crash recovery: everything the resume path
+/// needs to know about a possibly-torn shard log.
+struct JsonlScan {
+  std::vector<TrialRecord> records;  ///< intact records, file order
+  std::vector<Json> manifests;       ///< `"ft2_shard"`-marked header lines
+  /// Bytes of intact, newline-terminated content. Truncating the file to
+  /// this length removes the torn tail and nothing else.
+  std::size_t valid_bytes = 0;
+  bool torn_tail = false;  ///< a partial trailing record was dropped
+  std::string torn_line;   ///< the dropped fragment, for diagnostics
+};
+
+/// Scans a JSONL stream, splitting intact lines from a torn tail.
+///
+/// A torn tail is a final line missing its newline, or a final
+/// newline-terminated line that fails to parse (a crash can flush the
+/// newline without the whole line). Unparseable lines anywhere *before*
+/// the final line are corruption, not tearing, and throw ft2::Error.
+JsonlScan scan_trial_records_jsonl(std::istream& is);
 
 /// Collects TrialRecords; use `collector.callback()` as the campaign's
 /// on_trial argument, then serialize.

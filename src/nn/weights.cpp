@@ -1,6 +1,7 @@
 #include "nn/weights.hpp"
 
 #include <cmath>
+#include <cstdio>
 
 #include "common/check.hpp"
 
@@ -154,6 +155,31 @@ LinearWeights& linear_at(ModelWeights& weights, const ModelConfig& config,
       break;
   }
   throw Error("linear_at: not a linear layer kind");
+}
+
+std::uint64_t weights_digest(const ModelWeights& weights) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  const auto mix_bytes = [&h](const void* data, std::size_t bytes) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < bytes; ++i) {
+      h ^= p[i];
+      h *= 0x100000001b3ULL;  // FNV-1a prime
+    }
+  };
+  for (const auto& [name, tensor] : weights.named_parameters()) {
+    mix_bytes(name.data(), name.size());
+    for (std::size_t d : tensor->shape()) mix_bytes(&d, sizeof(d));
+    const auto span = tensor->span();
+    mix_bytes(span.data(), span.size() * sizeof(float));
+  }
+  return h;
+}
+
+std::string weights_digest_hex(const ModelWeights& weights) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(weights_digest(weights)));
+  return buf;
 }
 
 }  // namespace ft2

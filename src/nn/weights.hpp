@@ -60,4 +60,13 @@ ModelWeights init_weights(const ModelConfig& config, Xoshiro256& rng);
 LinearWeights& linear_at(ModelWeights& weights, const ModelConfig& config,
                          const LayerSite& site);
 
+/// Order-sensitive FNV-1a digest over every named parameter (name, shape
+/// and raw f32 bytes). Two models share a digest iff they share trained
+/// weights, which is what shard manifests record so a resumed campaign
+/// shard can refuse to continue against a different checkpoint.
+std::uint64_t weights_digest(const ModelWeights& weights);
+
+/// weights_digest as the fixed-width hex string stored in shard manifests.
+std::string weights_digest_hex(const ModelWeights& weights);
+
 }  // namespace ft2

@@ -59,10 +59,18 @@ constexpr Template kTemplates[] = {
      "trials that fell back to a full run"},
     {"campaign.prefix.reused_positions", "histogram",
      "positions skipped per forked trial"},
+    // fi/shard.cpp
+    {"campaign.shard.resumed", "counter",
+     "trials recovered from an existing shard log on resume"},
+    {"campaign.shard.executed", "counter",
+     "trials actually run by this shard invocation"},
+    {"campaign.shard.torn_tail", "counter",
+     "torn shard-log tails truncated during resume"},
     // trace span names (Tracer, not MetricsRegistry)
     {"serve.prefill", "span", "one request's prefill"},
     {"serve.decode_step", "span", "one batched decode step"},
     {"campaign.trial", "span", "one fault-injection trial"},
+    {"campaign.shard", "span", "one campaign shard run (resume + range)"},
 };
 
 constexpr const char* kOutcomeNames[] = {"masked_identical", "masked_semantic",

@@ -10,6 +10,9 @@
 #include <filesystem>
 #include <fstream>
 
+#include "fi/shard.hpp"
+#include "nn/weights.hpp"
+
 namespace ft2 {
 namespace {
 
@@ -156,6 +159,91 @@ TEST(CampaignReport, TablesAndJsonCoverAllSections) {
   EXPECT_EQ(static_cast<std::size_t>(
                 doc.at("detection_latency").at("count").as_double()),
             report.detection_latencies.size());
+}
+
+// The sharding pin from the issue: splitting the SAME campaign across
+// {2, 4, 7} worker ranges (7 does not divide 30 trials, so the partition
+// is uneven) and merging the shard logs must reproduce the whole-process
+// run bit-for-bit — identical records (modulo wall time) and an identical
+// aggregated report.
+TEST(CampaignReport, ShardSplitMergeMatchesWholeRunExactly) {
+  const TransformerLM model = micro_model();
+  const auto samples =
+      make_generator(DatasetKind::kSynthQA)->generate_many(2, 99);
+  const auto inputs = prepare_eval_inputs(model, samples, 6, false);
+  CampaignConfig config;
+  config.trials_per_input = 15;
+  config.gen_tokens = 6;
+  config.fault_model = FaultModel::kDoubleBit;
+  const SchemeRef scheme = SchemeRef::parse("ft2");
+  const std::size_t total = inputs.size() * config.trials_per_input;
+
+  // Wall time is observational and differs across processes; zero it so
+  // record dumps and report JSON (mean_ms feeds the latter) compare exact.
+  const auto strip_timing = [](std::vector<TrialRecord> records) {
+    for (TrialRecord& r : records) r.trial_ms = 0.0;
+    return records;
+  };
+  const auto dump_records = [](const std::vector<TrialRecord>& records) {
+    std::string out;
+    for (const TrialRecord& r : records) {
+      out += trial_record_to_json(r).dump(-1);
+      out += '\n';
+    }
+    return out;
+  };
+
+  TraceCollector whole;
+  const CampaignResult whole_result = run_campaign(
+      model, inputs, scheme, BoundStore{}, config, whole.callback());
+  ASSERT_EQ(whole_result.trials, total);
+  const std::vector<TrialRecord> whole_records = strip_timing(whole.records());
+  const std::string whole_dump = dump_records(whole_records);
+  const std::string whole_report =
+      aggregate_trial_records(whole_records).to_json().dump(-1);
+
+  const auto dir = std::filesystem::temp_directory_path() / "ft2_shard_eq";
+  std::filesystem::create_directories(dir);
+  for (const std::size_t shards : {2u, 4u, 7u}) {
+    SCOPED_TRACE(std::to_string(shards) + " shards");
+    const auto ranges = partition_trials(total, shards);
+    std::vector<std::string> paths;
+    for (std::size_t i = 0; i < shards; ++i) {
+      ShardManifest m;
+      m.model = "micro";
+      m.model_digest = weights_digest_hex(model.weights());
+      m.dataset = "synthqa";
+      m.scheme = scheme.display();
+      m.fault_model = fault_model_name(config.fault_model);
+      m.vtype = value_type_name(config.vtype);
+      m.campaign_seed = config.seed;
+      m.trials_per_input = config.trials_per_input;
+      m.gen_tokens = config.gen_tokens;
+      m.faults_per_trial = config.faults_per_trial;
+      m.n_inputs = inputs.size();
+      m.total_trials = total;
+      m.shard_index = i;
+      m.shard_count = shards;
+      m.first_trial = ranges[i].first;
+      m.last_trial = ranges[i].last;
+      paths.push_back(shard_log_path(dir.string(), i, shards));
+      run_campaign_shard(model, inputs, scheme, BoundStore{}, config, m,
+                         paths.back(), /*resume=*/false);
+    }
+
+    const ShardMerge merge = merge_shard_logs(paths);
+    EXPECT_TRUE(merge.complete());
+    EXPECT_EQ(merge.total_trials, total);
+    ASSERT_EQ(merge.records.size(), total);
+    const std::vector<TrialRecord> merged = strip_timing(merge.records);
+    EXPECT_EQ(dump_records(merged), whole_dump);
+
+    const CampaignReport report = aggregate_trial_records(merged);
+    expect_result_equal(report.result, whole_result);
+    EXPECT_EQ(report.to_json().dump(-1), whole_report);
+    for (const std::string& p : paths) std::remove(p.c_str());
+  }
+  std::filesystem::remove_all(dir);
 }
 
 TEST(CampaignReport, LoadRejectsMissingAndEmptyLogs) {

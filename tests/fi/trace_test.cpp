@@ -248,5 +248,83 @@ TEST(Trace, CampaignIntegration) {
   EXPECT_EQ(sdc_in_trace, result.sdc);
 }
 
+TEST(Trace, TornTailRejectedEvenWhenItParsesAsJson) {
+  // The dangerous torn write: truncation lands exactly on a '}' so the
+  // fragment parses as valid JSON for a prefix of the record's fields.
+  // Missing the trailing newline is what gives it away.
+  std::string log = jsonl_of({make_record(0, Outcome::kSdc),
+                              make_record(1, Outcome::kMaskedIdentical)});
+  log += "{\"trial\": 2, \"input\": 1}";  // no newline
+  {
+    std::istringstream is(log);
+    EXPECT_THROW(read_trial_records_jsonl(is), Error);
+  }
+  std::istringstream is(log);
+  const JsonlScan scan = scan_trial_records_jsonl(is);
+  EXPECT_TRUE(scan.torn_tail);
+  EXPECT_EQ(scan.torn_line, "{\"trial\": 2, \"input\": 1}");
+  ASSERT_EQ(scan.records.size(), 2u);
+  EXPECT_EQ(scan.records[1].trial, 1u);
+  // valid_bytes is exactly the intact prefix: truncating there drops only
+  // the torn fragment.
+  EXPECT_EQ(scan.valid_bytes, log.size() - scan.torn_line.size());
+  EXPECT_EQ(log.substr(0, scan.valid_bytes),
+            jsonl_of({make_record(0, Outcome::kSdc),
+                      make_record(1, Outcome::kMaskedIdentical)}));
+}
+
+TEST(Trace, TornTailCutMidLineRejectedAndScanned) {
+  const std::string intact = jsonl_of({make_record(0, Outcome::kSdc)});
+  std::string log = intact + jsonl_of({make_record(1, Outcome::kSdc)});
+  log.resize(log.size() - 17);  // cut inside the final record
+  {
+    std::istringstream is(log);
+    EXPECT_THROW(read_trial_records_jsonl(is), Error);
+  }
+  std::istringstream is(log);
+  const JsonlScan scan = scan_trial_records_jsonl(is);
+  EXPECT_TRUE(scan.torn_tail);
+  ASSERT_EQ(scan.records.size(), 1u);
+  EXPECT_EQ(scan.valid_bytes, intact.size());
+}
+
+TEST(Trace, NewlineTerminatedGarbageFinalLineIsTorn) {
+  // A crash can flush the newline without the whole line before it; the
+  // final line gets the benefit of the doubt, interior lines do not.
+  const std::string intact = jsonl_of({make_record(0, Outcome::kSdc)});
+  std::istringstream tail_garbage(intact + "{\"trial\": 1, \"inp\n");
+  const JsonlScan scan = scan_trial_records_jsonl(tail_garbage);
+  EXPECT_TRUE(scan.torn_tail);
+  EXPECT_EQ(scan.records.size(), 1u);
+  EXPECT_EQ(scan.valid_bytes, intact.size());
+
+  std::istringstream mid_garbage(intact + "{\"trial\": 1, \"inp\n" + intact);
+  EXPECT_THROW(scan_trial_records_jsonl(mid_garbage), Error);
+}
+
+TEST(Trace, CleanLogScansComplete) {
+  const std::string log = jsonl_of(
+      {make_record(0, Outcome::kSdc), make_record(1, Outcome::kSdc)});
+  std::istringstream is(log);
+  const JsonlScan scan = scan_trial_records_jsonl(is);
+  EXPECT_FALSE(scan.torn_tail);
+  EXPECT_EQ(scan.records.size(), 2u);
+  EXPECT_EQ(scan.valid_bytes, log.size());
+  EXPECT_TRUE(scan.manifests.empty());
+}
+
+TEST(Trace, ShardManifestLinesAreSkippedByRecordReaders) {
+  std::string log = "{\"ft2_shard\": 1, \"model\": \"opt-xs\"}\n";
+  log += jsonl_of({make_record(0, Outcome::kSdc)});
+  std::istringstream strict(log);
+  const auto records = read_trial_records_jsonl(strict);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].trial, 0u);
+  std::istringstream tolerant(log);
+  const JsonlScan scan = scan_trial_records_jsonl(tolerant);
+  EXPECT_EQ(scan.manifests.size(), 1u);
+  EXPECT_EQ(scan.records.size(), 1u);
+}
+
 }  // namespace
 }  // namespace ft2

@@ -12,10 +12,12 @@
 //                [--trace FILE.csv] [--json FILE.json] [--weights]
 //                [--metrics-out FILE.json] [--jsonl FILE.jsonl]
 //                [--trace-out FILE.json] [--drift] [--clips]
+//   ft2 campaign-shard <model> [--shards N] [--dir DIR] [--no-resume]
+//                [--verify] [--bootstrap N] [--ci-seed S] [...campaign flags]
 //   ft2 serve-bench <model> [--dataset D] [--requests N] [--batch B]
 //                   [--seed S] [--scheme S] [--metrics-out FILE.json]
 //                   [--trace-out FILE.json]
-//   ft2 report <LOG> [--json FILE]
+//   ft2 report <LOG>... [--json FILE] [--bootstrap N] [--ci-seed S]
 //   ft2 metrics <model> [--dataset D] [--requests N] [--batch B] [--seed S]
 //               [--scheme S] [--json FILE]
 //   ft2 metric-names
@@ -27,6 +29,9 @@
 // Schemes: any registered detection scheme, optionally parameterized as
 //   name:key=value,... (`ft2 scheme-names` lists them)
 // Fault models: 1-bit 2-bit exp
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <chrono>
 #include <filesystem>
 #include <fstream>
@@ -36,8 +41,10 @@
 #include "common/cli.hpp"
 #include "core/ft2.hpp"
 #include "fi/report.hpp"
+#include "fi/shard.hpp"
 #include "fi/trace.hpp"
 #include "fi/weight_fault.hpp"
+#include "nn/weights.hpp"
 #include "obs/catalog.hpp"
 #include "obs/trace_export.hpp"
 #include "protect/bounds_io.hpp"
@@ -332,6 +339,263 @@ int cmd_campaign(const std::string& model_name, const ArgParser& args) {
   return 0;
 }
 
+// --- campaign-shard ----------------------------------------------------
+
+/// Campaign state every shard worker (and the parent's --verify pass)
+/// derives from the CLI flags alone. Deterministic end to end — model
+/// cache, input sampling, reference generations and bound profiling are
+/// all seeded — so independently-launched processes agree bit-for-bit.
+struct ShardCampaignSetup {
+  std::shared_ptr<const TransformerLM> model;
+  DatasetKind dataset = DatasetKind::kSynthQA;
+  SchemeRef scheme;
+  std::vector<EvalInput> inputs;
+  BoundStore bounds;
+  CampaignConfig config;
+  std::size_t shards = 1;
+  std::size_t total_trials = 0;
+  std::string dir;
+};
+
+ShardCampaignSetup prepare_shard_campaign(const std::string& model_name,
+                                          const ArgParser& args) {
+  ShardCampaignSetup setup;
+  setup.model = ensure_model(model_name);
+  setup.dataset = parse_dataset(args.get("dataset", "synthqa"));
+  setup.scheme = SchemeRef::parse(args.get("scheme", "ft2"));
+  const auto gen = make_generator(setup.dataset);
+  const std::size_t gen_tokens = generation_tokens(setup.dataset);
+
+  const std::size_t n_inputs = args.get_size("inputs", 12);
+  const auto samples =
+      gen->generate_many(n_inputs * 3, args.get_size("seed", 20250704));
+  setup.inputs = prepare_eval_inputs(*setup.model, samples, gen_tokens, true);
+  if (setup.inputs.size() > n_inputs) setup.inputs.resize(n_inputs);
+  FT2_CHECK_MSG(!setup.inputs.empty(), "model answers no inputs correctly");
+
+  if (setup.scheme.needs_offline_bounds()) {
+    if (args.has("bounds")) {
+      setup.bounds = load_bounds(args.get("bounds", ""),
+                                 setup.model->config());
+    } else {
+      OfflineProfileOptions profile;
+      profile.seed = 555;
+      profile.max_new_tokens = gen_tokens;
+      setup.bounds = profile_offline_bounds(*setup.model, *gen, profile);
+    }
+  }
+
+  setup.config.fault_model = parse_fault_model(args.get("fault-model", "exp"));
+  setup.config.trials_per_input = args.get_size("trials", 50);
+  setup.config.gen_tokens = gen_tokens;
+  setup.config.seed = args.get_size("campaign-seed", 42);
+  setup.config.faults_per_trial = args.get_size("faults", 1);
+  if (args.has("fp32")) setup.config.vtype = ValueType::kF32;
+
+  setup.shards = args.get_size("shards", 2);
+  FT2_CHECK_MSG(setup.shards > 0, "--shards must be positive");
+  setup.total_trials = setup.inputs.size() * setup.config.trials_per_input;
+  setup.dir = args.get("dir", model_name + "-shards");
+  return setup;
+}
+
+ShardManifest make_shard_manifest(const std::string& model_name,
+                                  const ShardCampaignSetup& setup,
+                                  std::size_t shard_index) {
+  const std::vector<TrialRange> ranges =
+      partition_trials(setup.total_trials, setup.shards);
+  FT2_CHECK_MSG(shard_index < setup.shards,
+                "--shard-index " << shard_index << " out of range for "
+                                 << setup.shards << " shards");
+  ShardManifest manifest;
+  manifest.model = model_name;
+  manifest.model_digest = weights_digest_hex(setup.model->weights());
+  manifest.dataset = dataset_name(setup.dataset);
+  manifest.scheme = setup.scheme.display();
+  manifest.fault_model = fault_model_name(setup.config.fault_model);
+  manifest.vtype = value_type_name(setup.config.vtype);
+  manifest.campaign_seed = setup.config.seed;
+  manifest.trials_per_input = setup.config.trials_per_input;
+  manifest.gen_tokens = setup.config.gen_tokens;
+  manifest.faults_per_trial = setup.config.faults_per_trial;
+  manifest.n_inputs = setup.inputs.size();
+  manifest.total_trials = setup.total_trials;
+  manifest.shard_index = shard_index;
+  manifest.shard_count = setup.shards;
+  manifest.first_trial = ranges[shard_index].first;
+  manifest.last_trial = ranges[shard_index].last;
+  return manifest;
+}
+
+/// Applies the report CI flags (--bootstrap, --ci-seed) and builds the
+/// aggregate view.
+CampaignReport build_report(const std::vector<TrialRecord>& records,
+                            const ArgParser& args) {
+  CampaignReport report = aggregate_trial_records(records);
+  report.ci.bootstrap.resamples =
+      args.get_size("bootstrap", report.ci.bootstrap.resamples);
+  report.ci.bootstrap.seed =
+      args.get_size("ci-seed", report.ci.bootstrap.seed);
+  return report;
+}
+
+void print_campaign_report(const CampaignReport& report,
+                           std::size_t n_records) {
+  std::cout << "outcomes (" << n_records << " records)\n";
+  report.outcome_table().print(std::cout);
+  std::cout << "\nby scheme (SDC reduction / overhead vs 'none')\n";
+  report.scheme_table().print(std::cout);
+  std::cout << "\nby layer kind\n";
+  report.layer_table().print(std::cout);
+  std::cout << "\nby fault model x layer x bit\n";
+  report.layer_bit_table().print(std::cout);
+  std::cout << "\ndetection latency (token positions)\n";
+  report.latency_table().print(std::cout);
+}
+
+/// Re-launches this binary once per shard with `--shard-index i` appended
+/// to the original arguments; returns the number of failed workers. fork
+/// is immediately followed by execv, so the parent's threads never matter
+/// in the child.
+int spawn_shard_workers(int argc, char** argv, std::size_t shards) {
+  std::vector<pid_t> pids;
+  for (std::size_t i = 0; i < shards; ++i) {
+    std::vector<std::string> child_args;
+    child_args.emplace_back("/proc/self/exe");
+    for (int a = 1; a < argc; ++a) child_args.emplace_back(argv[a]);
+    child_args.emplace_back("--shard-index");
+    child_args.emplace_back(std::to_string(i));
+    std::vector<char*> child_argv;
+    child_argv.reserve(child_args.size() + 1);
+    for (std::string& arg : child_args) child_argv.push_back(arg.data());
+    child_argv.push_back(nullptr);
+    const pid_t pid = fork();
+    FT2_CHECK_MSG(pid >= 0, "fork failed for shard " << i);
+    if (pid == 0) {
+      execv("/proc/self/exe", child_argv.data());
+      _exit(127);  // execv only returns on failure
+    }
+    pids.push_back(pid);
+  }
+  int failures = 0;
+  for (std::size_t i = 0; i < pids.size(); ++i) {
+    int status = 0;
+    waitpid(pids[i], &status, 0);
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      std::cerr << "shard " << i << " worker failed (status " << status
+                << ")\n";
+      ++failures;
+    }
+  }
+  return failures;
+}
+
+/// Zeroes trial_ms in place: timing is observational and excluded from
+/// determinism comparisons, so --verify compares everything else.
+void strip_timing(std::vector<TrialRecord>& records) {
+  for (TrialRecord& r : records) r.trial_ms = 0.0;
+}
+
+int cmd_campaign_shard(const std::string& model_name, const ArgParser& args,
+                       int argc, char** argv) {
+  if (args.has("shard-index")) {
+    // Worker: rebuild the campaign deterministically, then run (or
+    // resume) this shard's range, streaming records to its log.
+    const ShardCampaignSetup setup = prepare_shard_campaign(model_name, args);
+    const std::size_t index = args.get_size("shard-index", 0);
+    const ShardManifest manifest = make_shard_manifest(model_name, setup,
+                                                       index);
+    std::filesystem::create_directories(setup.dir);
+    const std::string path =
+        shard_log_path(setup.dir, index, setup.shards);
+    const ShardRunResult run = run_campaign_shard(
+        *setup.model, setup.inputs, setup.scheme, setup.bounds, setup.config,
+        manifest, path, /*resume=*/!args.has("no-resume"));
+    std::cout << "shard " << index << "/" << setup.shards << " ["
+              << manifest.first_trial << ", " << manifest.last_trial
+              << "): resumed " << run.resumed << ", executed "
+              << run.executed
+              << (run.torn_tail_recovered ? ", torn tail truncated" : "")
+              << " -> " << path << "\n";
+    return 0;
+  }
+
+  // Parent: make sure the model cache is warm (workers must never race a
+  // training run), fan out the workers, then merge their logs.
+  const ShardCampaignSetup setup = prepare_shard_campaign(model_name, args);
+  std::filesystem::create_directories(setup.dir);
+  std::cout << "campaign-shard: " << setup.total_trials << " trials over "
+            << setup.shards << " shards -> " << setup.dir << "\n";
+  const int failures = spawn_shard_workers(argc, argv, setup.shards);
+
+  std::vector<std::string> paths;
+  for (std::size_t i = 0; i < setup.shards; ++i) {
+    paths.push_back(shard_log_path(setup.dir, i, setup.shards));
+  }
+  const ShardMerge merge = merge_shard_logs(paths);
+  std::cout << "merged " << merge.records.size() << "/" << merge.total_trials
+            << " trials from " << paths.size() << " shard logs";
+  if (merge.torn_tails > 0) {
+    std::cout << " (" << merge.torn_tails << " torn tails)";
+  }
+  std::cout << "\n";
+  for (const TrialRange& gap : merge.gaps) {
+    std::cout << "  gap: trials [" << gap.first << ", " << gap.last << ")\n";
+  }
+  if (merge.duplicate_trials > 0) {
+    std::cout << "  duplicates: " << merge.duplicate_trials << " records\n";
+  }
+
+  const CampaignReport report = build_report(merge.records, args);
+  print_campaign_report(report, merge.records.size());
+
+  if (args.has("json")) {
+    const std::string path = args.get("json", "campaign-shard.json");
+    Json doc = report.to_json();
+    Json shard_doc = Json::object();
+    shard_doc["shards"] = setup.shards;
+    shard_doc["total_trials"] = merge.total_trials;
+    shard_doc["merged_trials"] = merge.records.size();
+    shard_doc["torn_tails"] = merge.torn_tails;
+    shard_doc["duplicates"] = merge.duplicate_trials;
+    shard_doc["complete"] = merge.complete();
+    doc["shard_merge"] = std::move(shard_doc);
+    std::ofstream os(path);
+    doc.write(os);
+    std::cout << "\njson -> " << path << "\n";
+  }
+
+  if (args.has("verify")) {
+    // In-process reference: the same campaign run whole, in this process.
+    // Merged-shard records must match it bit for bit (timing aside).
+    FT2_CHECK_MSG(merge.complete() && failures == 0,
+                  "--verify needs a complete merge with no failed workers");
+    TraceCollector reference;
+    run_campaign(*setup.model, setup.inputs, setup.scheme, setup.bounds,
+                 setup.config, reference.callback());
+    std::vector<TrialRecord> expect = reference.records();
+    std::vector<TrialRecord> got = merge.records;
+    strip_timing(expect);
+    strip_timing(got);
+    const std::string expect_dump =
+        aggregate_trial_records(expect).to_json().dump(-1);
+    const std::string got_dump =
+        aggregate_trial_records(got).to_json().dump(-1);
+    bool records_equal = expect.size() == got.size();
+    for (std::size_t i = 0; records_equal && i < expect.size(); ++i) {
+      records_equal = trial_record_to_json(expect[i]).dump(-1) ==
+                      trial_record_to_json(got[i]).dump(-1);
+    }
+    if (expect_dump != got_dump || !records_equal) {
+      std::cerr << "verify: merged shards DIVERGE from the in-process run\n";
+      return 1;
+    }
+    std::cout << "verify: merged shards match the in-process campaign ("
+              << expect.size() << " records, reports identical)\n";
+  }
+  return failures == 0 ? 0 : 1;
+}
+
 int cmd_serve_bench(const std::string& model_name, const ArgParser& args) {
   const auto model = ensure_model(model_name);
   const DatasetKind dataset = parse_dataset(args.get("dataset", "synthqa"));
@@ -498,23 +762,62 @@ int cmd_metrics(const std::string& model_name, const ArgParser& args) {
   return 0;
 }
 
-int cmd_report(const std::string& log_path, const ArgParser& args) {
-  // Aggregate a recorded campaign log (CSV / JSON / JSONL) into the
-  // paper-style breakdowns. The outcome counts equal the CampaignResult of
-  // the run that produced the log — no trial is rerun.
-  const std::vector<TrialRecord> records = load_trial_records(log_path);
-  const CampaignReport report = aggregate_trial_records(records);
+/// True when `path` opens and its first non-blank line is a shard
+/// manifest (an object carrying the "ft2_shard" marker key).
+bool is_shard_log(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return false;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    try {
+      const Json first = Json::parse(line);
+      return first.is_object() && first.find("ft2_shard") != nullptr;
+    } catch (const Error&) {
+      return false;
+    }
+  }
+  return false;
+}
 
-  std::cout << "outcomes (" << records.size() << " records)\n";
-  report.outcome_table().print(std::cout);
-  std::cout << "\nby scheme (SDC reduction / overhead vs 'none')\n";
-  report.scheme_table().print(std::cout);
-  std::cout << "\nby layer kind\n";
-  report.layer_table().print(std::cout);
-  std::cout << "\nby fault model x layer x bit\n";
-  report.layer_bit_table().print(std::cout);
-  std::cout << "\ndetection latency (token positions)\n";
-  report.latency_table().print(std::cout);
+int cmd_report(const ArgParser& args) {
+  // Aggregate recorded campaign logs (CSV / JSON / JSONL) into the
+  // paper-style breakdowns. The outcome counts equal the CampaignResult of
+  // the run that produced the logs — no trial is rerun. Multiple paths
+  // that are all shard logs merge with gap/overlap detection; otherwise
+  // the logs simply concatenate.
+  const std::vector<std::string>& paths = args.positional();
+  std::vector<TrialRecord> records;
+  bool all_shards = true;
+  for (const std::string& path : paths) {
+    all_shards = all_shards && is_shard_log(path);
+  }
+  if (all_shards) {
+    ShardMerge merge = merge_shard_logs(paths);
+    std::cout << "shard merge: " << merge.records.size() << "/"
+              << merge.total_trials << " trials from " << paths.size()
+              << " logs";
+    if (merge.torn_tails > 0) {
+      std::cout << " (" << merge.torn_tails << " torn tails)";
+    }
+    std::cout << "\n";
+    for (const TrialRange& gap : merge.gaps) {
+      std::cout << "  gap: trials [" << gap.first << ", " << gap.last
+                << ")\n";
+    }
+    if (merge.duplicate_trials > 0) {
+      std::cout << "  duplicates: " << merge.duplicate_trials
+                << " records\n";
+    }
+    records = std::move(merge.records);
+  } else {
+    for (const std::string& path : paths) {
+      std::vector<TrialRecord> loaded = load_trial_records(path);
+      for (TrialRecord& r : loaded) records.push_back(std::move(r));
+    }
+  }
+  const CampaignReport report = build_report(records, args);
+  print_campaign_report(report, records.size());
 
   if (args.has("json")) {
     const std::string path = args.get("json", "report.json");
@@ -594,10 +897,16 @@ int usage() {
       "               [--bounds FILE] [--trace FILE] [--json FILE] [--weights]\n"
       "               [--metrics-out FILE] [--jsonl FILE] [--trace-out FILE]\n"
       "               [--drift] [--clips]\n"
+      "  ft2 campaign-shard <model> [--shards N] [--dir DIR] [--dataset D]\n"
+      "               [--scheme S] [--fault-model F] [--inputs N]\n"
+      "               [--trials T] [--faults K] [--fp32] [--bounds FILE]\n"
+      "               [--no-resume] [--verify] [--json FILE]\n"
+      "               [--bootstrap N] [--ci-seed S]\n"
       "  ft2 serve-bench <model> [--dataset D] [--requests N] [--batch B]\n"
       "                  [--seed S] [--scheme S] [--metrics-out FILE]\n"
       "                  [--trace-out FILE]\n"
-      "  ft2 report <LOG.csv|.json|.jsonl> [--json FILE]\n"
+      "  ft2 report <LOG.csv|.json|.jsonl>... [--json FILE] [--bootstrap N]\n"
+      "             [--ci-seed S]\n"
       "  ft2 metrics <model> [--dataset D] [--requests N] [--batch B]\n"
       "              [--seed S] [--scheme S] [--json FILE]\n"
       "  ft2 metric-names\n"
@@ -624,7 +933,9 @@ int main(int argc, char** argv) {
       {"campaign-seed", true}, {"fp32", false}, {"requests", true},
       {"batch", true},        {"metrics-out", true}, {"jsonl", true},
       {"trace-out", true},    {"drift", false},   {"clips", false},
-      {"long", false},
+      {"long", false},        {"shards", true},   {"shard-index", true},
+      {"dir", true},          {"no-resume", false}, {"verify", false},
+      {"bootstrap", true},    {"ci-seed", true},
   };
   try {
     const ArgParser args(argc - 2, argv + 2, spec);
@@ -642,11 +953,14 @@ int main(int argc, char** argv) {
       return cmd_profile_bounds(need_model(), args);
     }
     if (command == "campaign") return cmd_campaign(need_model(), args);
+    if (command == "campaign-shard") {
+      return cmd_campaign_shard(need_model(), args, argc, argv);
+    }
     if (command == "serve-bench") return cmd_serve_bench(need_model(), args);
     if (command == "report") {
       FT2_CHECK_MSG(!args.positional().empty(),
-                    "report needs a recorded trial log path");
-      return cmd_report(args.positional()[0], args);
+                    "report needs at least one recorded trial log path");
+      return cmd_report(args);
     }
     if (command == "metrics") return cmd_metrics(need_model(), args);
     if (command == "metric-names") return cmd_metric_names();
