@@ -1,9 +1,26 @@
-// Kernel microbenchmarks (google-benchmark): the hot paths of the engine
-// and of the protection itself. Useful for regression-tracking the cost of
-// the FP16 software path and the range-restriction kernel the overhead
-// results (Fig. 14) depend on.
+// Kernel microbenchmarks: the hot paths of the engine and of the
+// protection itself. Useful for regression-tracking the cost of the FP16
+// software path and the range-restriction kernel the overhead results
+// (Fig. 14) depend on.
+//
+// Two modes:
+//   bench_kernels [google-benchmark flags]
+//       the registered BM_* microbenchmarks (default mode);
+//   bench_kernels --tiers [--json FILE]
+//       per-dispatch-tier GEMM and quantize throughput (every tier the
+//       host supports, plus the fused protection epilogue's cost on the
+//       GEMM store path). --json writes the bench/baselines/
+//       BENCH_kernels.json shape; without it a table prints.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <fstream>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/cli.hpp"
+#include "common/env.hpp"
+#include "common/json.hpp"
 #include "core/ft2.hpp"
 
 namespace ft2 {
@@ -122,7 +139,168 @@ void BM_ForwardPosition(benchmark::State& state) {
 }
 BENCHMARK(BM_ForwardPosition)->Arg(1)->Arg(0);
 
+// --- Per-tier throughput (--tiers mode) -------------------------------------
+
+/// Best-of-reps wall time of `fn` (which runs `items` work items once),
+/// auto-calibrated so each timed rep lasts at least ~40ms.
+template <typename Fn>
+double best_items_per_sec(double items, std::size_t reps, Fn&& fn) {
+  std::size_t iters = 1;
+  for (;;) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < iters; ++i) fn();
+    const double s = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+    if (s >= 0.04 || iters >= (1u << 20)) break;
+    iters *= 2;
+  }
+  double best = 0.0;
+  for (std::size_t r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < iters; ++i) fn();
+    const double s = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+    const double rate = items * static_cast<double>(iters) / s;
+    best = std::max(best, rate);
+  }
+  return best;
+}
+
+struct TierRates {
+  double gemm_gflops = 0.0;         ///< span GEMM (packs tiles per call)
+  double gemm_packed_gflops = 0.0;  ///< pre-packed tiles (batched decode path)
+  double gemm_fused_gflops = 0.0;   ///< span GEMM + quantize/bounds epilogue
+  double quantize_gelems = 0.0;     ///< quantize_span_f16 sweep
+};
+
+TierRates measure_tier(KernelTier tier, std::size_t n, std::size_t k,
+                       std::size_t rows, std::size_t reps) {
+  set_kernel_tier(tier);
+  ThreadPool pool(1);  // single worker: kernel throughput, not pool scaling
+  Xoshiro256 rng(99);
+  Tensor x({rows, k}), w({n, k}), y({rows, n});
+  for (float& f : x.span()) f = rng.uniform_float(-1.0f, 1.0f);
+  for (float& f : w.span()) f = rng.uniform_float(-0.1f, 0.1f);
+  std::vector<float> bias(n);
+  for (float& f : bias) f = rng.uniform_float(-0.5f, 0.5f);
+
+  TierRates rates;
+  const double flops = 2.0 * static_cast<double>(n * k * rows);
+  rates.gemm_gflops = best_items_per_sec(flops, reps, [&] {
+    linear_forward_span(x, rows, w, bias, y, false, pool);
+  }) / 1e9;
+  {
+    PackedLinear pl(w, bias);
+    rates.gemm_packed_gflops = best_items_per_sec(flops, reps, [&] {
+      linear_forward_span_packed(x, rows, pl, y, pool);
+    }) / 1e9;
+  }
+  {
+    // The fused store epilogue as protected fp16 decode plans it: quantize
+    // plus in-bound range restriction (clean-path cost — values in bounds).
+    // Same span path as gemm_gflops, so the delta is pure epilogue cost.
+    KernelEpilogue epi;
+    epi.quantize = true;
+    epi.protect = KernelEpilogue::Protect::kBounds;
+    epi.correct_nan = true;
+    epi.lo = -1e6f;
+    epi.hi = 1e6f;
+    epi.lo_sub = epi.lo;
+    epi.hi_sub = epi.hi;
+    EpilogueTally tally;
+    rates.gemm_fused_gflops = best_items_per_sec(flops, reps, [&] {
+      linear_forward_span(x, rows, w, bias, y, false, pool, &epi, &tally);
+    }) / 1e9;
+  }
+  {
+    std::vector<float> v(1u << 16);
+    for (float& f : v) f = rng.uniform_float(-4.0f, 4.0f);
+    rates.quantize_gelems = best_items_per_sec(
+        static_cast<double>(v.size()), reps,
+        [&] { quantize_span_f16(v); }) / 1e9;
+  }
+  return rates;
+}
+
+int run_tiers(const ArgParser& args) {
+  const std::size_t n = 256, k = 256, rows = 8;
+  const std::size_t reps = env_size("FT2_BENCH_REPS", 5);
+  const KernelTier restore = active_kernel_tier();
+
+  Json tiers = Json::object();
+  Table table({"tier", "gemm GFLOP/s", "packed GFLOP/s", "fused-epi GFLOP/s",
+               "fused cost", "quantize Gelem/s"});
+  for (KernelTier tier : supported_kernel_tiers()) {
+    const TierRates r = measure_tier(tier, n, k, rows, reps);
+    const double fused_cost =
+        r.gemm_gflops > 0.0 ? 1.0 - r.gemm_fused_gflops / r.gemm_gflops : 0.0;
+    table.begin_row()
+        .cell(kernel_tier_name(tier))
+        .num(r.gemm_gflops, 2)
+        .num(r.gemm_packed_gflops, 2)
+        .num(r.gemm_fused_gflops, 2)
+        .pct(fused_cost)
+        .num(r.quantize_gelems, 2);
+    Json t = Json::object();
+    t["gemm_gflops"] = r.gemm_gflops;
+    t["gemm_packed_gflops"] = r.gemm_packed_gflops;
+    t["gemm_fused_gflops"] = r.gemm_fused_gflops;
+    t["quantize_gelems_per_sec"] = r.quantize_gelems;
+    tiers[kernel_tier_name(tier)] = t;
+  }
+  set_kernel_tier(restore);
+
+  if (args.has("json")) {
+    Json out = Json::object();
+    out["bench"] = "kernels";
+    Json cfg = Json::object();
+    cfg["gemm_n"] = static_cast<double>(n);
+    cfg["gemm_k"] = static_cast<double>(k);
+    cfg["gemm_rows"] = static_cast<double>(rows);
+    cfg["quantize_elems"] = static_cast<double>(1u << 16);
+    cfg["reps"] = static_cast<double>(reps);
+    cfg["threads"] = 1.0;
+    out["config"] = cfg;
+    out["tiers"] = tiers;
+    out["default_tier"] = kernel_tier_name(active_kernel_tier());
+    const std::string path = args.get("json", "");
+    if (path.empty()) {
+      std::cout << out.dump() << "\n";
+    } else {
+      std::ofstream f(path);
+      f << out.dump() << "\n";
+      std::cout << "wrote " << path << "\n";
+    }
+    return 0;
+  }
+  bench::print_header("kernel dispatch tiers",
+                      "GEMM/quantize throughput per CPU tier");
+  std::cout << "gemm " << n << "x" << k << ", " << rows
+            << " rows, packed tiles, single worker, best of " << reps
+            << "\n\n";
+  table.print(std::cout);
+  std::cout << "\nall tiers are bit-exact (ctest -R KernelTierEquivalence); "
+               "pick with FT2_KERNEL or --kernel\n";
+  return 0;
+}
+
 }  // namespace
 }  // namespace ft2
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // --tiers intercepts before google-benchmark sees the arguments.
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--tiers") {
+      const ft2::ArgParser args(argc - 1, argv + 1,
+                                {{"tiers", false}, {"json", true}});
+      return ft2::run_tiers(args);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

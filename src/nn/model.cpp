@@ -61,6 +61,60 @@ inline void maybe_quantize(std::span<float> v, bool fp16) {
   if (fp16) quantize_span_f16(v);
 }
 
+/// Fusion plan for one hook dispatch: whether any store-epilogue work runs
+/// in the kernel (tensor/dispatch.hpp) and which hook, if any, supplied
+/// the protection half.
+struct FusedPlan {
+  bool active = false;          ///< any fused work (quantize and/or protect)
+  OutputHook* provider = nullptr;  ///< first hook, when it accepted fusion
+  KernelEpilogue epi;
+};
+
+/// Negotiates the fused store epilogue for one dispatch. Fusion covers the
+/// engine's own FP16 quantize pass plus — when the chain's FIRST hook
+/// accepts plan_fused — the protection sweep. Chains led by a non-fusing
+/// hook (e.g. a campaign's fault injector, which must corrupt values
+/// BEFORE protection sees them), chunked-accumulation mode, and the
+/// FT2_FUSED_EPILOGUE=0 kill switch all fall back to the legacy two-pass
+/// path; results are bit-identical either way.
+inline FusedPlan plan_output_fusion(const HookChain& hooks,
+                                    const HookContext& ctx,
+                                    const ExecConfig& exec) {
+  FusedPlan plan;
+  if (exec.chunked_accum || !fused_epilogue_enabled()) return plan;
+  plan.epi.quantize = exec.fp16;
+  OutputHook* first = hooks.first_hook();
+  if (first != nullptr && first->plan_fused(ctx, plan.epi)) {
+    plan.provider = first;
+  }
+  plan.active = plan.epi.quantize || plan.provider != nullptr;
+  return plan;
+}
+
+/// Applies a negotiated plan to an already-computed span (the sites whose
+/// producer is not a fused GEMM: single-row linears, activation outputs,
+/// batched decode rows) in one sweep, then completes hook dispatch. With
+/// no active plan this is the legacy quantize + full dispatch.
+inline void finish_output(std::span<float> values, const HookContext& ctx,
+                          const HookChain& hooks, const ExecConfig& exec) {
+  const FusedPlan plan = plan_output_fusion(hooks, ctx, exec);
+  if (!plan.active) {
+    maybe_quantize(values, exec.fp16);
+    hooks.dispatch(ctx, values);
+    return;
+  }
+  EpilogueTally tally;
+  active_kernel_ops().epilogue_span(
+      values.data(), values.size(), 0, plan.epi,
+      plan.provider != nullptr ? &tally : nullptr);
+  if (plan.provider != nullptr) {
+    plan.provider->absorb_fused(ctx, values, plan.epi, tally);
+    hooks.dispatch_tail(ctx, values);
+  } else {
+    hooks.dispatch(ctx, values);
+  }
+}
+
 inline void run_linear(const LinearWeights& lw, const Tensor& in, Tensor& out,
                        const ExecConfig& exec, const HookChain& hooks,
                        int block, LayerKind kind, std::size_t pos,
@@ -70,34 +124,52 @@ inline void run_linear(const LinearWeights& lw, const Tensor& in, Tensor& out,
   } else {
     linear_forward_row(in.row(0), lw.w, lw.bias_span(), out.row(0));
   }
-  maybe_quantize(out.row(0), exec.fp16);
   HookContext ctx{LayerSite{block, kind}, pos, first_token};
-  hooks.dispatch(ctx, out.row(0));
+  finish_output(out.row(0), ctx, hooks, exec);
 }
 
 /// Blocked counterpart of run_linear: GEMM over the first `rows` rows of
 /// `in`, FP16 quantization of the chunk (elementwise, so identical to
 /// per-row quantization), and ONE hook dispatch carrying the whole
 /// [rows x width] span. Per-element accumulation order matches run_linear.
+/// With an active fusion plan the quantize/protect sweep runs inside the
+/// GEMM store epilogue instead of as separate passes.
 inline void run_linear_span(const LinearWeights& lw, const Tensor& in,
                             std::size_t rows, Tensor& out,
                             const ExecConfig& exec, ThreadPool& pool,
                             const HookChain& hooks, int block, LayerKind kind,
                             std::size_t pos0, bool first_token) {
-  linear_forward_span(in, rows, lw.w, lw.bias_span(), out, exec.chunked_accum,
-                      pool);
   const std::size_t width = out.dim(1);
-  std::span<float> view{out.data(), rows * width};
-  maybe_quantize(view, exec.fp16);
   HookContext ctx{LayerSite{block, kind}, pos0, first_token, rows, width};
-  hooks.dispatch(ctx, view);
+  const FusedPlan plan = plan_output_fusion(hooks, ctx, exec);
+  if (!plan.active) {
+    linear_forward_span(in, rows, lw.w, lw.bias_span(), out,
+                        exec.chunked_accum, pool);
+    std::span<float> view{out.data(), rows * width};
+    maybe_quantize(view, exec.fp16);
+    hooks.dispatch(ctx, view);
+    return;
+  }
+  EpilogueTally tally;
+  linear_forward_span(in, rows, lw.w, lw.bias_span(), out,
+                      /*chunked_accum=*/false, pool, &plan.epi,
+                      plan.provider != nullptr ? &tally : nullptr);
+  std::span<float> view{out.data(), rows * width};
+  if (plan.provider != nullptr) {
+    plan.provider->absorb_fused(ctx, view, plan.epi, tally);
+    hooks.dispatch_tail(ctx, view);
+  } else {
+    hooks.dispatch(ctx, view);
+  }
 }
 
 /// Cross-sequence counterpart of run_linear: one GEMM over the B slot rows,
 /// then per-row quantization and a per-slot single-position hook dispatch —
 /// each slot's chain sees exactly the context run_linear would have built
 /// for it. Decode never runs in the first-token phase. `pl` supplies
-/// pre-packed tiles (non-chunked accumulation only).
+/// pre-packed tiles (non-chunked accumulation only). Slots carry
+/// independent hook chains, so fusion is per row (a one-sweep epilogue
+/// after the GEMM) rather than inside the shared GEMM store.
 inline void run_linear_batch(const LinearWeights& lw, const PackedLinear* pl,
                              const Tensor& in, std::span<DecodeSlot> slots,
                              Tensor& out, const ExecConfig& exec,
@@ -110,10 +182,9 @@ inline void run_linear_batch(const LinearWeights& lw, const PackedLinear* pl,
                         exec.chunked_accum, pool);
   }
   for (std::size_t r = 0; r < rows; ++r) {
-    maybe_quantize(out.row(r), exec.fp16);
     HookContext ctx{LayerSite{block, kind}, slots[r].pos,
                     /*first_token_phase=*/false};
-    slots[r].hooks->dispatch(ctx, out.row(r));
+    finish_output(out.row(r), ctx, *slots[r].hooks, exec);
   }
 }
 
@@ -193,10 +264,10 @@ void TransformerLM::mlp(const BlockWeights& blk, std::size_t block_idx,
                pos, first_token);
     std::copy(ws.f1.row(0).begin(), ws.f1.row(0).end(), ws.act.row(0).begin());
     silu(ws.act.row(0));
-    maybe_quantize(ws.act.row(0), fp16);
-    hooks.dispatch(HookContext{LayerSite{b, LayerKind::kMlpAct}, pos,
-                               first_token},
-                   ws.act.row(0));
+    finish_output(ws.act.row(0),
+                  HookContext{LayerSite{b, LayerKind::kMlpAct}, pos,
+                              first_token},
+                  hooks, exec);
     mul_inplace(ws.act.row(0), ws.f_up.row(0));
     maybe_quantize(ws.act.row(0), fp16);
     run_linear(blk.fc2, ws.act, ws.f2, exec, hooks, b, LayerKind::kDownProj,
@@ -210,10 +281,10 @@ void TransformerLM::mlp(const BlockWeights& blk, std::size_t block_idx,
     } else {
       gelu(ws.act.row(0));
     }
-    maybe_quantize(ws.act.row(0), fp16);
-    hooks.dispatch(HookContext{LayerSite{b, LayerKind::kMlpAct}, pos,
-                               first_token},
-                   ws.act.row(0));
+    finish_output(ws.act.row(0),
+                  HookContext{LayerSite{b, LayerKind::kMlpAct}, pos,
+                              first_token},
+                  hooks, exec);
     run_linear(blk.fc2, ws.act, ws.f2, exec, hooks, b, LayerKind::kFc2, pos,
                first_token);
   }
@@ -360,10 +431,10 @@ void TransformerLM::mlp_span(const BlockWeights& blk, std::size_t block_idx,
                     LayerKind::kUpProj, pos0, first_token);
     std::copy_n(ws.f1.data(), n * d_ff, ws.act.data());
     silu(act_view);
-    maybe_quantize(act_view, fp16);
-    hooks.dispatch(HookContext{LayerSite{b, LayerKind::kMlpAct}, pos0,
-                               first_token, n, d_ff},
-                   act_view);
+    finish_output(act_view,
+                  HookContext{LayerSite{b, LayerKind::kMlpAct}, pos0,
+                              first_token, n, d_ff},
+                  hooks, exec);
     mul_inplace(act_view, {ws.f_up.data(), n * d_ff});
     maybe_quantize(act_view, fp16);
     run_linear_span(blk.fc2, ws.act, n, ws.f2, exec, pool, hooks, b,
@@ -377,10 +448,10 @@ void TransformerLM::mlp_span(const BlockWeights& blk, std::size_t block_idx,
     } else {
       gelu(act_view);
     }
-    maybe_quantize(act_view, fp16);
-    hooks.dispatch(HookContext{LayerSite{b, LayerKind::kMlpAct}, pos0,
-                               first_token, n, d_ff},
-                   act_view);
+    finish_output(act_view,
+                  HookContext{LayerSite{b, LayerKind::kMlpAct}, pos0,
+                              first_token, n, d_ff},
+                  hooks, exec);
     run_linear_span(blk.fc2, ws.act, n, ws.f2, exec, pool, hooks, b,
                     LayerKind::kFc2, pos0, first_token);
   }
@@ -547,13 +618,14 @@ void TransformerLM::mlp_batch(const BlockWeights& blk, std::size_t block_idx,
   const PackedDecodeWeights::Block* pb =
       packed != nullptr ? &packed->blocks[block_idx] : nullptr;
 
-  // Per-slot MlpAct hook dispatch: the activation is elementwise, so row r
-  // holds exactly the values the sequential path hands this slot's chain.
-  const auto dispatch_act = [&] {
+  // Per-slot MlpAct finish: the activation is elementwise, so row r holds
+  // exactly the values the sequential path hands this slot's chain (the
+  // quantize/protect sweep is fused per row when the slot's chain accepts).
+  const auto finish_act = [&] {
     for (std::size_t r = 0; r < n; ++r) {
       HookContext ctx{LayerSite{b, LayerKind::kMlpAct}, slots[r].pos,
                       /*first_token_phase=*/false};
-      slots[r].hooks->dispatch(ctx, ws.act.row(r));
+      finish_output(ws.act.row(r), ctx, *slots[r].hooks, exec);
     }
   };
 
@@ -564,8 +636,7 @@ void TransformerLM::mlp_batch(const BlockWeights& blk, std::size_t block_idx,
                      ws.f_up, exec, pool, b, LayerKind::kUpProj);
     std::copy_n(ws.f1.data(), n * d_ff, ws.act.data());
     silu(act_view);
-    maybe_quantize(act_view, fp16);
-    dispatch_act();
+    finish_act();
     mul_inplace(act_view, {ws.f_up.data(), n * d_ff});
     maybe_quantize(act_view, fp16);
     run_linear_batch(blk.fc2, pb != nullptr ? &pb->fc2 : nullptr, ws.act,
@@ -579,8 +650,7 @@ void TransformerLM::mlp_batch(const BlockWeights& blk, std::size_t block_idx,
     } else {
       gelu(act_view);
     }
-    maybe_quantize(act_view, fp16);
-    dispatch_act();
+    finish_act();
     run_linear_batch(blk.fc2, pb != nullptr ? &pb->fc2 : nullptr, ws.act,
                      slots, ws.f2, exec, pool, b, LayerKind::kFc2);
   }

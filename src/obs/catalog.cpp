@@ -31,6 +31,8 @@ constexpr Template kTemplates[] = {
     {"serve.request.decode_ms", "histogram",
      "per-request decode wall time"},
     {"serve.batch.occupancy", "gauge", "active rows in the decode batch"},
+    {"serve.kernel_tier", "gauge",
+     "GEMM dispatch tier the engine runs on (0=sse 1=avx2 2=avx512)"},
     // protect/scheme.cpp
     {"protect.checked.<KIND>", "counter", "values range-checked"},
     {"protect.nan.<KIND>", "counter", "NaNs corrected"},

@@ -5,6 +5,7 @@
 
 #include "protect/abft_linear.hpp"
 #include "protect/adaptive.hpp"
+#include "tensor/dispatch.hpp"
 
 namespace ft2 {
 
@@ -65,6 +66,62 @@ void RangeRestrictScheme::detect_and_correct(const HookContext& ctx,
                                      : offline_bounds_.at(ctx.site);
     range_restrict(values, raw.scaled(spec_.bound_scale), spec_.policy,
                    spec_.correct_nan, &delta, spec_.detect_only, observer);
+  }
+}
+
+bool RangeRestrictScheme::plan_epilogue(const HookContext& ctx,
+                                        KernelEpilogue& epi) const {
+  // Mirror detect_and_correct branch for branch: every mode below is
+  // elementwise with constant per-site bounds, so it can run inside the
+  // kernel's store epilogue. absorb_epilogue handles the one non-elementwise
+  // piece (first-token observe_span) over the finished span.
+  if (spec_.online && ctx.first_token_phase) {
+    epi.protect = KernelEpilogue::Protect::kFirstToken;
+    return true;
+  }
+  const Bounds& raw = spec_.online ? online_bounds_.at(ctx.site)
+                                   : offline_bounds_.at(ctx.site);
+  const Bounds scaled = raw.scaled(spec_.bound_scale);
+  epi.detect_only = spec_.detect_only;
+  if (!scaled.valid()) {
+    // range_restrict with invalid bounds: NaN-only correction, or nothing
+    // at all (not even values_checked) without correct_nan.
+    epi.protect = spec_.correct_nan ? KernelEpilogue::Protect::kNanOnly
+                                    : KernelEpilogue::Protect::kNone;
+    return true;
+  }
+  epi.protect = KernelEpilogue::Protect::kBounds;
+  epi.correct_nan = spec_.correct_nan;
+  epi.lo = scaled.lo;
+  epi.hi = scaled.hi;
+  switch (spec_.policy) {
+    case ClipPolicy::kToBound:
+      epi.lo_sub = scaled.lo;
+      epi.hi_sub = scaled.hi;
+      break;
+    case ClipPolicy::kToZero:
+      epi.lo_sub = 0.0f;
+      epi.hi_sub = 0.0f;
+      break;
+    case ClipPolicy::kToTypical:
+      epi.lo_sub = scaled.typical;
+      epi.hi_sub = scaled.typical;
+      break;
+  }
+  return true;
+}
+
+void RangeRestrictScheme::absorb_epilogue(const HookContext& ctx,
+                                          std::span<const float> values,
+                                          const KernelEpilogue& epi,
+                                          const EpilogueTally& tally) {
+  (void)tally;
+  if (epi.protect == KernelEpilogue::Protect::kFirstToken) {
+    // The kernel already zeroed NaNs; fold the finished span into the
+    // online bounds in flat order — the exact observe_span call (on
+    // identical data) the hook path makes. Doing this here rather than in
+    // the kernel keeps ±0 min/max ordering out of the parallel tiles.
+    online_bounds_.at(ctx.site).observe_span(values);
   }
 }
 

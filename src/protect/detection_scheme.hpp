@@ -72,6 +72,37 @@ class DetectionScheme {
                                   ProtectionStats& delta,
                                   ClipObserver* observer) = 0;
 
+  /// Fused-epilogue negotiation (tensor/dispatch.hpp). A scheme whose
+  /// detect_and_correct can be expressed as a per-element KernelEpilogue
+  /// (quantize → NaN fix → clip against constant bounds) fills in `epi`
+  /// (everything except `quantize` and `record_events`, which the driver
+  /// owns) and returns true; the GEMM kernel then applies the protection
+  /// in-register as tiles are stored, and the driver calls absorb_epilogue
+  /// with the finished span plus the kernel's tally. The contract is strict
+  /// bit-equality: planned epilogue + absorb must reproduce exactly the
+  /// values, counts and clip events detect_and_correct would have produced
+  /// on the same dispatch. Schemes with cross-element logic (checksums,
+  /// adaptive re-profiling) simply return false and keep the hook path.
+  virtual bool plan_epilogue(const HookContext& ctx,
+                             KernelEpilogue& epi) const {
+    (void)ctx;
+    (void)epi;
+    return false;
+  }
+  /// Post-dispatch completion of a planned epilogue: `values` is the
+  /// finished (quantized/corrected) span. RangeRestrictScheme uses this to
+  /// fold first-token spans into its online bounds — over the final values
+  /// in flat order, exactly as the hook path's observe_span would.
+  virtual void absorb_epilogue(const HookContext& ctx,
+                               std::span<const float> values,
+                               const KernelEpilogue& epi,
+                               const EpilogueTally& tally) {
+    (void)ctx;
+    (void)values;
+    (void)epi;
+    (void)tally;
+  }
+
   /// Snapshot of scheme-private state at a token boundary (null when the
   /// scheme carries none).
   virtual std::shared_ptr<const SchemeState> capture_state() const {
@@ -119,6 +150,11 @@ class RangeRestrictScheme final : public DetectionScheme {
   void detect_and_correct(const HookContext& ctx, std::span<float> values,
                           ProtectionStats& delta,
                           ClipObserver* observer) override;
+  bool plan_epilogue(const HookContext& ctx,
+                     KernelEpilogue& epi) const override;
+  void absorb_epilogue(const HookContext& ctx, std::span<const float> values,
+                       const KernelEpilogue& epi,
+                       const EpilogueTally& tally) override;
   std::shared_ptr<const SchemeState> capture_state() const override;
   void restore_state(const SchemeState* state) override;
   const BoundStore& online_bounds() const override { return online_bounds_; }

@@ -77,6 +77,10 @@ ServeEngine::ServeEngine(const TransformerLM& model, ServeOptions options)
     metrics_.request_decode_ms =
         reg->histogram("serve.request.decode_ms", latency_ms_buckets());
     metrics_.batch_occupancy = reg->gauge("serve.batch.occupancy");
+    // Which GEMM dispatch tier this engine runs on (0=sse 1=avx2 2=avx512);
+    // tiers are bit-exact, so this only matters for performance triage.
+    reg->gauge("serve.kernel_tier")
+        .set(static_cast<double>(static_cast<int>(active_kernel_tier())));
   }
 }
 

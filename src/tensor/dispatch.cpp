@@ -1,0 +1,301 @@
+#include "tensor/dispatch.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+#include "common/check.hpp"
+#include "common/env.hpp"
+#include "numeric/f16.hpp"
+
+namespace ft2 {
+
+void EpilogueTally::merge(EpilogueTally&& other) {
+  nan += other.nan;
+  oob += other.oob;
+  if (!other.events.empty()) {
+    if (events.empty()) {
+      events = std::move(other.events);
+    } else {
+      events.insert(events.end(), other.events.begin(), other.events.end());
+    }
+  }
+}
+
+void EpilogueTally::sort_events() {
+  std::sort(events.begin(), events.end(),
+            [](const EpilogueEvent& a, const EpilogueEvent& b) {
+              return a.index < b.index;
+            });
+}
+
+namespace detail {
+
+void epilogue_scalar_span(float* v, std::size_t n, std::size_t flat0,
+                          const KernelEpilogue& epi, EpilogueTally* tally) {
+  using Protect = KernelEpilogue::Protect;
+  for (std::size_t i = 0; i < n; ++i) {
+    float q = epi.quantize ? quantize_f16(v[i]) : v[i];
+    switch (epi.protect) {
+      case Protect::kNone:
+        break;
+      case Protect::kFirstToken:
+        // First-token phase corrects NaN unconditionally (detect_only does
+        // not apply — mirrors RangeRestrictScheme's first-token branch).
+        if (std::isnan(q)) {
+          ++tally->nan;
+          q = 0.0f;
+        }
+        break;
+      case Protect::kNanOnly:
+        if (std::isnan(q)) {
+          ++tally->nan;
+          if (!epi.detect_only) q = 0.0f;
+        }
+        break;
+      case Protect::kBounds:
+        if (std::isnan(q)) {
+          // NaNs pass through silently (uncounted) when the scheme does not
+          // correct them — exactly range_restrict's behaviour.
+          if (epi.correct_nan) {
+            ++tally->nan;
+            if (!epi.detect_only) q = 0.0f;
+          }
+        } else if (q > epi.hi || q < epi.lo) {
+          // Observers see the pre-correction value even in detect_only.
+          if (epi.record_events) {
+            tally->events.push_back(EpilogueEvent{flat0 + i, q});
+          }
+          if (!epi.detect_only) q = q > epi.hi ? epi.hi_sub : epi.lo_sub;
+          ++tally->oob;
+        }
+        break;
+    }
+    v[i] = q;
+  }
+}
+
+}  // namespace detail
+
+namespace {
+
+constexpr std::size_t kSseTileCols = 16;
+
+/// k-outer micro-kernel, reference tier: one input row against a packed
+/// weight tile. Each output element accumulates x[i] * w[o][i] in
+/// ascending-i order with a separate mul and add per step — the exact
+/// per-element operation sequence of linear_forward_row — but the 16
+/// accumulators are independent, so the lanes run in parallel instead of
+/// serializing on one dot product's add-latency chain. Explicit SSE keeps
+/// the instruction selection out of the autovectorizer's hands (and SSE
+/// mul/add round identically to their scalar counterparts, so bit-exactness
+/// is preserved by construction). The wider tiers in kernels_avx2.cpp /
+/// kernels_avx512.cpp keep this per-element sequence and only widen the
+/// column tile.
+void kouter_row_sse(const float* x, const float* wt, std::size_t k,
+                    const float* bias_padded, float* y, std::size_t width,
+                    std::size_t flat0, const KernelEpilogue* epi,
+                    EpilogueTally* tally) {
+  float acc[kSseTileCols];
+#if defined(__SSE2__)
+  __m128 acc0 = _mm_loadu_ps(bias_padded);
+  __m128 acc1 = _mm_loadu_ps(bias_padded + 4);
+  __m128 acc2 = _mm_loadu_ps(bias_padded + 8);
+  __m128 acc3 = _mm_loadu_ps(bias_padded + 12);
+  for (std::size_t i = 0; i < k; ++i) {
+    const __m128 xi = _mm_set1_ps(x[i]);
+    const float* wr = wt + i * kSseTileCols;
+    acc0 = _mm_add_ps(acc0, _mm_mul_ps(xi, _mm_loadu_ps(wr)));
+    acc1 = _mm_add_ps(acc1, _mm_mul_ps(xi, _mm_loadu_ps(wr + 4)));
+    acc2 = _mm_add_ps(acc2, _mm_mul_ps(xi, _mm_loadu_ps(wr + 8)));
+    acc3 = _mm_add_ps(acc3, _mm_mul_ps(xi, _mm_loadu_ps(wr + 12)));
+  }
+  _mm_storeu_ps(acc + 0, acc0);
+  _mm_storeu_ps(acc + 4, acc1);
+  _mm_storeu_ps(acc + 8, acc2);
+  _mm_storeu_ps(acc + 12, acc3);
+#else
+  for (std::size_t j = 0; j < kSseTileCols; ++j) acc[j] = bias_padded[j];
+  for (std::size_t i = 0; i < k; ++i) {
+    const float xi = x[i];
+    const float* wr = wt + i * kSseTileCols;
+    for (std::size_t j = 0; j < kSseTileCols; ++j) acc[j] += xi * wr[j];
+  }
+#endif
+  if (epi != nullptr) {
+    detail::epilogue_scalar_span(acc, width, flat0, *epi, tally);
+  }
+  for (std::size_t j = 0; j < width; ++j) y[j] = acc[j];
+}
+
+void epilogue_span_sse(float* v, std::size_t n, std::size_t flat0,
+                       const KernelEpilogue& epi, EpilogueTally* tally) {
+  detail::epilogue_scalar_span(v, n, flat0, epi, tally);
+}
+
+constexpr KernelOps kSseOps{KernelTier::kSse, "sse", kSseTileCols,
+                            &kouter_row_sse, &epilogue_span_sse};
+
+bool cpu_has_avx2_f16c() {
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("f16c");
+#else
+  return false;
+#endif
+}
+
+bool cpu_has_avx512f() {
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+  return __builtin_cpu_supports("avx512f") != 0;
+#else
+  return false;
+#endif
+}
+
+const KernelOps* compiled_ops(KernelTier tier) {
+  switch (tier) {
+    case KernelTier::kSse:
+      return &kSseOps;
+    case KernelTier::kAvx2:
+      return detail::kernel_ops_avx2();
+    case KernelTier::kAvx512:
+      return detail::kernel_ops_avx512();
+  }
+  return nullptr;
+}
+
+const KernelOps* probe_default() {
+  if (kernel_tier_supported(KernelTier::kAvx512)) {
+    return compiled_ops(KernelTier::kAvx512);
+  }
+  if (kernel_tier_supported(KernelTier::kAvx2)) {
+    return compiled_ops(KernelTier::kAvx2);
+  }
+  return &kSseOps;
+}
+
+std::atomic<const KernelOps*> g_active_ops{nullptr};
+std::atomic<int> g_fused_enabled{-1};  // -1 = read FT2_FUSED_EPILOGUE lazily
+
+const KernelOps* select_initial() {
+  const std::string forced = env_string("FT2_KERNEL", "auto");
+  if (forced == "auto") return probe_default();
+  const std::optional<KernelTier> tier = parse_kernel_tier(forced);
+  FT2_CHECK_MSG(tier.has_value(), "FT2_KERNEL='" << forced
+                                                 << "' (want sse|avx2|avx512|auto)");
+  FT2_CHECK_MSG(kernel_tier_supported(*tier),
+                "FT2_KERNEL=" << forced << " not supported on this host ("
+                              << (kernel_tier_compiled(*tier)
+                                      ? "CPU lacks the feature"
+                                      : "kernel not compiled in")
+                              << ")");
+  return compiled_ops(*tier);
+}
+
+}  // namespace
+
+const KernelOps& active_kernel_ops() {
+  const KernelOps* ops = g_active_ops.load(std::memory_order_acquire);
+  if (ops == nullptr) {
+    // Benign race: selection is deterministic, both winners store the same
+    // table.
+    ops = select_initial();
+    g_active_ops.store(ops, std::memory_order_release);
+  }
+  return *ops;
+}
+
+KernelTier active_kernel_tier() { return active_kernel_ops().tier; }
+
+bool kernel_tier_compiled(KernelTier tier) {
+  return compiled_ops(tier) != nullptr;
+}
+
+bool kernel_tier_supported(KernelTier tier) {
+  if (compiled_ops(tier) == nullptr) return false;
+  switch (tier) {
+    case KernelTier::kSse:
+      return true;  // reference tier: SSE2 is x86-64 baseline, scalar elsewhere
+    case KernelTier::kAvx2:
+      return cpu_has_avx2_f16c();
+    case KernelTier::kAvx512:
+      return cpu_has_avx512f();
+  }
+  return false;
+}
+
+std::vector<KernelTier> supported_kernel_tiers() {
+  std::vector<KernelTier> tiers;
+  for (KernelTier t :
+       {KernelTier::kSse, KernelTier::kAvx2, KernelTier::kAvx512}) {
+    if (kernel_tier_supported(t)) tiers.push_back(t);
+  }
+  return tiers;
+}
+
+void set_kernel_tier(KernelTier tier) {
+  FT2_CHECK_MSG(kernel_tier_supported(tier),
+                "kernel tier '" << kernel_tier_name(tier)
+                               << "' not supported on this host ("
+                               << (kernel_tier_compiled(tier)
+                                       ? "CPU lacks the feature"
+                                       : "kernel not compiled in")
+                               << ")");
+  g_active_ops.store(compiled_ops(tier), std::memory_order_release);
+}
+
+void set_kernel_tier_name(std::string_view name) {
+  if (name == "auto") {
+    g_active_ops.store(probe_default(), std::memory_order_release);
+    return;
+  }
+  const std::optional<KernelTier> tier = parse_kernel_tier(name);
+  FT2_CHECK_MSG(tier.has_value(), "unknown kernel tier '"
+                                      << name << "' (want sse|avx2|avx512|auto)");
+  set_kernel_tier(*tier);
+}
+
+const char* kernel_tier_name(KernelTier tier) {
+  switch (tier) {
+    case KernelTier::kSse:
+      return "sse";
+    case KernelTier::kAvx2:
+      return "avx2";
+    case KernelTier::kAvx512:
+      return "avx512";
+  }
+  return "?";
+}
+
+std::optional<KernelTier> parse_kernel_tier(std::string_view name) {
+  if (name == "sse") return KernelTier::kSse;
+  if (name == "avx2") return KernelTier::kAvx2;
+  if (name == "avx512") return KernelTier::kAvx512;
+  return std::nullopt;
+}
+
+const KernelOps& kernel_ops_for(KernelTier tier) {
+  FT2_CHECK_MSG(kernel_tier_supported(tier),
+                "kernel tier '" << kernel_tier_name(tier)
+                               << "' not supported on this host");
+  return *compiled_ops(tier);
+}
+
+bool fused_epilogue_enabled() {
+  int v = g_fused_enabled.load(std::memory_order_acquire);
+  if (v < 0) {
+    v = env_flag("FT2_FUSED_EPILOGUE", true) ? 1 : 0;
+    g_fused_enabled.store(v, std::memory_order_release);
+  }
+  return v != 0;
+}
+
+void set_fused_epilogue_enabled(bool on) {
+  g_fused_enabled.store(on ? 1 : 0, std::memory_order_release);
+}
+
+}  // namespace ft2

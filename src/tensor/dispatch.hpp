@@ -1,0 +1,168 @@
+// Runtime CPU-feature dispatch for the GEMM/quantize micro-kernels.
+//
+// The k-outer GEMM kernel and the f16 quantization sweep exist in three
+// tiers — SSE (the portable reference), AVX2+F16C, and AVX-512F — compiled
+// as separate arch-flagged translation units (tensor/kernels_avx2.cpp,
+// tensor/kernels_avx512.cpp) and selected at runtime from a cpuid probe.
+// The `FT2_KERNEL` environment variable (or `ft2 --kernel`) forces a tier.
+//
+// Bit-exactness policy: every tier accumulates each output element as the
+// same scalar chain `acc += x[i] * w[o][i]` in ascending-i order with a
+// separate multiply and add per step (never FMA). Wider tiers only widen
+// the column tile — which output elements are grouped into one register —
+// never the per-element operation sequence, so all tiers produce results
+// bit-identical to the scalar/SSE reference and no baselines need re-pinning
+// per tier. The arch TUs are compiled with -ffp-contract=off as a belt.
+//
+// The kernels also carry an optional fused store epilogue (KernelEpilogue):
+// f16-grid quantization plus the protection sweep (NaN→0, out-of-bound
+// clip) applied in-register as GEMM tiles are stored, instead of as
+// separate passes over the output. The epilogue's scalar reference
+// implementation lives in dispatch.cpp; vector tiers fast-path the clean
+// case and fall back to that exact scalar code for any lane group that
+// contains a NaN or an out-of-bound value, so fused results are
+// bit-identical to the hook-path quantize+range_restrict sequence.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace ft2 {
+
+enum class KernelTier : int {
+  kSse = 0,     ///< portable reference (SSE2 on x86-64, scalar elsewhere)
+  kAvx2 = 1,    ///< AVX2 + F16C, 32-column tiles
+  kAvx512 = 2,  ///< AVX-512F, 64-column tiles
+};
+
+constexpr std::size_t kKernelTierCount = 3;
+
+/// Fused GEMM-store epilogue request: optional f16-grid quantization
+/// followed by one protection mode. Field semantics mirror the hook path
+/// (quantize_span_f16 + RangeRestrictScheme::detect_and_correct) exactly —
+/// the epilogue is only ever planned by a scheme that guarantees the two
+/// produce bit-identical values, tallies and events.
+struct KernelEpilogue {
+  /// Protection applied after quantization (order matters: bounds are
+  /// checked against the quantized value, as the hook path does).
+  enum class Protect {
+    kNone = 0,    ///< no protection work (quantize-only fusion)
+    kNanOnly,     ///< invalid bounds: count/correct NaN only
+    kBounds,      ///< full range restriction against [lo, hi]
+    kFirstToken,  ///< FT2 first-token phase: NaN→0 always (bounds observed
+                  ///< by the scheme's absorb over the finished span)
+  };
+
+  bool quantize = false;     ///< f16 round-trip first (fp16 execution)
+  Protect protect = Protect::kNone;
+  bool correct_nan = false;  ///< kBounds: whether NaNs are counted/zeroed
+  bool detect_only = false;  ///< count violations without modifying
+  float lo = 0.0f, hi = 0.0f;          ///< kBounds: scaled bounds
+  float lo_sub = 0.0f, hi_sub = 0.0f;  ///< clip replacement per side
+                                       ///< (ClipPolicy folded in by planner)
+  bool record_events = false;  ///< collect (index, original) per clip
+};
+
+/// One out-of-bound event observed by the epilogue: flat index into the
+/// dispatched span and the pre-correction (post-quantize) value — the same
+/// pair the hook path's ClipObserver::on_oob receives.
+struct EpilogueEvent {
+  std::size_t index = 0;
+  float original = 0.0f;
+};
+
+/// Per-dispatch epilogue accounting, merged across GEMM tiles. Counter
+/// merges are order-insensitive integer adds; events are sorted by flat
+/// index after a parallel GEMM so the order matches the hook path's
+/// sequential sweep.
+struct EpilogueTally {
+  std::size_t nan = 0;  ///< NaNs counted (and zeroed unless detect_only)
+  std::size_t oob = 0;  ///< out-of-bound values counted (clipped unless
+                        ///< detect_only)
+  std::vector<EpilogueEvent> events;  ///< only when epi.record_events
+
+  void merge(EpilogueTally&& other);
+  void sort_events();
+};
+
+/// One dispatch tier's kernel function table. All tiers share semantics and
+/// bit-exact results; they differ in column-tile width and instruction set.
+struct KernelOps {
+  KernelTier tier = KernelTier::kSse;
+  const char* name = "sse";
+  /// Columns per packed weight tile (accumulator registers per row pass).
+  std::size_t tile_cols = 16;
+
+  /// k-outer micro-kernel: one input row `x[k]` against one packed weight
+  /// tile `wt[k][tile_cols]` (zero-padded), accumulators seeded from
+  /// `bias_padded[tile_cols]`. Applies `epi` (may be null) to the
+  /// accumulators and stores the first `width` lanes to `y`. `flat0` is the
+  /// flat index of y[0] within the dispatched span (event attribution).
+  /// `tally` may be null only when `epi` is null or carries no protection.
+  void (*kouter_row)(const float* x, const float* wt, std::size_t k,
+                     const float* bias_padded, float* y, std::size_t width,
+                     std::size_t flat0, const KernelEpilogue* epi,
+                     EpilogueTally* tally) = nullptr;
+
+  /// One-sweep epilogue over a contiguous span (the non-GEMM-fused path:
+  /// single-row linears, activation outputs, quantize_span_f16). Applies
+  /// `epi` in place to v[0..n); `flat0` offsets event indices.
+  void (*epilogue_span)(float* v, std::size_t n, std::size_t flat0,
+                        const KernelEpilogue& epi,
+                        EpilogueTally* tally) = nullptr;
+};
+
+/// The currently selected tier's function table. First use probes the CPU
+/// and honours `FT2_KERNEL` (sse|avx2|avx512|auto; unknown or unsupported
+/// values throw ft2::Error).
+const KernelOps& active_kernel_ops();
+KernelTier active_kernel_tier();
+
+/// Tier availability: compiled_in — the arch TU was built with the needed
+/// flags; supported — compiled in AND the running CPU has the features.
+bool kernel_tier_compiled(KernelTier tier);
+bool kernel_tier_supported(KernelTier tier);
+std::vector<KernelTier> supported_kernel_tiers();
+
+/// Forces a tier (CLI --kernel, tests). Throws ft2::Error when the tier is
+/// not supported on this host. PackedLinear weights snapshot the ops table
+/// at pack time — repack after switching tiers.
+void set_kernel_tier(KernelTier tier);
+/// Parses and forces a tier by name ("sse" | "avx2" | "avx512" | "auto");
+/// "auto" re-runs the default probe. Throws ft2::Error on unknown names.
+void set_kernel_tier_name(std::string_view name);
+
+const char* kernel_tier_name(KernelTier tier);
+std::optional<KernelTier> parse_kernel_tier(std::string_view name);
+
+/// Function table of a specific tier (tests/bench). Throws when
+/// unsupported on this host.
+const KernelOps& kernel_ops_for(KernelTier tier);
+
+/// Global switch for the fused store epilogue (default on; `FT2_FUSED_EPILOGUE=0`
+/// or the setter turn it off). Off, the engine runs the legacy two-pass
+/// path (separate quantize sweep + hook-path protection) — results are
+/// bit-identical either way; the switch exists for A/B tests and triage.
+bool fused_epilogue_enabled();
+void set_fused_epilogue_enabled(bool on);
+
+namespace detail {
+
+/// The scalar reference epilogue (quantize + protect, one pass). Defined in
+/// dispatch.cpp — compiled with baseline flags — and shared by every tier:
+/// the SSE tier uses it directly; the AVX2/AVX-512 tiers call it for lane
+/// groups containing NaN/out-of-bound values and for tile tails, keeping
+/// all std:: machinery out of the arch-flagged TUs.
+void epilogue_scalar_span(float* v, std::size_t n, std::size_t flat0,
+                          const KernelEpilogue& epi, EpilogueTally* tally);
+
+/// Arch-TU registration points: each returns its function table, or null
+/// when the TU was compiled without the matching -m flags.
+const KernelOps* kernel_ops_avx2();
+const KernelOps* kernel_ops_avx512();
+
+}  // namespace detail
+
+}  // namespace ft2

@@ -1,0 +1,146 @@
+// AVX2 + F16C dispatch tier: 32-column GEMM tiles and an 8-wide fused
+// store epilogue. Compiled with -mavx2 -mf16c -ffp-contract=off (see
+// src/CMakeLists.txt); when those flags are unavailable this TU degrades to
+// a stub returning nullptr and the dispatcher falls back to the SSE tier.
+//
+// ODR note: because this TU is built with arch flags the rest of the build
+// lacks, it must not instantiate any vague-linkage code (templates,
+// header-inline std:: machinery) that another TU also instantiates — the
+// linker could pick the AVX2 copy and crash pre-AVX2 hosts. Everything here
+// is file-local intrinsic code; slow paths call the extern, baseline-built
+// ft2::detail::epilogue_scalar_span.
+//
+// Bit-exactness: the accumulator update is mul-then-add per k step in
+// ascending-i order (no FMA — -mfma is deliberately absent), identical to
+// the SSE reference per element; only the column-tile width differs. The
+// F16C round-trip (VCVTPS2PH RNE / VCVTPH2PS) matches the software f16
+// conversion bit-for-bit for every non-NaN input — including subnormals,
+// the 65504/65520 overflow boundary and round-to-nearest-even ties — and
+// NaN lanes are blended to the software path's canonical quiet NaN
+// (sign | 0x7FC00000), so vector quantization equals quantize_f16 exactly.
+#include "tensor/dispatch.hpp"
+
+#if defined(__AVX2__) && defined(__F16C__)
+
+#include <immintrin.h>
+
+namespace ft2 {
+namespace {
+
+using Protect = KernelEpilogue::Protect;
+
+constexpr std::size_t kTileCols = 32;
+
+inline __m256 quantize8(__m256 v) {
+  __m256 q = _mm256_cvtph_ps(
+      _mm256_cvtps_ph(v, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC));
+  const __m256 unord = _mm256_cmp_ps(v, v, _CMP_UNORD_Q);
+  if (_mm256_movemask_ps(unord) != 0) {
+    // Hardware keeps NaN payload bits; the software path canonicalizes to
+    // sign | 0x7FC00000. Blend NaN lanes onto the canonical encoding.
+    const __m256 canon = _mm256_or_ps(
+        _mm256_and_ps(v, _mm256_set1_ps(-0.0f)),
+        _mm256_castsi256_ps(_mm256_set1_epi32(0x7FC00000)));
+    q = _mm256_blendv_ps(q, canon, unord);
+  }
+  return q;
+}
+
+/// Applies `epi` to 8 raw accumulator lanes and stores them to y. The fast
+/// path quantizes and screens in-register; any group containing a NaN or
+/// out-of-bound lane re-runs the scalar reference epilogue on the raw
+/// (pre-quantize) lanes, so tallies, events and corrected values are
+/// bit-identical to the scalar path.
+inline void store8(__m256 acc, float* y, std::size_t flat0,
+                   const KernelEpilogue* epi, EpilogueTally* tally) {
+  if (epi == nullptr) {
+    _mm256_storeu_ps(y, acc);
+    return;
+  }
+  const __m256 q = epi->quantize ? quantize8(acc) : acc;
+  int dirty = 0;
+  if (epi->protect != Protect::kNone) {
+    const __m256 unord = _mm256_cmp_ps(q, q, _CMP_UNORD_Q);
+    __m256 bad = unord;
+    if (epi->protect == Protect::kBounds) {
+      const __m256 oob = _mm256_or_ps(
+          _mm256_cmp_ps(q, _mm256_set1_ps(epi->hi), _CMP_GT_OQ),
+          _mm256_cmp_ps(q, _mm256_set1_ps(epi->lo), _CMP_LT_OQ));
+      // Without correct_nan, NaN lanes pass through uncounted (the
+      // quantized lane already carries the canonical NaN) — not dirty.
+      bad = epi->correct_nan ? _mm256_or_ps(oob, unord) : oob;
+    }
+    dirty = _mm256_movemask_ps(bad);
+  }
+  if (dirty == 0) {
+    _mm256_storeu_ps(y, q);
+    return;
+  }
+  float lanes[8];
+  _mm256_storeu_ps(lanes, acc);
+  detail::epilogue_scalar_span(lanes, 8, flat0, *epi, tally);
+  _mm256_storeu_ps(y, _mm256_loadu_ps(lanes));
+}
+
+void kouter_row_avx2(const float* x, const float* wt, std::size_t k,
+                     const float* bias_padded, float* y, std::size_t width,
+                     std::size_t flat0, const KernelEpilogue* epi,
+                     EpilogueTally* tally) {
+  __m256 a0 = _mm256_loadu_ps(bias_padded);
+  __m256 a1 = _mm256_loadu_ps(bias_padded + 8);
+  __m256 a2 = _mm256_loadu_ps(bias_padded + 16);
+  __m256 a3 = _mm256_loadu_ps(bias_padded + 24);
+  for (std::size_t i = 0; i < k; ++i) {
+    const __m256 xi = _mm256_set1_ps(x[i]);
+    const float* wr = wt + i * kTileCols;
+    a0 = _mm256_add_ps(a0, _mm256_mul_ps(xi, _mm256_loadu_ps(wr)));
+    a1 = _mm256_add_ps(a1, _mm256_mul_ps(xi, _mm256_loadu_ps(wr + 8)));
+    a2 = _mm256_add_ps(a2, _mm256_mul_ps(xi, _mm256_loadu_ps(wr + 16)));
+    a3 = _mm256_add_ps(a3, _mm256_mul_ps(xi, _mm256_loadu_ps(wr + 24)));
+  }
+  if (width == kTileCols) {
+    store8(a0, y, flat0, epi, tally);
+    store8(a1, y + 8, flat0 + 8, epi, tally);
+    store8(a2, y + 16, flat0 + 16, epi, tally);
+    store8(a3, y + 24, flat0 + 24, epi, tally);
+    return;
+  }
+  // Tail tile: spill, run the scalar epilogue over the live lanes, copy out.
+  float acc[kTileCols];
+  _mm256_storeu_ps(acc, a0);
+  _mm256_storeu_ps(acc + 8, a1);
+  _mm256_storeu_ps(acc + 16, a2);
+  _mm256_storeu_ps(acc + 24, a3);
+  if (epi != nullptr) {
+    detail::epilogue_scalar_span(acc, width, flat0, *epi, tally);
+  }
+  for (std::size_t j = 0; j < width; ++j) y[j] = acc[j];
+}
+
+void epilogue_span_avx2(float* v, std::size_t n, std::size_t flat0,
+                        const KernelEpilogue& epi, EpilogueTally* tally) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    store8(_mm256_loadu_ps(v + i), v + i, flat0 + i, &epi, tally);
+  }
+  if (i < n) detail::epilogue_scalar_span(v + i, n - i, flat0 + i, epi, tally);
+}
+
+constexpr KernelOps kAvx2Ops{KernelTier::kAvx2, "avx2", kTileCols,
+                             &kouter_row_avx2, &epilogue_span_avx2};
+
+}  // namespace
+
+namespace detail {
+const KernelOps* kernel_ops_avx2() { return &kAvx2Ops; }
+}  // namespace detail
+
+}  // namespace ft2
+
+#else  // !(__AVX2__ && __F16C__)
+
+namespace ft2::detail {
+const KernelOps* kernel_ops_avx2() { return nullptr; }
+}  // namespace ft2::detail
+
+#endif

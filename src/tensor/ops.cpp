@@ -2,10 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
-
-#if defined(__SSE2__)
-#include <emmintrin.h>
-#endif
+#include <mutex>
 
 #include "common/thread_pool.hpp"
 #include "numeric/f16.hpp"
@@ -100,81 +97,41 @@ void gemm_tile_chunked(std::span<const float> x, const Tensor& w,
   }
 }
 
-/// Columns per packed tile of the k-outer GEMM kernel. One tile's
-/// accumulators (kPackCols floats) fit in vector registers.
-constexpr std::size_t kPackCols = 16;
-
 /// Repacks weight columns [o_lo, o_lo + width) transposed into
-/// wt[k][kPackCols] (zero-padded past `width`) so the micro-kernel's inner
-/// loop reads contiguous memory.
+/// wt[k][tile_cols] (zero-padded past `width`) so the micro-kernel's inner
+/// loop reads contiguous memory. The tile width comes from the dispatch
+/// tier (tensor/dispatch.hpp): 16 columns on the SSE reference, 32 on
+/// AVX2, 64 on AVX-512.
 void pack_weight_tile(const Tensor& w, std::size_t o_lo, std::size_t width,
-                      std::vector<float>& wt) {
+                      std::size_t tile_cols, std::vector<float>& wt) {
   const std::size_t k = w.dim(1);
-  wt.assign(k * kPackCols, 0.0f);
+  wt.assign(k * tile_cols, 0.0f);
   for (std::size_t j = 0; j < width; ++j) {
     const float* src = w.data() + (o_lo + j) * k;
-    for (std::size_t i = 0; i < k; ++i) wt[i * kPackCols + j] = src[i];
+    for (std::size_t i = 0; i < k; ++i) wt[i * tile_cols + j] = src[i];
   }
-}
-
-/// k-outer micro-kernel: one input row against a packed weight tile. Each
-/// output element accumulates x[i] * w[o][i] in ascending-i order with a
-/// separate mul and add per step — the exact per-element operation sequence
-/// of linear_forward_row — but the kPackCols accumulators are independent,
-/// so the lanes run in parallel instead of serializing on one dot product's
-/// add-latency chain. This is where the blocked prefill's single-thread
-/// speedup comes from. Explicit SSE keeps the instruction selection out of
-/// the autovectorizer's hands (and SSE mul/add round identically to their
-/// scalar counterparts, so bit-exactness is preserved by construction).
-void kouter_row(const float* x, const float* wt, std::size_t k,
-                const float* bias_padded, float* y, std::size_t width) {
-#if defined(__SSE2__)
-  __m128 acc0 = _mm_loadu_ps(bias_padded);
-  __m128 acc1 = _mm_loadu_ps(bias_padded + 4);
-  __m128 acc2 = _mm_loadu_ps(bias_padded + 8);
-  __m128 acc3 = _mm_loadu_ps(bias_padded + 12);
-  for (std::size_t i = 0; i < k; ++i) {
-    const __m128 xi = _mm_set1_ps(x[i]);
-    const float* wr = wt + i * kPackCols;
-    acc0 = _mm_add_ps(acc0, _mm_mul_ps(xi, _mm_loadu_ps(wr)));
-    acc1 = _mm_add_ps(acc1, _mm_mul_ps(xi, _mm_loadu_ps(wr + 4)));
-    acc2 = _mm_add_ps(acc2, _mm_mul_ps(xi, _mm_loadu_ps(wr + 8)));
-    acc3 = _mm_add_ps(acc3, _mm_mul_ps(xi, _mm_loadu_ps(wr + 12)));
-  }
-  float acc[kPackCols];
-  _mm_storeu_ps(acc + 0, acc0);
-  _mm_storeu_ps(acc + 4, acc1);
-  _mm_storeu_ps(acc + 8, acc2);
-  _mm_storeu_ps(acc + 12, acc3);
-#else
-  float acc[kPackCols];
-  for (std::size_t j = 0; j < kPackCols; ++j) acc[j] = bias_padded[j];
-  for (std::size_t i = 0; i < k; ++i) {
-    const float xi = x[i];
-    const float* wr = wt + i * kPackCols;
-    for (std::size_t j = 0; j < kPackCols; ++j) acc[j] += xi * wr[j];
-  }
-#endif
-  for (std::size_t j = 0; j < width; ++j) y[j] = acc[j];
 }
 
 }  // namespace
 
 PackedLinear::PackedLinear(const Tensor& w, std::span<const float> bias_in)
-    : n(w.dim(0)), k(w.dim(1)) {
+    : n(w.dim(0)),
+      k(w.dim(1)),
+      ops(&active_kernel_ops()),
+      tile_cols(ops->tile_cols) {
   FT2_CHECK(w.rank() == 2);
   FT2_CHECK(bias_in.empty() || bias_in.size() == n);
-  const std::size_t groups = (n + kPackCols - 1) / kPackCols;
-  tiles.assign(groups * k * kPackCols, 0.0f);
-  bias.assign(groups * kPackCols, 0.0f);
+  const std::size_t groups = (n + tile_cols - 1) / tile_cols;
+  tiles.assign(groups * k * tile_cols, 0.0f);
+  bias.assign(groups * tile_cols, 0.0f);
   for (std::size_t g = 0; g < groups; ++g) {
-    const std::size_t o_lo = g * kPackCols;
-    const std::size_t width = std::min(kPackCols, n - o_lo);
-    float* wt = tiles.data() + g * k * kPackCols;
+    const std::size_t o_lo = g * tile_cols;
+    const std::size_t width = std::min(tile_cols, n - o_lo);
+    float* wt = tiles.data() + g * k * tile_cols;
     for (std::size_t j = 0; j < width; ++j) {
       const float* src = w.data() + (o_lo + j) * k;
-      for (std::size_t i = 0; i < k; ++i) wt[i * kPackCols + j] = src[i];
-      if (!bias_in.empty()) bias[g * kPackCols + j] = bias_in[o_lo + j];
+      for (std::size_t i = 0; i < k; ++i) wt[i * tile_cols + j] = src[i];
+      if (!bias_in.empty()) bias[g * tile_cols + j] = bias_in[o_lo + j];
     }
   }
 }
@@ -188,22 +145,24 @@ void linear_forward_span_packed(const Tensor& x, std::size_t rows,
                 "linear_forward_span_packed: x cols " << x.dim(1) << " w ["
                     << pl.n << "," << pl.k << "] y cols " << y.dim(1));
   if (rows == 0) return;
-  const std::size_t col_groups = (pl.n + kPackCols - 1) / kPackCols;
+  const std::size_t tile_cols = pl.tile_cols;
+  const std::size_t col_groups = (pl.n + tile_cols - 1) / tile_cols;
   pool.parallel_for(0, col_groups, [&](std::size_t g) {
-    const float* wt = pl.tiles.data() + g * pl.k * kPackCols;
-    const float* bias_padded = pl.bias.data() + g * kPackCols;
-    const std::size_t o_lo = g * kPackCols;
-    const std::size_t width = std::min(kPackCols, pl.n - o_lo);
+    const float* wt = pl.tiles.data() + g * pl.k * tile_cols;
+    const float* bias_padded = pl.bias.data() + g * tile_cols;
+    const std::size_t o_lo = g * tile_cols;
+    const std::size_t width = std::min(tile_cols, pl.n - o_lo);
     for (std::size_t r = 0; r < rows; ++r) {
-      kouter_row(x.row(r).data(), wt, pl.k, bias_padded,
-                 y.row(r).data() + o_lo, width);
+      pl.ops->kouter_row(x.row(r).data(), wt, pl.k, bias_padded,
+                         y.row(r).data() + o_lo, width, 0, nullptr, nullptr);
     }
   });
 }
 
 void linear_forward_span(const Tensor& x, std::size_t rows, const Tensor& w,
                          std::span<const float> bias, Tensor& y,
-                         bool chunked_accum, ThreadPool& pool) {
+                         bool chunked_accum, ThreadPool& pool,
+                         const KernelEpilogue* epi, EpilogueTally* tally) {
   FT2_CHECK(x.rank() == 2 && y.rank() == 2 && w.rank() == 2);
   FT2_CHECK(rows <= x.dim(0) && rows <= y.dim(0));
   const std::size_t n = w.dim(0);
@@ -212,6 +171,9 @@ void linear_forward_span(const Tensor& x, std::size_t rows, const Tensor& w,
                 "linear_forward_span: x [" << x.dim(0) << "," << x.dim(1)
                                            << "] w [" << n << "," << w.dim(1)
                                            << "] y cols " << y.dim(1));
+  FT2_CHECK_MSG(epi == nullptr || !chunked_accum,
+                "linear_forward_span: fused epilogue requires the k-outer "
+                "path (chunked_accum must be off)");
   if (rows == 0) return;
 
   if (chunked_accum) {
@@ -233,25 +195,42 @@ void linear_forward_span(const Tensor& x, std::size_t rows, const Tensor& w,
     return;
   }
 
-  // Fast path: one task per kPackCols-wide column tile. Each task packs its
+  // Fast path: one task per tile_cols-wide column tile. Each task packs its
   // weight tile once (amortized over all chunk rows) and runs the k-outer
   // kernel row by row. Partitioning is per output element, so any pool size
-  // produces identical results.
-  const std::size_t col_groups = (n + kPackCols - 1) / kPackCols;
+  // produces identical results. Epilogue tallies are accumulated per task
+  // and merged under a lock; event order is restored by a flat-index sort
+  // after the join, so the fused accounting is deterministic at any pool
+  // size and matches a sequential sweep of the output span.
+  const KernelOps& ops = active_kernel_ops();
+  const std::size_t tile_cols = ops.tile_cols;
+  const std::size_t col_groups = (n + tile_cols - 1) / tile_cols;
+  std::mutex tally_mu;
   pool.parallel_for(0, col_groups, [&](std::size_t g) {
     thread_local std::vector<float> wt;
-    const std::size_t o_lo = g * kPackCols;
-    const std::size_t width = std::min(kPackCols, n - o_lo);
-    pack_weight_tile(w, o_lo, width, wt);
-    float bias_padded[kPackCols] = {};
+    const std::size_t o_lo = g * tile_cols;
+    const std::size_t width = std::min(tile_cols, n - o_lo);
+    pack_weight_tile(w, o_lo, width, tile_cols, wt);
+    // Widest tile across tiers is 64 columns (AVX-512).
+    FT2_ASSERT(tile_cols <= 64);
+    float bias_padded[64] = {};
     if (!bias.empty()) {
       for (std::size_t j = 0; j < width; ++j) bias_padded[j] = bias[o_lo + j];
     }
+    EpilogueTally local;
+    EpilogueTally* local_ptr = tally != nullptr ? &local : nullptr;
     for (std::size_t r = 0; r < rows; ++r) {
-      kouter_row(x.row(r).data(), wt.data(), k, bias_padded,
-                 y.row(r).data() + o_lo, width);
+      ops.kouter_row(x.row(r).data(), wt.data(), k, bias_padded,
+                     y.row(r).data() + o_lo, width, r * n + o_lo, epi,
+                     local_ptr);
+    }
+    if (local_ptr != nullptr &&
+        (local.nan != 0 || local.oob != 0 || !local.events.empty())) {
+      const std::lock_guard<std::mutex> lock(tally_mu);
+      tally->merge(std::move(local));
     }
   });
+  if (tally != nullptr) tally->sort_events();
 }
 
 void softmax(std::span<float> v) {
@@ -378,7 +357,9 @@ void mul_inplace(std::span<float> a, std::span<const float> b) {
 }
 
 void quantize_span_f16(std::span<float> v) {
-  for (float& f : v) f = quantize_f16(f);
+  static constexpr KernelEpilogue kQuantizeOnly{.quantize = true};
+  active_kernel_ops().epilogue_span(v.data(), v.size(), 0, kQuantizeOnly,
+                                    nullptr);
 }
 
 void quantize_tensor_f16(Tensor& t) { quantize_span_f16(t.span()); }

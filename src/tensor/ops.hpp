@@ -7,6 +7,7 @@
 
 #include <span>
 
+#include "tensor/dispatch.hpp"
 #include "tensor/tensor.hpp"
 
 namespace ft2 {
@@ -35,10 +36,20 @@ class ThreadPool;  // common/thread_pool.hpp
 /// tiles). Every output element is produced by exactly one task using the
 /// same accumulation order as linear_forward_row (or the chunked variant),
 /// so results are bit-exact with the sequential per-row calls at any pool
-/// size. `x` and `y` may have more than `rows` rows (workspace capacity).
+/// size and on every dispatch tier (tensor/dispatch.hpp). `x` and `y` may
+/// have more than `rows` rows (workspace capacity).
+///
+/// When `epi` is non-null the fused store epilogue (quantize + protection)
+/// is applied to each output tile in-register as it is stored
+/// (non-chunked path only; chunked_accum requires epi == nullptr).
+/// Epilogue accounting lands in `tally` (required whenever epi carries
+/// protection), with clip events sorted by flat index r * n + o so the
+/// order matches a sequential sweep of y's first `rows` rows.
 void linear_forward_span(const Tensor& x, std::size_t rows, const Tensor& w,
                          std::span<const float> bias, Tensor& y,
-                         bool chunked_accum, ThreadPool& pool);
+                         bool chunked_accum, ThreadPool& pool,
+                         const KernelEpilogue* epi = nullptr,
+                         EpilogueTally* tally = nullptr);
 
 /// One weight matrix repacked once into the k-outer micro-kernel's
 /// transposed column tiles (bias pre-padded per tile). linear_forward_span
@@ -48,12 +59,16 @@ void linear_forward_span(const Tensor& x, std::size_t rows, const Tensor& w,
 /// Packing only changes memory layout, never the per-element accumulation
 /// order, so the packed path stays bit-exact with linear_forward_row.
 /// Snapshot semantics: mutating `w` after packing (e.g. a weight fault) is
-/// not reflected — construct a fresh PackedLinear instead.
+/// not reflected — construct a fresh PackedLinear instead. The tile width
+/// and kernel are snapshotted from the active dispatch tier at pack time;
+/// repack after set_kernel_tier.
 struct PackedLinear {
-  std::size_t n = 0;         ///< output features
-  std::size_t k = 0;         ///< input features
-  std::vector<float> tiles;  ///< per tile: [k x tile_cols], zero-padded
-  std::vector<float> bias;   ///< per tile: [tile_cols], zero-padded
+  std::size_t n = 0;          ///< output features
+  std::size_t k = 0;          ///< input features
+  const KernelOps* ops = nullptr;  ///< dispatch tier the tiles were packed for
+  std::size_t tile_cols = 0;  ///< ops->tile_cols at pack time
+  std::vector<float> tiles;   ///< per tile: [k x tile_cols], zero-padded
+  std::vector<float> bias;    ///< per tile: [tile_cols], zero-padded
 
   PackedLinear() = default;
   PackedLinear(const Tensor& w, std::span<const float> bias_in);
@@ -113,6 +128,9 @@ void add_inplace(std::span<float> a, std::span<const float> b);
 void mul_inplace(std::span<float> a, std::span<const float> b);
 
 /// Quantizes every element onto the FP16 grid (float->half->float).
+/// Dispatched through the active kernel tier (F16C on AVX2/AVX-512 hosts);
+/// all tiers are bit-exact with the scalar quantize_f16 for every input,
+/// NaN payloads included.
 void quantize_tensor_f16(Tensor& t);
 void quantize_span_f16(std::span<float> v);
 

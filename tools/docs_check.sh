@@ -15,6 +15,9 @@
 #   6. `--scheme NAME` references whose NAME is not a registered detection
 #      scheme (`ft2 scheme-names`); `:key=value` parameters are stripped
 #      and `<...>` placeholders skipped. Skipped before the first build.
+#   7. the reverse of 4: every FT2_* env knob the code actually reads
+#      (env_string/env_size/env_double/env_flag/getenv in src/, tools/,
+#      bench/) must be mentioned in at least one scanned doc.
 # Registered as the DocsCheck ctest (label: unit) and as the `docs-check`
 # build target, so the default `ctest` invocation keeps docs honest.
 set -u
@@ -96,6 +99,21 @@ for doc in "${DOCS[@]}"; do
              | sort -u)
   fi
 done
+
+# 7. Reverse direction of check 4: the code's env knobs must be documented.
+#    Docs and source can only drift one way at a time now — a new knob
+#    fails here until a doc names it, a renamed knob fails check 4 until
+#    the docs catch up.
+while IFS= read -r knob; do
+  [ -n "$knob" ] || continue
+  found=0
+  for doc in "${DOCS[@]}"; do
+    [ -f "$doc" ] && grep -qw "$knob" "$doc" && { found=1; break; }
+  done
+  [ "$found" -eq 1 ] || complain "(undocumented env knob)" "$knob"
+done < <(grep -rhoE '(env_string|env_size|env_double|env_flag|getenv)\("FT2_[A-Z0-9_]+"' \
+           src tools bench 2>/dev/null \
+         | grep -oE 'FT2_[A-Z0-9_]+' | sort -u)
 
 if [ "$fail" -ne 0 ]; then
   echo "docs-check: FAILED (fix the references above or update the docs)"

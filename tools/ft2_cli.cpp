@@ -22,7 +22,12 @@
 //               [--scheme S] [--json FILE]
 //   ft2 metric-names
 //   ft2 scheme-names [--long]
+//   ft2 kernel-info [--check]
 //   ft2 perf [--gpu a100|h100]
+//
+// Every command accepts --kernel sse|avx2|avx512|auto to force the GEMM
+// dispatch tier (equivalent to FT2_KERNEL; tiers are bit-exact, see
+// docs/PERFORMANCE.md).
 //
 // Models: opt-sm opt-xs gptj-sm llama-sm vicuna-sm qwen2-sm qwen2-xs
 // Datasets: synthqa synthxqa synthmath
@@ -39,6 +44,7 @@
 #include <optional>
 
 #include "common/cli.hpp"
+#include "common/rng.hpp"
 #include "core/ft2.hpp"
 #include "fi/report.hpp"
 #include "fi/shard.hpp"
@@ -877,6 +883,112 @@ int cmd_perf(const ArgParser& args) {
   return 0;
 }
 
+/// Per-tier bit-equality self-test: every host-supported tier must
+/// reproduce the scalar reference GEMM chain (acc += x[i]*w[o][i],
+/// ascending i, no FMA) and the scalar quantize_f16 grid exactly.
+int kernel_check() {
+  const KernelTier restore = active_kernel_tier();
+  int failures = 0;
+  ThreadPool pool(2);
+  for (KernelTier tier : supported_kernel_tiers()) {
+    set_kernel_tier(tier);
+    const char* name = kernel_tier_name(tier);
+
+    // GEMM: odd shape so every tier exercises full tiles plus a tail tile.
+    const std::size_t rows = 3, n = 100, k = 33;
+    Tensor x({rows, k}), w({n, k}), y({rows, n}), y_ref({rows, n});
+    std::vector<float> bias(n);
+    std::uint64_t sm = 0xF72F72F7ULL;
+    auto next_float = [&sm]() {
+      return static_cast<float>(static_cast<std::int64_t>(
+                 splitmix64(sm) % 4001) - 2000) / 512.0f;
+    };
+    for (float& v : x.span()) v = next_float();
+    for (float& v : w.span()) v = next_float();
+    for (float& v : bias) v = next_float();
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t o = 0; o < n; ++o) {
+        float acc = bias[o];
+        const float* xr = x.row(r).data();
+        const float* wr = w.row(o).data();
+        for (std::size_t i = 0; i < k; ++i) acc += xr[i] * wr[i];
+        y_ref.row(r)[o] = acc;
+      }
+    }
+    linear_forward_span(x, rows, w, bias, y, /*chunked_accum=*/false, pool);
+    std::size_t gemm_bad = 0;
+    for (std::size_t i = 0; i < y_ref.numel(); ++i) {
+      if (f32_bits(y[i]) != f32_bits(y_ref[i])) ++gemm_bad;
+    }
+    // Packed path packs for the now-active tier; must match too.
+    PackedLinear pl(w, bias);
+    Tensor y_packed({rows, n});
+    linear_forward_span_packed(x, rows, pl, y_packed, pool);
+    for (std::size_t i = 0; i < y_ref.numel(); ++i) {
+      if (f32_bits(y_packed[i]) != f32_bits(y_ref[i])) ++gemm_bad;
+    }
+
+    // Quantize: every f16 seed pattern in f32 form plus NaN payloads and
+    // rounding/overflow boundaries, dispatched vs scalar quantize_f16.
+    std::vector<float> q;
+    q.reserve(1 << 17);
+    for (std::uint32_t h = 0; h < (1u << 16); ++h) {
+      q.push_back(f16::from_bits(static_cast<std::uint16_t>(h)).to_float());
+    }
+    const float specials[] = {65504.0f,   65519.9f,  65520.0f, -65520.0f,
+                              1e-8f,      -1e-8f,    1.0009765f, 0.0f,
+                              -0.0f,      3.14159e5f};
+    q.insert(q.end(), std::begin(specials), std::end(specials));
+    q.push_back(f32_from_bits(0x7FC01234u));  // NaN payloads survive
+    q.push_back(f32_from_bits(0xFFC00000u));
+    q.push_back(f32_from_bits(0x7F800001u));  // signalling NaN
+    for (int i = 0; i < 4096; ++i) q.push_back(f32_from_bits(
+        static_cast<std::uint32_t>(splitmix64(sm))));
+    std::vector<float> q_ref = q;
+    for (float& v : q_ref) v = quantize_f16(v);
+    quantize_span_f16(q);
+    std::size_t quant_bad = 0;
+    for (std::size_t i = 0; i < q.size(); ++i) {
+      if (f32_bits(q[i]) != f32_bits(q_ref[i])) ++quant_bad;
+    }
+
+    if (gemm_bad != 0 || quant_bad != 0) {
+      ++failures;
+      std::cout << name << ": FAIL (" << gemm_bad << " gemm mismatches, "
+                << quant_bad << " quantize mismatches)\n";
+    } else {
+      std::cout << name << ": OK (gemm + packed gemm + quantize bit-exact)\n";
+    }
+  }
+  set_kernel_tier(restore);
+  return failures;
+}
+
+int cmd_kernel_info(const ArgParser& args) {
+  Table table({"tier", "compiled", "cpu", "active", "tile cols"});
+  for (std::size_t t = 0; t < kKernelTierCount; ++t) {
+    const KernelTier tier = static_cast<KernelTier>(t);
+    const bool sup = kernel_tier_supported(tier);
+    table.begin_row()
+        .cell(kernel_tier_name(tier))
+        .cell(kernel_tier_compiled(tier) ? "yes" : "no")
+        .cell(sup ? "yes" : "no")
+        .cell(tier == active_kernel_tier() ? "*" : "")
+        .cell(sup ? std::to_string(kernel_ops_for(tier).tile_cols) : "-");
+  }
+  table.print(std::cout);
+  std::cout << "fused epilogue: " << (fused_epilogue_enabled() ? "on" : "off")
+            << "\n";
+  if (!args.has("check")) return 0;
+  const int failures = kernel_check();
+  if (failures != 0) {
+    std::cout << failures << " tier(s) FAILED the equivalence check\n";
+    return 1;
+  }
+  std::cout << "all supported tiers bit-exact\n";
+  return 0;
+}
+
 int usage() {
   std::string schemes;
   for (const std::string& name : all_scheme_names()) {
@@ -911,7 +1023,10 @@ int usage() {
       "              [--seed S] [--scheme S] [--json FILE]\n"
       "  ft2 metric-names\n"
       "  ft2 scheme-names [--long]\n"
+      "  ft2 kernel-info [--check]\n"
       "  ft2 perf [--gpu a100|h100]\n"
+      "global: --kernel sse|avx2|avx512|auto forces the dispatch tier\n"
+      "        (same as FT2_KERNEL; see docs/PERFORMANCE.md)\n"
       "schemes (S accepts name or name:key=value,...):\n"
       "  " << schemes << "\n";
   return 2;
@@ -935,10 +1050,14 @@ int main(int argc, char** argv) {
       {"trace-out", true},    {"drift", false},   {"clips", false},
       {"long", false},        {"shards", true},   {"shard-index", true},
       {"dir", true},          {"no-resume", false}, {"verify", false},
-      {"bootstrap", true},    {"ci-seed", true},
+      {"bootstrap", true},    {"ci-seed", true},  {"kernel", true},
+      {"check", false},
   };
   try {
     const ArgParser args(argc - 2, argv + 2, spec);
+    // --kernel forces the dispatch tier for every command (same semantics
+    // as FT2_KERNEL; throws on unknown/unsupported names).
+    if (args.has("kernel")) set_kernel_tier_name(args.get("kernel", "auto"));
     auto need_model = [&]() -> std::string {
       FT2_CHECK_MSG(!args.positional().empty(),
                     "command '" << command << "' needs a model name");
@@ -964,6 +1083,7 @@ int main(int argc, char** argv) {
     }
     if (command == "metrics") return cmd_metrics(need_model(), args);
     if (command == "metric-names") return cmd_metric_names();
+    if (command == "kernel-info") return cmd_kernel_info(args);
     if (command == "scheme-names") return cmd_scheme_names(args);
     if (command == "perf") return cmd_perf(args);
     return usage();
