@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "nn/kv_pool.hpp"
 #include "tensor/tensor.hpp"
 
 namespace ft2 {
@@ -12,16 +13,27 @@ namespace ft2 {
 /// Stores keys and values (post-RoPE) for every processed position of every
 /// block. Layout per block: [rows, d_model] with head-major columns.
 ///
-/// Two storage modes:
+/// Three storage modes:
 ///  * plain — one owned [max_seq, d_model] tensor pair per block (the
-///    default for generation and serving);
+///    default for solo generation);
 ///  * forked — rows [0, prefix_len) are read through an immutable,
 ///    ref-counted prefix cache shared with other forks, and only a short
 ///    appendable tail is owned. Forking is O(tail) allocation: no max_seq
 ///    memcpy, no max_seq zero-init. The fault-injection campaign forks one
 ///    fault-free prefix into every trial this way.
+///  * paged — rows live in fixed-size ref-counted blocks of a KvBlockPool,
+///    resolved through a per-cache block table. Physical memory grows in
+///    block-sized steps with the stored length (reserve_rows), blocks can
+///    be shared across live caches (adopt_shared_prefix), and a store into
+///    a shared block copies it first (copy-on-write). The serve engine's
+///    paged allocator; see nn/kv_pool.hpp.
+///
+/// All three modes present the same read/append interface, so the
+/// attention kernels and forward_batch never see which one they run on.
 class KvCache {
  public:
+  using BlockId = KvBlockPool::BlockId;
+
   KvCache(std::size_t n_blocks, std::size_t max_seq, std::size_t d_model)
       : max_seq_(max_seq), d_model_(d_model) {
     keys_.reserve(n_blocks);
@@ -32,17 +44,80 @@ class KvCache {
     }
   }
 
-  /// Compact copy of the first `n` stored rows of every block (tensors
-  /// shaped [n, d_model], not [max_seq, d_model]) — what a snapshot needs
-  /// to retain, at a fraction of the full cache's footprint.
+  /// Creates a paged cache over `pool`: no physical rows are held until
+  /// reserve_rows / adopt_shared_prefix maps blocks. `max_seq` caps the
+  /// logical length exactly like the dense constructor.
+  static KvCache paged(KvBlockPool& pool, std::size_t max_seq) {
+    KvCache out;
+    out.pool_ = &pool;
+    out.block_rows_ = pool.block_rows();
+    out.max_seq_ = max_seq;
+    out.d_model_ = pool.d_model();
+    return out;
+  }
+
+  ~KvCache() { release_storage(); }
+
+  KvCache(KvCache&& other) noexcept { *this = std::move(other); }
+  KvCache& operator=(KvCache&& other) noexcept {
+    if (this != &other) {
+      release_storage();
+      max_seq_ = other.max_seq_;
+      d_model_ = other.d_model_;
+      length_ = other.length_;
+      keys_ = std::move(other.keys_);
+      values_ = std::move(other.values_);
+      prefix_ = std::move(other.prefix_);
+      prefix_len_ = other.prefix_len_;
+      pool_ = other.pool_;
+      block_rows_ = other.block_rows_;
+      table_ = std::move(other.table_);
+      other.pool_ = nullptr;
+      other.table_.clear();
+      other.length_ = 0;
+    }
+    return *this;
+  }
+
+  /// Copying a paged cache maps the same blocks with an extra reference —
+  /// both copies read the shared rows, and a store from either side copies
+  /// the touched block first (copy-on-write), so copies never alias writes.
+  KvCache(const KvCache& other)
+      : max_seq_(other.max_seq_),
+        d_model_(other.d_model_),
+        length_(other.length_),
+        keys_(other.keys_),
+        values_(other.values_),
+        prefix_(other.prefix_),
+        prefix_len_(other.prefix_len_),
+        pool_(other.pool_),
+        block_rows_(other.block_rows_),
+        table_(other.table_) {
+    if (pool_ != nullptr) {
+      for (const BlockId b : table_) pool_->add_ref(b);
+    }
+  }
+  KvCache& operator=(const KvCache& other) {
+    if (this != &other) *this = KvCache(other);
+    return *this;
+  }
+
+  /// Compact dense copy of the first `n` stored rows of every block
+  /// (tensors shaped [n, d_model], not [max_seq, d_model]) — what a
+  /// snapshot or a preemption swap-out needs to retain, at a fraction of
+  /// the full cache's footprint. Works for plain and paged caches.
   KvCache prefix_copy(std::size_t n) const {
     FT2_CHECK(prefix_ == nullptr && n <= length_);
-    KvCache out(keys_.size(), n, d_model_);
-    for (std::size_t b = 0; b < keys_.size(); ++b) {
-      const auto k = keys_[b].span().subspan(0, n * d_model_);
-      const auto v = values_[b].span().subspan(0, n * d_model_);
-      std::copy(k.begin(), k.end(), out.keys_[b].span().begin());
-      std::copy(v.begin(), v.end(), out.values_[b].span().begin());
+    const std::size_t n_layers = pool_ != nullptr ? pool_->n_layers()
+                                                  : keys_.size();
+    KvCache out(n_layers, n, d_model_);
+    for (std::size_t b = 0; b < n_layers; ++b) {
+      for (std::size_t pos = 0; pos < n; ++pos) {
+        const auto k = key(b, pos);
+        const auto v = value(b, pos);
+        std::copy(k.begin(), k.end(), out.keys_[b].row(pos).begin());
+        std::copy(v.begin(), v.end(), out.values_[b].row(pos).begin());
+      }
     }
     out.length_ = n;
     return out;
@@ -54,7 +129,8 @@ class KvCache {
   /// there exactly as if the prefix had been computed in place.
   static KvCache forked(std::shared_ptr<const KvCache> prefix,
                         std::size_t prefix_len, std::size_t tail_rows) {
-    FT2_CHECK(prefix != nullptr && prefix->prefix_ == nullptr);
+    FT2_CHECK(prefix != nullptr && prefix->prefix_ == nullptr &&
+              prefix->pool_ == nullptr);
     FT2_CHECK(prefix_len <= prefix->length_);
     KvCache out(prefix->keys_.size(), tail_rows, prefix->d_model_);
     out.prefix_ = std::move(prefix);
@@ -69,13 +145,82 @@ class KvCache {
   bool forked() const { return prefix_ != nullptr; }
   std::size_t prefix_len() const { return prefix_len_; }
 
+  /// True for caches created by paged().
+  bool paged() const { return pool_ != nullptr; }
+  /// Block table of a paged cache (logical block index -> pool block id).
+  const std::vector<BlockId>& block_table() const { return table_; }
+
   void reset() {
     FT2_ASSERT(prefix_ == nullptr);
+    if (pool_ != nullptr) {
+      for (const BlockId b : table_) pool_->release(b);
+      table_.clear();
+    }
+    length_ = 0;
+  }
+
+  /// Frees all storage (pool blocks back to the pool, owned tensors
+  /// dropped). The cache stays usable only via move-assignment afterwards;
+  /// the serve engine calls this when a request finishes so its blocks do
+  /// not outlive the accounting window.
+  void release_storage() {
+    if (pool_ != nullptr) {
+      for (const BlockId b : table_) pool_->release(b);
+      table_.clear();
+    }
+    keys_.clear();
+    values_.clear();
+    prefix_.reset();
     length_ = 0;
   }
 
   std::size_t length() const { return length_; }
   std::size_t max_seq() const { return max_seq_; }
+
+  /// Paged mode: rows with physical backing ([0, physical_rows())).
+  std::size_t physical_rows() const {
+    return pool_ != nullptr ? table_.size() * block_rows_ : max_seq_;
+  }
+
+  /// Paged mode: maps enough blocks that `n` more rows beyond length() have
+  /// physical backing. All-or-nothing: on pool exhaustion nothing is
+  /// allocated and false is returned (the scheduler evicts and retries).
+  /// No-op (true) for non-paged caches.
+  bool reserve_rows(std::size_t n) {
+    if (pool_ == nullptr) return true;
+    FT2_CHECK_MSG(length_ + n <= max_seq_,
+                  "reserve_rows past max_seq " << max_seq_);
+    const std::size_t need_rows = length_ + n;
+    const std::size_t need_blocks = (need_rows + block_rows_ - 1) / block_rows_;
+    const std::size_t have = table_.size();
+    if (need_blocks <= have) return true;
+    for (std::size_t i = have; i < need_blocks; ++i) {
+      BlockId b = KvBlockPool::kInvalidBlock;
+      if (!pool_->try_alloc(b)) {
+        while (table_.size() > have) {
+          pool_->release(table_.back());
+          table_.pop_back();
+        }
+        return false;
+      }
+      table_.push_back(b);
+    }
+    return true;
+  }
+
+  /// Paged mode: adopts `blocks` (adding a reference to each) as this
+  /// cache's first rows — the serve engine's copy-on-write prefix sharing.
+  /// `rows` of K/V content become readable immediately and length() starts
+  /// there; the cache must be empty. Only content covered by `rows` may be
+  /// read, and `rows` may end mid-block (a store into that tail block
+  /// triggers copy-on-write).
+  void adopt_shared_prefix(std::span<const BlockId> blocks, std::size_t rows) {
+    FT2_CHECK(pool_ != nullptr && table_.empty() && length_ == 0);
+    FT2_CHECK(rows <= blocks.size() * block_rows_ && rows <= max_seq_);
+    table_.assign(blocks.begin(), blocks.end());
+    for (const BlockId b : table_) pool_->add_ref(b);
+    length_ = rows;
+  }
 
   /// Appends k/v for the next position of block `b`. All blocks must append
   /// for a position before advance() is called.
@@ -83,6 +228,17 @@ class KvCache {
              std::span<const float> v) {
     FT2_ASSERT(pos >= prefix_len_ && pos < max_seq_ && k.size() == d_model_ &&
                v.size() == d_model_);
+    if (pool_ != nullptr) {
+      const std::size_t bi = pos / block_rows_;
+      const std::size_t r = pos % block_rows_;
+      FT2_ASSERT(bi < table_.size());
+      if (block == 0) make_block_writable(bi);
+      const auto kd = pool_->key_row(block, table_[bi], r);
+      const auto vd = pool_->value_row(block, table_[bi], r);
+      std::copy(k.begin(), k.end(), kd.begin());
+      std::copy(v.begin(), v.end(), vd.begin());
+      return;
+    }
     std::copy(k.begin(), k.end(), keys_[block].row(pos - prefix_len_).begin());
     std::copy(v.begin(), v.end(),
               values_[block].row(pos - prefix_len_).begin());
@@ -101,27 +257,56 @@ class KvCache {
   }
 
   std::span<const float> key(std::size_t block, std::size_t pos) const {
+    if (pool_ != nullptr) {
+      return pool_->key_row(block, table_[pos / block_rows_],
+                            pos % block_rows_);
+    }
     return pos < prefix_len_ ? prefix_->keys_[block].row(pos)
                              : keys_[block].row(pos - prefix_len_);
   }
   std::span<const float> value(std::size_t block, std::size_t pos) const {
+    if (pool_ != nullptr) {
+      return pool_->value_row(block, table_[pos / block_rows_],
+                              pos % block_rows_);
+    }
     return pos < prefix_len_ ? prefix_->values_[block].row(pos)
                              : values_[block].row(pos - prefix_len_);
   }
 
-  /// Bytes of K/V storage owned by this cache (the serve engine reports the
-  /// aggregate across resident sequences as a capacity counter). A forked
-  /// cache counts only its tail; the shared prefix is attributed once to
-  /// the snapshot that owns it.
+  /// Bytes of K/V storage mapped by this cache. Plain mode: the dense
+  /// allocation. Forked mode: only the owned tail (the shared prefix is
+  /// attributed once to the snapshot that owns it). Paged mode: the mapped
+  /// blocks — a block shared with other caches is counted here by each
+  /// sharer; the serve engine deduplicates by block id when it reports
+  /// pool-resident bytes (shared blocks counted once).
   std::size_t memory_bytes() const {
+    if (pool_ != nullptr) return table_.size() * pool_->block_bytes();
     std::size_t rows = 0;
     for (const Tensor& k : keys_) rows += k.numel();
     return 2 * rows * sizeof(float);
   }
 
  private:
-  std::size_t max_seq_;
-  std::size_t d_model_;
+  KvCache() = default;
+
+  /// Copy-on-write: a store into a block mapped by more than one cache
+  /// first copies it into a fresh private block. Called once per appended
+  /// row (on the first layer's store), so every layer of the row lands in
+  /// the private copy.
+  void make_block_writable(std::size_t bi) {
+    const BlockId b = table_[bi];
+    if (pool_->ref_count(b) <= 1) return;
+    BlockId fresh = KvBlockPool::kInvalidBlock;
+    FT2_CHECK_MSG(pool_->try_alloc(fresh),
+                  "KvBlockPool exhausted during copy-on-write (reserve "
+                  "accounting bug or pool sized below one sequence)");
+    pool_->copy_block(b, fresh);
+    pool_->release(b);
+    table_[bi] = fresh;
+  }
+
+  std::size_t max_seq_ = 0;
+  std::size_t d_model_ = 0;
   std::size_t length_ = 0;
   std::vector<Tensor> keys_;
   std::vector<Tensor> values_;
@@ -129,6 +314,10 @@ class KvCache {
   /// every block resolve into this cache; owned tensors hold the tail.
   std::shared_ptr<const KvCache> prefix_;
   std::size_t prefix_len_ = 0;
+  /// Paged mode: pool + block table (logical block index -> pool block).
+  KvBlockPool* pool_ = nullptr;
+  std::size_t block_rows_ = 1;
+  std::vector<BlockId> table_;
 };
 
 }  // namespace ft2

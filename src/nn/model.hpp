@@ -225,6 +225,7 @@ struct GenerateResult {
   std::vector<int> tokens;        ///< generated tokens (no prompt, no EOS)
   std::size_t positions_run = 0;  ///< forward positions executed
   bool hit_max = false;           ///< stopped by max_new_tokens/max_seq
+  bool cancelled = false;         ///< stopped early by ServeEngine::cancel
 };
 
 /// Runs the blocked prompt prefill exactly as InferenceSession::generate

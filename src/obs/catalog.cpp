@@ -30,7 +30,20 @@ constexpr Template kTemplates[] = {
     {"serve.decode.step_ms", "histogram", "batched decode step latency"},
     {"serve.request.decode_ms", "histogram",
      "per-request decode wall time"},
+    {"serve.rejected", "counter", "submits refused by max_queue_depth"},
+    {"serve.cancelled", "counter", "requests cancelled before finishing"},
+    {"serve.preemptions", "counter",
+     "requests evicted back to the queue under KV pool pressure"},
+    {"serve.prefix.shared_rows", "counter",
+     "prompt positions adopted from a shared prefix instead of computed"},
+    {"serve.request.ttft_ms", "histogram",
+     "submit-to-first-token latency per request"},
+    {"serve.token.gap_ms", "histogram",
+     "latency between consecutive tokens of one request"},
     {"serve.batch.occupancy", "gauge", "active rows in the decode batch"},
+    {"serve.kv.blocks_used", "gauge", "KV pool blocks currently mapped"},
+    {"serve.kv.blocks_free", "gauge", "KV pool blocks on the free list"},
+    {"serve.kv.bytes_resident", "gauge", "bytes of mapped KV pool blocks"},
     {"serve.kernel_tier", "gauge",
      "GEMM dispatch tier the engine runs on (0=sse 1=avx2 2=avx512)"},
     // protect/scheme.cpp

@@ -1,0 +1,57 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+#include <span>
+
+namespace ft2 {
+
+bool Scheduler::admit_before(const SchedEntry& a, const SchedEntry& b) {
+  if (a.priority != b.priority) return a.priority > b.priority;
+  if (a.deadline_ms != b.deadline_ms) return a.deadline_ms < b.deadline_ms;
+  return a.seq < b.seq;
+}
+
+bool Scheduler::evict_before(const SchedEntry& a, const SchedEntry& b) {
+  // Exactly the reverse of admission order: the entry the admission policy
+  // values least is the one preemption takes first.
+  return admit_before(b, a);
+}
+
+bool Scheduler::erase(RequestId id) {
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    if (queue_[i].id == id) {
+      queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
+      return true;
+    }
+  }
+  return false;
+}
+
+const SchedEntry* Scheduler::peek() const {
+  const SchedEntry* best = nullptr;
+  for (const SchedEntry& e : queue_) {
+    if (best == nullptr || admit_before(e, *best)) best = &e;
+  }
+  return best;
+}
+
+std::optional<SchedEntry> Scheduler::pop() {
+  const SchedEntry* best = peek();
+  if (best == nullptr) return std::nullopt;
+  SchedEntry out = *best;
+  queue_.erase(queue_.begin() + (best - queue_.data()));
+  return out;
+}
+
+std::optional<SchedEntry> Scheduler::pick_victim(
+    std::span<const SchedEntry> candidates, const SchedEntry* limit) {
+  const SchedEntry* best = nullptr;
+  for (const SchedEntry& e : candidates) {
+    if (limit != nullptr && !admit_before(*limit, e)) continue;
+    if (best == nullptr || evict_before(e, *best)) best = &e;
+  }
+  if (best == nullptr) return std::nullopt;
+  return *best;
+}
+
+}  // namespace ft2

@@ -1,5 +1,6 @@
 #include "serve/serve_engine.hpp"
 
+#include <algorithm>
 #include <array>
 #include <chrono>
 
@@ -15,18 +16,36 @@ using Clock = std::chrono::steady_clock;
 double ms_between(Clock::time_point a, Clock::time_point b) {
   return std::chrono::duration<double, std::milli>(b - a).count();
 }
+
+/// FNV-1a over a token sequence plus the exec-config bits that change K/V
+/// content. Collisions are harmless: lookups verify the exact tokens.
+std::uint64_t prefix_digest(std::span<const int> tokens, bool fp16,
+                            bool chunked_accum) {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  for (const int t : tokens) mix(static_cast<std::uint64_t>(t) + 1);
+  mix(fp16 ? 2 : 3);
+  mix(chunked_accum ? 5 : 7);
+  return h;
+}
 }  // namespace
 
 /// One in-flight generation. Everything a solo InferenceSession owns lives
 /// here per request — cache, hook chain, sampler, logits — so batching
 /// introduces no shared mutable state between sequences.
 struct ServeEngine::Request {
+  enum class Phase { kQueued, kPrefilling, kDecoding, kDone };
+
   Request(RequestId id_in, const TransformerLM& model,
-          std::span<const int> prompt_in, const GenerateOptions& options_in)
+          std::span<const int> prompt_in, const GenerateOptions& options_in,
+          KvCache cache_in)
       : id(id_in),
         prompt(prompt_in.begin(), prompt_in.end()),
         options(options_in),
-        cache(model.make_cache()),
+        cache(std::move(cache_in)),
         logits(model.config().vocab_size),
         sampler(options_in.sample_seed),
         submit_time(Clock::now()) {}
@@ -38,23 +57,67 @@ struct ServeEngine::Request {
   KvCache cache;
   std::vector<float> logits;
   Xoshiro256 sampler;
-  GenerationScope scope;   ///< armed at admission, ended at finish
-  std::size_t slot = 0;    ///< batch slot held from admission to finish
-  std::size_t pos = 0;     ///< next forward position (== cache length)
-  std::size_t steps = 0;   ///< decode loop index (tokens sampled so far)
-  int pending_token = -1;  ///< token to feed at the next batched step
+  GenerationScope scope;  ///< armed at first admission, ended at finish
+  SchedEntry sched;       ///< scheduling identity (priority/deadline/seq)
+  std::function<void(RequestId, std::size_t, int)> on_token;
+  Phase phase = Phase::kQueued;
+  std::size_t slot = 0;          ///< batch slot held while slotted
+  std::size_t pos = 0;           ///< next forward position (= cache length)
+  std::size_t next_prefill = 0;  ///< prompt positions fed so far
+  std::size_t steps = 0;         ///< decode loop index (tokens sampled)
+  int pending_token = -1;        ///< token to feed at the next batched step
+  bool admitted_once = false;    ///< scope armed / admit stats recorded
+  bool needs_replay = false;     ///< recompute-preempted; re-prefill on resume
+  std::optional<KvCache> swapped;  ///< swap-preempted rows (compact host copy)
   bool done = false;
   GenerateResult result;
   RequestStats stats;
   Clock::time_point submit_time;
   Clock::time_point admit_time;
+  Clock::time_point last_token_time;
+
+  /// Prompt length actually run (run_prefill truncates to max_seq).
+  std::size_t prefill_len(std::size_t max_seq) const {
+    return std::min(prompt.size(), max_seq);
+  }
 };
+
+/// One registered shareable prompt prefix: the engine holds a reference on
+/// every block so the K/V rows survive the producing request.
+struct ServeEngine::PrefixEntry {
+  std::vector<int> tokens;  ///< exact prompt prefix (collision check)
+  std::vector<KvCache::BlockId> blocks;
+  bool fp16 = true;
+  bool chunked_accum = false;
+  std::uint64_t last_use = 0;  ///< prefix_clock_ stamp for LRU
+};
+
+void ServeEngine::erase_ptr(std::vector<Request*>& list, Request* req) {
+  list.erase(std::remove(list.begin(), list.end(), req), list.end());
+}
 
 ServeEngine::ServeEngine(const TransformerLM& model, ServeOptions options)
     : model_(model),
       options_(options),
       ws_(model.config(), std::max<std::size_t>(options.max_batch, 1)) {
   FT2_CHECK_MSG(options_.max_batch >= 1, "max_batch must be at least 1");
+  if (options_.paged) {
+    const ModelConfig& cfg = model_.config();
+    FT2_CHECK_MSG(options_.kv_block_rows >= 1, "kv_block_rows must be >= 1");
+    const std::size_t per_seq =
+        (cfg.max_seq + options_.kv_block_rows - 1) / options_.kv_block_rows;
+    if (options_.kv_pool_blocks == 0) {
+      // Capacity parity with the dense engine: every slot can hold a full
+      // max_seq sequence, so the default configuration never preempts.
+      options_.kv_pool_blocks = options_.max_batch * per_seq;
+    }
+    FT2_CHECK_MSG(options_.kv_pool_blocks >= per_seq,
+                  "kv_pool_blocks " << options_.kv_pool_blocks
+                                    << " cannot hold one max_seq sequence ("
+                                    << per_seq << " blocks)");
+    pool_storage_.emplace(cfg.n_blocks, cfg.d_model, options_.kv_pool_blocks,
+                          options_.kv_block_rows);
+  }
   if (options_.pack_weights) packed_.emplace(model_);
   tracer_ = options_.obs.tracer != nullptr ? options_.obs.tracer
                                            : &Tracer::global();
@@ -64,8 +127,12 @@ ServeEngine::ServeEngine(const TransformerLM& model, ServeOptions options)
   if (reg != nullptr) {
     metrics_.submitted = reg->counter("serve.requests.submitted");
     metrics_.completed = reg->counter("serve.requests.completed");
+    metrics_.rejected = reg->counter("serve.rejected");
+    metrics_.cancelled = reg->counter("serve.cancelled");
+    metrics_.preemptions = reg->counter("serve.preemptions");
     metrics_.generated_tokens = reg->counter("serve.tokens.generated");
     metrics_.prefill_positions = reg->counter("serve.prefill.positions");
+    metrics_.shared_prefix_rows = reg->counter("serve.prefix.shared_rows");
     metrics_.decode_steps = reg->counter("serve.decode.steps");
     metrics_.decode_rows = reg->counter("serve.decode.rows");
     metrics_.queue_wait_ms =
@@ -76,27 +143,54 @@ ServeEngine::ServeEngine(const TransformerLM& model, ServeOptions options)
         reg->histogram("serve.decode.step_ms", latency_ms_buckets());
     metrics_.request_decode_ms =
         reg->histogram("serve.request.decode_ms", latency_ms_buckets());
+    metrics_.ttft_ms =
+        reg->histogram("serve.request.ttft_ms", latency_ms_buckets());
+    metrics_.token_gap_ms =
+        reg->histogram("serve.token.gap_ms", latency_ms_buckets());
     metrics_.batch_occupancy = reg->gauge("serve.batch.occupancy");
+    metrics_.kv_blocks_used = reg->gauge("serve.kv.blocks_used");
+    metrics_.kv_blocks_free = reg->gauge("serve.kv.blocks_free");
+    metrics_.kv_bytes_resident = reg->gauge("serve.kv.bytes_resident");
     // Which GEMM dispatch tier this engine runs on (0=sse 1=avx2 2=avx512);
     // tiers are bit-exact, so this only matters for performance triage.
     reg->gauge("serve.kernel_tier")
         .set(static_cast<double>(static_cast<int>(active_kernel_tier())));
   }
+  update_kv_gauges();
 }
 
-ServeEngine::~ServeEngine() = default;
+ServeEngine::~ServeEngine() {
+  // Registered prefixes hold pool block references; drop them before the
+  // pool itself goes away.
+  while (!prefix_cache_.empty()) drop_one_prefix_entry();
+}
 
 RequestId ServeEngine::submit(std::span<const int> prompt,
-                              const GenerateOptions& options) {
+                              const GenerateOptions& options,
+                              const ServeSubmitOptions& sched) {
   FT2_CHECK_MSG(!prompt.empty(), "empty prompt");
+  if (options_.max_queue_depth > 0 &&
+      scheduler_.depth() >= options_.max_queue_depth) {
+    ++counters_.rejected;
+    metrics_.rejected.inc();
+    FT2_CHECK_MSG(false, "serve queue full: max_queue_depth "
+                             << options_.max_queue_depth << " reached");
+  }
   const RequestId id = next_id_++;
-  requests_.emplace(
-      id, std::make_unique<Request>(id, model_, prompt, options));
-  queue_.push_back(id);
+  KvCache cache = pool_storage_.has_value()
+                      ? KvCache::paged(*pool_storage_, model_.config().max_seq)
+                      : model_.make_cache();
+  auto [it, inserted] = requests_.emplace(
+      id, std::make_unique<Request>(id, model_, prompt, options,
+                                    std::move(cache)));
+  Request& req = *it->second;
+  req.sched = SchedEntry{id, sched.priority, sched.deadline_ms, next_seq_++};
+  req.on_token = sched.on_token;
+  scheduler_.enqueue(req.sched);
   ++counters_.submitted;
   metrics_.submitted.inc();
   counters_.max_queue_depth =
-      std::max(counters_.max_queue_depth, queue_.size());
+      std::max(counters_.max_queue_depth, scheduler_.depth());
   return id;
 }
 
@@ -128,10 +222,51 @@ const RequestStats& ServeEngine::request_stats(RequestId id) const {
 
 std::size_t ServeEngine::resident_cache_bytes() const {
   std::size_t total = 0;
+  if (pool_storage_.has_value()) {
+    // Distinct pool blocks mapped by unfinished requests: a block shared by
+    // several requests (copy-on-write prefix sharing) counts once.
+    std::vector<char> seen(pool_storage_->total_blocks(), 0);
+    std::size_t distinct = 0;
+    for (const auto& [id, req] : requests_) {
+      if (req->done) continue;
+      for (const KvCache::BlockId b : req->cache.block_table()) {
+        if (!seen[b]) {
+          seen[b] = 1;
+          ++distinct;
+        }
+      }
+      if (req->swapped.has_value()) total += req->swapped->memory_bytes();
+    }
+    total += distinct * pool_storage_->block_bytes();
+    return total;
+  }
   for (const auto& [id, req] : requests_) {
     if (!req->done) total += req->cache.memory_bytes();
   }
   return total;
+}
+
+void ServeEngine::update_kv_gauges() {
+  if (!pool_storage_.has_value()) return;
+  metrics_.kv_blocks_used.set(
+      static_cast<double>(pool_storage_->used_blocks()));
+  metrics_.kv_blocks_free.set(
+      static_cast<double>(pool_storage_->free_blocks()));
+  metrics_.kv_bytes_resident.set(static_cast<double>(
+      pool_storage_->used_blocks() * pool_storage_->block_bytes()));
+}
+
+void ServeEngine::emit_token(Request& req, int token) {
+  req.result.tokens.push_back(token);
+  const Clock::time_point now = Clock::now();
+  if (req.result.tokens.size() == 1) {
+    req.stats.ttft_ms = ms_between(req.submit_time, now);
+    metrics_.ttft_ms.observe(req.stats.ttft_ms);
+  } else {
+    metrics_.token_gap_ms.observe(ms_between(req.last_token_time, now));
+  }
+  req.last_token_time = now;
+  if (req.on_token) req.on_token(req.id, req.result.tokens.size() - 1, token);
 }
 
 bool ServeEngine::consume_logits(Request& req) {
@@ -147,7 +282,7 @@ bool ServeEngine::consume_logits(Request& req) {
           ? sample_from_logits(logits, o.temperature, o.top_k, req.sampler)
           : static_cast<int>(argmax(logits));
   if (o.eos_token >= 0 && next == o.eos_token) return false;
-  req.result.tokens.push_back(next);
+  emit_token(req, next);
   if (step + 1 == o.max_new_tokens || req.pos >= model_.config().max_seq) {
     req.result.hit_max = true;
     return false;
@@ -156,10 +291,15 @@ bool ServeEngine::consume_logits(Request& req) {
   return true;
 }
 
+void ServeEngine::release_slot(Request& req) {
+  if (req.slot < slot_in_use_.size()) slot_in_use_[req.slot] = false;
+}
+
 void ServeEngine::finish(Request& req) {
   req.scope.end();
+  req.phase = Request::Phase::kDone;
   req.done = true;
-  if (req.slot < slot_in_use_.size()) slot_in_use_[req.slot] = false;
+  release_slot(req);
   req.stats.generated_tokens = req.result.tokens.size();
   req.stats.decode_ms = ms_between(req.admit_time, Clock::now());
   ++counters_.completed;
@@ -167,63 +307,404 @@ void ServeEngine::finish(Request& req) {
   metrics_.completed.inc();
   metrics_.generated_tokens.inc(req.result.tokens.size());
   metrics_.request_decode_ms.observe(req.stats.decode_ms);
+  // Registered prefixes hold their own block references, so dropping this
+  // request's mappings never invalidates a shared prefix.
+  req.cache.release_storage();
+  req.swapped.reset();
 }
 
-void ServeEngine::admit_pending() {
-  while (!queue_.empty() && active_.size() < options_.max_batch) {
-    Request& req = get(queue_.front());
-    queue_.pop_front();
+bool ServeEngine::cancel(RequestId id) {
+  Request& req = get(id);
+  if (req.done) return false;
+  if (req.phase == Request::Phase::kQueued) {
+    scheduler_.erase(id);
+  } else {
+    if (req.phase == Request::Phase::kPrefilling) erase_ptr(prefilling_, &req);
+    if (req.phase == Request::Phase::kDecoding) erase_ptr(active_, &req);
+    release_slot(req);
+  }
+  req.scope.end();
+  req.phase = Request::Phase::kDone;
+  req.done = true;
+  req.result.cancelled = true;
+  req.stats.generated_tokens = req.result.tokens.size();
+  req.cache.release_storage();
+  req.swapped.reset();
+  ++counters_.cancelled;
+  metrics_.cancelled.inc();
+  update_kv_gauges();
+  return true;
+}
+
+void ServeEngine::drop_one_prefix_entry() {
+  FT2_ASSERT(!prefix_cache_.empty());
+  auto victim = prefix_cache_.begin();
+  for (auto it = prefix_cache_.begin(); it != prefix_cache_.end(); ++it) {
+    if (it->second.last_use < victim->second.last_use) victim = it;
+  }
+  if (pool_storage_.has_value()) {
+    for (const KvCache::BlockId b : victim->second.blocks) {
+      pool_storage_->release(b);
+    }
+  }
+  prefix_cache_.erase(victim);
+}
+
+void ServeEngine::try_adopt_prefix(Request& req) {
+  if (!options_.share_prefix || !pool_storage_.has_value()) return;
+  // Shared positions skip their hook dispatches along with their compute,
+  // so only hook-free requests may adopt (see the bit-exactness contract).
+  if (!req.hooks.empty()) return;
+  const std::size_t bs = pool_storage_->block_rows();
+  const std::size_t P = req.prefill_len(model_.config().max_seq);
+  if (P < 2) return;
+  // Longest full-block prefix that still leaves the last prompt position to
+  // compute (the final chunk must produce the first-token logits).
+  for (std::size_t nb = (P - 1) / bs; nb >= 1; --nb) {
+    const std::size_t rows = nb * bs;
+    const std::span<const int> want{req.prompt.data(), rows};
+    const std::uint64_t digest =
+        prefix_digest(want, req.options.fp16, req.options.chunked_accum);
+    const auto it = prefix_cache_.find(digest);
+    if (it == prefix_cache_.end()) continue;
+    const PrefixEntry& e = it->second;
+    if (e.fp16 != req.options.fp16 ||
+        e.chunked_accum != req.options.chunked_accum ||
+        e.blocks.size() != nb || e.tokens.size() != rows ||
+        !std::equal(e.tokens.begin(), e.tokens.end(), want.begin())) {
+      continue;
+    }
+    req.cache.adopt_shared_prefix(e.blocks, rows);
+    req.next_prefill = rows;
+    req.pos = rows;
+    req.stats.shared_prefix_rows = rows;
+    counters_.shared_prefix_rows += rows;
+    metrics_.shared_prefix_rows.inc(rows);
+    it->second.last_use = ++prefix_clock_;
+    return;
+  }
+}
+
+void ServeEngine::register_prefix(Request& req) {
+  if (!options_.share_prefix || !pool_storage_.has_value()) return;
+  if (!req.hooks.empty()) return;
+  const std::size_t bs = pool_storage_->block_rows();
+  const std::size_t P = req.prefill_len(model_.config().max_seq);
+  if (P < 2) return;
+  const std::size_t nb = (P - 1) / bs;
+  if (nb == 0) return;
+  const std::size_t rows = nb * bs;
+  const std::span<const int> tokens{req.prompt.data(), rows};
+  const std::uint64_t digest =
+      prefix_digest(tokens, req.options.fp16, req.options.chunked_accum);
+  const auto it = prefix_cache_.find(digest);
+  if (it != prefix_cache_.end()) {
+    it->second.last_use = ++prefix_clock_;
+    return;
+  }
+  while (prefix_cache_.size() >= options_.prefix_cache_entries &&
+         !prefix_cache_.empty()) {
+    drop_one_prefix_entry();
+  }
+  PrefixEntry entry;
+  entry.tokens.assign(tokens.begin(), tokens.end());
+  entry.blocks.assign(req.cache.block_table().begin(),
+                      req.cache.block_table().begin() +
+                          static_cast<std::ptrdiff_t>(nb));
+  for (const KvCache::BlockId b : entry.blocks) pool_storage_->add_ref(b);
+  entry.fp16 = req.options.fp16;
+  entry.chunked_accum = req.options.chunked_accum;
+  entry.last_use = ++prefix_clock_;
+  prefix_cache_.emplace(digest, std::move(entry));
+}
+
+void ServeEngine::preempt(Request& req) {
+  if (req.phase == Request::Phase::kPrefilling) erase_ptr(prefilling_, &req);
+  if (req.phase == Request::Phase::kDecoding) erase_ptr(active_, &req);
+  release_slot(req);
+  req.phase = Request::Phase::kQueued;
+  if (req.cache.length() > 0) {
+    if (options_.preempt == PreemptMode::kSwap) {
+      // Compact host copy of every live row; restored verbatim on resume,
+      // so hooks (and the still-armed GenerationScope) never observe the
+      // eviction.
+      req.swapped.emplace(req.cache.prefix_copy(req.cache.length()));
+    } else {
+      req.needs_replay = true;
+    }
+  }
+  req.cache.release_storage();
+  scheduler_.enqueue(req.sched);
+  ++req.stats.preemptions;
+  ++counters_.preemptions;
+  metrics_.preemptions.inc();
+}
+
+bool ServeEngine::preempt_one(const Request* except, const SchedEntry* limit) {
+  std::vector<SchedEntry> candidates;
+  candidates.reserve(prefilling_.size() + active_.size());
+  const auto consider = [&](Request* r) {
+    if (r == except) return;
+    // Recompute replay re-fires prompt-position hooks, so only hook-free
+    // requests are eligible victims in that mode.
+    if (options_.preempt == PreemptMode::kRecompute && !r->hooks.empty()) {
+      return;
+    }
+    candidates.push_back(r->sched);
+  };
+  for (Request* r : prefilling_) consider(r);
+  for (Request* r : active_) consider(r);
+  const std::optional<SchedEntry> victim =
+      Scheduler::pick_victim(candidates, limit);
+  if (!victim.has_value()) return false;
+  preempt(get(victim->id));
+  return true;
+}
+
+bool ServeEngine::reserve_rows_or_evict(Request& req, std::size_t rows) {
+  while (!req.cache.reserve_rows(rows)) {
+    // Cheapest first: registered prefixes whose only holder is the engine.
+    if (!prefix_cache_.empty()) {
+      drop_one_prefix_entry();
+      continue;
+    }
+    FT2_CHECK_MSG(options_.preempt != PreemptMode::kNone,
+                  "KvBlockPool exhausted (" << pool_storage_->total_blocks()
+                                            << " blocks) with preemption off");
+    // Evict a strictly worse-ordered slot-holder; when this request is
+    // itself the worst, it yields its own slot back to the queue.
+    if (!preempt_one(&req, &req.sched)) {
+      preempt(req);
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ServeEngine::begin_admission(Request& req) {
+  // Slot and list membership first, so a self-preempting resume below can
+  // unwind through the one preempt() path.
+  std::size_t slot = 0;
+  while (slot < slot_in_use_.size() && slot_in_use_[slot]) ++slot;
+  if (slot == slot_in_use_.size()) {
+    slot_in_use_.push_back(true);
+  } else {
+    slot_in_use_[slot] = true;
+  }
+  req.slot = slot;
+  req.stats.slot = slot;
+  req.phase = Request::Phase::kPrefilling;
+  prefilling_.push_back(&req);
+
+  if (!req.admitted_once) {
+    req.admitted_once = true;
     req.admit_time = Clock::now();
     req.stats.queue_ms = ms_between(req.submit_time, req.admit_time);
     req.stats.prompt_tokens = req.prompt.size();
     metrics_.queue_wait_ms.observe(req.stats.queue_ms);
-
-    // Lowest free batch slot; held until finish() releases it.
-    std::size_t slot = 0;
-    while (slot < slot_in_use_.size() && slot_in_use_[slot]) ++slot;
-    if (slot == slot_in_use_.size()) {
-      slot_in_use_.push_back(true);
-    } else {
-      slot_in_use_[slot] = true;
-    }
-    req.slot = slot;
-    req.stats.slot = slot;
-
-    TraceSpan prefill_span = tracer_->span("serve.prefill");
-    if (prefill_span.active()) {
-      prefill_span.tag("request", std::to_string(req.id))
-          .tag("slot", std::to_string(req.slot))
-          .tag("prompt_tokens", std::to_string(req.prompt.size()));
-    }
+    // on_generation_begin fires exactly once per request, here; preemption
+    // and resume never re-arm the scope.
     req.scope = GenerationScope(req.hooks);
-    GenerateOptions opts = req.options;
-    if (opts.pool == nullptr) opts.pool = options_.pool;
-    req.pos = run_prefill(model_, req.prompt, opts, req.cache, req.hooks,
-                          ws_, {req.logits.data(), req.logits.size()});
-    req.result.positions_run = req.pos;
-    counters_.prefill_positions += req.pos;
-    metrics_.prefill_positions.inc(req.pos);
+    try_adopt_prefix(req);
+    return true;
+  }
+
+  if (req.swapped.has_value()) {
+    // Swap resume: restore the evicted rows verbatim. No forwards, no hook
+    // dispatches, no budget cost — just block mapping plus a memcpy.
+    const std::size_t rows = req.swapped->length();
+    if (!reserve_rows_or_evict(req, rows)) return false;
+    const std::size_t n_layers = model_.config().n_blocks;
+    for (std::size_t pos = 0; pos < rows; ++pos) {
+      for (std::size_t b = 0; b < n_layers; ++b) {
+        req.cache.store(b, pos, req.swapped->key(b, pos),
+                        req.swapped->value(b, pos));
+      }
+    }
+    req.cache.advance(rows);
+    req.swapped.reset();
+    FT2_ASSERT(req.cache.length() == req.pos);
+    return true;
+  }
+
+  if (req.needs_replay) {
+    // Recompute resume: re-run every position fed before the eviction —
+    // prompt positions plus already-sampled tokens (the newest sampled
+    // token is still pending, not fed). Victims are hook-free, so the
+    // replay's chunk boundaries and first_token_phase flag only touch
+    // compute, which is bit-exact; no token is ever re-sampled.
+    const std::size_t P = req.prefill_len(model_.config().max_seq);
+    std::vector<int> fed(req.prompt.begin(),
+                         req.prompt.begin() +
+                             static_cast<std::ptrdiff_t>(req.next_prefill));
+    if (req.steps > 0 && req.result.tokens.size() > 1) {
+      fed.insert(fed.end(), req.result.tokens.begin(),
+                 req.result.tokens.end() - 1);
+    }
+    FT2_ASSERT(fed.size() == req.pos);
+    GenerateOptions o = req.options;
+    if (o.pool == nullptr) o.pool = options_.pool;
+    const ExecConfig exec{o.fp16, o.chunked_accum, o.pool};
+    const std::size_t chunk = o.prefill_chunk == 0 ? P : o.prefill_chunk;
+    const std::span<const int> fed_span{fed.data(), fed.size()};
+    std::size_t pos = 0;
+    while (pos < fed.size()) {
+      const std::size_t n = std::min(chunk, fed.size() - pos);
+      if (!reserve_rows_or_evict(req, n)) return false;
+      if (n == 1) {
+        model_.forward_position(fed[pos], pos, req.cache, req.hooks, exec,
+                                /*first_token_phase=*/true, ws_,
+                                {req.logits.data(), req.logits.size()});
+      } else {
+        model_.forward_span(fed_span.subspan(pos, n), pos, req.cache,
+                            req.hooks, exec, /*first_token_phase=*/true, ws_,
+                            std::span<float>{});
+      }
+      pos += n;
+      // Replayed positions are engine work but not solo-equivalent
+      // positions: result.positions_run already counted them.
+      counters_.prefill_positions += n;
+      metrics_.prefill_positions.inc(n);
+    }
+    req.needs_replay = false;
+    FT2_ASSERT(req.cache.length() == req.pos);
+  }
+  // else: preempted before any row was stored — resume exactly like a
+  // fresh prefill continuation (the scope is already armed).
+  return true;
+}
+
+std::size_t ServeEngine::run_prefill_chunk(Request& req) {
+  // One chunk, sized and dispatched exactly as run_prefill (nn/model.cpp)
+  // would: chunks of options.prefill_chunk from position 0, width-1 chunks
+  // through forward_position with a live logits span. Identical chunk
+  // boundaries mean identical hook dispatch shapes, so a hooked request
+  // sees the same traffic a solo generate produces no matter how the
+  // prefill_chunk_budget spreads its chunks across engine steps.
+  const std::size_t P = req.prefill_len(model_.config().max_seq);
+  const GenerateOptions& o = req.options;
+  const std::size_t chunk = o.prefill_chunk == 0 ? P : o.prefill_chunk;
+  const std::size_t n = std::min(chunk, P - req.next_prefill);
+  FT2_ASSERT(n > 0);
+  if (!reserve_rows_or_evict(req, n)) return 0;
+
+  TraceSpan span = tracer_->span("serve.prefill");
+  if (span.active()) {
+    span.tag("request", std::to_string(req.id))
+        .tag("slot", std::to_string(req.slot))
+        .tag("prompt_tokens", std::to_string(req.prompt.size()))
+        .tag("positions", std::to_string(n));
+  }
+  GenerateOptions opts = o;
+  if (opts.pool == nullptr) opts.pool = options_.pool;
+  const ExecConfig exec{opts.fp16, opts.chunked_accum, opts.pool};
+  const bool last_chunk = req.next_prefill + n == P;
+  const std::span<const int> prompt{req.prompt.data(), P};
+  const std::span<float> logits{req.logits.data(), req.logits.size()};
+  if (n == 1) {
+    model_.forward_position(prompt[req.next_prefill], req.next_prefill,
+                            req.cache, req.hooks, exec,
+                            /*first_token_phase=*/true, ws_, logits);
+  } else {
+    model_.forward_span(prompt.subspan(req.next_prefill, n), req.next_prefill,
+                        req.cache, req.hooks, exec,
+                        /*first_token_phase=*/true, ws_,
+                        last_chunk ? logits : std::span<float>{});
+  }
+  req.next_prefill += n;
+  req.pos += n;
+  req.result.positions_run += n;
+  counters_.prefill_positions += n;
+  metrics_.prefill_positions.inc(n);
+  return n;
+}
+
+void ServeEngine::finish_prefill(Request& req) {
+  erase_ptr(prefilling_, &req);
+  if (req.steps == 0) {
     req.stats.prefill_ms = ms_between(req.admit_time, Clock::now());
     metrics_.prefill_ms.observe(req.stats.prefill_ms);
-    prefill_span.end();
-
+    register_prefix(req);
     // max_new_tokens == 0: generate never enters the decode loop — no
     // sampling happens at all.
     if (req.options.max_new_tokens > 0 && consume_logits(req)) {
+      req.phase = Request::Phase::kDecoding;
       active_.push_back(&req);
     } else {
       finish(req);
     }
+    return;
   }
-  counters_.max_active = std::max(counters_.max_active, active_.size());
+  // Resume of a preempted decoding request: the pending token was sampled
+  // before the eviction, so it goes straight back to the decode batch.
+  req.phase = Request::Phase::kDecoding;
+  active_.push_back(&req);
+}
+
+void ServeEngine::admit_and_prefill() {
+  const std::size_t budget = options_.prefill_chunk_budget;
+  std::size_t spent = 0;
+  const auto budget_left = [&] { return budget == 0 || spent < budget; };
+  while (budget_left()) {
+    // Best prefilling request in admission order competes with the queue
+    // head: whichever the policy ranks higher gets the next slice.
+    Request* best = nullptr;
+    for (Request* r : prefilling_) {
+      if (best == nullptr || Scheduler::admit_before(r->sched, best->sched)) {
+        best = r;
+      }
+    }
+    const SchedEntry* head = scheduler_.peek();
+    const bool can_admit =
+        head != nullptr &&
+        active_.size() + prefilling_.size() < options_.max_batch;
+    if (can_admit &&
+        (best == nullptr || Scheduler::admit_before(*head, best->sched))) {
+      const std::optional<SchedEntry> e = scheduler_.pop();
+      Request& req = get(e->id);
+      if (!begin_admission(req)) break;  // requeued under pool pressure
+      if (req.next_prefill >= req.prefill_len(model_.config().max_seq)) {
+        finish_prefill(req);  // resumed decoding request: nothing to prefill
+      }
+      counters_.max_active = std::max(counters_.max_active,
+                                      active_.size() + prefilling_.size());
+      continue;
+    }
+    if (best == nullptr) break;
+    const std::size_t ran = run_prefill_chunk(*best);
+    if (ran == 0) break;  // self-preempted under pool pressure
+    spent += ran;
+    if (best->phase == Request::Phase::kPrefilling &&
+        best->next_prefill >= best->prefill_len(model_.config().max_seq)) {
+      finish_prefill(*best);
+    }
+  }
+  counters_.max_active =
+      std::max(counters_.max_active, active_.size() + prefilling_.size());
 }
 
 void ServeEngine::decode_step() {
   if (active_.empty()) return;
 
+  if (pool_storage_.has_value()) {
+    // Every decoding sequence appends one K/V row this step; reserve them
+    // up front so pool pressure resolves through preemption instead of
+    // failing mid-forward. Work over ids: preemption edits active_.
+    std::vector<RequestId> ids;
+    ids.reserve(active_.size());
+    for (const Request* req : active_) ids.push_back(req->id);
+    for (const RequestId id : ids) {
+      Request& req = get(id);
+      if (req.phase != Request::Phase::kDecoding) continue;  // evicted above
+      reserve_rows_or_evict(req, 1);
+    }
+    if (active_.empty()) return;
+  }
+
   metrics_.batch_occupancy.set(static_cast<double>(active_.size()));
   const bool timed = metrics_.decode_step_ms.enabled();
-  const Clock::time_point step_start = timed ? Clock::now() : Clock::time_point{};
+  const Clock::time_point step_start =
+      timed ? Clock::now() : Clock::time_point{};
   TraceSpan step_span = tracer_->span("serve.decode_step");
   if (step_span.active()) {
     // Parallel CSV lists let the Chrome exporter fan this one span out onto
@@ -293,13 +774,16 @@ void ServeEngine::decode_step() {
 }
 
 std::size_t ServeEngine::step() {
-  admit_pending();
+  admit_and_prefill();
   decode_step();
-  return active_.size();
+  update_kv_gauges();
+  return active_.size() + prefilling_.size();
 }
 
 void ServeEngine::run() {
-  while (!queue_.empty() || !active_.empty()) step();
+  while (!scheduler_.empty() || !active_.empty() || !prefilling_.empty()) {
+    step();
+  }
 }
 
 }  // namespace ft2

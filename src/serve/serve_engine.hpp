@@ -1,31 +1,40 @@
-// Continuous-batching serve engine.
+// Continuous-batching serve engine with paged KV and an SLO scheduler.
 //
-// ServeEngine admits generation requests into a FIFO queue, runs the blocked
-// prefill per request (the same run_prefill used by InferenceSession), then
-// decodes all active sequences TOGETHER: each decode step stacks the B
-// active sequences' current positions into one B x K * K x N GEMM per linear
-// layer (TransformerLM::forward_batch), so weight traffic is amortized
-// across sequences. Requests join between steps as slots free up (admission
-// on completion: EOS, max_new_tokens, or max_seq).
+// ServeEngine admits generation requests through a priority/deadline
+// Scheduler (serve/scheduler.hpp), runs each request's blocked prefill in
+// chunks interleaved with decode steps (bounded by prefill_chunk_budget so
+// a long prompt never stalls decoding requests), then decodes all active
+// sequences TOGETHER: each decode step stacks the B active sequences'
+// current positions into one B x K * K x N GEMM per linear layer
+// (TransformerLM::forward_batch), so weight traffic is amortized across
+// sequences.
+//
+// KV memory is paged by default: requests map fixed-size ref-counted
+// blocks from a KvBlockPool as they grow (nn/kv_pool.hpp) instead of
+// holding a dense max_seq allocation, so the pool — sized in bytes, like
+// accelerator VRAM — bounds concurrency by actual sequence length. Common
+// prompt prefixes of live hook-free requests share blocks copy-on-write
+// (shared system prompts prefill once); under pool pressure the scheduler
+// preempts the lowest-priority slot-holder (swap or recompute) and resumes
+// it later, bit-exactly.
 //
 // Bit-exactness contract: the engine produces, for every request, exactly
-// the token stream, hook traffic (begin / per-site dispatches in execution
-// order / end), sampling RNG draws, and protection statistics that a solo
-// InferenceSession::generate call with the same prompt and options would
-// produce — at any max_batch, admission order, or pool size. This holds
-// because each request keeps its own KvCache, HookChain, sampler and logits
-// (no cross-slot dataflow), prefill and sampling share the session code
-// path, and forward_batch is bit-exact with per-slot forward_position.
+// the token stream a solo InferenceSession::generate call with the same
+// prompt and options would produce — at any max_batch, admission order,
+// pool size, paged on or off, prefill budget, and across swap-preemption.
+// Hook traffic (begin / per-site dispatches in execution order / end),
+// sampling RNG draws and protection statistics are also identical, with
+// two documented exceptions: a request that adopted a shared prefix skips
+// the prompt positions it adopted (prefix sharing is therefore offered to
+// hook-free requests only), and a recompute-preempted request re-fires
+// prompt-position hooks during replay (recompute therefore only picks
+// hook-free victims). Tokens are bit-identical in every mode.
 //
-// Mixed execution configs are supported: requests are grouped by
-// (fp16, chunked_accum) into sub-batches within each step.
-//
-// Single-threaded driver: submit/step/run must be called from one thread
-// (layer GEMMs still fan out over the thread pool internally).
+// Single-threaded driver: submit/step/run/cancel must be called from one
+// thread (layer GEMMs still fan out over the thread pool internally).
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <optional>
 #include <span>
@@ -35,10 +44,12 @@
 #include "common/rng.hpp"
 #include "nn/hooks.hpp"
 #include "nn/kv_cache.hpp"
+#include "nn/kv_pool.hpp"
 #include "nn/model.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sinks.hpp"
 #include "obs/trace.hpp"
+#include "serve/scheduler.hpp"
 
 namespace ft2 {
 
@@ -46,13 +57,46 @@ class ThreadPool;
 
 /// Engine-level knobs.
 struct ServeOptions {
-  std::size_t max_batch = 8;   ///< max sequences decoded per step
+  std::size_t max_batch = 8;   ///< max sequences holding slots per step
   ThreadPool* pool = nullptr;  ///< pool for GEMM fan-out (null = global)
   /// Pre-pack every decode-path weight matrix into k-outer GEMM tiles at
   /// engine construction (PackedDecodeWeights). Pure layout: results are
   /// bit-exact either way. Disable to observe weight mutations made after
   /// engine construction (e.g. ScopedWeightFault) in the decode GEMMs.
   bool pack_weights = true;
+
+  /// Paged KV allocation (nn/kv_pool.hpp). Off: every request owns a dense
+  /// max_seq KvCache for its whole queued+active lifetime (the pre-paging
+  /// engine). Results are bit-exact either way.
+  bool paged = true;
+  /// Rows per KV block in paged mode.
+  std::size_t kv_block_rows = 16;
+  /// Physical blocks in the pool. 0 = capacity parity with the dense
+  /// engine: max_batch * ceil(max_seq / kv_block_rows), so the default
+  /// never preempts. Must cover at least one full sequence.
+  std::size_t kv_pool_blocks = 0;
+
+  /// Queue-depth backpressure: submit() beyond this many queued requests
+  /// throws ft2::Error and counts serve.rejected. 0 = unbounded.
+  std::size_t max_queue_depth = 0;
+  /// Max prompt positions prefetched per step() across all requests;
+  /// chunks are never split, so one chunk always makes progress. 0 =
+  /// unbounded (each admission prefills its whole prompt before decode —
+  /// the pre-scheduler behavior).
+  std::size_t prefill_chunk_budget = 0;
+  /// Eviction mechanism under paged-pool pressure (see scheduler.hpp).
+  PreemptMode preempt = PreemptMode::kSwap;
+  /// Copy-on-write sharing of committed full-block prompt prefixes across
+  /// live hook-free requests with matching exec config (shared system
+  /// prompts prefill once). Requests with hooks attached never share, so
+  /// hook traffic stays bit-identical to a solo run. A request that
+  /// adopted a prefix reports the skipped positions in
+  /// RequestStats::shared_prefix_rows (its GenerateResult::positions_run
+  /// counts only positions actually computed).
+  bool share_prefix = false;
+  /// Max distinct registered prefix entries (LRU beyond this).
+  std::size_t prefix_cache_entries = 256;
+
   /// Observability sinks. `obs.metrics` is the registry the engine
   /// publishes serve.* metrics to; nullptr selects the process default
   /// (default_metrics(): the global registry, or metrics off entirely under
@@ -61,8 +105,6 @@ struct ServeOptions {
   /// unless FT2_TRACE is set. Tests pass an isolated registry.
   ObsSinks obs;
 };
-
-using RequestId = std::uint64_t;
 
 /// Per-request timing / size counters.
 struct RequestStats {
@@ -74,9 +116,12 @@ struct RequestStats {
   /// request finishes; trace spans tag it so the Chrome exporter can lay
   /// decode work out per slot lane.
   std::size_t slot = 0;
-  double queue_ms = 0.0;         ///< submit -> admission
-  double prefill_ms = 0.0;
-  double decode_ms = 0.0;  ///< admission+prefill -> completion
+  double queue_ms = 0.0;    ///< submit -> first admission
+  double prefill_ms = 0.0;  ///< first admission -> prefill complete
+  double decode_ms = 0.0;   ///< admission+prefill -> completion
+  double ttft_ms = 0.0;     ///< submit -> first token emitted
+  std::size_t shared_prefix_rows = 0;  ///< prompt rows adopted, not computed
+  std::size_t preemptions = 0;         ///< times evicted back to the queue
 };
 
 /// Engine-wide counters.
@@ -90,12 +135,16 @@ struct RequestStats {
 struct ServeCounters {
   std::size_t submitted = 0;
   std::size_t completed = 0;
+  std::size_t rejected = 0;           ///< submits refused by max_queue_depth
+  std::size_t cancelled = 0;
+  std::size_t preemptions = 0;        ///< evictions back to the queue
   std::size_t decode_steps = 0;       ///< forward_batch invocations
   std::size_t decode_rows = 0;        ///< total slot-rows across steps
   std::size_t prefill_positions = 0;  ///< prompt positions run
+  std::size_t shared_prefix_rows = 0; ///< prompt positions adopted instead
   std::size_t generated_tokens = 0;
   std::size_t max_queue_depth = 0;
-  std::size_t max_active = 0;  ///< peak concurrent decode batch
+  std::size_t max_active = 0;  ///< peak concurrent slot-holders
 
   /// Mean decode batch size across steps (0 when no step ran).
   double avg_decode_batch() const {
@@ -121,17 +170,25 @@ class ServeEngine {
   /// Enqueues a generation request. The prompt is copied. Hooks can be
   /// attached via hooks(id) any time before the first step() admits the
   /// request (on_generation_begin fires at admission, like
-  /// InferenceSession::generate firing at call time).
-  RequestId submit(std::span<const int> prompt,
-                   const GenerateOptions& options);
+  /// InferenceSession::generate firing at call time). Throws ft2::Error
+  /// when max_queue_depth > 0 and the queue is full (serve.rejected).
+  RequestId submit(std::span<const int> prompt, const GenerateOptions& options,
+                   const ServeSubmitOptions& sched = {});
 
   /// The request's private hook chain (valid for queued, active and
   /// finished requests).
   HookChain& hooks(RequestId id);
 
-  /// Admits queued requests into free slots (prefill + first-token
-  /// sampling), then advances every active sequence by one batched decode
-  /// step. Returns the number of sequences still active (0 = idle).
+  /// Cancels a request: a queued request never runs; an in-flight request
+  /// stops after the current step with the tokens generated so far and
+  /// GenerateResult::cancelled set. Returns false when already finished.
+  bool cancel(RequestId id);
+
+  /// One scheduler round: runs queued admissions and up to
+  /// prefill_chunk_budget prompt positions of chunked prefill, then
+  /// advances every decoding sequence by one batched decode step
+  /// (preempting under pool pressure). Returns the number of sequences
+  /// still holding slots (0 = idle).
   std::size_t step();
 
   /// Runs step() until all submitted requests have finished.
@@ -140,7 +197,8 @@ class ServeEngine {
   bool finished(RequestId id) const;
 
   /// Result of a finished request — identical to what
-  /// InferenceSession::generate would have returned.
+  /// InferenceSession::generate would have returned (see the bit-exactness
+  /// contract in the file header).
   const GenerateResult& result(RequestId id) const;
 
   const RequestStats& request_stats(RequestId id) const;
@@ -151,23 +209,47 @@ class ServeEngine {
   /// monotonic serve.* registry metrics.
   void reset_counters() { counters_.reset(); }
 
-  std::size_t queue_depth() const { return queue_.size(); }
-  std::size_t active_requests() const { return active_.size(); }
+  std::size_t queue_depth() const { return scheduler_.depth(); }
+  std::size_t active_requests() const {
+    return active_.size() + prefilling_.size();
+  }
 
-  /// Aggregate K/V-cache bytes held by unfinished (queued + active)
-  /// requests.
+  /// K/V bytes actually resident for unfinished requests. Paged mode:
+  /// distinct pool blocks mapped by live requests (a block shared by
+  /// several requests counts ONCE) plus host-side swap copies of preempted
+  /// requests; queued requests hold no blocks. Dense mode: the max_seq
+  /// allocations of queued + active requests, as before.
   std::size_t resident_cache_bytes() const;
+
+  /// The paged block pool (null when ServeOptions::paged is off).
+  const KvBlockPool* kv_pool() const {
+    return pool_storage_.has_value() ? &*pool_storage_ : nullptr;
+  }
 
  private:
   struct Request;
+  struct PrefixEntry;
 
-  void admit_pending();
+  void admit_and_prefill();
+  bool begin_admission(Request& req);
+  std::size_t run_prefill_chunk(Request& req);
+  void finish_prefill(Request& req);
+  bool reserve_rows_or_evict(Request& req, std::size_t rows);
+  bool preempt_one(const Request* except, const SchedEntry* limit);
+  void preempt(Request& req);
+  void drop_one_prefix_entry();
+  void try_adopt_prefix(Request& req);
+  void register_prefix(Request& req);
   void decode_step();
   /// Applies generate()'s decode-step logic to a freshly computed logits
   /// row: sample/argmax, EOS / max_new_tokens bookkeeping. Returns false
   /// when the request finished (no further forward needed).
   bool consume_logits(Request& req);
+  void emit_token(Request& req, int token);
   void finish(Request& req);
+  void release_slot(Request& req);
+  static void erase_ptr(std::vector<Request*>& list, Request* req);
+  void update_kv_gauges();
   Request& get(RequestId id);
   const Request& get(RequestId id) const;
 
@@ -175,29 +257,44 @@ class ServeEngine {
   struct Metrics {
     Counter submitted;
     Counter completed;
+    Counter rejected;
+    Counter cancelled;
+    Counter preemptions;
     Counter generated_tokens;
     Counter prefill_positions;
+    Counter shared_prefix_rows;
     Counter decode_steps;
     Counter decode_rows;
     HistogramMetric queue_wait_ms;
     HistogramMetric prefill_ms;
     HistogramMetric decode_step_ms;
     HistogramMetric request_decode_ms;
+    HistogramMetric ttft_ms;
+    HistogramMetric token_gap_ms;
     Gauge batch_occupancy;
+    Gauge kv_blocks_used;
+    Gauge kv_blocks_free;
+    Gauge kv_bytes_resident;
   };
 
   const TransformerLM& model_;
   ServeOptions options_;
   Metrics metrics_;
   Tracer* tracer_ = nullptr;
+  std::optional<KvBlockPool> pool_storage_;  ///< paged mode only
   std::optional<PackedDecodeWeights> packed_;
   Workspace ws_;
   std::unordered_map<RequestId, std::unique_ptr<Request>> requests_;
-  std::deque<RequestId> queue_;      ///< submitted, not yet admitted (FIFO)
+  Scheduler scheduler_;              ///< queued requests (policy order)
+  std::vector<Request*> prefilling_; ///< admitted, prompt not fully run
   std::vector<Request*> active_;     ///< decoding, in admission order
   std::vector<bool> slot_in_use_;    ///< batch-slot occupancy (index = slot)
+  /// Registered shareable prefixes: digest -> entry holding block refs.
+  std::unordered_map<std::uint64_t, PrefixEntry> prefix_cache_;
+  std::uint64_t prefix_clock_ = 0;   ///< LRU clock for prefix_cache_
   ServeCounters counters_;
   RequestId next_id_ = 1;
+  std::uint64_t next_seq_ = 1;
 };
 
 }  // namespace ft2

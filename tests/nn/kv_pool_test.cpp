@@ -1,0 +1,260 @@
+// KvBlockPool and paged-mode KvCache semantics:
+//   - block allocation is LIFO, ref-counted and exhaustion-safe;
+//   - a paged cache stores/reads bit-identically to a dense cache;
+//   - reserve_rows is all-or-nothing under pool exhaustion;
+//   - copy-on-write isolates sharers (cache copies and adopted prefixes);
+//   - adopt_shared_prefix keeps blocks alive past the donor's release;
+//   - memory accounting is block-granular.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "nn/kv_cache.hpp"
+#include "nn/kv_pool.hpp"
+
+namespace ft2 {
+namespace {
+
+constexpr std::size_t kLayers = 2;
+constexpr std::size_t kDModel = 4;
+constexpr std::size_t kBlockRows = 2;
+
+/// Distinct fill value per (layer, position, column, keys-vs-values).
+float fill(std::size_t layer, std::size_t pos, std::size_t col, bool value) {
+  return static_cast<float>(layer * 1000 + pos * 10 + col) +
+         (value ? 0.5f : 0.0f);
+}
+
+std::vector<float> row_of(std::size_t layer, std::size_t pos, bool value) {
+  std::vector<float> row(kDModel);
+  for (std::size_t c = 0; c < kDModel; ++c) row[c] = fill(layer, pos, c, value);
+  return row;
+}
+
+/// Appends position `pos` (every layer) to `cache` and advances.
+void append_row(KvCache& cache, std::size_t pos) {
+  for (std::size_t layer = 0; layer < kLayers; ++layer) {
+    cache.store(layer, pos, row_of(layer, pos, false), row_of(layer, pos, true));
+  }
+  cache.advance();
+}
+
+void expect_row(const KvCache& cache, std::size_t pos, const char* what) {
+  for (std::size_t layer = 0; layer < kLayers; ++layer) {
+    const auto k = cache.key(layer, pos);
+    const auto v = cache.value(layer, pos);
+    for (std::size_t c = 0; c < kDModel; ++c) {
+      EXPECT_EQ(k[c], fill(layer, pos, c, false))
+          << what << ": key layer " << layer << " pos " << pos << " col " << c;
+      EXPECT_EQ(v[c], fill(layer, pos, c, true))
+          << what << ": value layer " << layer << " pos " << pos << " col "
+          << c;
+    }
+  }
+}
+
+TEST(KvPool, AllocReleaseRefcount) {
+  KvBlockPool pool(kLayers, kDModel, /*total_blocks=*/3, kBlockRows);
+  EXPECT_EQ(pool.total_blocks(), 3u);
+  EXPECT_EQ(pool.free_blocks(), 3u);
+
+  KvBlockPool::BlockId a = KvBlockPool::kInvalidBlock;
+  KvBlockPool::BlockId b = KvBlockPool::kInvalidBlock;
+  KvBlockPool::BlockId c = KvBlockPool::kInvalidBlock;
+  ASSERT_TRUE(pool.try_alloc(a));
+  ASSERT_TRUE(pool.try_alloc(b));
+  ASSERT_TRUE(pool.try_alloc(c));
+  EXPECT_NE(a, b);
+  EXPECT_NE(b, c);
+  EXPECT_EQ(pool.used_blocks(), 3u);
+
+  KvBlockPool::BlockId overflow = KvBlockPool::kInvalidBlock;
+  EXPECT_FALSE(pool.try_alloc(overflow));
+
+  EXPECT_EQ(pool.ref_count(a), 1u);
+  pool.add_ref(a);
+  EXPECT_EQ(pool.ref_count(a), 2u);
+  pool.release(a);
+  EXPECT_EQ(pool.ref_count(a), 1u);
+  EXPECT_EQ(pool.free_blocks(), 0u);  // still referenced once
+  pool.release(a);
+  EXPECT_EQ(pool.free_blocks(), 1u);
+
+  // LIFO reuse: the block released last comes back first.
+  KvBlockPool::BlockId again = KvBlockPool::kInvalidBlock;
+  ASSERT_TRUE(pool.try_alloc(again));
+  EXPECT_EQ(again, a);
+
+  pool.release(b);
+  pool.release(c);
+  pool.release(again);
+  EXPECT_EQ(pool.free_blocks(), 3u);
+}
+
+TEST(KvPool, CopyBlockCopiesEveryLayer) {
+  KvBlockPool pool(kLayers, kDModel, /*total_blocks=*/2, kBlockRows);
+  KvBlockPool::BlockId src = KvBlockPool::kInvalidBlock;
+  KvBlockPool::BlockId dst = KvBlockPool::kInvalidBlock;
+  ASSERT_TRUE(pool.try_alloc(src));
+  ASSERT_TRUE(pool.try_alloc(dst));
+
+  for (std::size_t layer = 0; layer < kLayers; ++layer) {
+    for (std::size_t r = 0; r < kBlockRows; ++r) {
+      const auto k = row_of(layer, r, false);
+      const auto v = row_of(layer, r, true);
+      std::copy(k.begin(), k.end(), pool.key_row(layer, src, r).begin());
+      std::copy(v.begin(), v.end(), pool.value_row(layer, src, r).begin());
+    }
+  }
+  pool.copy_block(src, dst);
+  for (std::size_t layer = 0; layer < kLayers; ++layer) {
+    for (std::size_t r = 0; r < kBlockRows; ++r) {
+      const auto k = pool.key_row(layer, dst, r);
+      const auto v = pool.value_row(layer, dst, r);
+      for (std::size_t c = 0; c < kDModel; ++c) {
+        EXPECT_EQ(k[c], fill(layer, r, c, false));
+        EXPECT_EQ(v[c], fill(layer, r, c, true));
+      }
+    }
+  }
+  pool.release(src);
+  pool.release(dst);
+}
+
+TEST(KvCachePaged, StoreReadMatchesDense) {
+  const std::size_t max_seq = 8;
+  KvBlockPool pool(kLayers, kDModel, /*total_blocks=*/4, kBlockRows);
+  KvCache dense(kLayers, max_seq, kDModel);
+  KvCache paged = KvCache::paged(pool, max_seq);
+  EXPECT_TRUE(paged.paged());
+  EXPECT_FALSE(dense.paged());
+  EXPECT_EQ(paged.physical_rows(), 0u);
+
+  for (std::size_t pos = 0; pos < max_seq; ++pos) {
+    ASSERT_TRUE(paged.reserve_rows(1));
+    append_row(dense, pos);
+    append_row(paged, pos);
+  }
+  EXPECT_EQ(paged.length(), dense.length());
+  EXPECT_EQ(paged.block_table().size(), 4u);
+  EXPECT_EQ(paged.physical_rows(), max_seq);
+  for (std::size_t pos = 0; pos < max_seq; ++pos) {
+    expect_row(dense, pos, "dense");
+    expect_row(paged, pos, "paged");
+  }
+  // Block-granular accounting: exactly the mapped blocks.
+  EXPECT_EQ(paged.memory_bytes(), 4u * pool.block_bytes());
+}
+
+TEST(KvCachePaged, ReserveRowsIsAllOrNothing) {
+  KvBlockPool pool(kLayers, kDModel, /*total_blocks=*/3, kBlockRows);
+  KvCache a = KvCache::paged(pool, /*max_seq=*/8);
+  ASSERT_TRUE(a.reserve_rows(2));  // 1 block
+  EXPECT_EQ(pool.free_blocks(), 2u);
+
+  // b needs 3 blocks for 5 rows but only 2 are free: nothing may leak.
+  KvCache b = KvCache::paged(pool, /*max_seq=*/8);
+  EXPECT_FALSE(b.reserve_rows(5));
+  EXPECT_EQ(pool.free_blocks(), 2u);
+  EXPECT_TRUE(b.block_table().empty());
+
+  // A fitting reservation still succeeds afterwards.
+  EXPECT_TRUE(b.reserve_rows(3));
+  EXPECT_EQ(b.block_table().size(), 2u);
+  EXPECT_EQ(pool.free_blocks(), 0u);
+}
+
+TEST(KvCachePaged, CopyOnWriteIsolatesSharers) {
+  KvBlockPool pool(kLayers, kDModel, /*total_blocks=*/4, kBlockRows);
+  KvCache a = KvCache::paged(pool, /*max_seq=*/8);
+  ASSERT_TRUE(a.reserve_rows(1));
+  append_row(a, 0);  // half a block: the next store lands in a shared block
+
+  KvCache b(a);  // copy maps the same block with an extra reference
+  ASSERT_EQ(a.block_table(), b.block_table());
+  EXPECT_EQ(pool.ref_count(a.block_table()[0]), 2u);
+  EXPECT_EQ(b.length(), 1u);
+
+  // b appends into the shared block: copy-on-write gives b a private block,
+  // a's rows are untouched and the tables diverge.
+  ASSERT_TRUE(b.reserve_rows(1));
+  append_row(b, 1);
+  EXPECT_NE(a.block_table()[0], b.block_table()[0]);
+  EXPECT_EQ(pool.ref_count(a.block_table()[0]), 1u);
+  EXPECT_EQ(pool.ref_count(b.block_table()[0]), 1u);
+  expect_row(a, 0, "original after COW");
+  expect_row(b, 0, "copy reads the copied row");
+  expect_row(b, 1, "copy's private append");
+  EXPECT_EQ(a.length(), 1u);
+  EXPECT_EQ(b.length(), 2u);
+}
+
+TEST(KvCachePaged, AdoptSharedPrefixOutlivesDonor) {
+  KvBlockPool pool(kLayers, kDModel, /*total_blocks=*/4, kBlockRows);
+  KvCache donor = KvCache::paged(pool, /*max_seq=*/8);
+  ASSERT_TRUE(donor.reserve_rows(4));  // 2 full blocks
+  for (std::size_t pos = 0; pos < 4; ++pos) append_row(donor, pos);
+
+  KvCache sharer = KvCache::paged(pool, /*max_seq=*/8);
+  sharer.adopt_shared_prefix(donor.block_table(), /*rows=*/4);
+  EXPECT_EQ(sharer.length(), 4u);
+  EXPECT_EQ(pool.ref_count(donor.block_table()[0]), 2u);
+  for (std::size_t pos = 0; pos < 4; ++pos) {
+    expect_row(sharer, pos, "adopted prefix");
+  }
+
+  // The sharer continues past the prefix in its own fresh block.
+  ASSERT_TRUE(sharer.reserve_rows(1));
+  append_row(sharer, 4);
+  expect_row(donor, 0, "donor unaffected");
+  EXPECT_EQ(donor.length(), 4u);
+
+  // Donor releases: the shared blocks stay alive through the sharer's refs.
+  donor.release_storage();
+  EXPECT_EQ(pool.used_blocks(), 3u);
+  for (std::size_t pos = 0; pos < 5; ++pos) {
+    expect_row(sharer, pos, "after donor release");
+  }
+
+  sharer.release_storage();
+  EXPECT_EQ(pool.free_blocks(), pool.total_blocks());
+}
+
+TEST(KvCachePaged, PrefixCopyMatchesStoredRows) {
+  KvBlockPool pool(kLayers, kDModel, /*total_blocks=*/2, kBlockRows);
+  KvCache paged = KvCache::paged(pool, /*max_seq=*/4);
+  ASSERT_TRUE(paged.reserve_rows(3));
+  for (std::size_t pos = 0; pos < 3; ++pos) append_row(paged, pos);
+
+  // The swap-preemption snapshot: a compact dense copy of the first rows.
+  const KvCache snapshot = paged.prefix_copy(2);
+  EXPECT_FALSE(snapshot.paged());
+  EXPECT_EQ(snapshot.length(), 2u);
+  for (std::size_t pos = 0; pos < 2; ++pos) {
+    expect_row(snapshot, pos, "prefix_copy");
+  }
+}
+
+TEST(KvCachePaged, ReleaseStorageKeepsCacheReusable) {
+  KvBlockPool pool(kLayers, kDModel, /*total_blocks=*/2, kBlockRows);
+  KvCache cache = KvCache::paged(pool, /*max_seq=*/4);
+  ASSERT_TRUE(cache.reserve_rows(3));
+  for (std::size_t pos = 0; pos < 3; ++pos) append_row(cache, pos);
+  EXPECT_EQ(pool.used_blocks(), 2u);
+
+  // What preemption does: blocks go home, the cache stays a (now empty)
+  // paged cache over the same pool and can be refilled.
+  cache.release_storage();
+  EXPECT_EQ(pool.used_blocks(), 0u);
+  EXPECT_TRUE(cache.paged());
+  EXPECT_EQ(cache.length(), 0u);
+  ASSERT_TRUE(cache.reserve_rows(2));
+  append_row(cache, 0);
+  append_row(cache, 1);
+  expect_row(cache, 0, "refill after release");
+  expect_row(cache, 1, "refill after release");
+}
+
+}  // namespace
+}  // namespace ft2

@@ -1,0 +1,184 @@
+// Shared fixtures for the serve-engine test files: the micro model, the
+// mixed-length prompt/option generators, per-session reference runs, result
+// comparators and the SiteRecorder hook used to prove hook-traffic
+// equality. scheduler_test.cpp and paged_equivalence_test.cpp both compare
+// the engine against solo InferenceSession::generate with these.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "core/ft2.hpp"
+
+namespace ft2::serve_test {
+
+inline TransformerLM micro_model(ArchFamily arch = ArchFamily::kLlama) {
+  ModelConfig c;
+  c.arch = arch;
+  c.vocab_size = Vocab::shared().size();
+  c.d_model = 24;
+  c.n_heads = 2;
+  c.n_blocks = 2;
+  c.d_ff = 32;
+  c.max_seq = 96;
+  switch (arch) {
+    case ArchFamily::kOpt:
+      c.activation = Activation::kRelu;
+      c.norm = NormKind::kLayerNorm;
+      c.position = PositionKind::kLearned;
+      c.linear_bias = true;
+      break;
+    case ArchFamily::kGptj:
+      c.activation = Activation::kGelu;
+      c.norm = NormKind::kLayerNorm;
+      c.position = PositionKind::kRotary;
+      c.parallel_block = true;
+      c.linear_bias = true;
+      break;
+    case ArchFamily::kLlama:
+      c.activation = Activation::kSilu;
+      c.norm = NormKind::kRmsNorm;
+      c.position = PositionKind::kRotary;
+      c.linear_bias = false;
+      break;
+  }
+  Xoshiro256 rng(41);
+  return TransformerLM(c, init_weights(c, rng));
+}
+
+/// Mixed-length prompts: request r gets a distinct prompt of length
+/// 3 + (r * 5) % 11 so batched sequences decode at staggered positions.
+inline std::vector<std::vector<int>> mixed_prompts(const TransformerLM& model,
+                                                   std::size_t n) {
+  std::vector<std::vector<int>> prompts;
+  const int vocab = static_cast<int>(model.config().vocab_size);
+  for (std::size_t r = 0; r < n; ++r) {
+    std::vector<int> prompt = {Vocab::kBos};
+    const std::size_t len = 3 + (r * 5) % 11;
+    for (std::size_t i = 1; i < len; ++i) {
+      prompt.push_back(static_cast<int>(r * 17 + i * 7 + 3) % vocab);
+    }
+    prompts.push_back(std::move(prompt));
+  }
+  return prompts;
+}
+
+/// A deterministic prompt of exactly `len` tokens, optionally opening with
+/// the `prefix` tokens (the shared-system-prompt shape).
+inline std::vector<int> long_prompt(const TransformerLM& model,
+                                    std::size_t len, std::uint64_t salt,
+                                    const std::vector<int>& prefix = {}) {
+  const int vocab = static_cast<int>(model.config().vocab_size);
+  std::vector<int> prompt = prefix;
+  if (prompt.empty()) prompt.push_back(Vocab::kBos);
+  while (prompt.size() < len) {
+    prompt.push_back(
+        static_cast<int>((salt * 31 + prompt.size() * 13 + 5) % vocab));
+  }
+  return prompt;
+}
+
+/// Per-request options with staggered generation lengths so requests leave
+/// the batch at different steps (continuous batching's churn case).
+inline std::vector<GenerateOptions> mixed_options(std::size_t n) {
+  const std::size_t lengths[] = {3, 10, 6, 1, 8, 5, 12, 2};
+  std::vector<GenerateOptions> all(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    all[r].max_new_tokens = lengths[r % std::size(lengths)];
+    all[r].eos_token = -1;
+  }
+  return all;
+}
+
+inline std::vector<GenerateResult> run_sessions(
+    const TransformerLM& model, const std::vector<std::vector<int>>& prompts,
+    const std::vector<GenerateOptions>& options) {
+  std::vector<GenerateResult> results;
+  for (std::size_t r = 0; r < prompts.size(); ++r) {
+    InferenceSession session(model);
+    results.push_back(session.generate(prompts[r], options[r]));
+  }
+  return results;
+}
+
+inline void expect_equal_results(const GenerateResult& got,
+                                 const GenerateResult& ref, std::size_t r,
+                                 const char* what) {
+  EXPECT_EQ(got.tokens, ref.tokens) << what << ": request " << r;
+  EXPECT_EQ(got.positions_run, ref.positions_run) << what << ": request " << r;
+  EXPECT_EQ(got.hit_max, ref.hit_max) << what << ": request " << r;
+}
+
+/// Token-stream-only comparison for prefix-sharing requests, whose
+/// positions_run legitimately excludes the adopted prompt positions.
+inline void expect_equal_tokens(const GenerateResult& got,
+                                const GenerateResult& ref, std::size_t r,
+                                const char* what) {
+  EXPECT_EQ(got.tokens, ref.tokens) << what << ": request " << r;
+  EXPECT_EQ(got.hit_max, ref.hit_max) << what << ": request " << r;
+}
+
+/// Expands every dispatch into per-position rows, grouped by layer site.
+class SiteRecorder : public OutputHook {
+ public:
+  struct Observation {
+    std::size_t position;
+    bool first_token;
+    std::vector<float> values;
+
+    bool operator==(const Observation&) const = default;
+  };
+  using Key = std::pair<int, int>;  // (block, LayerKind)
+
+  void on_output(const HookContext& ctx, std::span<float> values) override {
+    auto& seq = by_site_[{ctx.site.block, static_cast<int>(ctx.site.kind)}];
+    for (std::size_t r = 0; r < ctx.n_positions; ++r) {
+      const auto row = ctx.row(values, r);
+      seq.push_back({ctx.position_at(r), ctx.first_token_phase,
+                     std::vector<float>(row.begin(), row.end())});
+    }
+  }
+  void on_generation_begin() override { ++begins_; }
+  void on_generation_end() override { ++ends_; }
+
+  const std::map<Key, std::vector<Observation>>& by_site() const {
+    return by_site_;
+  }
+  std::size_t begins() const { return begins_; }
+  std::size_t ends() const { return ends_; }
+
+ private:
+  std::map<Key, std::vector<Observation>> by_site_;
+  std::size_t begins_ = 0;
+  std::size_t ends_ = 0;
+};
+
+/// Full per-site traffic equality: same sites, same rows, same order.
+inline void expect_same_traffic(const SiteRecorder& ref,
+                                const SiteRecorder& got, std::size_t r,
+                                const char* what) {
+  EXPECT_EQ(got.begins(), 1u) << what << ": request " << r;
+  EXPECT_EQ(got.ends(), 1u) << what << ": request " << r;
+  ASSERT_FALSE(ref.by_site().empty()) << what << ": request " << r;
+  ASSERT_EQ(ref.by_site().size(), got.by_site().size())
+      << what << ": request " << r;
+  for (const auto& [site, ref_obs] : ref.by_site()) {
+    const auto it = got.by_site().find(site);
+    ASSERT_NE(it, got.by_site().end())
+        << what << ": request " << r << " site (" << site.first << ", "
+        << site.second << ")";
+    ASSERT_EQ(ref_obs.size(), it->second.size())
+        << what << ": request " << r << " site (" << site.first << ", "
+        << site.second << ")";
+    for (std::size_t i = 0; i < ref_obs.size(); ++i) {
+      EXPECT_EQ(ref_obs[i], it->second[i])
+          << what << ": request " << r << " site (" << site.first << ", "
+          << site.second << ") row " << i;
+    }
+  }
+}
+
+}  // namespace ft2::serve_test

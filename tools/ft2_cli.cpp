@@ -17,6 +17,8 @@
 //   ft2 serve-bench <model> [--dataset D] [--requests N] [--batch B]
 //                   [--seed S] [--scheme S] [--metrics-out FILE.json]
 //                   [--trace-out FILE.json]
+//   ft2 serve-bench <model> --load [--requests N] [--rate HZ] [--batch B]
+//                   [--seed S] [--metrics-out FILE.json]
 //   ft2 report <LOG>... [--json FILE] [--bootstrap N] [--ci-seed S]
 //   ft2 metrics <model> [--dataset D] [--requests N] [--batch B] [--seed S]
 //               [--scheme S] [--json FILE]
@@ -54,6 +56,7 @@
 #include "obs/catalog.hpp"
 #include "obs/trace_export.hpp"
 #include "protect/bounds_io.hpp"
+#include "serve/load_gen.hpp"
 
 using namespace ft2;
 namespace pm = ft2::perfmodel;
@@ -602,7 +605,61 @@ int cmd_campaign_shard(const std::string& model_name, const ArgParser& args,
   return failures == 0 ? 0 : 1;
 }
 
+/// `ft2 serve-bench --load`: open-loop synthetic production trace against
+/// the paged engine (src/serve/load_gen.hpp). Reports TTFT / inter-token
+/// percentiles measured from intended arrival times; --metrics-out
+/// additionally dumps the serve.* registry (serve.request.ttft_ms /
+/// serve.token.gap_ms histograms and the serve.kv.* pool gauges).
+int cmd_serve_load(const std::string& model_name, const ArgParser& args) {
+  const auto model = ensure_model(model_name);
+  const std::size_t max_batch = args.get_size("batch", 16);
+
+  LoadSpec spec;
+  spec.n_requests = args.get_size("requests", 64);
+  spec.arrival_rate_hz = args.get_double("rate", 150.0);
+  spec.bursty = true;
+  spec.prompt_max =
+      std::min<std::size_t>(model->config().max_seq / 2, 160);
+  spec.shared_fraction = 0.5;
+  spec.interactive_fraction = 0.25;
+  spec.seed = args.get_size("seed", 1);
+  const auto load = build_load(spec, model->config().vocab_size);
+
+  MetricsRegistry registry;
+  ServeOptions serve_opts;
+  serve_opts.max_batch = max_batch;
+  serve_opts.prefill_chunk_budget = 32;
+  serve_opts.share_prefix = true;
+  if (args.has("metrics-out")) serve_opts.obs.metrics = &registry;
+  ServeEngine engine(*model, serve_opts);
+  const LoadReport r = run_load(engine, load);
+
+  Table table({"metric", "value"});
+  table.begin_row().cell("offered requests").count(r.offered);
+  table.begin_row().cell("completed").count(r.completed);
+  table.begin_row().cell("dropped tokens").count(r.dropped_tokens);
+  table.begin_row().cell("wall s").num(r.wall_s, 2);
+  table.begin_row().cell("tokens/s").num(r.tokens_per_s, 1);
+  table.begin_row().cell("ttft p50 ms").num(r.ttft_p50_ms, 1);
+  table.begin_row().cell("ttft p99 ms").num(r.ttft_p99_ms, 1);
+  table.begin_row().cell("token gap p50 ms").num(r.gap_p50_ms, 2);
+  table.begin_row().cell("token gap p99 ms").num(r.gap_p99_ms, 2);
+  table.begin_row().cell("peak active").count(r.peak_active);
+  table.begin_row().cell("peak kv blocks").count(r.peak_kv_blocks);
+  table.begin_row().cell("preemptions").count(r.preemptions);
+  table.begin_row().cell("shared prefix rows").count(r.shared_prefix_rows);
+  table.print(std::cout);
+  if (args.has("metrics-out")) {
+    const std::string path = args.get("metrics-out", "metrics.json");
+    std::ofstream os(path);
+    registry.snapshot().to_json().write(os);
+    std::cout << "metrics -> " << path << "\n";
+  }
+  return r.dropped_tokens == 0 && r.completed == r.offered ? 0 : 1;
+}
+
 int cmd_serve_bench(const std::string& model_name, const ArgParser& args) {
+  if (args.has("load")) return cmd_serve_load(model_name, args);
   const auto model = ensure_model(model_name);
   const DatasetKind dataset = parse_dataset(args.get("dataset", "synthqa"));
   const auto gen = make_generator(dataset);
@@ -1017,6 +1074,8 @@ int usage() {
       "  ft2 serve-bench <model> [--dataset D] [--requests N] [--batch B]\n"
       "                  [--seed S] [--scheme S] [--metrics-out FILE]\n"
       "                  [--trace-out FILE]\n"
+      "  ft2 serve-bench <model> --load [--requests N] [--rate HZ]\n"
+      "                  [--batch B] [--seed S] [--metrics-out FILE]\n"
       "  ft2 report <LOG.csv|.json|.jsonl>... [--json FILE] [--bootstrap N]\n"
       "             [--ci-seed S]\n"
       "  ft2 metrics <model> [--dataset D] [--requests N] [--batch B]\n"
@@ -1051,7 +1110,7 @@ int main(int argc, char** argv) {
       {"long", false},        {"shards", true},   {"shard-index", true},
       {"dir", true},          {"no-resume", false}, {"verify", false},
       {"bootstrap", true},    {"ci-seed", true},  {"kernel", true},
-      {"check", false},
+      {"check", false},       {"load", false},    {"rate", true},
   };
   try {
     const ArgParser args(argc - 2, argv + 2, spec);
