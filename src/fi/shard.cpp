@@ -1,10 +1,17 @@
 #include "fi/shard.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <sstream>
 #include <utility>
 
 #include "common/check.hpp"
@@ -177,13 +184,321 @@ ShardScan scan_shard_log(const std::string& path) {
   return out;
 }
 
+Json ShardFrame::to_json() const {
+  Json json = Json::object();
+  json["ft2_shard_frame"] = Json(1);
+  json["shard"] = Json(shard);
+  json["shards"] = Json(shards);
+  json["first"] = Json(first);
+  json["last"] = Json(last);
+  json["done"] = Json(done);
+  json["resumed"] = Json(resumed);
+  json["final"] = Json(final_frame);
+  Json outcomes_json = Json::object();
+  for (const auto& [name, count] : outcomes) {
+    outcomes_json[name] = Json(static_cast<std::size_t>(count));
+  }
+  json["outcomes"] = std::move(outcomes_json);
+  json["metrics"] = metrics.to_json();
+  return json;
+}
+
+ShardFrame ShardFrame::from_json(const Json& json) {
+  FT2_CHECK_MSG(json.find("ft2_shard_frame") != nullptr,
+                "not a shard telemetry frame");
+  ShardFrame frame;
+  frame.shard = manifest_size(json, "shard");
+  frame.shards = manifest_size(json, "shards");
+  frame.first = manifest_size(json, "first");
+  frame.last = manifest_size(json, "last");
+  frame.done = manifest_size(json, "done");
+  frame.resumed = manifest_size(json, "resumed");
+  frame.final_frame = manifest_field(json, "final").as_bool();
+  const Json& outcomes_json = manifest_field(json, "outcomes");
+  for (const std::string& name : outcomes_json.keys()) {
+    frame.outcomes[name] =
+        static_cast<std::uint64_t>(outcomes_json.at(name).as_double());
+  }
+  frame.metrics = MetricsSnapshot::from_json(manifest_field(json, "metrics"));
+  return frame;
+}
+
+std::string encode_shard_frame(const ShardFrame& frame) {
+  const std::string payload = frame.to_json().dump(-1);
+  FT2_CHECK_MSG(payload.size() <= 0x7fffffff, "shard frame too large");
+  const std::uint32_t length = static_cast<std::uint32_t>(payload.size());
+  std::string wire(4, '\0');
+  wire[0] = static_cast<char>(length & 0xff);
+  wire[1] = static_cast<char>((length >> 8) & 0xff);
+  wire[2] = static_cast<char>((length >> 16) & 0xff);
+  wire[3] = static_cast<char>((length >> 24) & 0xff);
+  wire += payload;
+  return wire;
+}
+
+void ShardFrameDecoder::feed(const char* data, std::size_t n) {
+  buffer_.append(data, n);
+  for (;;) {
+    if (buffer_.size() < 4) return;
+    const auto* bytes = reinterpret_cast<const unsigned char*>(buffer_.data());
+    const std::uint32_t length =
+        static_cast<std::uint32_t>(bytes[0]) |
+        (static_cast<std::uint32_t>(bytes[1]) << 8) |
+        (static_cast<std::uint32_t>(bytes[2]) << 16) |
+        (static_cast<std::uint32_t>(bytes[3]) << 24);
+    if (buffer_.size() < 4 + static_cast<std::size_t>(length)) return;
+    const Json payload = Json::parse(
+        std::string_view(buffer_.data() + 4, length));
+    frames_.push_back(ShardFrame::from_json(payload));
+    buffer_.erase(0, 4 + static_cast<std::size_t>(length));
+  }
+}
+
+std::vector<ShardFrame> ShardFrameDecoder::take_frames() {
+  std::vector<ShardFrame> out;
+  out.swap(frames_);
+  return out;
+}
+
+namespace {
+
+std::uint64_t board_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+ShardProgressBoard::ShardProgressBoard(std::size_t shard_count,
+                                       std::size_t total_trials)
+    : total_trials_(total_trials),
+      latest_(shard_count),
+      seen_(shard_count, false) {
+  FT2_CHECK_MSG(shard_count > 0, "ShardProgressBoard: zero shards");
+}
+
+void ShardProgressBoard::update(const ShardFrame& frame) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  FT2_CHECK_MSG(frame.shard < latest_.size(),
+                "shard frame index " << frame.shard << " out of range (board "
+                                     << "has " << latest_.size()
+                                     << " shards)");
+  latest_[frame.shard] = frame;
+  seen_[frame.shard] = true;
+  if (first_update_ns_ == 0) {
+    first_update_ns_ = board_now_ns();
+    // Work already on disk before this run (resumed trials) predates the
+    // rate window; counting it would wildly overstate trials/sec.
+    std::size_t done = 0;
+    for (std::size_t i = 0; i < latest_.size(); ++i) {
+      if (seen_[i]) done += latest_[i].done;
+    }
+    first_update_done_ = done;
+  }
+}
+
+ShardProgressBoard::Progress ShardProgressBoard::progress() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Progress p;
+  p.total = total_trials_;
+  p.per_shard_done.resize(latest_.size(), 0);
+  p.per_shard_total.resize(latest_.size(), 0);
+  for (std::size_t i = 0; i < latest_.size(); ++i) {
+    if (!seen_[i]) continue;
+    ++p.shards_reporting;
+    const ShardFrame& f = latest_[i];
+    if (f.final_frame) ++p.shards_final;
+    p.done += f.done;
+    p.per_shard_done[i] = f.done;
+    p.per_shard_total[i] = f.total();
+    for (const auto& [name, count] : f.outcomes) p.outcomes[name] += count;
+  }
+  if (first_update_ns_ != 0) {
+    const double elapsed =
+        static_cast<double>(board_now_ns() - first_update_ns_) * 1e-9;
+    const std::size_t fresh =
+        p.done >= first_update_done_ ? p.done - first_update_done_ : 0;
+    if (elapsed > 0.0 && fresh > 0) {
+      p.trials_per_s = static_cast<double>(fresh) / elapsed;
+      const std::size_t remaining = p.total >= p.done ? p.total - p.done : 0;
+      p.eta_s = static_cast<double>(remaining) / p.trials_per_s;
+    }
+  }
+  return p;
+}
+
+std::string ShardProgressBoard::progress_line() const {
+  const Progress p = progress();
+  std::ostringstream os;
+  os << "shards " << p.shards_final << "/" << latest_.size() << " done"
+     << " | trials " << p.done << "/" << p.total;
+  if (p.total > 0) {
+    char pct[16];
+    std::snprintf(pct, sizeof(pct), "%.1f",
+                  100.0 * static_cast<double>(p.done) /
+                      static_cast<double>(p.total));
+    os << " (" << pct << "%)";
+  }
+  if (p.trials_per_s > 0.0) {
+    char rate[32];
+    std::snprintf(rate, sizeof(rate), "%.1f", p.trials_per_s);
+    os << " | " << rate << " trials/s | eta "
+       << static_cast<long long>(p.eta_s + 0.5) << "s";
+  }
+  if (!p.outcomes.empty()) {
+    os << " |";
+    for (const auto& [name, count] : p.outcomes) {
+      os << " " << name << " " << count;
+    }
+  }
+  os << " | per-shard";
+  for (std::size_t i = 0; i < p.per_shard_done.size(); ++i) {
+    os << " " << p.per_shard_done[i] << "/" << p.per_shard_total[i];
+  }
+  return os.str();
+}
+
+MetricsSnapshot ShardProgressBoard::merged_locked() const {
+  std::vector<MetricsSnapshot> parts;
+  for (std::size_t i = 0; i < latest_.size(); ++i) {
+    if (seen_[i]) parts.push_back(latest_[i].metrics);
+  }
+  return merge_snapshots(parts);
+}
+
+MetricsSnapshot ShardProgressBoard::telemetry_snapshot() const {
+  MetricsSnapshot merged;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    merged = merged_locked();
+  }
+  const Progress p = progress();
+  auto set_gauge = [&merged](const std::string& name, double value) {
+    merged.gauges.push_back({name, value});
+  };
+  set_gauge("campaign.progress.done", static_cast<double>(p.done));
+  set_gauge("campaign.progress.total", static_cast<double>(p.total));
+  set_gauge("campaign.progress.trials_per_s", p.trials_per_s);
+  set_gauge("campaign.progress.eta_s", p.eta_s);
+  for (std::size_t i = 0; i < p.per_shard_done.size(); ++i) {
+    set_gauge("campaign.shard.progress." + std::to_string(i),
+              static_cast<double>(p.per_shard_done[i]));
+  }
+  std::sort(merged.gauges.begin(), merged.gauges.end(),
+            [](const auto& a, const auto& b) { return a.name < b.name; });
+  return merged;
+}
+
+Json ShardProgressBoard::telemetry_json() const {
+  const Progress p = progress();
+  Json doc = Json::object();
+  doc["ts_ms"] = Json(static_cast<std::size_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count()));
+  Json progress_json = Json::object();
+  progress_json["done"] = Json(p.done);
+  progress_json["total"] = Json(p.total);
+  progress_json["shards_reporting"] = Json(p.shards_reporting);
+  progress_json["shards_final"] = Json(p.shards_final);
+  progress_json["trials_per_s"] = Json(p.trials_per_s);
+  progress_json["eta_s"] = Json(p.eta_s);
+  Json outcomes_json = Json::object();
+  for (const auto& [name, count] : p.outcomes) {
+    outcomes_json[name] = Json(static_cast<std::size_t>(count));
+  }
+  progress_json["outcomes"] = std::move(outcomes_json);
+  Json per_shard = Json::array();
+  for (std::size_t i = 0; i < p.per_shard_done.size(); ++i) {
+    Json row = Json::object();
+    row["shard"] = Json(i);
+    row["done"] = Json(p.per_shard_done[i]);
+    row["total"] = Json(p.per_shard_total[i]);
+    per_shard.push_back(std::move(row));
+  }
+  progress_json["per_shard"] = std::move(per_shard);
+  doc["progress"] = std::move(progress_json);
+  doc["cumulative"] = telemetry_snapshot().to_json();
+  return doc;
+}
+
+namespace {
+
+/// Worker-side frame writer: builds frames from the shard's live state
+/// and writes them to the telemetry pipe, throttled to interval_ms. Any
+/// write failure (EPIPE when the parent died, EBADF) permanently disables
+/// emission — telemetry is advisory and must never fail the shard.
+class ShardFrameEmitter {
+ public:
+  ShardFrameEmitter(const ShardTelemetryConfig& telemetry,
+                    const ShardManifest& manifest, MetricsRegistry* metrics)
+      : fd_(telemetry.enabled() ? telemetry.fd : -1),
+        interval_ns_(telemetry.interval_ms * 1'000'000ull),
+        manifest_(manifest),
+        metrics_(metrics) {}
+
+  void record_outcome(Outcome outcome) {
+    if (fd_ < 0) return;
+    ++done_;
+    ++outcomes_[outcome_name(outcome)];
+  }
+
+  void set_resumed(std::size_t resumed) { resumed_ = resumed; }
+
+  /// Emits when the throttle interval has elapsed (or `force`).
+  void maybe_emit(bool force, bool final_frame = false) {
+    if (fd_ < 0) return;
+    const std::uint64_t now = board_now_ns();
+    if (!force && last_emit_ns_ != 0 && now - last_emit_ns_ < interval_ns_) {
+      return;
+    }
+    last_emit_ns_ = now;
+    ShardFrame frame;
+    frame.shard = manifest_.shard_index;
+    frame.shards = manifest_.shard_count;
+    frame.first = manifest_.first_trial;
+    frame.last = manifest_.last_trial;
+    frame.done = done_;
+    frame.resumed = resumed_;
+    frame.final_frame = final_frame;
+    frame.outcomes = outcomes_;
+    frame.metrics = metrics_->snapshot();
+    const std::string wire = encode_shard_frame(frame);
+    std::size_t sent = 0;
+    while (sent < wire.size()) {
+      const ssize_t n = ::write(fd_, wire.data() + sent, wire.size() - sent);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        fd_ = -1;  // parent went away: stop emitting, keep running trials
+        return;
+      }
+      sent += static_cast<std::size_t>(n);
+    }
+  }
+
+ private:
+  int fd_;
+  std::uint64_t interval_ns_;
+  std::uint64_t last_emit_ns_ = 0;
+  const ShardManifest& manifest_;
+  MetricsRegistry* metrics_;
+  std::size_t done_ = 0;
+  std::size_t resumed_ = 0;
+  std::map<std::string, std::uint64_t> outcomes_;
+};
+
+}  // namespace
+
 ShardRunResult run_campaign_shard(const TransformerLM& model,
                                   const std::vector<EvalInput>& inputs,
                                   const SchemeRef& scheme,
                                   const BoundStore& offline_bounds,
                                   const CampaignConfig& config,
                                   const ShardManifest& manifest,
-                                  const std::string& path, bool resume) {
+                                  const std::string& path, bool resume,
+                                  const ShardTelemetryConfig& telemetry) {
   FT2_CHECK_MSG(manifest.first_trial <= manifest.last_trial &&
                     manifest.last_trial <=
                         inputs.size() * config.trials_per_input,
@@ -234,7 +549,15 @@ ShardRunResult run_campaign_shard(const TransformerLM& model,
   out.resumed = recovered.size();
   if (out.resumed > 0) resumed_counter.inc(out.resumed);
   if (out.torn_tail_recovered) torn_counter.inc();
-  for (const TrialRecord& r : recovered) bump_outcome(out.result, r.outcome);
+  ShardFrameEmitter emitter(telemetry, manifest, metrics);
+  for (const TrialRecord& r : recovered) {
+    bump_outcome(out.result, r.outcome);
+    emitter.record_outcome(r.outcome);
+  }
+  emitter.set_resumed(out.resumed);
+  // Initial frame: the parent learns this shard's range (and any resumed
+  // progress) before the first trial lands.
+  emitter.maybe_emit(/*force=*/true);
 
   const std::size_t resume_from = manifest.first_trial + recovered.size();
   recovered.clear();
@@ -248,12 +571,15 @@ ShardRunResult run_campaign_shard(const TransformerLM& model,
     const TrialCallback writer = [&](const TrialRecord& record) {
       pending.emplace(record.trial, record);
       while (!pending.empty() && pending.begin()->first == next) {
-        trial_record_to_json(pending.begin()->second).write(os, -1);
+        const TrialRecord& flushed = pending.begin()->second;
+        trial_record_to_json(flushed).write(os, -1);
         os << '\n';
         os.flush();
+        emitter.record_outcome(flushed.outcome);
         pending.erase(pending.begin());
         ++next;
       }
+      emitter.maybe_emit(/*force=*/false);
     };
     const CampaignResult ran =
         run_campaign_range(model, inputs, scheme, offline_bounds, config,
@@ -268,6 +594,7 @@ ShardRunResult run_campaign_shard(const TransformerLM& model,
     executed_counter.inc(ran.trials);
     out.result.merge(ran);
   }
+  emitter.maybe_emit(/*force=*/true, /*final_frame=*/true);
   span.tag("resumed", std::to_string(out.resumed))
       .tag("executed", std::to_string(out.executed));
   return out;

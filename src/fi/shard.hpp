@@ -15,15 +15,26 @@
 // model digest => ft2::Error, never a silently mixed log), and continues
 // from the first missing trial index. Records are flushed in trial order,
 // so the intact prefix of a shard log is always [first_trial, resume_from).
+// Live shard telemetry (this file, lower half): each worker process
+// periodically writes a length-prefixed JSON snapshot frame to a per-
+// worker pipe, and the parent feeds the bytes through ShardFrameDecoder
+// into a ShardProgressBoard — a merged live view (per-shard trials done,
+// aggregate trials/sec, outcome mix, ETA) that also implements
+// TelemetrySource so the same HTTP endpoint that serves a single process
+// can serve a whole sharded campaign. Frames are advisory: losing one
+// (slow pipe, dead parent) never affects trial execution or the shard log.
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/json.hpp"
 #include "fi/campaign.hpp"
 #include "fi/trace.hpp"
+#include "obs/telemetry.hpp"
 
 namespace ft2 {
 
@@ -107,13 +118,112 @@ struct ShardRunResult {
   bool torn_tail_recovered = false;
 };
 
+/// Worker-side telemetry wiring for run_campaign_shard: when `fd` is a
+/// valid pipe write end, the shard emits a ShardFrame there at start, at
+/// most every `interval_ms` while trials flush, and once at completion.
+/// A broken pipe (parent gone) silently stops emission — telemetry must
+/// never fail a shard.
+struct ShardTelemetryConfig {
+  int fd = -1;
+  std::size_t interval_ms = 250;
+
+  bool enabled() const { return fd >= 0; }
+};
+
+/// One worker progress frame: shard identity + trial progress + outcome
+/// tallies + a full metrics snapshot of the worker's registry.
+struct ShardFrame {
+  std::size_t shard = 0;
+  std::size_t shards = 1;
+  std::size_t first = 0;
+  std::size_t last = 0;  ///< exclusive
+  std::size_t done = 0;  ///< trials complete in [first, last), incl. resumed
+  std::size_t resumed = 0;
+  bool final_frame = false;  ///< the shard's last frame before exit
+  /// outcome_name -> count over the trials this shard has completed.
+  std::map<std::string, std::uint64_t> outcomes;
+  MetricsSnapshot metrics;
+
+  std::size_t total() const { return last - first; }
+
+  /// Serialized with the `"ft2_shard_frame"` marker key.
+  Json to_json() const;
+  static ShardFrame from_json(const Json& json);
+};
+
+/// Wire format: 4-byte little-endian payload length, then the compact
+/// JSON payload. Length-prefixing keeps frames intact across the pipe's
+/// arbitrary read boundaries.
+std::string encode_shard_frame(const ShardFrame& frame);
+
+/// Incremental decoder for one worker's pipe byte stream. feed() any
+/// chunk sizes (partial frames buffer internally); take_frames() drains
+/// the complete frames decoded so far, in arrival order. A malformed
+/// payload throws ft2::Error.
+class ShardFrameDecoder {
+ public:
+  void feed(const char* data, std::size_t n);
+  std::vector<ShardFrame> take_frames();
+  std::size_t buffered_bytes() const { return buffer_.size(); }
+
+ private:
+  std::string buffer_;
+  std::vector<ShardFrame> frames_;
+};
+
+/// Parent-side merged view over every worker's latest frame. update() is
+/// thread-safe; the board implements TelemetrySource, so the parent can
+/// serve the merged campaign view on the same HTTP endpoint a single
+/// process uses. Synthetic gauges summarize progress for /metrics:
+/// campaign.progress.{done,total,trials_per_s,eta_s} and
+/// campaign.shard.progress.<N> per shard.
+class ShardProgressBoard : public TelemetrySource {
+ public:
+  ShardProgressBoard(std::size_t shard_count, std::size_t total_trials);
+
+  void update(const ShardFrame& frame);
+
+  struct Progress {
+    std::size_t done = 0;
+    std::size_t total = 0;
+    std::size_t shards_reporting = 0;
+    std::size_t shards_final = 0;
+    double trials_per_s = 0.0;  ///< since the first frame arrived
+    double eta_s = -1.0;        ///< -1 before a usable rate exists
+    std::map<std::string, std::uint64_t> outcomes;
+    std::vector<std::size_t> per_shard_done;  ///< indexed by shard
+    std::vector<std::size_t> per_shard_total;
+  };
+  Progress progress() const;
+
+  /// One-line human render of progress(), e.g.
+  /// "shards 2/3 done | trials 1234/5000 (24.7%) | 81.2 trials/s | eta 46s
+  ///  | sdc 12 masked 983 | per-shard 412/1667 410/1667 412/1666".
+  std::string progress_line() const;
+
+  // TelemetrySource over the merged worker snapshots + progress gauges.
+  MetricsSnapshot telemetry_snapshot() const override;
+  Json telemetry_json() const override;
+
+ private:
+  MetricsSnapshot merged_locked() const;
+
+  mutable std::mutex mutex_;
+  std::size_t total_trials_;
+  std::vector<ShardFrame> latest_;  ///< latest frame per shard (by index)
+  std::vector<bool> seen_;
+  std::uint64_t first_update_ns_ = 0;
+  std::size_t first_update_done_ = 0;  ///< resumed work predating this run
+};
+
 /// Runs (or resumes) one shard: scans `path` when `resume` is set,
 /// validates its manifest against `manifest`, truncates a torn tail,
 /// appends the manifest line to a fresh log, then runs
 /// run_campaign_range(resume_from, last_trial) streaming records to the
 /// log in trial order (each line flushed as written, so a kill at any
 /// moment loses at most the line being written). Emits campaign.shard.*
-/// metrics and one campaign.shard span through `config.obs`.
+/// metrics and one campaign.shard span through `config.obs`, plus live
+/// ShardFrames per `telemetry` when enabled.
 ShardRunResult run_campaign_shard(const TransformerLM& model,
                                   const std::vector<EvalInput>& inputs,
                                   const SchemeRef& scheme,
@@ -121,7 +231,8 @@ ShardRunResult run_campaign_shard(const TransformerLM& model,
                                   const CampaignConfig& config,
                                   const ShardManifest& manifest,
                                   const std::string& path,
-                                  bool resume = true);
+                                  bool resume = true,
+                                  const ShardTelemetryConfig& telemetry = {});
 
 /// Result of merging shard logs back into one campaign view.
 struct ShardMerge {

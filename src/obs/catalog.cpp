@@ -1,6 +1,7 @@
 #include "obs/catalog.hpp"
 
 #include <algorithm>
+#include <cctype>
 
 #include "nn/layer_kind.hpp"
 
@@ -81,6 +82,19 @@ constexpr Template kTemplates[] = {
      "trials actually run by this shard invocation"},
     {"campaign.shard.torn_tail", "counter",
      "torn shard-log tails truncated during resume"},
+    // fi/shard.cpp (ShardProgressBoard — parent-side merged view)
+    {"campaign.progress.done", "gauge",
+     "trials finished across all shards (merged telemetry frames)"},
+    {"campaign.progress.total", "gauge", "trials planned across all shards"},
+    {"campaign.progress.trials_per_s", "gauge",
+     "aggregate completion rate since the first telemetry frame"},
+    {"campaign.progress.eta_s", "gauge",
+     "estimated seconds until all shards finish (-1 before a rate exists)"},
+    {"campaign.shard.progress.<N>", "gauge",
+     "trials finished by shard N (merged telemetry frames)"},
+    // obs/trace.cpp
+    {"trace.dropped", "counter",
+     "spans overwritten on Tracer ring wrap-around"},
     // trace span names (Tracer, not MetricsRegistry)
     {"serve.prefill", "span", "one request's prefill"},
     {"serve.decode_step", "span", "one batched decode step"},
@@ -134,11 +148,36 @@ std::vector<std::string> all_metric_names() {
   return names;
 }
 
-bool is_cataloged_metric(std::string_view name) {
+std::vector<std::string> metric_template_names() {
+  std::vector<std::string> names;
+  for (const Template& t : kTemplates) names.emplace_back(t.name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+const CatalogEntry* find_catalog_entry(std::string_view name) {
   for (const CatalogEntry& e : metric_catalog()) {
-    if (e.name == name) return true;
+    if (e.name == name) return &e;
   }
-  return false;
+  // Numeric wildcard: foo.<digits> matches a cataloged foo.<N>.
+  const std::size_t dot = name.rfind('.');
+  if (dot != std::string_view::npos && dot + 1 < name.size()) {
+    const std::string_view tail = name.substr(dot + 1);
+    const bool all_digits =
+        std::all_of(tail.begin(), tail.end(),
+                    [](unsigned char c) { return std::isdigit(c) != 0; });
+    if (all_digits) {
+      const std::string wildcard = std::string(name.substr(0, dot + 1)) + "<N>";
+      for (const CatalogEntry& e : metric_catalog()) {
+        if (e.name == wildcard) return &e;
+      }
+    }
+  }
+  return nullptr;
+}
+
+bool is_cataloged_metric(std::string_view name) {
+  return find_catalog_entry(name) != nullptr;
 }
 
 }  // namespace ft2

@@ -24,12 +24,25 @@ struct CatalogEntry {
 
 /// The full expanded catalog: `<KIND>` placeholders fanned out over every
 /// LayerKind and `<OUTCOME>` over every campaign outcome, sorted by name.
+/// The `<N>` placeholder (a small non-negative integer, e.g. a shard
+/// index) stays literal — it has no bounded expansion.
 const std::vector<CatalogEntry>& metric_catalog();
 
 /// All catalog names, in catalog order — the `ft2 metric-names` dump.
 std::vector<std::string> all_metric_names();
 
-/// True when `name` appears in the catalog (exact match).
+/// The un-expanded template names (placeholders intact), sorted — the
+/// `ft2 metric-names --templates` dump consumed by the reverse docs gate
+/// in tools/docs_check.sh (one docs row per template, not per expansion).
+std::vector<std::string> metric_template_names();
+
+/// True when `name` appears in the catalog. A name ending in `.<digits>`
+/// also matches a catalog entry ending in `.<N>` (numeric wildcard, e.g.
+/// campaign.shard.progress.3 matches campaign.shard.progress.<N>).
 bool is_cataloged_metric(std::string_view name);
+
+/// Catalog entry for `name` (same matching rules as is_cataloged_metric),
+/// or nullptr. The Prometheus exporter sources HELP lines from this.
+const CatalogEntry* find_catalog_entry(std::string_view name);
 
 }  // namespace ft2

@@ -1,0 +1,220 @@
+#include "obs/http_endpoint.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/json.hpp"
+#include "obs/prom_export.hpp"
+#include "obs/telemetry.hpp"
+
+namespace ft2 {
+
+namespace {
+
+/// send() the whole buffer; MSG_NOSIGNAL so a client that hangs up early
+/// yields EPIPE instead of killing the process with SIGPIPE.
+void send_all(int fd, std::string_view data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return;  // client went away; nothing to do
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::string http_response(int status, const char* reason,
+                          const std::string& content_type,
+                          const std::string& body) {
+  std::ostringstream os;
+  os << "HTTP/1.1 " << status << " " << reason << "\r\n"
+     << "Content-Type: " << content_type << "\r\n"
+     << "Content-Length: " << body.size() << "\r\n"
+     << "Connection: close\r\n\r\n"
+     << body;
+  return os.str();
+}
+
+}  // namespace
+
+TelemetryEndpoint::TelemetryEndpoint(const TelemetrySource* source,
+                                     Options options)
+    : source_(source), options_(std::move(options)) {
+  FT2_CHECK(source_ != nullptr);
+}
+
+TelemetryEndpoint::~TelemetryEndpoint() { stop(); }
+
+void TelemetryEndpoint::start() {
+  if (running_) return;
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  FT2_CHECK_MSG(listen_fd_ >= 0, "telemetry endpoint: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+  FT2_CHECK_MSG(::inet_pton(AF_INET, options_.bind_address.c_str(),
+                            &addr.sin_addr) == 1,
+                "telemetry endpoint: bad bind address");
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    FT2_CHECK_MSG(false, std::string("telemetry endpoint: bind failed: ") +
+                             std::strerror(err));
+  }
+  FT2_CHECK_MSG(::listen(listen_fd_, 16) == 0,
+                "telemetry endpoint: listen failed");
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  FT2_CHECK(::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                          &len) == 0);
+  bound_port_ = ntohs(bound.sin_port);
+
+  running_ = true;
+  thread_ = std::thread([this] { serve_loop(); });
+}
+
+void TelemetryEndpoint::stop() {
+  if (!running_) return;
+  running_ = false;
+  // shutdown() unblocks the accept() in the serving thread.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+std::string TelemetryEndpoint::url() const {
+  return "http://" + options_.bind_address + ":" + std::to_string(bound_port_);
+}
+
+void TelemetryEndpoint::serve_loop() {
+  while (running_) {
+    const int client = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (client < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener shut down (or unrecoverable) — exit the loop
+    }
+    handle_connection(client);
+    ::close(client);
+  }
+}
+
+void TelemetryEndpoint::handle_connection(int client_fd) {
+  // Read until the end of the request head. GETs have no body; 4 KiB is
+  // plenty for any scrape client's request line + headers.
+  std::string request;
+  char buf[4096];
+  while (request.find("\r\n\r\n") == std::string::npos &&
+         request.size() < 64 * 1024) {
+    pollfd pfd{client_fd, POLLIN, 0};
+    if (::poll(&pfd, 1, 2000) <= 0) return;  // slow/dead client: drop it
+    const ssize_t n = ::recv(client_fd, buf, sizeof(buf), 0);
+    if (n <= 0) return;
+    request.append(buf, static_cast<std::size_t>(n));
+  }
+
+  std::istringstream head(request);
+  std::string method, target, version;
+  head >> method >> target >> version;
+
+  if (method != "GET") {
+    send_all(client_fd, http_response(405, "Method Not Allowed", "text/plain",
+                                      "only GET is supported\n"));
+    return;
+  }
+  // Strip any query string: /snapshot.json?x=y routes like /snapshot.json.
+  const std::size_t query = target.find('?');
+  if (query != std::string::npos) target.resize(query);
+
+  if (target == "/metrics") {
+    send_all(client_fd,
+             http_response(200, "OK", "text/plain; version=0.0.4",
+                           prometheus_text(source_->telemetry_snapshot())));
+  } else if (target == "/snapshot.json") {
+    send_all(client_fd, http_response(200, "OK", "application/json",
+                                      source_->telemetry_json().dump(-1)));
+  } else if (target == "/healthz") {
+    send_all(client_fd, http_response(200, "OK", "text/plain", "ok\n"));
+  } else {
+    send_all(client_fd,
+             http_response(404, "Not Found", "text/plain", "not found\n"));
+  }
+}
+
+HttpResponse http_get(const std::string& host, int port,
+                      const std::string& path, int timeout_ms) {
+  HttpResponse response;
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    response.body = "socket() failed";
+    return response;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    response.body = "bad host (http_get takes a literal IPv4 address)";
+    return response;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    response.body = std::string("connect failed: ") + std::strerror(errno);
+    return response;
+  }
+
+  const std::string request = "GET " + path +
+                              " HTTP/1.1\r\nHost: " + host +
+                              "\r\nConnection: close\r\n\r\n";
+  send_all(fd, request);
+
+  // Server sends Connection: close, so read to EOF under the timeout.
+  std::string raw;
+  char buf[4096];
+  for (;;) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready <= 0) {
+      ::close(fd);
+      response.body = "timed out waiting for response";
+      return response;
+    }
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0) {
+      ::close(fd);
+      response.body = std::string("recv failed: ") + std::strerror(errno);
+      return response;
+    }
+    if (n == 0) break;
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  // "HTTP/1.1 200 OK\r\n...\r\n\r\n<body>"
+  const std::size_t space = raw.find(' ');
+  const std::size_t head_end = raw.find("\r\n\r\n");
+  if (space == std::string::npos || head_end == std::string::npos) {
+    response.body = "malformed response";
+    return response;
+  }
+  response.status = std::atoi(raw.c_str() + space + 1);
+  response.body = raw.substr(head_end + 4);
+  return response;
+}
+
+}  // namespace ft2

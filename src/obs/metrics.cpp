@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <limits>
 
 #include "common/check.hpp"
 #include "common/env.hpp"
@@ -293,6 +294,55 @@ Json MetricsSnapshot::to_json() const {
     hists_json[h.name] = std::move(entry);
   }
   return doc;
+}
+
+MetricsSnapshot MetricsSnapshot::from_json(const Json& doc) {
+  FT2_CHECK(doc.is_object());
+  MetricsSnapshot snap;
+  if (const Json* counters = doc.find("counters")) {
+    for (const std::string& name : counters->keys()) {
+      snap.counters.push_back(
+          {name, static_cast<std::uint64_t>(counters->at(name).as_double())});
+    }
+  }
+  // The writer emits non-finite doubles as null (JSON has no inf/nan);
+  // map those back to NaN rather than failing the parse.
+  auto as_double_or_nan = [](const Json& v) {
+    return v.is_null() ? std::numeric_limits<double>::quiet_NaN()
+                       : v.as_double();
+  };
+  if (const Json* gauges = doc.find("gauges")) {
+    for (const std::string& name : gauges->keys()) {
+      snap.gauges.push_back({name, as_double_or_nan(gauges->at(name))});
+    }
+  }
+  if (const Json* hists = doc.find("histograms")) {
+    for (const std::string& name : hists->keys()) {
+      const Json& entry = hists->at(name);
+      HistogramValue h;
+      h.name = name;
+      const Json& uppers = entry.at("bucket_uppers");
+      for (std::size_t i = 0; i < uppers.size(); ++i) {
+        h.uppers.push_back(uppers.at(i).as_double());
+      }
+      const Json& counts = entry.at("bucket_counts");
+      for (std::size_t i = 0; i < counts.size(); ++i) {
+        h.counts.push_back(
+            static_cast<std::uint64_t>(counts.at(i).as_double()));
+      }
+      FT2_CHECK(h.counts.size() == h.uppers.size() + 1);
+      h.count = static_cast<std::uint64_t>(entry.at("count").as_double());
+      h.sum = as_double_or_nan(entry.at("sum"));
+      h.nan_count =
+          static_cast<std::uint64_t>(entry.at("nan_count").as_double());
+      snap.histograms.push_back(std::move(h));
+    }
+  }
+  auto by_name = [](const auto& a, const auto& b) { return a.name < b.name; };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+  std::sort(snap.histograms.begin(), snap.histograms.end(), by_name);
+  return snap;
 }
 
 Table MetricsSnapshot::to_table() const {

@@ -184,6 +184,12 @@ struct MetricsSnapshot {
   /// counts, count, sum, nan_count}}} via common/json.hpp.
   Json to_json() const;
 
+  /// Inverse of to_json() (derived p50/p95/p99/mean fields are recomputed,
+  /// not read back). Cross-process consumers — the shard telemetry parent
+  /// and `ft2 top --connect` — use this to rebuild a snapshot from a frame
+  /// or /snapshot.json body. Throws ft2::Error on a malformed document.
+  static MetricsSnapshot from_json(const Json& doc);
+
   /// Human-readable table (one row per metric; histograms show
   /// count/mean/p50/p95/p99) via common/table.hpp.
   Table to_table() const;

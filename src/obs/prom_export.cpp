@@ -1,0 +1,196 @@
+#include "obs/prom_export.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <sstream>
+#include <string_view>
+#include <vector>
+
+#include "fi/trace.hpp"
+#include "nn/layer_kind.hpp"
+#include "obs/catalog.hpp"
+
+namespace ft2 {
+
+namespace {
+
+std::string sanitize(std::string_view dotted) {
+  std::string out;
+  out.reserve(dotted.size());
+  for (char c : dotted) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+bool is_layer_kind_name(std::string_view s) {
+  for (std::size_t k = 0; k < kLayerKindCount; ++k) {
+    if (s == layer_kind_name(static_cast<LayerKind>(k))) return true;
+  }
+  return false;
+}
+
+bool is_outcome_name(std::string_view s) {
+  constexpr Outcome kOutcomes[] = {Outcome::kMaskedIdentical,
+                                   Outcome::kMaskedSemantic, Outcome::kSdc,
+                                   Outcome::kNotInjected};
+  for (Outcome o : kOutcomes) {
+    if (s == outcome_name(o)) return true;
+  }
+  return false;
+}
+
+bool is_all_digits(std::string_view s) {
+  return !s.empty() &&
+         std::all_of(s.begin(), s.end(),
+                     [](unsigned char c) { return std::isdigit(c) != 0; });
+}
+
+/// HELP text for a family: the catalog entry of the original dotted name
+/// (label expansions resolve through the catalog's own expansion).
+const char* help_for(const std::string& dotted_name) {
+  const CatalogEntry* entry = find_catalog_entry(dotted_name);
+  return entry == nullptr ? nullptr : entry->help;
+}
+
+struct Series {
+  std::string labels;       ///< rendered: {kind="V_PROJ"} or ""
+  std::string dotted_name;  ///< original metric name (for HELP lookup)
+  const MetricsSnapshot::CounterValue* counter = nullptr;
+  const MetricsSnapshot::GaugeValue* gauge = nullptr;
+  const MetricsSnapshot::HistogramValue* histogram = nullptr;
+};
+
+struct Family {
+  const char* type = nullptr;  ///< "counter" | "gauge" | "histogram"
+  std::vector<Series> series;
+};
+
+std::string render_labels(const PromSeries& s) {
+  if (s.label_key.empty()) return "";
+  return "{" + s.label_key + "=\"" + s.label_value + "\"}";
+}
+
+}  // namespace
+
+PromSeries prom_series_for(const std::string& metric_name) {
+  PromSeries out;
+  std::string_view base = metric_name;
+  const std::size_t dot = metric_name.rfind('.');
+  if (dot != std::string::npos && dot + 1 < metric_name.size()) {
+    const std::string_view tail =
+        std::string_view(metric_name).substr(dot + 1);
+    const char* key = nullptr;
+    if (is_layer_kind_name(tail)) {
+      key = "kind";
+    } else if (is_outcome_name(tail)) {
+      key = "outcome";
+    } else if (is_all_digits(tail)) {
+      key = "shard";
+    }
+    if (key != nullptr) {
+      out.label_key = key;
+      out.label_value = std::string(tail);
+      base = std::string_view(metric_name).substr(0, dot);
+    }
+  }
+  out.family = "ft2_" + sanitize(base);
+  return out;
+}
+
+std::string prom_value(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0.0 ? "+Inf" : "-Inf";
+  // Integral values (bucket bounds, merged counts) print without an
+  // exponent: "10", not the "1e+01" %g would pick at low precision.
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    char fixed[32];
+    std::snprintf(fixed, sizeof(fixed), "%.0f", v);
+    return fixed;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // Shortest round-trippable form: prefer fewer digits when they parse
+  // back exactly.
+  for (int precision = 1; precision < 17; ++precision) {
+    char shorter[64];
+    std::snprintf(shorter, sizeof(shorter), "%.*g", precision, v);
+    if (std::strtod(shorter, nullptr) == v) return shorter;
+  }
+  return buf;
+}
+
+std::string prometheus_text(const MetricsSnapshot& snapshot) {
+  // Group snapshot entries into label families keyed by family name, so
+  // HELP/TYPE are emitted once even when ten <KIND> expansions share one
+  // family.
+  std::map<std::string, Family> families;
+  auto add = [&families](const std::string& dotted, const char* type,
+                         auto setter) {
+    const PromSeries ps = prom_series_for(dotted);
+    Family& family = families[ps.family];
+    family.type = type;
+    Series series;
+    series.labels = render_labels(ps);
+    series.dotted_name = dotted;
+    setter(series);
+    family.series.push_back(std::move(series));
+  };
+  for (const auto& c : snapshot.counters) {
+    add(c.name, "counter", [&c](Series& s) { s.counter = &c; });
+  }
+  for (const auto& g : snapshot.gauges) {
+    add(g.name, "gauge", [&g](Series& s) { s.gauge = &g; });
+  }
+  for (const auto& h : snapshot.histograms) {
+    add(h.name, "histogram", [&h](Series& s) { s.histogram = &h; });
+  }
+
+  std::ostringstream os;
+  for (const auto& [family_name, family] : families) {
+    const bool is_counter = std::string_view(family.type) == "counter";
+    const std::string exposed =
+        is_counter ? family_name + "_total" : family_name;
+    const char* help = help_for(family.series.front().dotted_name);
+    if (help != nullptr) {
+      os << "# HELP " << exposed << " " << help << "\n";
+    }
+    os << "# TYPE " << exposed << " " << family.type << "\n";
+    for (const Series& s : family.series) {
+      if (s.counter != nullptr) {
+        os << exposed << s.labels << " " << s.counter->value << "\n";
+      } else if (s.gauge != nullptr) {
+        os << exposed << s.labels << " " << prom_value(s.gauge->value)
+           << "\n";
+      } else {
+        const MetricsSnapshot::HistogramValue& h = *s.histogram;
+        // Cumulative le-buckets; the +Inf bucket equals the finite-sample
+        // total (NaN samples never land in buckets).
+        std::string label_prefix =
+            s.labels.empty() ? "{" : s.labels.substr(0, s.labels.size() - 1) +
+                                         ",";
+        std::uint64_t cumulative = 0;
+        for (std::size_t b = 0; b < h.uppers.size(); ++b) {
+          cumulative += h.counts[b];
+          os << exposed << "_bucket" << label_prefix << "le=\""
+             << prom_value(h.uppers[b]) << "\"} " << cumulative << "\n";
+        }
+        os << exposed << "_bucket" << label_prefix << "le=\"+Inf\"} "
+           << h.count << "\n";
+        os << exposed << "_sum" << s.labels << " " << prom_value(h.sum)
+           << "\n";
+        os << exposed << "_count" << s.labels << " " << h.count << "\n";
+      }
+    }
+  }
+  return os.str();
+}
+
+}  // namespace ft2

@@ -1,0 +1,44 @@
+// Prometheus text-format (0.0.4) exposition of a MetricsSnapshot.
+//
+// Maps the dotted FT2 naming scheme onto Prometheus conventions:
+//   - names are prefixed `ft2_` and sanitized (every char outside
+//     [a-zA-Z0-9_] becomes `_`), counters gain the `_total` suffix;
+//   - a trailing dotted component that is a LayerKind name, a campaign
+//     outcome name, or a shard index becomes a label instead of part of
+//     the name, so protect.oob.V_PROJ and protect.oob.FC1 fold into one
+//     `ft2_protect_oob_total{kind="..."}` family;
+//   - histograms expose cumulative `_bucket{le="..."}` series ending in
+//     `le="+Inf"`, plus `_sum` and `_count` (NaN samples are excluded from
+//     all three, matching HistogramCell semantics);
+//   - HELP lines come from the metric catalog (src/obs/catalog.hpp);
+//     un-cataloged names still export, without HELP.
+//
+// The endpoint (src/obs/http_endpoint.hpp) serves this under GET /metrics.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace ft2 {
+
+/// Renders one snapshot as Prometheus exposition text. Families are
+/// emitted in sorted order; series within a family keep snapshot order
+/// (already name-sorted). Gauge NaN/Inf render as the Prometheus literals
+/// `NaN`, `+Inf`, `-Inf`.
+std::string prometheus_text(const MetricsSnapshot& snapshot);
+
+/// `ft2_`-prefixed sanitized family name plus an optional label pulled
+/// from the trailing dotted component. Exposed for tests.
+struct PromSeries {
+  std::string family;  ///< e.g. ft2_protect_oob (no _total suffix)
+  std::string label_key;    ///< "kind" | "outcome" | "shard" | ""
+  std::string label_value;  ///< "" when label_key is empty
+};
+PromSeries prom_series_for(const std::string& metric_name);
+
+/// Prometheus value formatting: round-trippable shortest form for finite
+/// doubles, `NaN` / `+Inf` / `-Inf` literals otherwise. Exposed for tests.
+std::string prom_value(double v);
+
+}  // namespace ft2

@@ -1,0 +1,291 @@
+#include "obs/telemetry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_map>
+
+#include "common/check.hpp"
+#include "common/json.hpp"
+
+namespace ft2 {
+
+namespace {
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::uint64_t wall_now_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+const TelemetryInterval::CounterRate* TelemetryInterval::find_counter(
+    std::string_view name) const {
+  for (const auto& c : counters) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+const MetricsSnapshot::HistogramValue* TelemetryInterval::find_histogram(
+    std::string_view name) const {
+  for (const auto& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+double TelemetryInterval::counter_rate(std::string_view name) const {
+  const CounterRate* c = find_counter(name);
+  return c == nullptr ? 0.0 : c->per_sec;
+}
+
+Json TelemetryInterval::to_json() const {
+  Json doc = Json::object();
+  doc["seconds"] = seconds;
+  Json& counters_json = (doc["counters"] = Json::object());
+  for (const auto& c : counters) {
+    Json entry = Json::object();
+    entry["delta"] = c.delta;
+    entry["per_sec"] = c.per_sec;
+    counters_json[c.name] = std::move(entry);
+  }
+  Json& hists_json = (doc["histograms"] = Json::object());
+  for (const auto& h : histograms) {
+    Json entry = Json::object();
+    entry["count"] = h.count;
+    entry["mean"] = h.mean();
+    entry["p50"] = h.quantile(0.5);
+    entry["p95"] = h.quantile(0.95);
+    entry["p99"] = h.quantile(0.99);
+    hists_json[h.name] = std::move(entry);
+  }
+  Json& gauges_json = (doc["gauges"] = Json::object());
+  for (const auto& g : gauges) gauges_json[g.name] = g.value;
+  return doc;
+}
+
+TelemetryInterval derive_interval(const TelemetrySample& prev,
+                                  const TelemetrySample& next) {
+  TelemetryInterval interval;
+  interval.seconds =
+      next.steady_ns <= prev.steady_ns
+          ? 0.0
+          : static_cast<double>(next.steady_ns - prev.steady_ns) * 1e-9;
+  const double dt = interval.seconds;
+
+  for (const auto& c : next.snapshot.counters) {
+    const auto* before = prev.snapshot.find_counter(c.name);
+    const std::uint64_t base = before == nullptr ? 0 : before->value;
+    TelemetryInterval::CounterRate rate;
+    rate.name = c.name;
+    // Clamp at zero: a registry reset between samples must not produce a
+    // negative "rate".
+    rate.delta = c.value >= base ? c.value - base : 0;
+    rate.per_sec = dt > 0.0 ? static_cast<double>(rate.delta) / dt : 0.0;
+    interval.counters.push_back(std::move(rate));
+  }
+
+  for (const auto& h : next.snapshot.histograms) {
+    const auto* before = prev.snapshot.find_histogram(h.name);
+    MetricsSnapshot::HistogramValue delta;
+    delta.name = h.name;
+    delta.uppers = h.uppers;
+    if (before == nullptr || before->counts.size() != h.counts.size()) {
+      delta.counts = h.counts;
+      delta.count = h.count;
+      delta.nan_count = h.nan_count;
+      delta.sum = h.sum;
+    } else {
+      delta.counts.resize(h.counts.size());
+      for (std::size_t b = 0; b < h.counts.size(); ++b) {
+        delta.counts[b] = h.counts[b] >= before->counts[b]
+                              ? h.counts[b] - before->counts[b]
+                              : 0;
+      }
+      delta.count = h.count >= before->count ? h.count - before->count : 0;
+      delta.nan_count =
+          h.nan_count >= before->nan_count ? h.nan_count - before->nan_count : 0;
+      delta.sum = h.sum - before->sum;
+    }
+    interval.histograms.push_back(std::move(delta));
+  }
+
+  interval.gauges = next.snapshot.gauges;
+  return interval;
+}
+
+MetricsSnapshot merge_snapshots(const std::vector<MetricsSnapshot>& parts) {
+  MetricsSnapshot merged;
+  std::unordered_map<std::string, std::size_t> counter_index;
+  std::unordered_map<std::string, std::size_t> gauge_index;
+  std::unordered_map<std::string, std::size_t> hist_index;
+
+  for (const MetricsSnapshot& part : parts) {
+    for (const auto& c : part.counters) {
+      auto [it, inserted] =
+          counter_index.try_emplace(c.name, merged.counters.size());
+      if (inserted) {
+        merged.counters.push_back(c);
+      } else {
+        merged.counters[it->second].value += c.value;
+      }
+    }
+    for (const auto& g : part.gauges) {
+      auto [it, inserted] = gauge_index.try_emplace(g.name, merged.gauges.size());
+      if (inserted) {
+        merged.gauges.push_back(g);
+      } else {
+        merged.gauges[it->second].value += g.value;
+      }
+    }
+    for (const auto& h : part.histograms) {
+      auto [it, inserted] =
+          hist_index.try_emplace(h.name, merged.histograms.size());
+      if (inserted) {
+        merged.histograms.push_back(h);
+        continue;
+      }
+      MetricsSnapshot::HistogramValue& into = merged.histograms[it->second];
+      // Only same-shaped histograms merge bucket-wise; a bound mismatch
+      // (workers built against different bucket sets) keeps the first view
+      // rather than fabricating a nonsense distribution.
+      if (into.uppers != h.uppers || into.counts.size() != h.counts.size()) {
+        continue;
+      }
+      for (std::size_t b = 0; b < h.counts.size(); ++b) {
+        into.counts[b] += h.counts[b];
+      }
+      into.count += h.count;
+      into.nan_count += h.nan_count;
+      into.sum += h.sum;
+    }
+  }
+
+  auto by_name = [](const auto& a, const auto& b) { return a.name < b.name; };
+  std::sort(merged.counters.begin(), merged.counters.end(), by_name);
+  std::sort(merged.gauges.begin(), merged.gauges.end(), by_name);
+  std::sort(merged.histograms.begin(), merged.histograms.end(), by_name);
+  return merged;
+}
+
+TelemetrySampler::TelemetrySampler(const MetricsRegistry* registry,
+                                   Options options)
+    : registry_(registry), options_(options) {
+  FT2_CHECK(registry_ != nullptr);
+  FT2_CHECK(options_.ring_capacity > 0);
+  if (options_.interval_ms == 0) options_.interval_ms = 1;
+}
+
+TelemetrySampler::~TelemetrySampler() { stop(); }
+
+void TelemetrySampler::start() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (running_) return;
+  take_sample_locked();
+  stop_requested_ = false;
+  running_ = true;
+  thread_ = std::thread([this] { run_loop(); });
+}
+
+void TelemetrySampler::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  wake_.notify_all();
+  thread_.join();
+  std::lock_guard<std::mutex> lock(mutex_);
+  running_ = false;
+}
+
+bool TelemetrySampler::running() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return running_;
+}
+
+TelemetrySample TelemetrySampler::take_sample_locked() {
+  TelemetrySample sample;
+  sample.steady_ns = steady_now_ns();
+  sample.wall_ms = wall_now_ms();
+  sample.seq = next_seq_++;
+  sample.snapshot = registry_->snapshot();
+  ring_.push_back(sample);
+  while (ring_.size() > options_.ring_capacity) ring_.pop_front();
+  return sample;
+}
+
+TelemetrySample TelemetrySampler::sample_now() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return take_sample_locked();
+}
+
+std::size_t TelemetrySampler::sample_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ring_.size();
+}
+
+TelemetrySample TelemetrySampler::latest() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  FT2_CHECK(!ring_.empty());
+  return ring_.back();
+}
+
+std::vector<TelemetrySample> TelemetrySampler::history() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {ring_.begin(), ring_.end()};
+}
+
+TelemetryInterval TelemetrySampler::latest_interval() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.size() < 2) return {};
+  return derive_interval(ring_[ring_.size() - 2], ring_.back());
+}
+
+MetricsSnapshot TelemetrySampler::telemetry_snapshot() const {
+  return registry_->snapshot();
+}
+
+Json TelemetrySampler::telemetry_json() const {
+  TelemetrySample current;
+  TelemetryInterval interval;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    current.steady_ns = steady_now_ns();
+    current.wall_ms = wall_now_ms();
+    current.seq = next_seq_;  // not committed to the ring — read-only view
+    current.snapshot = registry_->snapshot();
+    if (!ring_.empty()) interval = derive_interval(ring_.back(), current);
+  }
+  Json doc = Json::object();
+  doc["ts_ms"] = current.wall_ms;
+  doc["samples"] = sample_count();
+  doc["interval"] = interval.to_json();
+  doc["cumulative"] = current.snapshot.to_json();
+  return doc;
+}
+
+void TelemetrySampler::run_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_requested_) {
+    const auto period = std::chrono::milliseconds(options_.interval_ms);
+    if (wake_.wait_for(lock, period, [this] { return stop_requested_; })) {
+      break;
+    }
+    take_sample_locked();
+  }
+  // Final sample so short-lived workloads always leave >= 2 samples (one
+  // interval) behind even when they finish inside the first period.
+  take_sample_locked();
+}
+
+}  // namespace ft2

@@ -1,0 +1,166 @@
+// Live telemetry: periodic time-series sampling of a MetricsRegistry.
+//
+// Every export the tree had before this module (metrics JSON, Chrome
+// traces, flight-recorder JSONL) is post-mortem — you learn what a serve
+// run or a campaign did after it exits. TelemetrySampler turns the same
+// MetricsRegistry into a live signal: a background thread snapshots the
+// registry on a fixed interval into a bounded ring of timestamped
+// MetricsSnapshots, and consecutive samples derive per-interval activity —
+// counter deltas become events/sec, histogram bucket deltas become
+// interval-local percentiles (what did latency look like in the LAST
+// second, not since process start), gauges pass through. The HTTP endpoint
+// (src/obs/http_endpoint.hpp) and `ft2 top` read that view; the shard
+// telemetry board (src/fi/shard.hpp) reuses the same snapshot algebra to
+// merge worker-process frames.
+//
+// Sampling is strictly observational: the sampler only ever calls
+// MetricsRegistry::snapshot() (a reader), so generated tokens, campaign
+// outcomes and every counter are bit-identical with the sampler running or
+// not. Overhead is one snapshot per interval regardless of event rate.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace ft2 {
+
+class Json;
+
+/// One timestamped registry snapshot in the sampler ring.
+struct TelemetrySample {
+  std::uint64_t steady_ns = 0;  ///< monotonic clock at snapshot time
+  std::uint64_t wall_ms = 0;    ///< unix epoch milliseconds (display only)
+  std::uint64_t seq = 0;        ///< increases per sample, survives eviction
+  MetricsSnapshot snapshot;
+};
+
+/// Per-interval activity derived from two cumulative samples.
+///
+/// Counters: value delta and delta/seconds rate. Histograms: the bucket
+/// counts observed during the interval (newer minus older, clamped at 0 so
+/// a registry reset never yields negative buckets) with interval-local
+/// quantiles via MetricsSnapshot::HistogramValue. Gauges are instantaneous
+/// already and pass through from the newer sample.
+struct TelemetryInterval {
+  double seconds = 0.0;
+
+  struct CounterRate {
+    std::string name;
+    std::uint64_t delta = 0;
+    double per_sec = 0.0;
+  };
+  std::vector<CounterRate> counters;  ///< sorted by name
+  /// Interval-local histogram views (same uppers as the cumulative
+  /// histogram; counts/sum are the interval delta).
+  std::vector<MetricsSnapshot::HistogramValue> histograms;
+  std::vector<MetricsSnapshot::GaugeValue> gauges;
+
+  const CounterRate* find_counter(std::string_view name) const;
+  const MetricsSnapshot::HistogramValue* find_histogram(
+      std::string_view name) const;
+  double counter_rate(std::string_view name) const;
+
+  /// {"seconds": dt, "counters": {name: {delta, per_sec}},
+  ///  "histograms": {name: {count, mean, p50, p95, p99}}, "gauges": {...}}
+  Json to_json() const;
+};
+
+/// Derives the per-interval view between two cumulative samples (prev must
+/// be the older one; a fresh metric that only exists in `next` counts from
+/// zero).
+TelemetryInterval derive_interval(const TelemetrySample& prev,
+                                  const TelemetrySample& next);
+
+/// Element-wise merge of several cumulative snapshots into one: counters
+/// and gauges sum, histograms with identical bucket bounds sum bucket-wise
+/// (mismatched bounds keep the first snapshot's view). The shard parent
+/// uses this to aggregate worker-process snapshots into one campaign view.
+MetricsSnapshot merge_snapshots(const std::vector<MetricsSnapshot>& parts);
+
+/// Anything that can serve a point-in-time metrics view over HTTP: the
+/// sampler (live local registry) and the shard progress board (merged
+/// worker frames) both implement it.
+class TelemetrySource {
+ public:
+  virtual ~TelemetrySource() = default;
+  /// Cumulative snapshot for Prometheus exposition (GET /metrics).
+  virtual MetricsSnapshot telemetry_snapshot() const = 0;
+  /// Full structured view for GET /snapshot.json (cumulative + interval).
+  virtual Json telemetry_json() const = 0;
+};
+
+/// Background sampling thread over one MetricsRegistry.
+///
+/// start() launches the thread; it snapshots every `interval_ms` into a
+/// ring of at most `ring_capacity` samples (oldest evicted). sample_now()
+/// takes a sample synchronously on the calling thread — tests and
+/// completion paths use it to avoid waiting out an interval. The sampler
+/// never mutates the registry and may be started/stopped around any
+/// workload.
+class TelemetrySampler : public TelemetrySource {
+ public:
+  struct Options {
+    std::size_t interval_ms = 1000;
+    std::size_t ring_capacity = 120;  ///< 2 min of history at 1 Hz
+  };
+
+  explicit TelemetrySampler(const MetricsRegistry* registry)
+      : TelemetrySampler(registry, Options()) {}
+  TelemetrySampler(const MetricsRegistry* registry, Options options);
+  ~TelemetrySampler() override;
+  TelemetrySampler(const TelemetrySampler&) = delete;
+  TelemetrySampler& operator=(const TelemetrySampler&) = delete;
+
+  /// Launches the background thread (idempotent). Takes an immediate
+  /// first sample so latest() is valid as soon as start() returns.
+  void start();
+
+  /// Stops and joins the background thread (idempotent; also run by the
+  /// destructor). Ring contents survive stop().
+  void stop();
+
+  bool running() const;
+  const Options& options() const { return options_; }
+
+  /// Synchronously samples the registry into the ring; returns the sample.
+  TelemetrySample sample_now();
+
+  std::size_t sample_count() const;
+  /// Newest sample (sample_count() must be > 0).
+  TelemetrySample latest() const;
+  /// Ring contents, oldest first.
+  std::vector<TelemetrySample> history() const;
+
+  /// Interval view between the two newest samples (zero-valued when fewer
+  /// than two samples exist).
+  TelemetryInterval latest_interval() const;
+
+  // TelemetrySource: /metrics serves a fresh registry snapshot (not the
+  // last ring entry), /snapshot.json serves ts + cumulative + interval.
+  MetricsSnapshot telemetry_snapshot() const override;
+  Json telemetry_json() const override;
+
+ private:
+  void run_loop();
+  TelemetrySample take_sample_locked();
+
+  const MetricsRegistry* registry_;
+  Options options_;
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<TelemetrySample> ring_;
+  std::uint64_t next_seq_ = 0;
+  bool stop_requested_ = false;
+  bool running_ = false;
+  std::thread thread_;
+};
+
+}  // namespace ft2

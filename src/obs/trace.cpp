@@ -82,7 +82,20 @@ void Tracer::record(TraceEvent event) {
   } else {
     ring_[head_] = std::move(event);
     head_ = (head_ + 1) % capacity_;
+    ++dropped_;
+    dropped_counter_.inc();
   }
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::lock_guard lock(mutex_);
+  return dropped_;
+}
+
+void Tracer::bind_metrics(MetricsRegistry* metrics) {
+  std::lock_guard lock(mutex_);
+  dropped_counter_ = metrics == nullptr ? Counter()
+                                        : metrics->counter("trace.dropped");
 }
 
 std::vector<TraceEvent> Tracer::events() const {
@@ -109,6 +122,7 @@ void Tracer::clear() {
   std::lock_guard lock(mutex_);
   ring_.clear();
   head_ = 0;
+  dropped_ = 0;
 }
 
 Json Tracer::to_json() const {

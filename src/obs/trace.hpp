@@ -18,6 +18,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace ft2 {
 
 class Json;
@@ -114,6 +116,17 @@ class Tracer {
   /// Total events ever recorded (counts those evicted by wrap-around).
   std::uint64_t recorded() const;
 
+  /// Spans overwritten (lost) to ring wrap-around since construction /
+  /// the last clear(). recorded() - size() while the ring has never been
+  /// cleared; tracked separately so clear() keeps the distinction.
+  std::uint64_t dropped() const;
+
+  /// Mirrors every future wrap-around drop into the cataloged
+  /// `trace.dropped` counter of `metrics` (nullptr detaches). The ring
+  /// still serves events; the counter makes silent span loss visible on
+  /// /metrics so an operator knows a Chrome export is incomplete.
+  void bind_metrics(MetricsRegistry* metrics);
+
   void clear();
 
   /// [{"name", "start_ns", "end_ns", "dur_ms", "seq", "tags": {...}}, ...]
@@ -133,6 +146,8 @@ class Tracer {
   std::vector<TraceEvent> ring_;
   std::size_t head_ = 0;  ///< next write slot once the ring is full
   std::uint64_t recorded_ = 0;
+  std::uint64_t dropped_ = 0;
+  Counter dropped_counter_;  ///< see bind_metrics(); inert when unbound
 };
 
 }  // namespace ft2

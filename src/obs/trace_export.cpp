@@ -183,7 +183,17 @@ Json chrome_trace_json(const std::vector<TraceEvent>& events,
 
 Json chrome_trace_json(const Tracer& tracer,
                        const ChromeTraceOptions& options) {
-  return chrome_trace_json(tracer.events(), options);
+  Json document = chrome_trace_json(tracer.events(), options);
+  // Surface ring wrap-around loss: a viewer reading this export should
+  // know it is looking at the newest `capacity` spans, not the whole run.
+  const std::uint64_t dropped = tracer.dropped();
+  if (dropped > 0) {
+    Json other = Json::object();
+    other["dropped_spans"] = static_cast<std::size_t>(dropped);
+    other["ring_capacity"] = tracer.capacity();
+    document["otherData"] = std::move(other);
+  }
+  return document;
 }
 
 void write_chrome_trace(std::ostream& os, const Tracer& tracer,

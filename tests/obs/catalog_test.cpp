@@ -35,8 +35,13 @@ TEST(MetricCatalog, ExpandsPlaceholdersAndSorts) {
   const auto& catalog = metric_catalog();
   ASSERT_FALSE(catalog.empty());
   for (std::size_t i = 0; i < catalog.size(); ++i) {
-    EXPECT_EQ(catalog[i].name.find('<'), std::string::npos)
-        << "unexpanded placeholder: " << catalog[i].name;
+    // <KIND>/<OUTCOME> expand to concrete names; the numeric wildcard <N>
+    // stays literal (it matches any index via find_catalog_entry).
+    const std::string& name = catalog[i].name;
+    if (name.find('<') != std::string::npos) {
+      EXPECT_EQ(name.substr(name.size() - 4), std::string(".<N>"))
+          << "unexpanded placeholder: " << name;
+    }
     if (i > 0) EXPECT_LT(catalog[i - 1].name, catalog[i].name);
   }
   EXPECT_TRUE(is_cataloged_metric("serve.decode.steps"));
@@ -46,12 +51,47 @@ TEST(MetricCatalog, ExpandsPlaceholdersAndSorts) {
   EXPECT_TRUE(is_cataloged_metric("campaign.site.MLP_ACT"));
   EXPECT_TRUE(is_cataloged_metric("serve.prefill"));    // span name
   EXPECT_TRUE(is_cataloged_metric("campaign.trial"));   // span name
+  EXPECT_TRUE(is_cataloged_metric("trace.dropped"));
+  EXPECT_TRUE(is_cataloged_metric("campaign.progress.done"));
+  EXPECT_TRUE(is_cataloged_metric("campaign.progress.eta_s"));
+  // Numeric wildcard: any shard index matches campaign.shard.progress.<N>.
+  EXPECT_TRUE(is_cataloged_metric("campaign.shard.progress.0"));
+  EXPECT_TRUE(is_cataloged_metric("campaign.shard.progress.137"));
+  EXPECT_FALSE(is_cataloged_metric("campaign.shard.progress.x"));
+  EXPECT_FALSE(is_cataloged_metric("campaign.shard.progress."));
   EXPECT_FALSE(is_cataloged_metric("serve.decode.step"));
   EXPECT_FALSE(is_cataloged_metric("protect.headroom.<KIND>"));
   EXPECT_FALSE(is_cataloged_metric(""));
 
   const auto names = all_metric_names();
   EXPECT_EQ(names.size(), catalog.size());
+}
+
+TEST(MetricCatalog, TemplateNamesAreUnexpandedAndSorted) {
+  const auto templates = metric_template_names();
+  ASSERT_FALSE(templates.empty());
+  for (std::size_t i = 1; i < templates.size(); ++i) {
+    EXPECT_LT(templates[i - 1], templates[i]);
+  }
+  // Templates keep placeholders (the docs gate keys rows off them) and
+  // never contain an expansion.
+  bool saw_kind = false;
+  for (const std::string& name : templates) {
+    if (name.find("<KIND>") != std::string::npos) saw_kind = true;
+    EXPECT_EQ(name.find("V_PROJ"), std::string::npos) << name;
+  }
+  EXPECT_TRUE(saw_kind);
+}
+
+TEST(MetricCatalog, FindCatalogEntryResolvesWildcards) {
+  const CatalogEntry* exact = find_catalog_entry("campaign.trials");
+  ASSERT_NE(exact, nullptr);
+  EXPECT_EQ(exact->name, "campaign.trials");
+  const CatalogEntry* wildcard =
+      find_catalog_entry("campaign.shard.progress.42");
+  ASSERT_NE(wildcard, nullptr);
+  EXPECT_EQ(wildcard->name, "campaign.shard.progress.<N>");
+  EXPECT_EQ(find_catalog_entry("definitely.not.a.metric"), nullptr);
 }
 
 TEST(MetricCatalog, LiveWorkloadRegistersOnlyCatalogedNames) {

@@ -1,0 +1,111 @@
+// TelemetryEndpoint tests: in-process HTTP server over a live sampler,
+// exercised with the built-in http_get client (no curl). Covers all three
+// routes, 404 handling, ephemeral-port binding, and clean restart.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/json.hpp"
+#include "obs/http_endpoint.hpp"
+#include "obs/metrics.hpp"
+#include "obs/prom_export.hpp"
+#include "obs/telemetry.hpp"
+
+namespace ft2 {
+namespace {
+
+bool contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+TEST(TelemetryEndpointSmoke, ServesAllRoutesOverEphemeralPort) {
+  MetricsRegistry reg;
+  reg.counter("smoke.requests").inc(12);
+  reg.gauge("smoke.depth").set(3.0);
+  TelemetrySampler sampler(&reg);
+  sampler.sample_now();
+
+  TelemetryEndpoint endpoint(&sampler);
+  endpoint.start();
+  ASSERT_TRUE(endpoint.running());
+  ASSERT_GT(endpoint.port(), 0);
+  EXPECT_EQ(endpoint.url(),
+            "http://127.0.0.1:" + std::to_string(endpoint.port()));
+
+  const HttpResponse health = http_get("127.0.0.1", endpoint.port(),
+                                       "/healthz");
+  EXPECT_EQ(health.status, 200);
+  EXPECT_EQ(health.body, "ok\n");
+
+  const HttpResponse metrics = http_get("127.0.0.1", endpoint.port(),
+                                        "/metrics");
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_TRUE(contains(metrics.body, "ft2_smoke_requests_total 12\n"));
+  EXPECT_TRUE(contains(metrics.body, "ft2_smoke_depth 3\n"));
+  // The served exposition matches rendering the snapshot directly.
+  EXPECT_EQ(metrics.body, prometheus_text(sampler.telemetry_snapshot()));
+
+  const HttpResponse snapshot = http_get("127.0.0.1", endpoint.port(),
+                                         "/snapshot.json");
+  EXPECT_EQ(snapshot.status, 200);
+  const Json doc = Json::parse(snapshot.body);
+  const MetricsSnapshot restored =
+      MetricsSnapshot::from_json(doc.at("cumulative"));
+  EXPECT_EQ(restored.counter_value("smoke.requests"), 12u);
+
+  endpoint.stop();
+  EXPECT_FALSE(endpoint.running());
+}
+
+TEST(TelemetryEndpointSmoke, UnknownRouteIs404) {
+  MetricsRegistry reg;
+  TelemetrySampler sampler(&reg);
+  TelemetryEndpoint endpoint(&sampler);
+  endpoint.start();
+  const HttpResponse missing = http_get("127.0.0.1", endpoint.port(),
+                                        "/nope");
+  EXPECT_EQ(missing.status, 404);
+  endpoint.stop();
+}
+
+TEST(TelemetryEndpointSmoke, QueryStringIsIgnoredForRouting) {
+  MetricsRegistry reg;
+  TelemetrySampler sampler(&reg);
+  TelemetryEndpoint endpoint(&sampler);
+  endpoint.start();
+  const HttpResponse health = http_get("127.0.0.1", endpoint.port(),
+                                       "/healthz?probe=1");
+  EXPECT_EQ(health.status, 200);
+  endpoint.stop();
+}
+
+TEST(TelemetryEndpointSmoke, StopThenRestartRebinds) {
+  MetricsRegistry reg;
+  TelemetrySampler sampler(&reg);
+  TelemetryEndpoint endpoint(&sampler);
+  endpoint.start();
+  const int first_port = endpoint.port();
+  endpoint.stop();
+  // A request after stop must fail cleanly (status 0, diagnostic body).
+  const HttpResponse dead = http_get("127.0.0.1", first_port, "/healthz",
+                                     500);
+  EXPECT_EQ(dead.status, 0);
+
+  endpoint.start();
+  const HttpResponse alive = http_get("127.0.0.1", endpoint.port(),
+                                      "/healthz");
+  EXPECT_EQ(alive.status, 200);
+  endpoint.stop();
+}
+
+TEST(TelemetryEndpointSmoke, HttpGetReportsConnectFailure) {
+  // Nothing listens on this port (just freed by the tests above in the
+  // common case; worst case some other service answers and we only assert
+  // the call returns rather than hangs).
+  const HttpResponse r = http_get("127.0.0.1", 1, "/healthz", 500);
+  EXPECT_EQ(r.status, 0);
+  EXPECT_FALSE(r.body.empty());
+}
+
+}  // namespace
+}  // namespace ft2

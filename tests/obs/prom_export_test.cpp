@@ -1,0 +1,183 @@
+// Prometheus exposition tests: name sanitization, trailing-component
+// label folding, cumulative bucket monotonicity ending in +Inf, NaN/Inf
+// gauge literals, HELP/TYPE lines from the catalog, and a round-trip of
+// the exposition through a snapshot rebuilt from JSON.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/prom_export.hpp"
+
+namespace ft2 {
+namespace {
+
+bool contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+TEST(PromExport, SeriesSanitizesDottedNames) {
+  const PromSeries s = prom_series_for("serve.queue.wait_ms");
+  EXPECT_EQ(s.family, "ft2_serve_queue_wait_ms");
+  EXPECT_TRUE(s.label_key.empty());
+}
+
+TEST(PromExport, SeriesFoldsLayerKindIntoLabel) {
+  const PromSeries s = prom_series_for("protect.oob.V_PROJ");
+  EXPECT_EQ(s.family, "ft2_protect_oob");
+  EXPECT_EQ(s.label_key, "kind");
+  EXPECT_EQ(s.label_value, "V_PROJ");
+}
+
+TEST(PromExport, SeriesFoldsOutcomeIntoLabel) {
+  const PromSeries s = prom_series_for("campaign.outcome.sdc");
+  EXPECT_EQ(s.family, "ft2_campaign_outcome");
+  EXPECT_EQ(s.label_key, "outcome");
+  EXPECT_EQ(s.label_value, "sdc");
+}
+
+TEST(PromExport, SeriesFoldsShardIndexIntoLabel) {
+  const PromSeries s = prom_series_for("campaign.shard.progress.2");
+  EXPECT_EQ(s.family, "ft2_campaign_shard_progress");
+  EXPECT_EQ(s.label_key, "shard");
+  EXPECT_EQ(s.label_value, "2");
+}
+
+TEST(PromExport, SeriesKeepsNonLabelTail) {
+  // A trailing component that is neither a kind, an outcome, nor a number
+  // stays part of the family name.
+  const PromSeries s = prom_series_for("campaign.trials");
+  EXPECT_EQ(s.family, "ft2_campaign_trials");
+  EXPECT_TRUE(s.label_key.empty());
+}
+
+TEST(PromExport, ValueFormatsSpecials) {
+  EXPECT_EQ(prom_value(std::numeric_limits<double>::quiet_NaN()), "NaN");
+  EXPECT_EQ(prom_value(std::numeric_limits<double>::infinity()), "+Inf");
+  EXPECT_EQ(prom_value(-std::numeric_limits<double>::infinity()), "-Inf");
+  EXPECT_EQ(prom_value(0.0), "0");
+  EXPECT_EQ(prom_value(2.5), "2.5");
+  // Shortest round-trip: 0.1 renders as "0.1", not 0.1000000000000000055.
+  EXPECT_EQ(prom_value(0.1), "0.1");
+}
+
+TEST(PromExport, CounterGetsTotalSuffixAndHelp) {
+  MetricsRegistry reg;
+  reg.counter("campaign.trials").inc(7);
+  const std::string text = prometheus_text(reg.snapshot());
+  EXPECT_TRUE(contains(text, "# TYPE ft2_campaign_trials_total counter"));
+  EXPECT_TRUE(contains(text, "ft2_campaign_trials_total 7\n"));
+  // Cataloged name => HELP line present.
+  EXPECT_TRUE(contains(text, "# HELP ft2_campaign_trials_total "));
+}
+
+TEST(PromExport, UncatalogedMetricExportsWithoutHelp) {
+  MetricsRegistry reg;
+  reg.counter("no.such.metric").inc(1);
+  const std::string text = prometheus_text(reg.snapshot());
+  EXPECT_TRUE(contains(text, "ft2_no_such_metric_total 1\n"));
+  EXPECT_FALSE(contains(text, "# HELP ft2_no_such_metric_total"));
+}
+
+TEST(PromExport, KindExpansionsShareOneFamily) {
+  MetricsRegistry reg;
+  reg.counter("protect.oob.V_PROJ").inc(2);
+  reg.counter("protect.oob.FC1").inc(3);
+  const std::string text = prometheus_text(reg.snapshot());
+  // One TYPE line, two labelled series.
+  std::size_t type_lines = 0;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.rfind("# TYPE ft2_protect_oob_total", 0) == 0) ++type_lines;
+  }
+  EXPECT_EQ(type_lines, 1u);
+  EXPECT_TRUE(contains(text, "ft2_protect_oob_total{kind=\"FC1\"} 3\n"));
+  EXPECT_TRUE(contains(text, "ft2_protect_oob_total{kind=\"V_PROJ\"} 2\n"));
+}
+
+TEST(PromExport, GaugeSpecialsUsePrometheusLiterals) {
+  MetricsRegistry reg;
+  reg.gauge("weird.nan").set(std::numeric_limits<double>::quiet_NaN());
+  reg.gauge("weird.pinf").set(std::numeric_limits<double>::infinity());
+  reg.gauge("weird.ninf").set(-std::numeric_limits<double>::infinity());
+  const std::string text = prometheus_text(reg.snapshot());
+  EXPECT_TRUE(contains(text, "ft2_weird_nan NaN\n"));
+  EXPECT_TRUE(contains(text, "ft2_weird_pinf +Inf\n"));
+  EXPECT_TRUE(contains(text, "ft2_weird_ninf -Inf\n"));
+}
+
+TEST(PromExport, HistogramBucketsAreCumulativeEndingInInf) {
+  MetricsRegistry reg;
+  const std::vector<double> uppers = {1.0, 2.0, 4.0};
+  HistogramMetric h = reg.histogram("lat.ms", uppers);
+  h.observe(0.5);   // bucket le=1
+  h.observe(1.5);   // bucket le=2
+  h.observe(3.0);   // bucket le=4
+  h.observe(100.0);  // overflow
+  h.observe(std::numeric_limits<double>::quiet_NaN());  // excluded
+
+  const std::string text = prometheus_text(reg.snapshot());
+  EXPECT_TRUE(contains(text, "# TYPE ft2_lat_ms histogram"));
+  EXPECT_TRUE(contains(text, "ft2_lat_ms_bucket{le=\"1\"} 1\n"));
+  EXPECT_TRUE(contains(text, "ft2_lat_ms_bucket{le=\"2\"} 2\n"));
+  EXPECT_TRUE(contains(text, "ft2_lat_ms_bucket{le=\"4\"} 3\n"));
+  // +Inf bucket equals the finite count (NaN excluded), == _count.
+  EXPECT_TRUE(contains(text, "ft2_lat_ms_bucket{le=\"+Inf\"} 4\n"));
+  EXPECT_TRUE(contains(text, "ft2_lat_ms_count 4\n"));
+  EXPECT_TRUE(contains(text, "ft2_lat_ms_sum 105\n"));
+
+  // Monotonicity: each successive bucket count must be >= the previous.
+  std::istringstream lines(text);
+  std::string line;
+  std::uint64_t prev = 0;
+  std::size_t bucket_lines = 0;
+  while (std::getline(lines, line)) {
+    if (line.rfind("ft2_lat_ms_bucket", 0) != 0) continue;
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos);
+    const std::uint64_t value = std::stoull(line.substr(space + 1));
+    EXPECT_GE(value, prev) << line;
+    prev = value;
+    ++bucket_lines;
+  }
+  EXPECT_EQ(bucket_lines, 4u);
+}
+
+TEST(PromExport, LabelledHistogramSplicesLeIntoLabelSet) {
+  MetricsRegistry reg;
+  const std::vector<double> uppers = {10.0};
+  reg.histogram("protect.clip_mag.FC2", uppers).observe(5.0);
+  const std::string text = prometheus_text(reg.snapshot());
+  EXPECT_TRUE(contains(
+      text, "ft2_protect_clip_mag_bucket{kind=\"FC2\",le=\"10\"} 1\n"));
+  EXPECT_TRUE(contains(text, "ft2_protect_clip_mag_sum{kind=\"FC2\"} 5\n"));
+  EXPECT_TRUE(contains(text, "ft2_protect_clip_mag_count{kind=\"FC2\"} 1\n"));
+}
+
+TEST(PromExport, RoundTripThroughSnapshotJson) {
+  // A snapshot serialized to JSON (what a shard frame or /snapshot.json
+  // carries), rebuilt with from_json, must render the exact same
+  // exposition — the parent's merged /metrics view depends on it.
+  MetricsRegistry reg;
+  reg.counter("campaign.trials").inc(123);
+  reg.counter("campaign.outcome.sdc").inc(4);
+  reg.gauge("campaign.progress.done").set(123.0);
+  const std::vector<double> uppers = {1.0, 8.0};
+  HistogramMetric h = reg.histogram("campaign.trial_ms", uppers);
+  h.observe(0.5);
+  h.observe(6.0);
+
+  const MetricsSnapshot original = reg.snapshot();
+  const MetricsSnapshot restored =
+      MetricsSnapshot::from_json(original.to_json());
+  EXPECT_EQ(prometheus_text(original), prometheus_text(restored));
+}
+
+}  // namespace
+}  // namespace ft2

@@ -1,0 +1,327 @@
+// TelemetrySampler unit tests: ring bounds, interval derivation (counter
+// rates, histogram deltas, gauge pass-through), snapshot JSON round-trip,
+// multi-snapshot merge, and the bit-identical-with-sampler guarantee.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "common/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+
+namespace ft2 {
+namespace {
+
+TelemetrySample sample_at(std::uint64_t steady_ns,
+                          const MetricsRegistry& reg) {
+  TelemetrySample s;
+  s.steady_ns = steady_ns;
+  s.snapshot = reg.snapshot();
+  return s;
+}
+
+TEST(Telemetry, DeriveIntervalCounterRates) {
+  MetricsRegistry reg;
+  Counter c = reg.counter("test.events");
+  c.inc(10);
+  const TelemetrySample older = sample_at(0, reg);
+  c.inc(30);
+  const TelemetrySample newer = sample_at(2'000'000'000ull, reg);
+
+  const TelemetryInterval interval = derive_interval(older, newer);
+  EXPECT_DOUBLE_EQ(interval.seconds, 2.0);
+  const TelemetryInterval::CounterRate* rate =
+      interval.find_counter("test.events");
+  ASSERT_NE(rate, nullptr);
+  EXPECT_EQ(rate->delta, 30u);
+  EXPECT_DOUBLE_EQ(rate->per_sec, 15.0);
+  EXPECT_DOUBLE_EQ(interval.counter_rate("test.events"), 15.0);
+  EXPECT_DOUBLE_EQ(interval.counter_rate("test.absent"), 0.0);
+}
+
+TEST(Telemetry, DeriveIntervalFreshMetricCountsFromZero) {
+  MetricsRegistry reg;
+  const TelemetrySample older = sample_at(0, reg);
+  reg.counter("born.later").inc(7);
+  const TelemetrySample newer = sample_at(1'000'000'000ull, reg);
+
+  const TelemetryInterval interval = derive_interval(older, newer);
+  const TelemetryInterval::CounterRate* rate =
+      interval.find_counter("born.later");
+  ASSERT_NE(rate, nullptr);
+  EXPECT_EQ(rate->delta, 7u);
+  EXPECT_DOUBLE_EQ(rate->per_sec, 7.0);
+}
+
+TEST(Telemetry, DeriveIntervalClampsRegistryReset) {
+  // A registry reset between samples makes the newer value smaller; the
+  // interval must clamp the delta at 0, never go negative/underflow.
+  MetricsRegistry reg;
+  Counter c = reg.counter("reset.me");
+  c.inc(100);
+  const TelemetrySample older = sample_at(0, reg);
+  reg.reset();
+  c.inc(5);
+  const TelemetrySample newer = sample_at(1'000'000'000ull, reg);
+
+  const TelemetryInterval interval = derive_interval(older, newer);
+  const TelemetryInterval::CounterRate* rate =
+      interval.find_counter("reset.me");
+  ASSERT_NE(rate, nullptr);
+  EXPECT_EQ(rate->delta, 0u);
+  EXPECT_DOUBLE_EQ(rate->per_sec, 0.0);
+}
+
+TEST(Telemetry, DeriveIntervalHistogramDeltaPercentiles) {
+  MetricsRegistry reg;
+  const std::vector<double> uppers = {1.0, 10.0, 100.0};
+  HistogramMetric h = reg.histogram("test.lat_ms", uppers);
+  // Before: 100 fast samples.
+  for (int i = 0; i < 100; ++i) h.observe(0.5);
+  const TelemetrySample older = sample_at(0, reg);
+  // During the interval: 10 slow samples only.
+  for (int i = 0; i < 10; ++i) h.observe(50.0);
+  const TelemetrySample newer = sample_at(1'000'000'000ull, reg);
+
+  const TelemetryInterval interval = derive_interval(older, newer);
+  const MetricsSnapshot::HistogramValue* hist =
+      interval.find_histogram("test.lat_ms");
+  ASSERT_NE(hist, nullptr);
+  // The interval view sees ONLY the 10 slow samples: cumulative p50 would
+  // still sit in the fast bucket, interval p50 must be in (10, 100].
+  EXPECT_EQ(hist->count, 10u);
+  EXPECT_GT(hist->quantile(0.5), 10.0);
+  EXPECT_LE(hist->quantile(0.5), 100.0);
+  EXPECT_DOUBLE_EQ(hist->sum, 500.0);
+}
+
+TEST(Telemetry, DeriveIntervalGaugesPassThrough) {
+  MetricsRegistry reg;
+  Gauge g = reg.gauge("test.occupancy");
+  g.set(3.0);
+  const TelemetrySample older = sample_at(0, reg);
+  g.set(8.0);
+  const TelemetrySample newer = sample_at(1'000'000'000ull, reg);
+
+  const TelemetryInterval interval = derive_interval(older, newer);
+  ASSERT_EQ(interval.gauges.size(), 1u);
+  EXPECT_EQ(interval.gauges[0].name, "test.occupancy");
+  EXPECT_DOUBLE_EQ(interval.gauges[0].value, 8.0);
+}
+
+TEST(Telemetry, IntervalToJsonShape) {
+  MetricsRegistry reg;
+  reg.counter("a.b").inc(4);
+  const TelemetrySample older = sample_at(0, reg);
+  reg.counter("a.b").inc(4);
+  const TelemetrySample newer = sample_at(500'000'000ull, reg);
+
+  const Json doc = derive_interval(older, newer).to_json();
+  EXPECT_DOUBLE_EQ(doc.at("seconds").as_double(), 0.5);
+  const Json& rate = doc.at("counters").at("a.b");
+  EXPECT_DOUBLE_EQ(rate.at("delta").as_double(), 4.0);
+  EXPECT_DOUBLE_EQ(rate.at("per_sec").as_double(), 8.0);
+}
+
+TEST(Telemetry, SnapshotJsonRoundTrip) {
+  MetricsRegistry reg;
+  reg.counter("rt.counter").inc(42);
+  reg.gauge("rt.gauge").set(2.5);
+  reg.gauge("rt.nan_gauge").set(std::numeric_limits<double>::quiet_NaN());
+  const std::vector<double> uppers = {1.0, 2.0};
+  HistogramMetric h = reg.histogram("rt.hist", uppers);
+  h.observe(0.5);
+  h.observe(1.5);
+  h.observe(99.0);  // overflow bucket
+  h.observe(std::numeric_limits<double>::quiet_NaN());
+
+  const MetricsSnapshot original = reg.snapshot();
+  const MetricsSnapshot restored =
+      MetricsSnapshot::from_json(original.to_json());
+
+  EXPECT_EQ(restored.counter_value("rt.counter"), 42u);
+  const MetricsSnapshot::GaugeValue* gauge = restored.find_gauge("rt.gauge");
+  ASSERT_NE(gauge, nullptr);
+  EXPECT_DOUBLE_EQ(gauge->value, 2.5);
+  // JSON has no NaN (the writer emits null); from_json maps null back.
+  const MetricsSnapshot::GaugeValue* nan_gauge =
+      restored.find_gauge("rt.nan_gauge");
+  ASSERT_NE(nan_gauge, nullptr);
+  EXPECT_TRUE(std::isnan(nan_gauge->value));
+
+  const MetricsSnapshot::HistogramValue* hist =
+      restored.find_histogram("rt.hist");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->uppers, uppers);
+  ASSERT_EQ(hist->counts.size(), 3u);
+  EXPECT_EQ(hist->counts[0], 1u);
+  EXPECT_EQ(hist->counts[1], 1u);
+  EXPECT_EQ(hist->counts[2], 1u);
+  EXPECT_EQ(hist->count, 3u);
+  EXPECT_EQ(hist->nan_count, 1u);
+  EXPECT_DOUBLE_EQ(hist->sum, 101.0);
+}
+
+TEST(Telemetry, MergeSnapshotsSumsAcrossParts) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.counter("shared.counter").inc(10);
+  b.counter("shared.counter").inc(5);
+  b.counter("only.b").inc(3);
+  a.gauge("shared.gauge").set(1.0);
+  b.gauge("shared.gauge").set(2.0);
+  const std::vector<double> uppers = {1.0, 2.0};
+  a.histogram("shared.hist", uppers).observe(0.5);
+  b.histogram("shared.hist", uppers).observe(1.5);
+
+  const MetricsSnapshot merged =
+      merge_snapshots({a.snapshot(), b.snapshot()});
+  EXPECT_EQ(merged.counter_value("shared.counter"), 15u);
+  EXPECT_EQ(merged.counter_value("only.b"), 3u);
+  EXPECT_DOUBLE_EQ(merged.find_gauge("shared.gauge")->value, 3.0);
+  const MetricsSnapshot::HistogramValue* hist =
+      merged.find_histogram("shared.hist");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, 2u);
+  EXPECT_EQ(hist->counts[0], 1u);
+  EXPECT_EQ(hist->counts[1], 1u);
+  EXPECT_DOUBLE_EQ(hist->sum, 2.0);
+}
+
+TEST(Telemetry, MergeSnapshotsKeepsSortedNames) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.counter("zz.last").inc(1);
+  b.counter("aa.first").inc(1);
+  const MetricsSnapshot merged =
+      merge_snapshots({a.snapshot(), b.snapshot()});
+  ASSERT_EQ(merged.counters.size(), 2u);
+  EXPECT_EQ(merged.counters[0].name, "aa.first");
+  EXPECT_EQ(merged.counters[1].name, "zz.last");
+}
+
+TEST(TelemetrySampler, RingIsBounded) {
+  MetricsRegistry reg;
+  TelemetrySampler::Options options;
+  options.ring_capacity = 4;
+  TelemetrySampler sampler(&reg, options);
+  for (int i = 0; i < 10; ++i) sampler.sample_now();
+  EXPECT_EQ(sampler.sample_count(), 4u);
+  // Oldest were evicted: seq keeps counting past the ring.
+  const std::vector<TelemetrySample> history = sampler.history();
+  ASSERT_EQ(history.size(), 4u);
+  EXPECT_EQ(history.front().seq, 6u);
+  EXPECT_EQ(history.back().seq, 9u);
+  EXPECT_EQ(sampler.latest().seq, 9u);
+}
+
+TEST(TelemetrySampler, LatestIntervalSeesRecentActivity) {
+  MetricsRegistry reg;
+  Counter c = reg.counter("work.items");
+  c.inc(100);
+  TelemetrySampler sampler(&reg);
+  sampler.sample_now();
+  c.inc(25);
+  sampler.sample_now();
+  const TelemetryInterval interval = sampler.latest_interval();
+  const TelemetryInterval::CounterRate* rate =
+      interval.find_counter("work.items");
+  ASSERT_NE(rate, nullptr);
+  EXPECT_EQ(rate->delta, 25u);
+}
+
+TEST(TelemetrySampler, StartStopLeavesAtLeastTwoSamples) {
+  // Even a workload shorter than one interval must leave enough samples
+  // for an interval view: start() samples immediately, stop() samples on
+  // the way out.
+  MetricsRegistry reg;
+  TelemetrySampler::Options options;
+  options.interval_ms = 60'000;  // never fires during the test
+  TelemetrySampler sampler(&reg, options);
+  sampler.start();
+  EXPECT_TRUE(sampler.running());
+  reg.counter("quick.burst").inc(9);
+  sampler.stop();
+  EXPECT_FALSE(sampler.running());
+  EXPECT_GE(sampler.sample_count(), 2u);
+  EXPECT_EQ(sampler.latest_interval().find_counter("quick.burst")->delta,
+            9u);
+}
+
+TEST(TelemetrySampler, StartStopIdempotent) {
+  MetricsRegistry reg;
+  TelemetrySampler sampler(&reg);
+  sampler.start();
+  sampler.start();
+  sampler.stop();
+  sampler.stop();
+  EXPECT_FALSE(sampler.running());
+}
+
+TEST(TelemetrySampler, SamplingDoesNotPerturbRegistry) {
+  // The core guarantee: a sampler is a pure reader, so workload results
+  // are bit-identical with it running or not.
+  MetricsRegistry with;
+  MetricsRegistry without;
+  TelemetrySampler::Options options;
+  options.interval_ms = 1;
+  TelemetrySampler sampler(&with, options);
+  sampler.start();
+  for (int i = 0; i < 500; ++i) {
+    with.counter("load.ops").inc(3);
+    without.counter("load.ops").inc(3);
+    with.gauge("load.depth").set(static_cast<double>(i));
+    without.gauge("load.depth").set(static_cast<double>(i));
+  }
+  sampler.stop();
+  const MetricsSnapshot a = with.snapshot();
+  const MetricsSnapshot b = without.snapshot();
+  EXPECT_EQ(a.counter_value("load.ops"), b.counter_value("load.ops"));
+  EXPECT_DOUBLE_EQ(a.find_gauge("load.depth")->value,
+                   b.find_gauge("load.depth")->value);
+}
+
+TEST(TelemetrySampler, TelemetryJsonShape) {
+  MetricsRegistry reg;
+  reg.counter("shape.counter").inc(1);
+  TelemetrySampler sampler(&reg);
+  sampler.sample_now();
+  sampler.sample_now();
+  const Json doc = sampler.telemetry_json();
+  EXPECT_TRUE(doc.find("ts_ms") != nullptr);
+  EXPECT_GE(doc.at("samples").as_double(), 2.0);
+  EXPECT_TRUE(doc.find("interval") != nullptr);
+  const Json& cumulative = doc.at("cumulative");
+  // The cumulative view parses back into a snapshot (what `ft2 top` does).
+  const MetricsSnapshot restored = MetricsSnapshot::from_json(cumulative);
+  EXPECT_EQ(restored.counter_value("shape.counter"), 1u);
+}
+
+TEST(MetricsSnapshotJson, HistogramJsonPinsDerivedQuantiles) {
+  // Pin the derived p50/p95/p99/mean keys in histogram JSON: downstream
+  // dashboards read them, so renaming is a breaking change.
+  MetricsRegistry reg;
+  const std::vector<double> uppers = {10.0, 20.0, 40.0};
+  HistogramMetric h = reg.histogram("pin.lat_ms", uppers);
+  for (int i = 0; i < 90; ++i) h.observe(5.0);
+  for (int i = 0; i < 10; ++i) h.observe(15.0);
+
+  const Json doc = reg.snapshot().to_json();
+  const Json& hist = doc.at("histograms").at("pin.lat_ms");
+  EXPECT_DOUBLE_EQ(hist.at("count").as_double(), 100.0);
+  EXPECT_DOUBLE_EQ(hist.at("mean").as_double(), 6.0);
+  // 90% of samples in [0,10]: p50 interpolates inside the first bucket,
+  // p95/p99 land in the second.
+  EXPECT_GT(hist.at("p50").as_double(), 0.0);
+  EXPECT_LE(hist.at("p50").as_double(), 10.0);
+  EXPECT_GT(hist.at("p95").as_double(), 10.0);
+  EXPECT_LE(hist.at("p95").as_double(), 20.0);
+  EXPECT_GT(hist.at("p99").as_double(), 10.0);
+  EXPECT_LE(hist.at("p99").as_double(), 20.0);
+}
+
+}  // namespace
+}  // namespace ft2

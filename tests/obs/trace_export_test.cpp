@@ -87,6 +87,29 @@ TEST(TraceExportCheck, HandBuiltEventsExportWithTracksAndMetadata) {
   EXPECT_EQ(doc.at("displayTimeUnit").as_string(), "ms");
 }
 
+TEST(TraceExportCheck, DroppedSpansSurfaceInExportMetadata) {
+  Tracer tracer(2, /*enabled=*/true);
+  tracer.instant("kept.a");
+  tracer.instant("kept.b");
+  // No wrap yet: a complete export carries no drop metadata.
+  EXPECT_EQ(chrome_trace_json(tracer).find("otherData"), nullptr);
+
+  tracer.instant("wraps.first");
+  tracer.instant("wraps.second");
+  tracer.instant("wraps.third");
+  const Json doc = chrome_trace_json(tracer);
+  const Json* other = doc.find("otherData");
+  ASSERT_NE(other, nullptr);
+  EXPECT_DOUBLE_EQ(other->at("dropped_spans").as_double(), 3.0);
+  EXPECT_DOUBLE_EQ(other->at("ring_capacity").as_double(), 2.0);
+  // The serialized form survives a parse round-trip (viewers read it).
+  std::ostringstream os;
+  write_chrome_trace(os, tracer);
+  const Json parsed = Json::parse(os.str());
+  EXPECT_DOUBLE_EQ(parsed.at("otherData").at("dropped_spans").as_double(),
+                   3.0);
+}
+
 TEST(TraceExportCheck, ServeRunExportsParseableMonotonicTrace) {
   ModelConfig c;
   c.arch = ArchFamily::kOpt;

@@ -86,6 +86,35 @@ TEST(Tracer, ClearEmptiesBufferKeepsTotal) {
   EXPECT_EQ(tracer.recorded(), 2u);
 }
 
+TEST(Tracer, DroppedCountsRingWrapLoss) {
+  Tracer tracer(4, /*enabled=*/true);
+  for (int i = 0; i < 4; ++i) tracer.instant("fits");
+  EXPECT_EQ(tracer.dropped(), 0u);
+  for (int i = 0; i < 6; ++i) tracer.instant("evicts");
+  EXPECT_EQ(tracer.dropped(), 6u);
+  EXPECT_EQ(tracer.recorded(), 10u);
+  tracer.clear();
+  EXPECT_EQ(tracer.dropped(), 0u);  // clear() resets the loss tally
+}
+
+TEST(Tracer, BindMetricsMirrorsDropsIntoCounter) {
+  MetricsRegistry registry;
+  Tracer tracer(2, /*enabled=*/true);
+  tracer.instant("one");
+  tracer.instant("two");
+  tracer.bind_metrics(&registry);
+  // Drops before binding are not back-filled; only future wraps count.
+  tracer.instant("three");
+  tracer.instant("four");
+  EXPECT_EQ(tracer.dropped(), 2u);
+  EXPECT_EQ(registry.snapshot().counter_value("trace.dropped"), 2u);
+  // Detach: further drops stop flowing into the registry.
+  tracer.bind_metrics(nullptr);
+  tracer.instant("five");
+  EXPECT_EQ(tracer.dropped(), 3u);
+  EXPECT_EQ(registry.snapshot().counter_value("trace.dropped"), 2u);
+}
+
 TEST(Tracer, JsonExportContainsSpans) {
   Tracer tracer(4, /*enabled=*/true);
   tracer.instant("snap", {{"key", "value"}});

@@ -8,16 +8,22 @@
 #   3. backticked function() references absent from src/, tools/, bench/
 #      and tests/;
 #   4. backticked FT2_* knobs (env vars / macros) absent from the code.
-#   5. backticked serve.* / protect.* / campaign.* metric and span names
-#      absent from the generated catalog dump (`ft2 metric-names`);
-#      `<KIND>` / `<OUTCOME>` / `<name>` placeholders are normalized before
-#      lookup. Skipped when the ft2 binary has not been built yet.
+#   5. backticked serve.* / protect.* / campaign.* / trace.* metric and
+#      span names absent from the generated catalog dump
+#      (`ft2 metric-names`); `<KIND>` / `<OUTCOME>` / `<name>`
+#      placeholders are normalized before lookup (`<N>` stays literal —
+#      the dump keeps the numeric wildcard). Skipped when the ft2 binary
+#      has not been built yet.
 #   6. `--scheme NAME` references whose NAME is not a registered detection
 #      scheme (`ft2 scheme-names`); `:key=value` parameters are stripped
 #      and `<...>` placeholders skipped. Skipped before the first build.
 #   7. the reverse of 4: every FT2_* env knob the code actually reads
 #      (env_string/env_size/env_double/env_flag/getenv in src/, tools/,
 #      bench/) must be mentioned in at least one scanned doc.
+#   8. the reverse of 5: every catalog template name
+#      (`ft2 metric-names --templates`, placeholders intact) must be
+#      mentioned in at least one scanned doc — a new metric cannot ship
+#      undocumented. Skipped before the first build.
 # Registered as the DocsCheck ctest (label: unit) and as the `docs-check`
 # build target, so the default `ctest` invocation keeps docs honest.
 set -u
@@ -27,9 +33,11 @@ cd "$ROOT" || exit 1
 
 FT2_BIN="${FT2_BIN:-$ROOT/build/tools/ft2}"
 CATALOG=""
+TEMPLATES=""
 SCHEMES=""
 if [ -x "$FT2_BIN" ]; then
   CATALOG="$("$FT2_BIN" metric-names 2>/dev/null)" || CATALOG=""
+  TEMPLATES="$("$FT2_BIN" metric-names --templates 2>/dev/null)" || TEMPLATES=""
   SCHEMES="$("$FT2_BIN" scheme-names 2>/dev/null)" || SCHEMES=""
 fi
 
@@ -81,8 +89,9 @@ for doc in "${DOCS[@]}"; do
       norm="${metric//<KIND>/Q_PROJ}"
       norm="${norm//<OUTCOME>/sdc}"
       norm="${norm//<name>/sdc}"
+      # <N> stays literal: the catalog dump keeps the numeric wildcard.
       grep -Fxq "$norm" <<<"$CATALOG" || complain "$doc" "$metric"
-    done < <(grep -oE '`(serve|protect|campaign)\.[A-Za-z0-9_.<>]+`' "$doc" \
+    done < <(grep -oE '`(serve|protect|campaign|trace)\.[A-Za-z0-9_.<>]+`' "$doc" \
              | tr -d '`' | sort -u)
   fi
 
@@ -114,6 +123,20 @@ while IFS= read -r knob; do
 done < <(grep -rhoE '(env_string|env_size|env_double|env_flag|getenv)\("FT2_[A-Z0-9_]+"' \
            src tools bench 2>/dev/null \
          | grep -oE 'FT2_[A-Z0-9_]+' | sort -u)
+
+# 8. Reverse direction of check 5: every cataloged metric/span template
+#    must be documented somewhere. Template names keep their placeholders
+#    (one docs row covers all <KIND>/<OUTCOME>/<N> expansions).
+if [ -n "$TEMPLATES" ]; then
+  while IFS= read -r template; do
+    [ -n "$template" ] || continue
+    found=0
+    for doc in "${DOCS[@]}"; do
+      [ -f "$doc" ] && grep -qF "$template" "$doc" && { found=1; break; }
+    done
+    [ "$found" -eq 1 ] || complain "(undocumented metric)" "$template"
+  done <<<"$TEMPLATES"
+fi
 
 if [ "$fail" -ne 0 ]; then
   echo "docs-check: FAILED (fix the references above or update the docs)"

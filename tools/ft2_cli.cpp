@@ -19,10 +19,11 @@
 //                   [--trace-out FILE.json]
 //   ft2 serve-bench <model> --load [--requests N] [--rate HZ] [--batch B]
 //                   [--seed S] [--metrics-out FILE.json]
+//   ft2 top --connect HOST:PORT [--interval MS] [--iterations N] [--plain]
 //   ft2 report <LOG>... [--json FILE] [--bootstrap N] [--ci-seed S]
 //   ft2 metrics <model> [--dataset D] [--requests N] [--batch B] [--seed S]
 //               [--scheme S] [--json FILE]
-//   ft2 metric-names
+//   ft2 metric-names [--templates]
 //   ft2 scheme-names [--long]
 //   ft2 kernel-info [--check]
 //   ft2 perf [--gpu a100|h100]
@@ -36,14 +37,19 @@
 // Schemes: any registered detection scheme, optionally parameterized as
 //   name:key=value,... (`ft2 scheme-names` lists them)
 // Fault models: 1-bit 2-bit exp
+#include <fcntl.h>
+#include <poll.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <chrono>
+#include <csignal>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <thread>
 
 #include "common/cli.hpp"
 #include "common/rng.hpp"
@@ -54,6 +60,9 @@
 #include "fi/weight_fault.hpp"
 #include "nn/weights.hpp"
 #include "obs/catalog.hpp"
+#include "obs/http_endpoint.hpp"
+#include "obs/prom_export.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace_export.hpp"
 #include "protect/bounds_io.hpp"
 #include "serve/load_gen.hpp"
@@ -84,6 +93,38 @@ std::vector<int> prompt_of(const Sample& sample) {
                 sample.prompt_tokens.end());
   return prompt;
 }
+
+/// --telemetry-port wiring shared by serve-bench and campaign: a
+/// TelemetrySampler over the command's isolated registry, served by the
+/// HTTP endpoint (GET /metrics, /snapshot.json, /healthz) for the
+/// lifetime of the workload. Port 0 picks an ephemeral port; the bound
+/// URL is printed so an operator (or `ft2 top --connect`) can attach.
+class LiveTelemetry {
+ public:
+  void start(const MetricsRegistry* registry, const ArgParser& args) {
+    if (!args.has("telemetry-port")) return;
+    TelemetrySampler::Options sampler_opts;
+    sampler_opts.interval_ms = args.get_size("telemetry-interval", 1000);
+    sampler_.emplace(registry, sampler_opts);
+    sampler_->start();
+    TelemetryEndpoint::Options endpoint_opts;
+    endpoint_opts.port =
+        static_cast<int>(args.get_size("telemetry-port", 0));
+    endpoint_.emplace(&*sampler_, endpoint_opts);
+    endpoint_->start();
+    std::cout << "telemetry: " << endpoint_->url()
+              << " (/metrics /snapshot.json /healthz)\n";
+  }
+
+  void stop() {
+    if (endpoint_) endpoint_->stop();
+    if (sampler_) sampler_->stop();
+  }
+
+ private:
+  std::optional<TelemetrySampler> sampler_;
+  std::optional<TelemetryEndpoint> endpoint_;
+};
 
 int cmd_list_models() {
   Table table({"name", "paper model", "arch", "tasks", "cached"});
@@ -263,11 +304,17 @@ int cmd_campaign(const std::string& model_name, const ArgParser& args) {
   if (args.has("fp32")) config.vtype = ValueType::kF32;
 
   // Isolated registry so the snapshot contains this campaign's metrics
-  // only, not whatever else ran in the process.
+  // only, not whatever else ran in the process. --telemetry-port needs
+  // the registry attached too (the sampler reads it live); attaching is
+  // observational, so outcomes stay bit-identical either way.
   MetricsRegistry metrics_registry;
-  if (args.has("metrics-out")) config.obs.metrics = &metrics_registry;
+  if (args.has("metrics-out") || args.has("telemetry-port")) {
+    config.obs.metrics = &metrics_registry;
+  }
   config.drift_monitor = args.has("drift");
   config.capture_clips = args.has("clips");
+  LiveTelemetry telemetry;
+  telemetry.start(&metrics_registry, args);
 
   // --trace-out: campaign.trial spans into an isolated tracer, exported as
   // Chrome Trace Event JSON (chrome://tracing / Perfetto).
@@ -294,6 +341,7 @@ int cmd_campaign(const std::string& model_name, const ArgParser& args) {
     result = run_campaign(*model, inputs, scheme, bounds, config,
                           want_trace ? trace.callback() : TrialCallback{});
   }
+  telemetry.stop();
 
   Table table({"metric", "value"});
   table.begin_row().cell("trials").count(result.trials);
@@ -462,18 +510,33 @@ void print_campaign_report(const CampaignReport& report,
   report.latency_table().print(std::cout);
 }
 
-/// Re-launches this binary once per shard with `--shard-index i` appended
-/// to the original arguments; returns the number of failed workers. fork
-/// is immediately followed by execv, so the parent's threads never matter
-/// in the child.
-int spawn_shard_workers(int argc, char** argv, std::size_t shards) {
+/// Re-launches this binary once per shard with `--shard-index i` and
+/// `--telemetry-fd <write end>` appended to the original arguments, then
+/// drives the telemetry loop: poll the per-worker pipes, decode frames
+/// into `board`, and print a live progress line until every worker has
+/// exited and closed its pipe. Returns the number of failed workers.
+/// fork is immediately followed by execv, so the parent's threads never
+/// matter in the child.
+int spawn_shard_workers(int argc, char** argv, std::size_t shards,
+                        ShardProgressBoard& board) {
   std::vector<pid_t> pids;
+  std::vector<int> read_fds(shards, -1);
   for (std::size_t i = 0; i < shards; ++i) {
+    int fds[2];
+    FT2_CHECK_MSG(pipe(fds) == 0, "pipe failed for shard " << i);
+    // The read end must not leak into any worker (a sibling holding it
+    // open would stall the parent's EOF); the write end must survive
+    // execv for exactly this worker. Earlier workers' write ends are
+    // closed in the parent before the next fork, so each child inherits
+    // only its own.
+    fcntl(fds[0], F_SETFD, FD_CLOEXEC);
     std::vector<std::string> child_args;
     child_args.emplace_back("/proc/self/exe");
     for (int a = 1; a < argc; ++a) child_args.emplace_back(argv[a]);
     child_args.emplace_back("--shard-index");
     child_args.emplace_back(std::to_string(i));
+    child_args.emplace_back("--telemetry-fd");
+    child_args.emplace_back(std::to_string(fds[1]));
     std::vector<char*> child_argv;
     child_argv.reserve(child_args.size() + 1);
     for (std::string& arg : child_args) child_argv.push_back(arg.data());
@@ -484,8 +547,85 @@ int spawn_shard_workers(int argc, char** argv, std::size_t shards) {
       execv("/proc/self/exe", child_argv.data());
       _exit(127);  // execv only returns on failure
     }
+    close(fds[1]);
+    read_fds[i] = fds[0];
     pids.push_back(pid);
   }
+
+  // Telemetry loop: workers run until their pipes hit EOF (process exit
+  // closes the write end). A worker whose frames stop parsing loses its
+  // live view only — the shard log, merge and report are unaffected.
+  std::vector<ShardFrameDecoder> decoders(shards);
+  std::size_t open_fds = shards;
+  const bool tty = isatty(STDOUT_FILENO) != 0;
+  const auto start = std::chrono::steady_clock::now();
+  auto last_print = start - std::chrono::hours(1);
+  std::size_t printed_width = 0;
+  while (open_fds > 0) {
+    std::vector<pollfd> pfds;
+    std::vector<std::size_t> owners;
+    for (std::size_t i = 0; i < shards; ++i) {
+      if (read_fds[i] < 0) continue;
+      pfds.push_back({read_fds[i], POLLIN, 0});
+      owners.push_back(i);
+    }
+    const int ready = poll(pfds.data(), pfds.size(), 200);
+    if (ready < 0 && errno != EINTR) break;
+    for (std::size_t p = 0; p < pfds.size(); ++p) {
+      if ((pfds[p].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      const std::size_t i = owners[p];
+      char buf[65536];
+      const ssize_t n = read(read_fds[i], buf, sizeof(buf));
+      if (n > 0) {
+        try {
+          decoders[i].feed(buf, static_cast<std::size_t>(n));
+          for (const ShardFrame& frame : decoders[i].take_frames()) {
+            board.update(frame);
+          }
+        } catch (const Error& e) {
+          std::cerr << "shard " << i << " telemetry stream corrupt ("
+                    << e.what() << "); dropping its live view\n";
+          close(read_fds[i]);
+          read_fds[i] = -1;
+          --open_fds;
+        }
+      } else if (n == 0 || (n < 0 && errno != EINTR)) {
+        close(read_fds[i]);
+        read_fds[i] = -1;
+        --open_fds;
+      }
+    }
+    const auto now = std::chrono::steady_clock::now();
+    // Live progress: a tty gets an in-place refresh twice a second; a
+    // pipe (CI logs) gets a fresh line every two seconds.
+    const auto min_gap =
+        tty ? std::chrono::milliseconds(500) : std::chrono::milliseconds(2000);
+    if (now - last_print >= min_gap) {
+      last_print = now;
+      const std::string line = board.progress_line();
+      if (tty) {
+        std::cout << "\r" << line;
+        for (std::size_t pad = line.size(); pad < printed_width; ++pad) {
+          std::cout << ' ';
+        }
+        std::cout << std::flush;
+        printed_width = line.size();
+      } else {
+        std::cout << line << "\n" << std::flush;
+      }
+    }
+  }
+  const std::string line = board.progress_line();
+  if (tty) {
+    std::cout << "\r" << line;
+    for (std::size_t pad = line.size(); pad < printed_width; ++pad) {
+      std::cout << ' ';
+    }
+    std::cout << "\n";
+  } else {
+    std::cout << line << "\n";
+  }
+
   int failures = 0;
   for (std::size_t i = 0; i < pids.size(); ++i) {
     int status = 0;
@@ -509,7 +649,10 @@ int cmd_campaign_shard(const std::string& model_name, const ArgParser& args,
                        int argc, char** argv) {
   if (args.has("shard-index")) {
     // Worker: rebuild the campaign deterministically, then run (or
-    // resume) this shard's range, streaming records to its log.
+    // resume) this shard's range, streaming records to its log. When the
+    // parent handed us a telemetry pipe (--telemetry-fd), progress
+    // frames flow back on it; SIGPIPE is ignored so a dead parent shows
+    // up as an EPIPE write error the emitter absorbs, never a crash.
     const ShardCampaignSetup setup = prepare_shard_campaign(model_name, args);
     const std::size_t index = args.get_size("shard-index", 0);
     const ShardManifest manifest = make_shard_manifest(model_name, setup,
@@ -517,9 +660,16 @@ int cmd_campaign_shard(const std::string& model_name, const ArgParser& args,
     std::filesystem::create_directories(setup.dir);
     const std::string path =
         shard_log_path(setup.dir, index, setup.shards);
+    ShardTelemetryConfig shard_telemetry;
+    if (args.has("telemetry-fd")) {
+      signal(SIGPIPE, SIG_IGN);
+      shard_telemetry.fd = static_cast<int>(args.get_size("telemetry-fd", 0));
+      shard_telemetry.interval_ms = args.get_size("telemetry-interval", 250);
+    }
     const ShardRunResult run = run_campaign_shard(
         *setup.model, setup.inputs, setup.scheme, setup.bounds, setup.config,
-        manifest, path, /*resume=*/!args.has("no-resume"));
+        manifest, path, /*resume=*/!args.has("no-resume"), shard_telemetry);
+    if (shard_telemetry.enabled()) close(shard_telemetry.fd);
     std::cout << "shard " << index << "/" << setup.shards << " ["
               << manifest.first_trial << ", " << manifest.last_trial
               << "): resumed " << run.resumed << ", executed "
@@ -530,12 +680,27 @@ int cmd_campaign_shard(const std::string& model_name, const ArgParser& args,
   }
 
   // Parent: make sure the model cache is warm (workers must never race a
-  // training run), fan out the workers, then merge their logs.
+  // training run), fan out the workers, drive the live progress board
+  // off their telemetry pipes, then merge their logs. --telemetry-port
+  // additionally serves the merged board view over HTTP while workers
+  // run.
   const ShardCampaignSetup setup = prepare_shard_campaign(model_name, args);
   std::filesystem::create_directories(setup.dir);
   std::cout << "campaign-shard: " << setup.total_trials << " trials over "
             << setup.shards << " shards -> " << setup.dir << "\n";
-  const int failures = spawn_shard_workers(argc, argv, setup.shards);
+  ShardProgressBoard board(setup.shards, setup.total_trials);
+  std::optional<TelemetryEndpoint> endpoint;
+  if (args.has("telemetry-port")) {
+    TelemetryEndpoint::Options endpoint_opts;
+    endpoint_opts.port =
+        static_cast<int>(args.get_size("telemetry-port", 0));
+    endpoint.emplace(&board, endpoint_opts);
+    endpoint->start();
+    std::cout << "telemetry: " << endpoint->url()
+              << " (/metrics /snapshot.json /healthz)\n";
+  }
+  const int failures = spawn_shard_workers(argc, argv, setup.shards, board);
+  if (endpoint) endpoint->stop();
 
   std::vector<std::string> paths;
   for (std::size_t i = 0; i < setup.shards; ++i) {
@@ -630,9 +795,14 @@ int cmd_serve_load(const std::string& model_name, const ArgParser& args) {
   serve_opts.max_batch = max_batch;
   serve_opts.prefill_chunk_budget = 32;
   serve_opts.share_prefix = true;
-  if (args.has("metrics-out")) serve_opts.obs.metrics = &registry;
+  if (args.has("metrics-out") || args.has("telemetry-port")) {
+    serve_opts.obs.metrics = &registry;
+  }
+  LiveTelemetry telemetry;
+  telemetry.start(&registry, args);
   ServeEngine engine(*model, serve_opts);
   const LoadReport r = run_load(engine, load);
+  telemetry.stop();
 
   Table table({"metric", "value"});
   table.begin_row().cell("offered requests").count(r.offered);
@@ -683,6 +853,12 @@ int cmd_serve_bench(const std::string& model_name, const ArgParser& args) {
   // protect.* counters in the snapshot match the engine-side hook stats.
   const bool want_metrics = args.has("metrics-out");
   MetricsRegistry registry;
+  // --telemetry-port attaches the registry (the sampler reads it live)
+  // without the protection hooks --metrics-out adds, so generated tokens
+  // are bit-identical with telemetry on or off.
+  const bool want_registry = want_metrics || args.has("telemetry-port");
+  LiveTelemetry telemetry;
+  telemetry.start(&registry, args);
   const SchemeRef scheme = SchemeRef::parse(args.get("scheme", "ft2"));
   FT2_CHECK_MSG(!scheme.needs_offline_bounds(),
                 "ft2 serve-bench supports online schemes only ("
@@ -713,7 +889,7 @@ int cmd_serve_bench(const std::string& model_name, const ArgParser& args) {
   // Continuous batching: all requests through one engine.
   ServeOptions serve_opts;
   serve_opts.max_batch = max_batch;
-  if (want_metrics) serve_opts.obs.metrics = &registry;
+  if (want_registry) serve_opts.obs.metrics = &registry;
   if (args.has("trace-out")) serve_opts.obs.tracer = &tracer;
   ServeEngine engine(*model, serve_opts);
   std::vector<ProtectionHook> batch_hooks;
@@ -736,6 +912,7 @@ int cmd_serve_bench(const std::string& model_name, const ArgParser& args) {
   }
   engine.run();
   const auto t2 = std::chrono::steady_clock::now();
+  telemetry.stop();
 
   std::size_t mismatches = 0;
   std::size_t total_tokens = 0;
@@ -891,11 +1068,194 @@ int cmd_report(const ArgParser& args) {
   return 0;
 }
 
-int cmd_metric_names() {
+int cmd_metric_names(const ArgParser& args) {
   // One name per line: the dump tools/docs_check.sh verifies doc metric
-  // references against.
-  for (const std::string& name : all_metric_names()) {
+  // references against. --templates emits the un-expanded template names
+  // (placeholders intact) — the reverse docs gate checks each of those
+  // has a row in docs/OBSERVABILITY.md.
+  const std::vector<std::string> names =
+      args.has("templates") ? metric_template_names() : all_metric_names();
+  for (const std::string& name : names) {
     std::cout << name << "\n";
+  }
+  return 0;
+}
+
+// --- ft2 top -----------------------------------------------------------
+
+/// One dashboard frame rendered from two consecutive /snapshot.json
+/// polls: per-interval rates from the local delta, instantaneous gauges
+/// from the newest snapshot, plus the shard progress block when the
+/// remote side is a campaign-shard parent.
+void render_top_frame(std::ostream& os, const Json& doc,
+                      const TelemetrySample& prev,
+                      const TelemetrySample& next) {
+  const TelemetryInterval interval = derive_interval(prev, next);
+  const MetricsSnapshot& snap = next.snapshot;
+  char buf[128];
+
+  os << "interval " << std::fixed;
+  std::snprintf(buf, sizeof(buf), "%.1fs", interval.seconds);
+  os << buf << "\n";
+
+  if (const Json* progress = doc.find("progress")) {
+    os << "\ncampaign progress\n";
+    std::snprintf(buf, sizeof(buf), "  trials   %.0f/%.0f\n",
+                  progress->at("done").as_double(),
+                  progress->at("total").as_double());
+    os << buf;
+    std::snprintf(buf, sizeof(buf), "  rate     %.1f trials/s  eta %.0fs\n",
+                  progress->at("trials_per_s").as_double(),
+                  progress->at("eta_s").as_double());
+    os << buf;
+  }
+
+  const auto rate_row = [&](const char* label, std::string_view counter) {
+    std::snprintf(buf, sizeof(buf), "  %-22s %10.1f/s\n", label,
+                  interval.counter_rate(counter));
+    os << buf;
+  };
+  const auto hist_row = [&](const char* label, std::string_view name) {
+    const MetricsSnapshot::HistogramValue* h = interval.find_histogram(name);
+    if (h == nullptr || h->count == 0) return;
+    std::snprintf(buf, sizeof(buf),
+                  "  %-22s p50 %8.2f  p95 %8.2f  p99 %8.2f  (n=%llu)\n",
+                  label, h->quantile(0.5), h->quantile(0.95),
+                  h->quantile(0.99),
+                  static_cast<unsigned long long>(h->count));
+    os << buf;
+  };
+  const auto gauge_row = [&](const char* label, std::string_view name) {
+    const MetricsSnapshot::GaugeValue* g = snap.find_gauge(name);
+    if (g == nullptr) return;
+    std::snprintf(buf, sizeof(buf), "  %-22s %10.0f\n", label, g->value);
+    os << buf;
+  };
+
+  if (snap.find_counter("serve.tokens.generated") != nullptr) {
+    os << "\nserve (interval rates)\n";
+    rate_row("tokens/s", "serve.tokens.generated");
+    rate_row("requests done/s", "serve.requests.completed");
+    rate_row("preemptions/s", "serve.preemptions");
+    hist_row("ttft ms", "serve.request.ttft_ms");
+    hist_row("token gap ms", "serve.token.gap_ms");
+    hist_row("decode step ms", "serve.decode.step_ms");
+    gauge_row("batch occupancy", "serve.batch.occupancy");
+    gauge_row("kv blocks used", "serve.kv.blocks_used");
+    gauge_row("kv blocks free", "serve.kv.blocks_free");
+  }
+
+  // protect.*: sum the per-kind counters into one detection-rate view.
+  double checked_per_s = 0.0, oob_per_s = 0.0, nan_per_s = 0.0;
+  double mismatch_per_s = 0.0;
+  for (const auto& c : interval.counters) {
+    if (c.name.rfind("protect.checked.", 0) == 0) checked_per_s += c.per_sec;
+    if (c.name.rfind("protect.oob.", 0) == 0) oob_per_s += c.per_sec;
+    if (c.name.rfind("protect.nan.", 0) == 0) nan_per_s += c.per_sec;
+    if (c.name.rfind("protect.checksum_mismatch.", 0) == 0) {
+      mismatch_per_s += c.per_sec;
+    }
+  }
+  if (checked_per_s > 0.0 || oob_per_s > 0.0 || mismatch_per_s > 0.0) {
+    os << "\nprotect (interval rates, all kinds)\n";
+    std::snprintf(buf, sizeof(buf), "  %-22s %10.0f/s\n", "values checked",
+                  checked_per_s);
+    os << buf;
+    std::snprintf(buf, sizeof(buf), "  %-22s %10.2f/s\n", "oob clipped",
+                  oob_per_s);
+    os << buf;
+    std::snprintf(buf, sizeof(buf), "  %-22s %10.2f/s\n", "nan corrected",
+                  nan_per_s);
+    os << buf;
+    if (mismatch_per_s > 0.0) {
+      std::snprintf(buf, sizeof(buf), "  %-22s %10.2f/s\n",
+                    "checksum mismatches", mismatch_per_s);
+      os << buf;
+    }
+  }
+
+  if (snap.find_counter("campaign.trials") != nullptr) {
+    os << "\ncampaign (interval rates)\n";
+    rate_row("trials/s", "campaign.trials");
+    rate_row("sdc/s", "campaign.outcome.sdc");
+    hist_row("trial ms", "campaign.trial_ms");
+  }
+}
+
+int cmd_top(const ArgParser& args) {
+  const std::string connect = args.get("connect", "");
+  FT2_CHECK_MSG(!connect.empty(),
+                "ft2 top needs --connect HOST:PORT (e.g. 127.0.0.1:9100)");
+  const std::size_t colon = connect.rfind(':');
+  FT2_CHECK_MSG(colon != std::string::npos && colon + 1 < connect.size(),
+                "--connect wants HOST:PORT, got '" << connect << "'");
+  const std::string host = connect.substr(0, colon);
+  const int port = std::atoi(connect.c_str() + colon + 1);
+  const std::size_t interval_ms = args.get_size("interval", 1000);
+  // --iterations bounds the dashboard (tests, one-shot checks); 0 runs
+  // until q+Enter or Ctrl-C.
+  const std::size_t iterations = args.get_size("iterations", 0);
+  const bool plain = args.has("plain");
+
+  TelemetrySample prev;
+  bool have_prev = false;
+  // Closed/EOF stdin (piped runs, CI) makes poll() return instantly
+  // forever; detect it once and fall back to a plain sleep.
+  bool watch_stdin = true;
+  for (std::size_t i = 0; iterations == 0 || i < iterations; ++i) {
+    const HttpResponse r = http_get(host, port, "/snapshot.json");
+    if (r.status != 200) {
+      std::cerr << "ft2 top: GET /snapshot.json failed (status " << r.status
+                << "): " << r.body << "\n";
+      return 1;
+    }
+    const Json doc = Json::parse(r.body);
+    TelemetrySample sample;
+    sample.steady_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+    sample.wall_ms =
+        static_cast<std::uint64_t>(doc.at("ts_ms").as_double());
+    sample.snapshot = MetricsSnapshot::from_json(doc.at("cumulative"));
+
+    std::ostringstream frame;
+    frame << "ft2 top — " << host << ":" << port
+          << " (poll " << interval_ms << "ms; q+Enter or Ctrl-C quits)\n";
+    render_top_frame(frame, doc, have_prev ? prev : sample, sample);
+    if (!plain) std::cout << "\033[2J\033[H";  // clear + home
+    std::cout << frame.str() << std::flush;
+    prev = std::move(sample);
+    have_prev = true;
+
+    if (iterations != 0 && i + 1 == iterations) break;
+    // Sleep the poll interval, watching stdin for 'q'.
+    if (watch_stdin) {
+      pollfd pfd{STDIN_FILENO, POLLIN, 0};
+      const auto sleep_start = std::chrono::steady_clock::now();
+      const int ready = poll(&pfd, 1, static_cast<int>(interval_ms));
+      if (ready > 0 && (pfd.revents & POLLIN) != 0) {
+        char buf[64];
+        const ssize_t n = read(STDIN_FILENO, buf, sizeof(buf));
+        for (ssize_t b = 0; b < n; ++b) {
+          if (buf[b] == 'q' || buf[b] == 'Q') return 0;
+        }
+        if (n <= 0) watch_stdin = false;  // EOF: stop polling stdin
+      } else if (ready > 0) {
+        watch_stdin = false;  // POLLHUP/POLLERR: same
+      }
+      if (!watch_stdin) {
+        // Finish the remainder of this tick's interval without stdin.
+        const auto elapsed = std::chrono::duration_cast<
+            std::chrono::milliseconds>(std::chrono::steady_clock::now() -
+                                       sleep_start);
+        const auto remaining =
+            std::chrono::milliseconds(interval_ms) - elapsed;
+        if (remaining.count() > 0) std::this_thread::sleep_for(remaining);
+      }
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    }
   }
   return 0;
 }
@@ -1065,27 +1425,33 @@ int usage() {
       "               [--inputs N] [--trials T] [--faults K] [--fp32]\n"
       "               [--bounds FILE] [--trace FILE] [--json FILE] [--weights]\n"
       "               [--metrics-out FILE] [--jsonl FILE] [--trace-out FILE]\n"
-      "               [--drift] [--clips]\n"
+      "               [--drift] [--clips] [--telemetry-port P]\n"
       "  ft2 campaign-shard <model> [--shards N] [--dir DIR] [--dataset D]\n"
       "               [--scheme S] [--fault-model F] [--inputs N]\n"
       "               [--trials T] [--faults K] [--fp32] [--bounds FILE]\n"
       "               [--no-resume] [--verify] [--json FILE]\n"
-      "               [--bootstrap N] [--ci-seed S]\n"
+      "               [--bootstrap N] [--ci-seed S] [--telemetry-port P]\n"
       "  ft2 serve-bench <model> [--dataset D] [--requests N] [--batch B]\n"
       "                  [--seed S] [--scheme S] [--metrics-out FILE]\n"
-      "                  [--trace-out FILE]\n"
+      "                  [--trace-out FILE] [--telemetry-port P]\n"
       "  ft2 serve-bench <model> --load [--requests N] [--rate HZ]\n"
       "                  [--batch B] [--seed S] [--metrics-out FILE]\n"
+      "                  [--telemetry-port P]\n"
+      "  ft2 top --connect HOST:PORT [--interval MS] [--iterations N]\n"
+      "          [--plain]\n"
       "  ft2 report <LOG.csv|.json|.jsonl>... [--json FILE] [--bootstrap N]\n"
       "             [--ci-seed S]\n"
       "  ft2 metrics <model> [--dataset D] [--requests N] [--batch B]\n"
       "              [--seed S] [--scheme S] [--json FILE]\n"
-      "  ft2 metric-names\n"
+      "  ft2 metric-names [--templates]\n"
       "  ft2 scheme-names [--long]\n"
       "  ft2 kernel-info [--check]\n"
       "  ft2 perf [--gpu a100|h100]\n"
       "global: --kernel sse|avx2|avx512|auto forces the dispatch tier\n"
       "        (same as FT2_KERNEL; see docs/PERFORMANCE.md)\n"
+      "        --telemetry-port P serves live /metrics, /snapshot.json and\n"
+      "        /healthz on 127.0.0.1:P while the workload runs (0 picks an\n"
+      "        ephemeral port; --telemetry-interval MS tunes the sampler)\n"
       "schemes (S accepts name or name:key=value,...):\n"
       "  " << schemes << "\n";
   return 2;
@@ -1111,6 +1477,9 @@ int main(int argc, char** argv) {
       {"dir", true},          {"no-resume", false}, {"verify", false},
       {"bootstrap", true},    {"ci-seed", true},  {"kernel", true},
       {"check", false},       {"load", false},    {"rate", true},
+      {"telemetry-port", true}, {"telemetry-interval", true},
+      {"telemetry-fd", true}, {"templates", false}, {"connect", true},
+      {"interval", true},     {"iterations", true}, {"plain", false},
   };
   try {
     const ArgParser args(argc - 2, argv + 2, spec);
@@ -1141,7 +1510,8 @@ int main(int argc, char** argv) {
       return cmd_report(args);
     }
     if (command == "metrics") return cmd_metrics(need_model(), args);
-    if (command == "metric-names") return cmd_metric_names();
+    if (command == "metric-names") return cmd_metric_names(args);
+    if (command == "top") return cmd_top(args);
     if (command == "kernel-info") return cmd_kernel_info(args);
     if (command == "scheme-names") return cmd_scheme_names(args);
     if (command == "perf") return cmd_perf(args);
